@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the pipeline stages: decomposition, per-fragment
+//! engine, Eq. (1) assembly, and the Lanczos/GAGQ spectral solve — the four
+//! stages whose scaling Figs. 10–12 depend on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qfr_core::RamanWorkflow;
+use qfr_fragment::{assemble, Decomposition, DecompositionParams, FragmentEngine, MassWeighted};
+use qfr_geom::{ProteinBuilder, WaterBoxBuilder};
+use qfr_model::ForceFieldEngine;
+use qfr_solver::{raman_lanczos, RamanOptions};
+use std::hint::black_box;
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompose");
+    for &n in &[125usize, 512] {
+        let sys = WaterBoxBuilder::new(n).seed(1).build();
+        group.bench_with_input(BenchmarkId::new("water_box", n), &n, |b, _| {
+            b.iter(|| Decomposition::new(black_box(&sys), DecompositionParams::default()))
+        });
+    }
+    let protein = ProteinBuilder::new(100).seed(2).build();
+    group.bench_function("protein_100res", |b| {
+        b.iter(|| Decomposition::new(black_box(&protein), DecompositionParams::default()))
+    });
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("force_field_engine");
+    let protein = ProteinBuilder::new(5).seed(3).build();
+    let d = Decomposition::new(&protein, DecompositionParams::default());
+    let engine = ForceFieldEngine::new();
+    let frag = d.jobs[0].structure(&protein);
+    group.bench_function(format!("fragment_{}atoms", frag.n_atoms()), |b| {
+        b.iter(|| engine.compute(black_box(&frag)))
+    });
+    group.finish();
+}
+
+fn bench_assembly_and_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assembly_solver");
+    let sys = WaterBoxBuilder::new(216).seed(4).build();
+    let d = Decomposition::new(&sys, DecompositionParams::default());
+    let engine = ForceFieldEngine::new();
+    let responses: Vec<_> = d.jobs.iter().map(|j| engine.compute(&j.structure(&sys))).collect();
+    group.bench_function("assemble_216_waters", |b| {
+        b.iter(|| assemble::assemble(black_box(&d.jobs), black_box(&responses), sys.n_atoms()))
+    });
+    let asm = assemble::assemble(&d.jobs, &responses, sys.n_atoms());
+    let mw = MassWeighted::new(&asm, &sys.masses());
+    let opts = RamanOptions { lanczos_steps: 80, sigma: 20.0, ..Default::default() };
+    group.bench_function("lanczos_gagq_216_waters", |b| {
+        b.iter(|| raman_lanczos(black_box(&mw.hessian), black_box(&mw.dalpha), &opts))
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    let sys = WaterBoxBuilder::new(64).seed(5).build();
+    group.bench_function("water64_full_pipeline", |b| {
+        b.iter(|| RamanWorkflow::new(sys.clone()).sigma(20.0).run().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = pipeline;
+    config = Criterion::default().sample_size(10);
+    targets = bench_decomposition, bench_engine, bench_assembly_and_solver, bench_end_to_end
+);
+criterion_main!(pipeline);

@@ -1,0 +1,115 @@
+//! Fig. 11: weak scaling — nodes and fragments doubled together.
+//!
+//! Paper results (throughput in fragments/second and weak-scaling
+//! efficiency):
+//!
+//! - ORISE water dimer: 2,406.3 fr/s on 750 nodes → 4,772.2 / 9,546.6 /
+//!   18,445.1 at 1,500 / 3,000 / 6,000 nodes (99.1 / 99.1 / 99.0%);
+//! - ORISE protein: 93.2 fr/s on 750 nodes, efficiencies 99.8 / 99.4 /
+//!   99.3%;
+//! - Sunway mixed: 1,661.3 fr/s on 12,000 nodes → 3,324.3 / 6,626.9 /
+//!   13,239.8 (100.0 / 99.7 / 99.6%).
+//!
+//! The simulator's time unit is calibrated per study so the smallest-scale
+//! throughput matches the paper's absolute number; every larger scale is
+//! then a genuine prediction of the balancer + simulator.
+
+use qfr_bench::{header, row, write_record};
+use qfr_sched::balancer::SizeSensitivePolicy;
+use qfr_sched::simulator::{simulate, SimConfig};
+use qfr_sched::task::{protein_workload, water_dimer_workload, FragmentWorkItem};
+
+struct Study {
+    label: &'static str,
+    nodes: Vec<usize>,
+    fragments: Vec<usize>,
+    paper_throughput: Vec<f64>,
+    kind: fn(usize, u64) -> Vec<FragmentWorkItem>,
+}
+
+fn mixed(n: usize, seed: u64) -> Vec<FragmentWorkItem> {
+    let mut frags = protein_workload(n / 4, seed);
+    let mut water = water_dimer_workload(n - n / 4);
+    for (i, f) in water.iter_mut().enumerate() {
+        f.id = (n / 4 + i) as u32;
+    }
+    frags.extend(water);
+    frags
+}
+
+fn main() {
+    let studies = [
+        Study {
+            label: "ORISE / water dimer",
+            nodes: vec![750, 1500, 3000, 6000],
+            fragments: vec![3_343_536, 6_691_536, 13_387_536, 25_885_440],
+            paper_throughput: vec![2406.3, 4772.2, 9546.6, 18445.1],
+            kind: |n, _| water_dimer_workload(n),
+        },
+        Study {
+            label: "ORISE / protein",
+            nodes: vec![750, 1500, 3000, 6000],
+            fragments: vec![88_800, 177_600, 355_200, 710_400],
+            paper_throughput: vec![93.2, 186.0, 370.6, 740.2],
+            kind: |n, seed| protein_workload(n, seed),
+        },
+        Study {
+            label: "Sunway / mixed",
+            nodes: vec![12_000, 24_000, 48_000, 96_000],
+            fragments: vec![4_151_294, 8_302_588, 16_605_176, 33_210_352],
+            paper_throughput: vec![1661.3, 3324.3, 6626.9, 13239.8],
+            kind: mixed,
+        },
+    ];
+
+    let mut records = Vec::new();
+    for study in &studies {
+        header(&format!("Fig. 11 — {}", study.label));
+        row(
+            &["nodes", "fragments", "fr/s", "eff.", "paper fr/s", "paper eff."],
+            &[8, 12, 12, 8, 12, 10],
+        );
+        let mut calibration = None;
+        let mut base_throughput = None;
+        for (i, (&nodes, &nfr)) in study.nodes.iter().zip(&study.fragments).enumerate() {
+            let frags = (study.kind)(nfr, 11 + i as u64);
+            let report = simulate(
+                Box::new(SizeSensitivePolicy::with_defaults(frags)),
+                &SimConfig { n_leaders: nodes, seed: 3 + i as u64, ..Default::default() },
+            );
+            let raw = report.throughput();
+            // Calibrate time units on the first row to the paper's
+            // absolute throughput.
+            let scale = *calibration.get_or_insert(study.paper_throughput[0] / raw);
+            let fr_s = raw * scale;
+            let base = *base_throughput.get_or_insert(fr_s / nodes as f64);
+            let eff = fr_s / nodes as f64 / base;
+            let paper_eff = study.paper_throughput[i]
+                / study.nodes[i] as f64
+                / (study.paper_throughput[0] / study.nodes[0] as f64);
+            row(
+                &[
+                    &nodes.to_string(),
+                    &nfr.to_string(),
+                    &format!("{fr_s:.1}"),
+                    &format!("{:.1}%", 100.0 * eff),
+                    &format!("{:.1}", study.paper_throughput[i]),
+                    &format!("{:.1}%", 100.0 * paper_eff),
+                ],
+                &[8, 12, 12, 8, 12, 10],
+            );
+            records.push(format!(
+                "{{\"study\":\"{}\",\"nodes\":{},\"fragments\":{},\"throughput\":{},\"efficiency\":{}}}",
+                study.label, nodes, nfr, fr_s, eff
+            ));
+        }
+    }
+
+    header("Shape check");
+    println!(
+        "Expected (paper): throughput doubles with node count at ≥99%\n\
+         efficiency in all three studies (first rows are calibration\n\
+         points; later rows are predictions)."
+    );
+    write_record("fig11_weak_scaling", &format!("[{}]", records.join(",")));
+}

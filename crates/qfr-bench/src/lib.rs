@@ -1,0 +1,92 @@
+//! # qfr-bench
+//!
+//! The experiment harness: one binary per table/figure of the QF-RAMAN
+//! paper's evaluation (see DESIGN.md §5 for the experiment index), plus
+//! ablation studies and Criterion microbenchmarks.
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig08_load_balance` | Fig. 8 execution-time variation across nodes |
+//! | `fig09_speedups` | Fig. 9 step-by-step optimization speedups |
+//! | `fig10_strong_scaling` | Fig. 10 strong scaling on both machines |
+//! | `fig11_weak_scaling` | Fig. 11 weak scaling throughput |
+//! | `table1_peak_performance` | Table I FP64 rates |
+//! | `fig12_raman_spectra` | Fig. 12 Raman spectra (gas / water / solvated) |
+//! | `stats_decomposition` | Section VI-A decomposition statistics |
+//! | `ablation_balancer` | policy ablation (design-choice study) |
+//! | `ablation_offload_stride` | batch-stride ablation |
+//! | `ablation_gagq` | GAGQ vs plain Gauss vs dense accuracy + KPM baseline |
+//! | `ablation_fold` | chain fold vs concap statistics |
+//!
+//! Every binary prints a human-readable table comparing measured values to
+//! the paper's reported ones and writes a JSON record under
+//! `target/experiments/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Output directory for experiment records (`target/experiments`).
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments");
+    fs::create_dir_all(&dir).expect("cannot create experiments dir");
+    dir
+}
+
+/// Writes a JSON record for an experiment.
+pub fn write_record(name: &str, json: &str) {
+    let path = experiments_dir().join(format!("{name}.json"));
+    fs::write(&path, json).expect("cannot write experiment record");
+    println!("\n[record written to {}]", path.display());
+}
+
+/// Formats a ratio as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", 100.0 * x)
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+/// Simple fixed-width row printer.
+pub fn row(cells: &[&str], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$} ", w = w));
+    }
+    println!("{line}");
+}
+
+/// Parses a `--flag value` style argument.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// True if `--flag` is present.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiments_dir_exists_after_call() {
+        let d = experiments_dir();
+        assert!(d.exists());
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.015), "+1.5%");
+        assert_eq!(pct(-0.092), "-9.2%");
+    }
+}

@@ -1,0 +1,277 @@
+//! Checkpoint / restart of per-fragment engine results.
+//!
+//! The engine stage dominates wall time for large systems (millions of
+//! fragment jobs); on the paper's machines such runs checkpoint as a matter
+//! of course. This module persists the per-job [`FragmentResponse`] blocks
+//! in a compact binary format keyed by a fingerprint of the decomposition,
+//! so a re-run with the same system and λ resumes directly at assembly.
+//!
+//! Format (little-endian): magic `QFRC`, version u32, fingerprint u64,
+//! job count u64, then per job: `m` (u32, atoms incl. link H) followed by
+//! the `3m×3m` Hessian, `6×3m` ∂α/∂ξ and `3×3m` ∂μ/∂ξ as f64 arrays.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use qfr_fragment::{Decomposition, FragmentResponse};
+use qfr_linalg::DMatrix;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"QFRC";
+const VERSION: u32 = 1;
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// Not a checkpoint file, or an incompatible version.
+    Format(String),
+    /// The checkpoint belongs to a different system/decomposition.
+    FingerprintMismatch {
+        /// Fingerprint stored in the file.
+        found: u64,
+        /// Fingerprint of the current decomposition.
+        expected: u64,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Format(m) => write!(f, "checkpoint format error: {m}"),
+            CheckpointError::FingerprintMismatch { found, expected } => write!(
+                f,
+                "checkpoint belongs to a different run (fingerprint {found:#x}, expected {expected:#x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// FNV-1a fingerprint of a decomposition: job kinds are implied by the atom
+/// lists and coefficients, which is what assembly consumes.
+pub fn fingerprint(decomposition: &Decomposition, n_atoms: usize) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    mix(n_atoms as u64);
+    mix(decomposition.jobs.len() as u64);
+    for job in &decomposition.jobs {
+        mix(job.atoms.len() as u64);
+        mix(job.link_hydrogens.len() as u64);
+        mix(job.coefficient.to_bits());
+        for &a in &job.atoms {
+            mix(a as u64);
+        }
+    }
+    h
+}
+
+fn put_matrix(buf: &mut BytesMut, m: &DMatrix) {
+    for &v in m.as_slice() {
+        buf.put_f64_le(v);
+    }
+}
+
+fn get_matrix(buf: &mut Bytes, rows: usize, cols: usize) -> Result<DMatrix, CheckpointError> {
+    let need = rows * cols * 8;
+    if buf.remaining() < need {
+        return Err(CheckpointError::Format("truncated matrix data".into()));
+    }
+    let data = (0..rows * cols).map(|_| buf.get_f64_le()).collect();
+    Ok(DMatrix::from_vec(rows, cols, data))
+}
+
+/// Saves responses to `path`, atomically (write to a temp file + rename).
+pub fn save_responses(
+    path: &Path,
+    decomposition: &Decomposition,
+    n_atoms: usize,
+    responses: &[FragmentResponse],
+) -> Result<(), CheckpointError> {
+    assert_eq!(
+        decomposition.jobs.len(),
+        responses.len(),
+        "one response per job"
+    );
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(fingerprint(decomposition, n_atoms));
+    buf.put_u64_le(responses.len() as u64);
+    for (job, resp) in decomposition.jobs.iter().zip(responses) {
+        let m = job.size();
+        resp.hessian
+            .shape()
+            .eq(&(3 * m, 3 * m))
+            .then_some(())
+            .ok_or_else(|| CheckpointError::Format("response shape mismatch".into()))?;
+        buf.put_u32_le(m as u32);
+        put_matrix(&mut buf, &resp.hessian);
+        put_matrix(&mut buf, &resp.dalpha);
+        put_matrix(&mut buf, &resp.dmu);
+    }
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&buf)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads responses from `path`, verifying the fingerprint against the
+/// current decomposition.
+pub fn load_responses(
+    path: &Path,
+    decomposition: &Decomposition,
+    n_atoms: usize,
+) -> Result<Vec<FragmentResponse>, CheckpointError> {
+    let mut raw = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut raw)?;
+    let mut buf = Bytes::from(raw);
+    if buf.remaining() < 4 + 4 + 8 + 8 {
+        return Err(CheckpointError::Format("file too short".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::Format("bad magic".into()));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(CheckpointError::Format(format!("unsupported version {version}")));
+    }
+    let found = buf.get_u64_le();
+    let expected = fingerprint(decomposition, n_atoms);
+    if found != expected {
+        return Err(CheckpointError::FingerprintMismatch { found, expected });
+    }
+    let count = buf.get_u64_le() as usize;
+    if count != decomposition.jobs.len() {
+        return Err(CheckpointError::Format(format!(
+            "job count {count} does not match decomposition {}",
+            decomposition.jobs.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(count);
+    for job in &decomposition.jobs {
+        if buf.remaining() < 4 {
+            return Err(CheckpointError::Format("truncated job header".into()));
+        }
+        let m = buf.get_u32_le() as usize;
+        if m != job.size() {
+            return Err(CheckpointError::Format(format!(
+                "job size {m} does not match decomposition {}",
+                job.size()
+            )));
+        }
+        out.push(FragmentResponse {
+            hessian: get_matrix(&mut buf, 3 * m, 3 * m)?,
+            dalpha: get_matrix(&mut buf, 6, 3 * m)?,
+            dmu: get_matrix(&mut buf, 3, 3 * m)?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfr_fragment::{DecompositionParams, FragmentEngine};
+    use qfr_geom::WaterBoxBuilder;
+    use qfr_model::ForceFieldEngine;
+
+    fn setup() -> (qfr_geom::MolecularSystem, Decomposition, Vec<FragmentResponse>) {
+        let sys = WaterBoxBuilder::new(6).seed(1).build();
+        let d = Decomposition::new(&sys, DecompositionParams::default());
+        let engine = ForceFieldEngine::new();
+        let responses = d
+            .jobs
+            .iter()
+            .map(|j| engine.compute(&j.structure(&sys)))
+            .collect();
+        (sys, d, responses)
+    }
+
+    #[test]
+    fn round_trip_bitexact() {
+        let (sys, d, responses) = setup();
+        let dir = std::env::temp_dir().join("qfr_ckpt_test_rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("responses.qfrc");
+        save_responses(&path, &d, sys.n_atoms(), &responses).unwrap();
+        let loaded = load_responses(&path, &d, sys.n_atoms()).unwrap();
+        assert_eq!(loaded.len(), responses.len());
+        for (a, b) in loaded.iter().zip(&responses) {
+            assert_eq!(a.hessian.max_abs_diff(&b.hessian), 0.0, "bit-exact hessian");
+            assert_eq!(a.dalpha.max_abs_diff(&b.dalpha), 0.0);
+            assert_eq!(a.dmu.max_abs_diff(&b.dmu), 0.0);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_rejects_other_system() {
+        let (sys, d, responses) = setup();
+        let dir = std::env::temp_dir().join("qfr_ckpt_test_fp");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("responses.qfrc");
+        save_responses(&path, &d, sys.n_atoms(), &responses).unwrap();
+        // A different box has a different decomposition.
+        let other_sys = WaterBoxBuilder::new(7).seed(2).build();
+        let other = Decomposition::new(&other_sys, DecompositionParams::default());
+        let err = load_responses(&path, &other, other_sys.n_atoms()).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::FingerprintMismatch { .. }),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbage_file_rejected() {
+        let dir = std::env::temp_dir().join("qfr_ckpt_test_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.qfrc");
+        std::fs::write(&path, b"not a checkpoint at all").unwrap();
+        let (sys, d, _) = setup();
+        let err = load_responses(&path, &d, sys.n_atoms()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let (sys, d, responses) = setup();
+        let dir = std::env::temp_dir().join("qfr_ckpt_test_trunc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("responses.qfrc");
+        save_responses(&path, &d, sys.n_atoms(), &responses).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = load_responses(&path, &d, sys.n_atoms()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_deterministic_and_sensitive() {
+        let (sys, d, _) = setup();
+        let f1 = fingerprint(&d, sys.n_atoms());
+        let f2 = fingerprint(&d, sys.n_atoms());
+        assert_eq!(f1, f2);
+        assert_ne!(f1, fingerprint(&d, sys.n_atoms() + 1));
+    }
+}

@@ -1,0 +1,527 @@
+//! The end-to-end Raman workflow builder.
+
+use crate::report::{RamanResult, StageTimings};
+use qfr_fragment::{
+    assemble, Decomposition, DecompositionParams, FragmentEngine, FragmentResponse, MassWeighted,
+};
+use qfr_geom::MolecularSystem;
+use qfr_model::ForceFieldEngine;
+use qfr_solver::{ir_lanczos, raman_dense_reference, raman_lanczos, RamanOptions};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Which per-fragment engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Calibrated analytic force field + bond polarizability (fast; the
+    /// production path for large systems).
+    ForceField,
+    /// Model DFPT engine (computationally faithful; `O((3m)²)` energy
+    /// evaluations per fragment — small systems only).
+    ModelDfpt,
+}
+
+/// Errors a workflow run can report.
+#[derive(Debug)]
+pub enum WorkflowError {
+    /// The system contains no atoms.
+    EmptySystem,
+    /// System validation failed (inconsistent bonds/spans).
+    InvalidSystem(Vec<String>),
+    /// The DFPT engine was requested for a system too large for it.
+    DfptTooLarge {
+        /// Atom count of the largest fragment.
+        largest_fragment: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkflowError::EmptySystem => write!(f, "system has no atoms"),
+            WorkflowError::InvalidSystem(errs) => {
+                write!(f, "invalid system: {}", errs.join("; "))
+            }
+            WorkflowError::DfptTooLarge { largest_fragment, cap } => write!(
+                f,
+                "model-DFPT engine capped at {cap}-atom fragments, largest is {largest_fragment}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+/// Builder + driver for one Raman computation.
+#[derive(Debug, Clone)]
+pub struct RamanWorkflow {
+    system: MolecularSystem,
+    decomposition: DecompositionParams,
+    engine: EngineKind,
+    raman: RamanOptions,
+    parallel: bool,
+    /// Cap on fragment size when the DFPT engine is selected.
+    dfpt_fragment_cap: usize,
+}
+
+impl RamanWorkflow {
+    /// Workflow over a system with the paper's defaults (λ = 4 Å, σ = 5
+    /// cm⁻¹, force-field engine, GAGQ solver).
+    pub fn new(system: MolecularSystem) -> Self {
+        Self {
+            system,
+            decomposition: DecompositionParams::default(),
+            engine: EngineKind::ForceField,
+            raman: RamanOptions::default(),
+            parallel: true,
+            dfpt_fragment_cap: 12,
+        }
+    }
+
+    /// Sets the two-body distance threshold λ (Å).
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.decomposition.lambda = lambda;
+        self
+    }
+
+    /// Sets the Gaussian smearing σ (cm⁻¹; paper: 5 gas phase, 20
+    /// solvated).
+    pub fn sigma(mut self, sigma: f64) -> Self {
+        self.raman.sigma = sigma;
+        self
+    }
+
+    /// Sets the number of Lanczos steps per starting vector.
+    pub fn lanczos_steps(mut self, k: usize) -> Self {
+        self.raman.lanczos_steps = k;
+        self
+    }
+
+    /// Selects the per-fragment engine.
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Toggles GAGQ augmentation (ablation).
+    pub fn use_gagq(mut self, on: bool) -> Self {
+        self.raman.use_gagq = on;
+        self
+    }
+
+    /// Overrides the full Raman solver options.
+    pub fn raman_options(mut self, opts: RamanOptions) -> Self {
+        self.raman = opts;
+        self
+    }
+
+    /// Disables rayon fragment parallelism (profiling/debugging).
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Read access to the system.
+    pub fn system(&self) -> &MolecularSystem {
+        &self.system
+    }
+
+    /// Runs decomposition only.
+    pub fn decompose(&self) -> Decomposition {
+        Decomposition::new(&self.system, self.decomposition)
+    }
+
+    fn make_engine(&self) -> Box<dyn FragmentEngine> {
+        match self.engine {
+            EngineKind::ForceField => Box::new(ForceFieldEngine::new()),
+            EngineKind::ModelDfpt => Box::new(qfr_dfpt::DfptEngine::new()),
+        }
+    }
+
+    fn validate(&self, decomposition: &Decomposition) -> Result<(), WorkflowError> {
+        if self.system.n_atoms() == 0 {
+            return Err(WorkflowError::EmptySystem);
+        }
+        let errs = self.system.validate();
+        if !errs.is_empty() {
+            return Err(WorkflowError::InvalidSystem(errs));
+        }
+        if self.engine == EngineKind::ModelDfpt {
+            let largest = decomposition.jobs.iter().map(|j| j.size()).max().unwrap_or(0);
+            if largest > self.dfpt_fragment_cap {
+                return Err(WorkflowError::DfptTooLarge {
+                    largest_fragment: largest,
+                    cap: self.dfpt_fragment_cap,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the full pipeline with the Lanczos/GAGQ solver.
+    pub fn run(&self) -> Result<RamanResult, WorkflowError> {
+        self.run_inner(false)
+    }
+
+    /// Like [`run`](Self::run), but loads per-fragment responses from
+    /// `checkpoint` when a valid one exists for this system/λ, and writes
+    /// one after computing otherwise — the restart path for long engine
+    /// stages.
+    pub fn run_with_checkpoint(
+        &self,
+        checkpoint: &std::path::Path,
+    ) -> Result<RamanResult, WorkflowError> {
+        let mut timings = StageTimings::default();
+        let t = Instant::now();
+        let decomposition = self.decompose();
+        timings.decompose_s = t.elapsed().as_secs_f64();
+        self.validate(&decomposition)?;
+        let engine = self.make_engine();
+
+        let t = Instant::now();
+        let responses = match crate::checkpoint::load_responses(
+            checkpoint,
+            &decomposition,
+            self.system.n_atoms(),
+        ) {
+            Ok(r) => r,
+            Err(_) => {
+                let r: Vec<FragmentResponse> = if self.parallel {
+                    decomposition
+                        .jobs
+                        .par_iter()
+                        .map(|job| engine.compute(&job.structure(&self.system)))
+                        .collect()
+                } else {
+                    decomposition
+                        .jobs
+                        .iter()
+                        .map(|job| engine.compute(&job.structure(&self.system)))
+                        .collect()
+                };
+                // A failed save must not fail the run; the result is
+                // complete either way.
+                let _ = crate::checkpoint::save_responses(
+                    checkpoint,
+                    &decomposition,
+                    self.system.n_atoms(),
+                    &r,
+                );
+                r
+            }
+        };
+        timings.engine_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let assembled = assemble::assemble(&decomposition.jobs, &responses, self.system.n_atoms());
+        let mw = MassWeighted::new(&assembled, &self.system.masses());
+        timings.assemble_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let spectrum = raman_lanczos(&mw.hessian, &mw.dalpha, &self.raman);
+        let ir = ir_lanczos(&mw.hessian, &mw.dmu, &self.raman);
+        timings.solver_s = t.elapsed().as_secs_f64();
+
+        Ok(RamanResult {
+            spectrum,
+            ir,
+            stats: decomposition.stats,
+            n_atoms: self.system.n_atoms(),
+            dof: self.system.dof(),
+            hessian_nnz: mw.hessian.nnz(),
+            engine: engine.name().to_string(),
+            timings,
+        })
+    }
+
+    /// Runs the pipeline with the dense-diagonalization reference solver
+    /// (small systems; validation and the Fig. 12 cross-checks).
+    pub fn run_dense_reference(&self) -> Result<RamanResult, WorkflowError> {
+        self.run_inner(true)
+    }
+
+    /// Runs the pipeline in matrix-free streaming mode: the Hessian is
+    /// never materialized — every Lanczos matvec recomputes the fragment
+    /// blocks through [`crate::StreamedHessian`] — and the derivative
+    /// vectors are accumulated in a single engine pass. Memory scales with
+    /// the job *descriptions* only, which is what makes the paper's
+    /// 10⁸-atom regime approachable (their trade: recompute across 96,000
+    /// nodes; ours: recompute across rayon threads).
+    pub fn run_streamed(&self) -> Result<RamanResult, WorkflowError> {
+        let mut timings = StageTimings::default();
+        let t = Instant::now();
+        let decomposition = self.decompose();
+        timings.decompose_s = t.elapsed().as_secs_f64();
+        self.validate(&decomposition)?;
+        let engine = self.make_engine();
+
+        // Single accumulation pass for the derivative vectors (no stored
+        // per-fragment responses).
+        let t = Instant::now();
+        let dof = self.system.dof();
+        let inv_sqrt: Vec<f64> = self.system.masses().iter().map(|m| 1.0 / m.sqrt()).collect();
+        let zero = || {
+            (
+                std::array::from_fn::<Vec<f64>, 6, _>(|_| vec![0.0; dof]),
+                std::array::from_fn::<Vec<f64>, 3, _>(|_| vec![0.0; dof]),
+            )
+        };
+        let merge = |mut a: ([Vec<f64>; 6], [Vec<f64>; 3]),
+                     b: ([Vec<f64>; 6], [Vec<f64>; 3])| {
+            for c in 0..6 {
+                for (x, y) in a.0[c].iter_mut().zip(&b.0[c]) {
+                    *x += y;
+                }
+            }
+            for c in 0..3 {
+                for (x, y) in a.1[c].iter_mut().zip(&b.1[c]) {
+                    *x += y;
+                }
+            }
+            a
+        };
+        let accumulate = |mut acc: ([Vec<f64>; 6], [Vec<f64>; 3]),
+                          job: &qfr_fragment::FragmentJob| {
+            let resp = engine.compute(&job.structure(&self.system));
+            for (la, &ga) in job.atoms.iter().enumerate() {
+                for da in 0..3 {
+                    let col = 3 * ga + da;
+                    let w = inv_sqrt[ga];
+                    for c in 0..6 {
+                        acc.0[c][col] += job.coefficient * w * resp.dalpha[(c, 3 * la + da)];
+                    }
+                    for c in 0..3 {
+                        acc.1[c][col] += job.coefficient * w * resp.dmu[(c, 3 * la + da)];
+                    }
+                }
+            }
+            acc
+        };
+        let (dalpha_mw, dmu_mw) = if self.parallel {
+            decomposition
+                .jobs
+                .par_iter()
+                .fold(zero, &accumulate)
+                .reduce(zero, merge)
+        } else {
+            decomposition.jobs.iter().fold(zero(), accumulate)
+        };
+        timings.engine_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let streamed = crate::StreamedHessian::new(&self.system, &decomposition, engine.as_ref());
+        let spectrum = raman_lanczos(&streamed, &dalpha_mw, &self.raman);
+        let ir = ir_lanczos(&streamed, &dmu_mw, &self.raman);
+        timings.solver_s = t.elapsed().as_secs_f64();
+
+        Ok(RamanResult {
+            spectrum,
+            ir,
+            stats: decomposition.stats,
+            n_atoms: self.system.n_atoms(),
+            dof,
+            hessian_nnz: 0, // never materialized
+            engine: engine.name().to_string(),
+            timings,
+        })
+    }
+
+    fn run_inner(&self, dense: bool) -> Result<RamanResult, WorkflowError> {
+        let mut timings = StageTimings::default();
+
+        let t = Instant::now();
+        let decomposition = self.decompose();
+        timings.decompose_s = t.elapsed().as_secs_f64();
+        self.validate(&decomposition)?;
+
+        let engine = self.make_engine();
+        let t = Instant::now();
+        let responses: Vec<FragmentResponse> = if self.parallel {
+            decomposition
+                .jobs
+                .par_iter()
+                .map(|job| engine.compute(&job.structure(&self.system)))
+                .collect()
+        } else {
+            decomposition
+                .jobs
+                .iter()
+                .map(|job| engine.compute(&job.structure(&self.system)))
+                .collect()
+        };
+        timings.engine_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let assembled = assemble::assemble(&decomposition.jobs, &responses, self.system.n_atoms());
+        let mw = MassWeighted::new(&assembled, &self.system.masses());
+        timings.assemble_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let spectrum = if dense {
+            raman_dense_reference(&mw.hessian.to_dense(), &mw.dalpha, &self.raman)
+        } else {
+            raman_lanczos(&mw.hessian, &mw.dalpha, &self.raman)
+        };
+        let ir = ir_lanczos(&mw.hessian, &mw.dmu, &self.raman);
+        timings.solver_s = t.elapsed().as_secs_f64();
+
+        Ok(RamanResult {
+            spectrum,
+            ir,
+            stats: decomposition.stats,
+            n_atoms: self.system.n_atoms(),
+            dof: self.system.dof(),
+            hessian_nnz: mw.hessian.nnz(),
+            engine: engine.name().to_string(),
+            timings,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfr_geom::{ProteinBuilder, ResidueKind, WaterBoxBuilder};
+
+    #[test]
+    fn water_box_end_to_end() {
+        let system = WaterBoxBuilder::new(27).seed(1).build();
+        let result = RamanWorkflow::new(system).sigma(20.0).run().unwrap();
+        assert_eq!(result.n_atoms, 81);
+        assert!(result.hessian_nnz > 0);
+        assert_eq!(result.engine, "force-field");
+        // Water bands: bend near 1640 and the stretch band near 3400.
+        let peaks = result.spectrum.peaks_above(0.05);
+        assert!(
+            peaks.iter().any(|&p| (1400.0..1900.0).contains(&p)),
+            "no bend band in {peaks:?}"
+        );
+        assert!(
+            peaks.iter().any(|&p| (3100.0..3800.0).contains(&p)),
+            "no stretch band in {peaks:?}"
+        );
+    }
+
+    #[test]
+    fn lanczos_matches_dense_reference_small() {
+        let system = WaterBoxBuilder::new(6).seed(2).build();
+        let wf = RamanWorkflow::new(system).sigma(30.0).lanczos_steps(60);
+        let fast = wf.run().unwrap();
+        let dense = wf.run_dense_reference().unwrap();
+        let sim = fast.spectrum.cosine_similarity(&dense.spectrum);
+        assert!(sim > 0.995, "cosine similarity {sim}");
+    }
+
+    #[test]
+    fn protein_gas_phase_has_ch_band() {
+        let system = ProteinBuilder::new(6)
+            .seed(3)
+            .sequence(vec![ResidueKind::Ala; 6])
+            .build();
+        let result = RamanWorkflow::new(system).sigma(10.0).run().unwrap();
+        let peaks = result.spectrum.peaks_above(0.05);
+        assert!(
+            peaks.iter().any(|&p| (2800.0..3100.0).contains(&p)),
+            "C-H stretch missing: {peaks:?}"
+        );
+    }
+
+    #[test]
+    fn empty_system_rejected() {
+        let err = RamanWorkflow::new(Default::default()).run().unwrap_err();
+        assert!(matches!(err, WorkflowError::EmptySystem));
+        assert!(err.to_string().contains("no atoms"));
+    }
+
+    #[test]
+    fn dfpt_engine_cap_enforced() {
+        let system = ProteinBuilder::new(4).seed(4).build();
+        let err = RamanWorkflow::new(system)
+            .engine(EngineKind::ModelDfpt)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, WorkflowError::DfptTooLarge { .. }));
+    }
+
+    #[test]
+    fn sequential_matches_parallel() {
+        let system = WaterBoxBuilder::new(8).seed(5).build();
+        let par = RamanWorkflow::new(system.clone()).run().unwrap();
+        let seq = RamanWorkflow::new(system).sequential().run().unwrap();
+        let sim = par.spectrum.cosine_similarity(&seq.spectrum);
+        assert!(sim > 0.999999, "parallelism changed the physics: {sim}");
+    }
+
+    #[test]
+    fn lambda_controls_pair_terms() {
+        let system = WaterBoxBuilder::new(27).seed(6).build();
+        let tight = RamanWorkflow::new(system.clone()).lambda(0.5).run().unwrap();
+        let loose = RamanWorkflow::new(system).lambda(4.0).run().unwrap();
+        assert_eq!(tight.stats.n_water_water_pairs, 0);
+        assert!(loose.stats.n_water_water_pairs > 0);
+        assert!(loose.hessian_nnz > tight.hessian_nnz);
+    }
+
+    #[test]
+    fn ir_spectrum_has_water_bands() {
+        let system = WaterBoxBuilder::new(12).seed(9).build();
+        let result = RamanWorkflow::new(system).sigma(20.0).run().unwrap();
+        let mut ir = result.ir.clone();
+        ir.normalize_max();
+        let window_max = |lo: f64, hi: f64| {
+            ir.wavenumbers
+                .iter()
+                .zip(&ir.intensities)
+                .filter(|(&w, _)| (lo..hi).contains(&w))
+                .map(|(_, &i)| i)
+                .fold(0.0_f64, f64::max)
+        };
+        // Water IR: the bend is famously strong; the stretch region too.
+        assert!(window_max(1550.0, 1850.0) > 0.2, "IR bend missing");
+        assert!(window_max(3200.0, 3650.0) > 0.05, "IR stretch missing");
+        // Raman and IR differ (different selection weights).
+        let sim = result.ir.cosine_similarity(&result.spectrum);
+        assert!(sim < 0.999, "IR identical to Raman is suspicious: {sim}");
+    }
+
+    #[test]
+    fn streamed_run_matches_assembled_run() {
+        let system = WaterBoxBuilder::new(10).seed(21).build();
+        let wf = RamanWorkflow::new(system).sigma(25.0).lanczos_steps(60);
+        let assembled = wf.run().unwrap();
+        let streamed = wf.run_streamed().unwrap();
+        assert_eq!(streamed.hessian_nnz, 0, "streaming must not materialize");
+        let sim = assembled.spectrum.cosine_similarity(&streamed.spectrum);
+        assert!(sim > 0.99999, "streamed spectrum diverged: {sim}");
+        let sim_ir = assembled.ir.cosine_similarity(&streamed.ir);
+        assert!(sim_ir > 0.99999, "streamed IR diverged: {sim_ir}");
+    }
+
+    #[test]
+    fn checkpoint_restart_matches_fresh_run() {
+        let system = WaterBoxBuilder::new(9).seed(33).build();
+        let dir = std::env::temp_dir().join("qfr_wf_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.qfrc");
+        let wf = RamanWorkflow::new(system).sigma(25.0);
+        let fresh = wf.run().unwrap();
+        let first = wf.run_with_checkpoint(&path).unwrap(); // computes + saves
+        assert!(path.exists(), "checkpoint written");
+        let resumed = wf.run_with_checkpoint(&path).unwrap(); // loads
+        for other in [&first, &resumed] {
+            let sim = fresh.spectrum.cosine_similarity(&other.spectrum);
+            assert!(sim > 0.999999, "checkpointed spectrum diverged: {sim}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn timings_populated() {
+        let system = WaterBoxBuilder::new(8).seed(7).build();
+        let result = RamanWorkflow::new(system).run().unwrap();
+        assert!(result.timings.engine_s >= 0.0);
+        assert!(result.timings.total() >= result.timings.solver_s);
+    }
+}

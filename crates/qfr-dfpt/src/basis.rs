@@ -1,0 +1,362 @@
+//! Normalized s-type Gaussian basis and analytic one-electron integrals.
+//!
+//! Each basis function is `χ_μ(r) = N_μ exp(-α_μ |r - A_μ|²)` with
+//! `N = (2α/π)^{3/4}`. Hydrogen carries one shell, heavy atoms two (a tight
+//! and a diffuse one), mirroring the "light"-tier basis the paper uses in
+//! spirit: enough variational freedom for a polarizable density at fragment
+//! scale. All one-electron integrals (overlap, kinetic, Gaussian-well
+//! attraction, dipole) are analytic.
+
+use qfr_fragment::FragmentStructure;
+use qfr_geom::{Element, Vec3};
+use qfr_linalg::DMatrix;
+
+/// Gaussian exponents per element (Å⁻²). Two shells on H and three on heavy
+/// atoms leave virtual orbitals above the occupied manifold — without them
+/// the DFPT response (and hence the polarizability) would vanish
+/// identically.
+fn shells_for(el: Element) -> &'static [f64] {
+    match el {
+        Element::H => &[1.00, 0.30],
+        Element::C => &[1.20, 0.40, 0.12],
+        Element::N => &[1.35, 0.45, 0.14],
+        Element::O => &[1.50, 0.50, 0.16],
+        Element::S => &[0.90, 0.30, 0.10],
+    }
+}
+
+/// Gaussian nuclear–nuclear repulsion amplitude (per unit Z·Z, model energy
+/// units). Without this term the attractive wells make atoms collapse onto
+/// each other and every frozen-density Hessian diagonal turns negative.
+pub const REPULSION_AMPLITUDE: f64 = 1.6;
+
+/// Exponent of the repulsive Gaussian (Å⁻²); narrower than the wells so
+/// repulsion wins at short range and attraction at bonding range.
+pub const REPULSION_EXPONENT: f64 = 0.55;
+
+/// Model valence charge (electrons contributed / well depth scale).
+pub fn valence(el: Element) -> f64 {
+    match el {
+        Element::H => 1.0,
+        Element::C => 4.0,
+        Element::N => 5.0,
+        Element::O => 6.0,
+        Element::S => 6.0,
+    }
+}
+
+/// Width parameter of the external Gaussian wells (Å⁻²).
+pub const WELL_EXPONENT: f64 = 0.8;
+
+/// Depth scale of the external wells (model energy units).
+pub const WELL_DEPTH: f64 = 4.0;
+
+/// One s-type primitive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Shell {
+    /// Center (Å).
+    pub center: Vec3,
+    /// Exponent (Å⁻²).
+    pub alpha: f64,
+    /// Normalization `(2α/π)^{3/4}`.
+    pub norm: f64,
+    /// Owning atom (fragment-local index).
+    pub atom: usize,
+}
+
+/// The fragment basis: a flat list of shells plus element/charge metadata.
+#[derive(Debug, Clone)]
+pub struct Basis {
+    /// All shells, atom-major order.
+    pub shells: Vec<Shell>,
+    /// Nuclear well positions (= atom positions).
+    pub nuclei: Vec<(Vec3, f64)>,
+    /// Total valence electron count.
+    pub n_electrons: f64,
+}
+
+impl Basis {
+    /// Builds the basis of a fragment.
+    pub fn for_fragment(frag: &FragmentStructure) -> Self {
+        let mut shells = Vec::new();
+        let mut nuclei = Vec::with_capacity(frag.n_atoms());
+        let mut n_electrons = 0.0;
+        for (a, (&el, &pos)) in frag.elements.iter().zip(&frag.positions).enumerate() {
+            for &alpha in shells_for(el) {
+                shells.push(Shell {
+                    center: pos,
+                    alpha,
+                    norm: (2.0 * alpha / std::f64::consts::PI).powf(0.75),
+                    atom: a,
+                });
+            }
+            nuclei.push((pos, valence(el)));
+            n_electrons += valence(el);
+        }
+        Self { shells, nuclei, n_electrons }
+    }
+
+    /// Basis dimension.
+    pub fn len(&self) -> usize {
+        self.shells.len()
+    }
+
+    /// True when the basis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shells.is_empty()
+    }
+
+    /// Overlap matrix `S`.
+    pub fn overlap(&self) -> DMatrix {
+        let n = self.len();
+        qfr_linalg::flops::add((n * n * 10) as u64);
+        DMatrix::from_fn(n, n, |i, j| {
+            let (a, b) = (&self.shells[i], &self.shells[j]);
+            gaussian_overlap(a, b)
+        })
+    }
+
+    /// Kinetic energy matrix `T` (model units).
+    pub fn kinetic(&self) -> DMatrix {
+        let n = self.len();
+        qfr_linalg::flops::add((n * n * 14) as u64);
+        DMatrix::from_fn(n, n, |i, j| {
+            let (a, b) = (&self.shells[i], &self.shells[j]);
+            let p = a.alpha + b.alpha;
+            let mu = a.alpha * b.alpha / p;
+            let r2 = a.center.dist_sqr(b.center);
+            gaussian_overlap(a, b) * mu * (3.0 - 2.0 * mu * r2)
+        })
+    }
+
+    /// External-potential matrix for the Gaussian nuclear wells:
+    /// `V_μν = -Σ_A Z_A W ∫ χ_μ χ_ν exp(-γ|r-R_A|²) dr` (analytic).
+    pub fn external_potential(&self) -> DMatrix {
+        let n = self.len();
+        qfr_linalg::flops::add((n * n * self.nuclei.len() * 20) as u64);
+        DMatrix::from_fn(n, n, |i, j| {
+            let (a, b) = (&self.shells[i], &self.shells[j]);
+            let p = a.alpha + b.alpha;
+            let prod_center = (a.center * a.alpha + b.center * b.alpha) * (1.0 / p);
+            let k = gaussian_overlap(a, b) * (p / std::f64::consts::PI).powf(1.5);
+            let mut v = 0.0;
+            for &(rc, z) in &self.nuclei {
+                let q = p + WELL_EXPONENT;
+                let d2 = prod_center.dist_sqr(rc);
+                v -= z * WELL_DEPTH
+                    * k
+                    * (std::f64::consts::PI / q).powf(1.5)
+                    * (-p * WELL_EXPONENT / q * d2).exp();
+            }
+            v
+        })
+    }
+
+    /// Dipole matrices `D_c[μν] = ∫ χ_μ r_c χ_ν dr` for c = x, y, z,
+    /// relative to the basis centroid (gauge origin).
+    pub fn dipole(&self) -> [DMatrix; 3] {
+        let n = self.len();
+        let centroid = self.centroid();
+        qfr_linalg::flops::add((n * n * 12) as u64);
+        let mut out = [DMatrix::zeros(n, n), DMatrix::zeros(n, n), DMatrix::zeros(n, n)];
+        for i in 0..n {
+            for j in 0..n {
+                let (a, b) = (&self.shells[i], &self.shells[j]);
+                let s = gaussian_overlap(a, b);
+                let p = a.alpha + b.alpha;
+                let pc = (a.center * a.alpha + b.center * b.alpha) * (1.0 / p) - centroid;
+                let arr = pc.to_array();
+                for (c, m) in out.iter_mut().enumerate() {
+                    m[(i, j)] = s * arr[c];
+                }
+            }
+        }
+        out
+    }
+
+    /// Nuclear–nuclear repulsion energy of the Gaussian-well model:
+    /// `Σ_{A<B} Z_A Z_B · κ · exp(-η R_AB²)`.
+    pub fn nuclear_repulsion(&self) -> f64 {
+        let mut e = 0.0;
+        for a in 0..self.nuclei.len() {
+            for b in (a + 1)..self.nuclei.len() {
+                let (ra, za) = self.nuclei[a];
+                let (rb, zb) = self.nuclei[b];
+                e += za * zb * REPULSION_AMPLITUDE * (-REPULSION_EXPONENT * ra.dist_sqr(rb)).exp();
+            }
+        }
+        e
+    }
+
+    /// Centroid of the shell centers (dipole gauge origin).
+    pub fn centroid(&self) -> Vec3 {
+        let mut c = Vec3::ZERO;
+        for s in &self.shells {
+            c += s.center;
+        }
+        c * (1.0 / self.len().max(1) as f64)
+    }
+
+    /// Evaluates all basis functions at `points`: returns the
+    /// `npts x nbasis` value matrix `X`.
+    pub fn evaluate(&self, points: &[Vec3]) -> DMatrix {
+        let npts = points.len();
+        let n = self.len();
+        qfr_linalg::flops::add((npts * n * 8) as u64);
+        DMatrix::from_fn(npts, n, |p, mu| {
+            let sh = &self.shells[mu];
+            sh.norm * (-sh.alpha * points[p].dist_sqr(sh.center)).exp()
+        })
+    }
+
+    /// Evaluates the Cartesian gradient component `c` of all basis
+    /// functions at `points` (`∂χ/∂r_c = -2α (r_c - A_c) χ`).
+    pub fn evaluate_gradient(&self, points: &[Vec3], c: usize) -> DMatrix {
+        let npts = points.len();
+        let n = self.len();
+        qfr_linalg::flops::add((npts * n * 11) as u64);
+        DMatrix::from_fn(npts, n, |p, mu| {
+            let sh = &self.shells[mu];
+            let val = sh.norm * (-sh.alpha * points[p].dist_sqr(sh.center)).exp();
+            let delta = match c {
+                0 => points[p].x - sh.center.x,
+                1 => points[p].y - sh.center.y,
+                _ => points[p].z - sh.center.z,
+            };
+            -2.0 * sh.alpha * delta * val
+        })
+    }
+}
+
+/// Analytic overlap of two normalized s-Gaussians.
+#[inline]
+fn gaussian_overlap(a: &Shell, b: &Shell) -> f64 {
+    let p = a.alpha + b.alpha;
+    let mu = a.alpha * b.alpha / p;
+    a.norm * b.norm * (std::f64::consts::PI / p).powf(1.5) * (-mu * a.center.dist_sqr(b.center)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfr_fragment::{FragmentJob, JobKind};
+    use qfr_geom::WaterBoxBuilder;
+
+    fn water_fragment() -> FragmentStructure {
+        let sys = WaterBoxBuilder::new(1).seed(1).build();
+        FragmentJob {
+            kind: JobKind::WaterMonomer { w: 0 },
+            coefficient: 1.0,
+            atoms: vec![0, 1, 2],
+            link_hydrogens: vec![],
+        }
+        .structure(&sys)
+    }
+
+    #[test]
+    fn water_basis_shape() {
+        let b = Basis::for_fragment(&water_fragment());
+        // O: 3 shells, H: 2 each -> 7 functions; 8 valence electrons.
+        assert_eq!(b.len(), 7);
+        assert!((b.n_electrons - 8.0).abs() < 1e-12);
+        assert_eq!(b.nuclei.len(), 3);
+    }
+
+    #[test]
+    fn overlap_diagonal_is_one() {
+        let b = Basis::for_fragment(&water_fragment());
+        let s = b.overlap();
+        for i in 0..b.len() {
+            assert!((s[(i, i)] - 1.0).abs() < 1e-12, "normalization broken");
+        }
+        assert!(s.is_symmetric(1e-14));
+        // Off-diagonals bounded by Cauchy-Schwarz.
+        for i in 0..b.len() {
+            for j in 0..b.len() {
+                assert!(s[(i, j)].abs() <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_positive_definite() {
+        let b = Basis::for_fragment(&water_fragment());
+        let s = b.overlap();
+        assert!(qfr_linalg::cholesky::Cholesky::new(&s).is_ok());
+    }
+
+    #[test]
+    fn kinetic_positive_definite_and_symmetric() {
+        let b = Basis::for_fragment(&water_fragment());
+        let t = b.kinetic();
+        assert!(t.is_symmetric(1e-12));
+        let eig = qfr_linalg::eigen::symmetric_eigen(&t);
+        assert!(eig.eigenvalues.iter().all(|&w| w > 0.0), "{:?}", eig.eigenvalues);
+    }
+
+    #[test]
+    fn external_potential_attractive() {
+        let b = Basis::for_fragment(&water_fragment());
+        let v = b.external_potential();
+        assert!(v.is_symmetric(1e-12));
+        for i in 0..b.len() {
+            assert!(v[(i, i)] < 0.0, "wells must attract");
+        }
+    }
+
+    #[test]
+    fn grid_overlap_matches_analytic() {
+        // Quadrature of X^T X over a fine grid approximates S.
+        let frag = water_fragment();
+        let b = Basis::for_fragment(&frag);
+        let grid = crate::grid::RealSpaceGrid::for_fragment(&frag, 0.22, 5.0, 64);
+        let x = b.evaluate(&grid.points);
+        let mut s_num = qfr_linalg::gemm::matmul(&x.transpose(), &x);
+        s_num.scale_mut(grid.dv);
+        let s = b.overlap();
+        assert!(
+            s_num.max_abs_diff(&s) < 0.02,
+            "numeric overlap error {}",
+            s_num.max_abs_diff(&s)
+        );
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let frag = water_fragment();
+        let b = Basis::for_fragment(&frag);
+        let pts = vec![Vec3::new(0.3, -0.2, 0.5), Vec3::new(1.0, 0.8, -0.4)];
+        let h = 1e-6;
+        for c in 0..3 {
+            let g = b.evaluate_gradient(&pts, c);
+            let shift = |p: Vec3, s: f64| {
+                let mut q = p;
+                match c {
+                    0 => q.x += s,
+                    1 => q.y += s,
+                    _ => q.z += s,
+                }
+                q
+            };
+            let xp = b.evaluate(&pts.iter().map(|&p| shift(p, h)).collect::<Vec<_>>());
+            let xm = b.evaluate(&pts.iter().map(|&p| shift(p, -h)).collect::<Vec<_>>());
+            for p in 0..2 {
+                for mu in 0..b.len() {
+                    let fd = (xp[(p, mu)] - xm[(p, mu)]) / (2.0 * h);
+                    assert!((fd - g[(p, mu)]).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dipole_antisymmetric_under_centroid_shift() {
+        // For two identical shells mirrored about the centroid, the x-dipole
+        // diagonal entries are opposite.
+        let b = Basis::for_fragment(&water_fragment());
+        let d = b.dipole();
+        for m in &d {
+            assert!(m.is_symmetric(1e-12));
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Real-space integration grid with FFT-Poisson support.
+//!
+//! A uniform Cartesian grid over the fragment's padded bounding box, with
+//! power-of-two dimensions so the [`qfr_linalg::fft`] Poisson solver applies
+//! directly. Grid points are traversed in z-fastest order matching
+//! [`qfr_linalg::fft::Grid3`] layout. The grid also defines the *batching*
+//! of points used by the GEMM-heavy DFPT phases: each batch of `batch_size`
+//! points becomes one `X` panel (`npts x nbasis`), which is exactly the
+//! granularity the elastic offloading scheme packs.
+
+use qfr_fragment::FragmentStructure;
+use qfr_geom::Vec3;
+use qfr_linalg::fft::Grid3;
+
+/// A uniform real-space grid.
+#[derive(Debug, Clone)]
+pub struct RealSpaceGrid {
+    /// Grid origin (corner).
+    pub origin: Vec3,
+    /// Spacing (Å), identical along each axis.
+    pub spacing: f64,
+    /// Dimensions (powers of two).
+    pub dims: (usize, usize, usize),
+    /// Flattened point coordinates (z fastest).
+    pub points: Vec<Vec3>,
+    /// Volume element (Å³).
+    pub dv: f64,
+}
+
+impl RealSpaceGrid {
+    /// Builds a grid covering the fragment's bounding box plus `padding` Å
+    /// on every side at roughly `target_spacing`, with each dimension a
+    /// power of two capped at `max_dim` (the spacing stretches if the cap
+    /// binds).
+    pub fn for_fragment(
+        frag: &FragmentStructure,
+        target_spacing: f64,
+        padding: f64,
+        max_dim: usize,
+    ) -> Self {
+        assert!(!frag.positions.is_empty(), "empty fragment");
+        let mut lo = frag.positions[0];
+        let mut hi = frag.positions[0];
+        for p in &frag.positions {
+            lo.x = lo.x.min(p.x);
+            lo.y = lo.y.min(p.y);
+            lo.z = lo.z.min(p.z);
+            hi.x = hi.x.max(p.x);
+            hi.y = hi.y.max(p.y);
+            hi.z = hi.z.max(p.z);
+        }
+        let lo = lo - Vec3::new(padding, padding, padding);
+        let hi = hi + Vec3::new(padding, padding, padding);
+        let extent = [hi.x - lo.x, hi.y - lo.y, hi.z - lo.z];
+        let dim_of = |len: f64| -> usize {
+            let want = (len / target_spacing).ceil() as usize + 1;
+            want.next_power_of_two().clamp(8, max_dim.max(8))
+        };
+        let dims = (dim_of(extent[0]), dim_of(extent[1]), dim_of(extent[2]));
+        // A single isotropic spacing keeps the Poisson kernel simple: use
+        // the largest required spacing across axes.
+        let spacing = (extent[0] / dims.0 as f64)
+            .max(extent[1] / dims.1 as f64)
+            .max(extent[2] / dims.2 as f64)
+            .max(1e-6);
+        let mut points = Vec::with_capacity(dims.0 * dims.1 * dims.2);
+        for i in 0..dims.0 {
+            for j in 0..dims.1 {
+                for k in 0..dims.2 {
+                    points.push(
+                        lo + Vec3::new(i as f64, j as f64, k as f64) * spacing,
+                    );
+                }
+            }
+        }
+        let dv = spacing * spacing * spacing;
+        Self { origin: lo, spacing, dims, points, dv }
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the grid has no points (never happens for valid fragments).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Splits point indices into batches of `batch_size` (the GEMM panel
+    /// granularity of the DFPT phases).
+    pub fn batches(&self, batch_size: usize) -> Vec<std::ops::Range<usize>> {
+        assert!(batch_size > 0);
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < self.len() {
+            let end = (start + batch_size).min(self.len());
+            out.push(start..end);
+            start = end;
+        }
+        out
+    }
+
+    /// Solves the (periodic) Poisson equation `∇² v = -4π n` for the given
+    /// density samples, returning the potential on the grid. The DC
+    /// component is projected out (neutralizing background).
+    pub fn solve_poisson(&self, density: &[f64]) -> Vec<f64> {
+        assert_eq!(density.len(), self.len(), "density sample count mismatch");
+        let (nx, ny, nz) = self.dims;
+        let mut g = Grid3::from_real(nx, ny, nz, density);
+        g.fft();
+        let lx = nx as f64 * self.spacing;
+        let ly = ny as f64 * self.spacing;
+        let lz = nz as f64 * self.spacing;
+        let tau = 2.0 * std::f64::consts::PI;
+        for i in 0..nx {
+            for j in 0..ny {
+                for k in 0..nz {
+                    let fi = if i <= nx / 2 { i as f64 } else { i as f64 - nx as f64 };
+                    let fj = if j <= ny / 2 { j as f64 } else { j as f64 - ny as f64 };
+                    let fk = if k <= nz / 2 { k as f64 } else { k as f64 - nz as f64 };
+                    let kx = tau * fi / lx;
+                    let ky = tau * fj / ly;
+                    let kz = tau * fk / lz;
+                    let k2 = kx * kx + ky * ky + kz * kz;
+                    let idx = g.idx(i, j, k);
+                    if k2 == 0.0 {
+                        g.data_mut()[idx] = qfr_linalg::Complex64::ZERO;
+                    } else {
+                        let scale = 4.0 * std::f64::consts::PI / k2;
+                        g.data_mut()[idx] = g.data_mut()[idx].scale(scale);
+                    }
+                }
+            }
+        }
+        g.ifft();
+        g.to_real()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfr_fragment::{FragmentJob, JobKind};
+    use qfr_geom::WaterBoxBuilder;
+
+    fn water_fragment() -> FragmentStructure {
+        let sys = WaterBoxBuilder::new(1).seed(1).build();
+        FragmentJob {
+            kind: JobKind::WaterMonomer { w: 0 },
+            coefficient: 1.0,
+            atoms: vec![0, 1, 2],
+            link_hydrogens: vec![],
+        }
+        .structure(&sys)
+    }
+
+    #[test]
+    fn grid_covers_fragment() {
+        let frag = water_fragment();
+        let g = RealSpaceGrid::for_fragment(&frag, 0.4, 3.0, 32);
+        assert!(g.dims.0.is_power_of_two());
+        for p in &frag.positions {
+            assert!(p.x >= g.origin.x && p.y >= g.origin.y && p.z >= g.origin.z);
+            let far = g.origin
+                + Vec3::new(
+                    g.dims.0 as f64 * g.spacing,
+                    g.dims.1 as f64 * g.spacing,
+                    g.dims.2 as f64 * g.spacing,
+                );
+            assert!(p.x <= far.x && p.y <= far.y && p.z <= far.z);
+        }
+        assert_eq!(g.len(), g.dims.0 * g.dims.1 * g.dims.2);
+        assert!((g.dv - g.spacing.powi(3)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn max_dim_caps_grid() {
+        let frag = water_fragment();
+        let g = RealSpaceGrid::for_fragment(&frag, 0.05, 6.0, 16);
+        assert!(g.dims.0 <= 16 && g.dims.1 <= 16 && g.dims.2 <= 16);
+        // Spacing stretched to still cover the box.
+        assert!(g.spacing > 0.05);
+    }
+
+    #[test]
+    fn batches_partition_points() {
+        let frag = water_fragment();
+        let g = RealSpaceGrid::for_fragment(&frag, 0.5, 2.0, 16);
+        let batches = g.batches(100);
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, g.len());
+        for w in batches.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "batches must be contiguous");
+        }
+        assert!(batches[0].len() <= 100);
+    }
+
+    #[test]
+    fn poisson_plane_wave_eigenfunction() {
+        // n(r) = cos(2π x / Lx) is an eigenfunction: v = 4π/(k²) n.
+        let frag = water_fragment();
+        let g = RealSpaceGrid::for_fragment(&frag, 0.5, 3.0, 16);
+        let lx = g.dims.0 as f64 * g.spacing;
+        let k = 2.0 * std::f64::consts::PI / lx;
+        let density: Vec<f64> = g
+            .points
+            .iter()
+            .map(|p| (k * (p.x - g.origin.x)).cos())
+            .collect();
+        let v = g.solve_poisson(&density);
+        let expect = 4.0 * std::f64::consts::PI / (k * k);
+        for (vi, ni) in v.iter().zip(&density) {
+            assert!(
+                (vi - expect * ni).abs() < 1e-8 * expect,
+                "poisson eigenfunction violated: {vi} vs {}",
+                expect * ni
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_removes_dc() {
+        let frag = water_fragment();
+        let g = RealSpaceGrid::for_fragment(&frag, 0.6, 2.0, 8);
+        let density = vec![3.0; g.len()];
+        let v = g.solve_poisson(&density);
+        // Constant density has only a DC component -> zero potential.
+        assert!(v.iter().all(|x| x.abs() < 1e-10));
+    }
+
+    #[test]
+    fn poisson_output_mean_zero() {
+        let frag = water_fragment();
+        let g = RealSpaceGrid::for_fragment(&frag, 0.5, 2.0, 8);
+        let density: Vec<f64> = (0..g.len()).map(|i| ((i * 31) % 17) as f64 - 8.0).collect();
+        let v = g.solve_poisson(&density);
+        let mean: f64 = v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean.abs() < 1e-9, "mean {mean}");
+    }
+}

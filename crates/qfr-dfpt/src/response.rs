@@ -1,0 +1,461 @@
+//! Electric-field DFPT: the four-phase response cycle and polarizability.
+//!
+//! For a homogeneous field along `c`, the bare perturbation is the dipole
+//! operator `H1_ext = -D_c`. Each self-consistency cycle runs the paper's
+//! four worker phases (Fig. 3, bottom right):
+//!
+//! 1. **P(1)** — sum-over-states response density matrix from the SCF
+//!    eigenpairs;
+//! 2. **n(1)(r)** — response density (and its gradient) on the grid,
+//!    GEMM-dominated; the gradient uses the Fig. 6(b) *sandwich* expression
+//!    in either the naive (2 GEMM + 2 GEMV) or symmetry-reduced
+//!    (1 GEMM + 1 GEMV) form;
+//! 3. **v(1)** — FFT Poisson solve plus the LDA kernel (and a small
+//!    gradient-kernel model term that consumes ∇n(1));
+//! 4. **H(1)** — response Hamiltonian matrix elements, GEMM-dominated.
+//!
+//! Wall time and FLOPs are accumulated per phase into [`CyclePhases`],
+//! which Table I and Fig. 9 read out.
+
+use crate::scf::{ScfResult, CX};
+use qfr_linalg::gemm::{self, Trans};
+use qfr_linalg::DMatrix;
+use std::time::Instant;
+
+/// Strength of the model gradient-kernel term (consumes ∇n(1); kept small
+/// so the LDA response dominates).
+pub const GRADIENT_KERNEL: f64 = 0.02;
+
+/// Configuration of the response cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct ResponseConfig {
+    /// Self-consistency cycles (fixed count for determinism).
+    pub n_cycles: usize,
+    /// Damping of the H(1) update.
+    pub mixing: f64,
+    /// Grid points per GEMM panel.
+    pub batch_size: usize,
+    /// Use the symmetry-aware strength reduction of Section V-D.
+    pub use_symmetry_reduction: bool,
+}
+
+impl Default for ResponseConfig {
+    fn default() -> Self {
+        Self { n_cycles: 4, mixing: 0.6, batch_size: 512, use_symmetry_reduction: true }
+    }
+}
+
+/// Per-phase accumulated cost of one or more DFPT cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CyclePhases {
+    /// Phase 1 (response density matrix) seconds.
+    pub p1_seconds: f64,
+    /// Phase 1 FLOPs.
+    pub p1_flops: u64,
+    /// Phase 2 (grid integration of n(1), ∇n(1)) seconds.
+    pub n1_seconds: f64,
+    /// Phase 2 FLOPs.
+    pub n1_flops: u64,
+    /// Phase 3 (Poisson + kernels) seconds.
+    pub poisson_seconds: f64,
+    /// Phase 3 FLOPs.
+    pub poisson_flops: u64,
+    /// Phase 4 (response Hamiltonian) seconds.
+    pub h1_seconds: f64,
+    /// Phase 4 FLOPs.
+    pub h1_flops: u64,
+}
+
+impl CyclePhases {
+    /// Total seconds across phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.p1_seconds + self.n1_seconds + self.poisson_seconds + self.h1_seconds
+    }
+
+    /// Total FLOPs across phases.
+    pub fn total_flops(&self) -> u64 {
+        self.p1_flops + self.n1_flops + self.poisson_flops + self.h1_flops
+    }
+
+    /// Accumulates another measurement.
+    pub fn merge(&mut self, o: &CyclePhases) {
+        self.p1_seconds += o.p1_seconds;
+        self.p1_flops += o.p1_flops;
+        self.n1_seconds += o.n1_seconds;
+        self.n1_flops += o.n1_flops;
+        self.poisson_seconds += o.poisson_seconds;
+        self.poisson_flops += o.poisson_flops;
+        self.h1_seconds += o.h1_seconds;
+        self.h1_flops += o.h1_flops;
+    }
+}
+
+/// Result of one response solve.
+#[derive(Debug, Clone)]
+pub struct ResponseResult {
+    /// Converged response density matrix.
+    pub p1: DMatrix,
+    /// Response density on the grid.
+    pub n1: Vec<f64>,
+    /// Response potential on the grid.
+    pub v1: Vec<f64>,
+    /// Final response Hamiltonian.
+    pub h1: DMatrix,
+    /// Cost profile.
+    pub phases: CyclePhases,
+}
+
+/// Measures a closure, returning its value plus (seconds, flops).
+fn measured<T>(f: impl FnOnce() -> T) -> (T, f64, u64) {
+    let scope = qfr_linalg::flops::FlopScope::start();
+    let t0 = Instant::now();
+    let out = f();
+    let dt = t0.elapsed().as_secs_f64();
+    let m = scope.finish();
+    (out, dt, m.flops)
+}
+
+/// Runs the DFPT response for the field direction `c` (0 = x, 1 = y,
+/// 2 = z).
+pub fn field_response(scf: &ScfResult, c: usize, cfg: &ResponseConfig) -> ResponseResult {
+    let dipole = scf.basis.dipole();
+    let h1_ext = dipole[c].scaled(-1.0);
+    solve_response(scf, &h1_ext, cfg)
+}
+
+/// Runs the DFPT self-consistency loop for an arbitrary bare perturbation
+/// `h1_ext` (fixed basis; used by both the field driver and the
+/// displacement-cycle workload of `crate::displacement`).
+pub fn solve_response(scf: &ScfResult, h1_ext: &DMatrix, cfg: &ResponseConfig) -> ResponseResult {
+    let n = scf.basis.len();
+    let batches = scf.grid.batches(cfg.batch_size);
+    // Pre-evaluated panels: values and Cartesian gradients.
+    let x_panels: Vec<DMatrix> = batches
+        .iter()
+        .map(|b| scf.basis.evaluate(&scf.grid.points[b.clone()]))
+        .collect();
+    let g_panels: Vec<[DMatrix; 3]> = batches
+        .iter()
+        .map(|b| {
+            [
+                scf.basis.evaluate_gradient(&scf.grid.points[b.clone()], 0),
+                scf.basis.evaluate_gradient(&scf.grid.points[b.clone()], 1),
+                scf.basis.evaluate_gradient(&scf.grid.points[b.clone()], 2),
+            ]
+        })
+        .collect();
+    // Ground-state density gradient (for the model gradient kernel).
+    let grad_n: [Vec<f64>; 3] = std::array::from_fn(|dir| {
+        let mut out = Vec::with_capacity(scf.grid.len());
+        for (x, g) in x_panels.iter().zip(&g_panels) {
+            let xp = gemm::matmul(x, &scf.p);
+            for row in 0..x.rows() {
+                let v: f64 = xp
+                    .row(row)
+                    .iter()
+                    .zip(g[dir].row(row))
+                    .map(|(a, b)| a * b)
+                    .sum();
+                out.push(2.0 * v);
+            }
+        }
+        out
+    });
+
+    let mut h1 = h1_ext.clone();
+    let mut phases = CyclePhases::default();
+    let mut p1 = DMatrix::zeros(n, n);
+    let mut n1 = vec![0.0; scf.grid.len()];
+    let mut v1 = vec![0.0; scf.grid.len()];
+
+    for _cycle in 0..cfg.n_cycles {
+        // ---- Phase 1: response density matrix. -------------------------
+        let (p1_new, dt, fl) = measured(|| response_density_matrix(scf, &h1));
+        p1 = p1_new;
+        phases.p1_seconds += dt;
+        phases.p1_flops += fl;
+
+        // ---- Phase 2: n(1)(r) and ∇n(1)(r) on the grid. -----------------
+        let ((n1_new, grad_n1), dt, fl) = measured(|| {
+            response_density_on_grid(
+                &p1,
+                &batches,
+                &x_panels,
+                &g_panels,
+                cfg.use_symmetry_reduction,
+            )
+        });
+        n1 = n1_new;
+        phases.n1_seconds += dt;
+        phases.n1_flops += fl;
+
+        // ---- Phase 3: Poisson + kernels. --------------------------------
+        let (v1_new, dt, fl) = measured(|| {
+            let v_h1 = scf.grid.solve_poisson(&n1);
+            qfr_linalg::flops::add(8 * n1.len() as u64);
+            let mut v = Vec::with_capacity(n1.len());
+            for i in 0..n1.len() {
+                let nd = scf.density[i].max(1e-10);
+                // LDA kernel: f_xc = d v_x / d n = -(1/3) Cx n^{-2/3}.
+                let lda = -(CX / 3.0) * nd.powf(-2.0 / 3.0) * n1[i];
+                // Model gradient kernel: couples ∇n and ∇n(1).
+                let grad_term: f64 = (0..3)
+                    .map(|d| grad_n[d][i] * grad_n1[d][i])
+                    .sum::<f64>()
+                    / (nd * nd);
+                v.push(v_h1[i] + lda + GRADIENT_KERNEL * grad_term);
+            }
+            v
+        });
+        v1 = v1_new;
+        phases.poisson_seconds += dt;
+        phases.poisson_flops += fl;
+
+        // ---- Phase 4: response Hamiltonian. ------------------------------
+        let (h1_grid, dt, fl) = measured(|| {
+            let mut m = DMatrix::zeros(n, n);
+            for (b, x) in batches.iter().zip(&x_panels) {
+                let mut xw = x.clone();
+                qfr_linalg::flops::add((x.rows() * n) as u64);
+                for (row, gi) in b.clone().enumerate() {
+                    let w = v1[gi] * scf.grid.dv;
+                    for v in xw.row_mut(row) {
+                        *v *= w;
+                    }
+                }
+                gemm::dgemm(Trans::Yes, Trans::No, 1.0, &xw, x, 1.0, &mut m);
+            }
+            m.symmetrize_mut();
+            m
+        });
+        phases.h1_seconds += dt;
+        phases.h1_flops += fl;
+
+        // Damped update of the total perturbation.
+        let target = h1_ext + &h1_grid;
+        qfr_linalg::flops::add((3 * n * n) as u64);
+        h1 = DMatrix::from_fn(n, n, |i, j| {
+            (1.0 - cfg.mixing) * h1[(i, j)] + cfg.mixing * target[(i, j)]
+        });
+    }
+
+    ResponseResult { p1, n1, v1, h1, phases }
+}
+
+/// Sum-over-states `P(1) = Σ_{i occ, a virt} occ_i (c_i c_aᵀ + c_a c_iᵀ)
+/// H1_ia / (ε_i − ε_a)`, computed in the MO basis with two GEMM pairs.
+fn response_density_matrix(scf: &ScfResult, h1: &DMatrix) -> DMatrix {
+    let n = scf.basis.len();
+    let tmp = gemm::matmul(&scf.c.transpose(), h1);
+    let h1_mo = gemm::matmul(&tmp, &scf.c);
+    let mut m = DMatrix::zeros(n, n);
+    qfr_linalg::flops::add((n * n * 4) as u64);
+    for i in 0..n {
+        if scf.occ[i] <= 0.0 {
+            continue;
+        }
+        for a in 0..n {
+            let gap = scf.eps[i] - scf.eps[a];
+            if scf.occ[a] > 0.0 || gap.abs() < 1e-8 {
+                continue;
+            }
+            let w = scf.occ[i] * h1_mo[(i, a)] / gap;
+            m[(i, a)] = w;
+            m[(a, i)] = w;
+        }
+    }
+    let cm = gemm::matmul(&scf.c, &m);
+    let mut p1 = gemm::matmul(&cm, &scf.c.transpose());
+    p1.symmetrize_mut();
+    p1
+}
+
+/// Phase 2 kernel: response density and its gradient per batch.
+///
+/// Naive path (Fig. 6(b) before reduction): `∇n1 = rowdot(X P1, G) +
+/// rowdot(G P1, X)` — two GEMMs plus two GEMV-style row reductions per
+/// direction. Reduced path: since `P1 = P1ᵀ`, the halves are equal, so
+/// `∇n1 = 2·rowdot(X P1, G)` — one GEMM (shared with the n(1) evaluation)
+/// plus one reduction.
+#[allow(clippy::type_complexity)]
+fn response_density_on_grid(
+    p1: &DMatrix,
+    batches: &[std::ops::Range<usize>],
+    x_panels: &[DMatrix],
+    g_panels: &[[DMatrix; 3]],
+    reduced: bool,
+) -> (Vec<f64>, [Vec<f64>; 3]) {
+    let npts = batches.last().map_or(0, |b| b.end);
+    let mut n1 = Vec::with_capacity(npts);
+    let mut grad: [Vec<f64>; 3] = std::array::from_fn(|_| Vec::with_capacity(npts));
+    for (x, g3) in x_panels.iter().zip(g_panels) {
+        let rows = x.rows();
+        let xp = gemm::matmul(x, p1);
+        qfr_linalg::flops::add((2 * rows * x.cols()) as u64);
+        for row in 0..rows {
+            let v: f64 = xp.row(row).iter().zip(x.row(row)).map(|(a, b)| a * b).sum();
+            n1.push(v);
+        }
+        if reduced {
+            for (dir, gvec) in grad.iter_mut().enumerate() {
+                let g = &g3[dir];
+                qfr_linalg::flops::add((2 * rows * x.cols()) as u64);
+                for row in 0..rows {
+                    let v: f64 =
+                        xp.row(row).iter().zip(g.row(row)).map(|(a, b)| a * b).sum();
+                    gvec.push(2.0 * v);
+                }
+            }
+        } else {
+            for (dir, gvec) in grad.iter_mut().enumerate() {
+                let g = &g3[dir];
+                let gp = gemm::matmul(g, p1);
+                qfr_linalg::flops::add((4 * rows * x.cols()) as u64);
+                for row in 0..rows {
+                    let a: f64 =
+                        xp.row(row).iter().zip(g.row(row)).map(|(u, v)| u * v).sum();
+                    let b: f64 =
+                        gp.row(row).iter().zip(x.row(row)).map(|(u, v)| u * v).sum();
+                    gvec.push(a + b);
+                }
+            }
+        }
+    }
+    (n1, grad)
+}
+
+/// Static polarizability tensor from three field responses:
+/// `α_{cc'} = tr(P1^{(c)} D_{c'})` (symmetrized; the sign follows from
+/// `H1_ext = -D_c`). For planar fragments in the s-only basis the
+/// out-of-plane response vanishes, so α is positive *semi*-definite.
+pub fn polarizability(scf: &ScfResult, cfg: &ResponseConfig) -> (DMatrix, CyclePhases) {
+    let dipole = scf.basis.dipole();
+    let mut alpha = DMatrix::zeros(3, 3);
+    let mut phases = CyclePhases::default();
+    for c in 0..3 {
+        let resp = field_response(scf, c, cfg);
+        phases.merge(&resp.phases);
+        for (cp, d) in dipole.iter().enumerate() {
+            alpha[(c, cp)] = crate::scf::trace_product(&resp.p1, d);
+        }
+    }
+    alpha.symmetrize_mut();
+    (alpha, phases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scf::ScfSolver;
+    use qfr_fragment::{FragmentJob, FragmentStructure, JobKind};
+    use qfr_geom::WaterBoxBuilder;
+
+    fn water_fragment() -> FragmentStructure {
+        let sys = WaterBoxBuilder::new(1).seed(1).build();
+        FragmentJob {
+            kind: JobKind::WaterMonomer { w: 0 },
+            coefficient: 1.0,
+            atoms: vec![0, 1, 2],
+            link_hydrogens: vec![],
+        }
+        .structure(&sys)
+    }
+
+    fn fast_scf() -> ScfSolver {
+        ScfSolver {
+            config: crate::scf::ScfConfig {
+                max_grid_dim: 16,
+                grid_spacing: 0.5,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn response_density_integrates_to_zero() {
+        // A field rearranges charge but conserves it: ∫ n1 = 0.
+        let scf = fast_scf().solve(&water_fragment());
+        let resp = field_response(&scf, 0, &ResponseConfig::default());
+        // The algebraic identity tr(P1 S) = 0 is exact; the grid integral
+        // carries quadrature error, so the tolerance is looser.
+        let total: f64 = resp.n1.iter().sum::<f64>() * scf.grid.dv;
+        assert!(total.abs() < 2e-2, "∫n1 = {total}");
+    }
+
+    #[test]
+    fn p1_is_symmetric_and_traceless_in_s() {
+        let scf = fast_scf().solve(&water_fragment());
+        let resp = field_response(&scf, 1, &ResponseConfig::default());
+        assert!(resp.p1.is_symmetric(1e-10));
+        // tr(P1 S) = 0: no change in electron count.
+        let tr = crate::scf::trace_product(&resp.p1, &scf.s);
+        assert!(tr.abs() < 1e-8, "tr(P1 S) = {tr}");
+    }
+
+    #[test]
+    fn polarizability_positive_definite() {
+        let scf = fast_scf().solve(&water_fragment());
+        let (alpha, phases) = polarizability(&scf, &ResponseConfig::default());
+        assert!(alpha.is_symmetric(1e-10));
+        let eig = qfr_linalg::eigen::symmetric_eigen(&alpha);
+        assert!(
+            eig.eigenvalues.iter().all(|&w| w > -1e-10),
+            "alpha must be PSD: {:?}",
+            eig.eigenvalues
+        );
+        // At least the two in-plane directions polarize.
+        assert!(
+            eig.eigenvalues.iter().filter(|&&w| w > 1e-6).count() >= 2,
+            "alpha spectrum: {:?}",
+            eig.eigenvalues
+        );
+        assert!(phases.total_flops() > 0);
+        assert!(phases.n1_flops > 0 && phases.h1_flops > 0);
+    }
+
+    #[test]
+    fn reduction_paths_agree() {
+        let scf = fast_scf().solve(&water_fragment());
+        let naive = field_response(
+            &scf,
+            2,
+            &ResponseConfig { use_symmetry_reduction: false, ..Default::default() },
+        );
+        let fast = field_response(
+            &scf,
+            2,
+            &ResponseConfig { use_symmetry_reduction: true, ..Default::default() },
+        );
+        assert!(
+            naive.h1.max_abs_diff(&fast.h1) < 1e-10,
+            "strength reduction changed the physics: {}",
+            naive.h1.max_abs_diff(&fast.h1)
+        );
+        assert!(
+            fast.phases.n1_flops < naive.phases.n1_flops,
+            "reduced path must save phase-2 FLOPs: {} vs {}",
+            fast.phases.n1_flops,
+            naive.phases.n1_flops
+        );
+    }
+
+    #[test]
+    fn response_deterministic() {
+        let scf = fast_scf().solve(&water_fragment());
+        let a = field_response(&scf, 0, &ResponseConfig::default());
+        let b = field_response(&scf, 0, &ResponseConfig::default());
+        assert_eq!(a.h1.max_abs_diff(&b.h1), 0.0);
+        assert_eq!(a.n1, b.n1);
+    }
+
+    #[test]
+    fn phases_accumulate() {
+        let mut a = CyclePhases { p1_seconds: 1.0, p1_flops: 10, ..Default::default() };
+        let b = CyclePhases { p1_seconds: 0.5, p1_flops: 5, n1_flops: 7, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.p1_seconds, 1.5);
+        assert_eq!(a.p1_flops, 15);
+        assert_eq!(a.n1_flops, 7);
+        assert_eq!(a.total_flops(), 22);
+    }
+}

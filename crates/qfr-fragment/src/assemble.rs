@@ -1,0 +1,273 @@
+//! Assembly of per-fragment responses into the global operators of Eq. (1).
+//!
+//! Each job's Hessian block enters the global `3N x 3N` Hessian with the
+//! job's coefficient, mapped through the fragment→global atom map. Link
+//! hydrogens have no global image; their rows and columns are dropped (their
+//! double counting cancels between the capped-fragment and cap-pair terms).
+//! The six polarizability-derivative rows assemble the same way into six
+//! global dof vectors.
+//!
+//! [`MassWeighted`] then forms the mass-weighted Hessian
+//! `H = M^{-1/2} E(2) M^{-1/2}` and the mass-weighted derivative vectors
+//! `d = M^{-1/2} (∂α/∂ξ)` consumed by the Lanczos/GAGQ spectral solver
+//! (Eq. (5)).
+
+use crate::fragment::{FragmentJob, FragmentResponse};
+use qfr_linalg::sparse::MatVec;
+use qfr_linalg::{CsrMatrix, TripletBuilder};
+
+/// Globally assembled (unweighted) operators.
+#[derive(Debug, Clone)]
+pub struct AssembledSystem {
+    /// Global Cartesian Hessian (`3N x 3N`, sparse).
+    pub hessian: CsrMatrix,
+    /// Global polarizability derivatives: six vectors of length `3N`
+    /// (components xx, yy, zz, xy, xz, yz).
+    pub dalpha: [Vec<f64>; 6],
+    /// Global dipole derivatives: three vectors of length `3N` (IR).
+    pub dmu: [Vec<f64>; 3],
+    /// Number of atoms.
+    pub n_atoms: usize,
+}
+
+/// Assembles job responses into global operators.
+///
+/// `responses[i]` must correspond to `jobs[i]` and cover the job's atoms
+/// in order (real atoms first, then link hydrogens), exactly as produced by
+/// engines running on [`crate::FragmentStructure`].
+///
+/// # Panics
+/// Panics on length or shape mismatches.
+pub fn assemble(jobs: &[FragmentJob], responses: &[FragmentResponse], n_atoms: usize) -> AssembledSystem {
+    assert_eq!(jobs.len(), responses.len(), "one response per job required");
+    let dof = 3 * n_atoms;
+    let mut builder = TripletBuilder::new(dof, dof);
+    let mut dalpha: [Vec<f64>; 6] = std::array::from_fn(|_| vec![0.0; dof]);
+    let mut dmu: [Vec<f64>; 3] = std::array::from_fn(|_| vec![0.0; dof]);
+
+    for (job, resp) in jobs.iter().zip(responses) {
+        let m = job.size();
+        assert_eq!(resp.hessian.rows(), 3 * m, "hessian shape mismatch for {:?}", job.kind);
+        assert_eq!(resp.dalpha.cols(), 3 * m, "dalpha shape mismatch for {:?}", job.kind);
+        let coeff = job.coefficient;
+        // Local atom -> global atom (link H at the end -> None).
+        let n_real = job.atoms.len();
+        for (la, &ga) in job.atoms.iter().enumerate() {
+            debug_assert!(ga < n_atoms);
+            // Hessian block rows for this atom vs all real atoms.
+            for (lb, &gb) in job.atoms.iter().enumerate() {
+                for da in 0..3 {
+                    for db in 0..3 {
+                        let v = resp.hessian[(3 * la + da, 3 * lb + db)];
+                        if v != 0.0 {
+                            builder.push(3 * ga + da, 3 * gb + db, coeff * v);
+                        }
+                    }
+                }
+            }
+            for (comp, dvec) in dalpha.iter_mut().enumerate() {
+                for da in 0..3 {
+                    dvec[3 * ga + da] += coeff * resp.dalpha[(comp, 3 * la + da)];
+                }
+            }
+            for (comp, dvec) in dmu.iter_mut().enumerate() {
+                for da in 0..3 {
+                    dvec[3 * ga + da] += coeff * resp.dmu[(comp, 3 * la + da)];
+                }
+            }
+        }
+        // Link-hydrogen rows/cols (indices >= n_real) are intentionally
+        // dropped: no global image.
+        let _ = n_real;
+    }
+
+    AssembledSystem { hessian: builder.build(), dalpha, dmu, n_atoms }
+}
+
+/// Mass-weighted operators ready for the spectral solver.
+#[derive(Debug, Clone)]
+pub struct MassWeighted {
+    /// Mass-weighted Hessian (`H_ij = E2_ij / sqrt(M_i M_j)`), sparse.
+    pub hessian: CsrMatrix,
+    /// Mass-weighted polarizability derivative vectors (per component).
+    pub dalpha: [Vec<f64>; 6],
+    /// Mass-weighted dipole derivative vectors (per Cartesian component).
+    pub dmu: [Vec<f64>; 3],
+}
+
+impl MassWeighted {
+    /// Applies mass weighting to an assembled system.
+    ///
+    /// `masses` are per-atom (amu); each Cartesian dof uses its atom's mass.
+    pub fn new(asm: &AssembledSystem, masses: &[f64]) -> Self {
+        assert_eq!(masses.len(), asm.n_atoms, "mass count mismatch");
+        let dof = 3 * asm.n_atoms;
+        let inv_sqrt: Vec<f64> = masses.iter().map(|&m| 1.0 / m.sqrt()).collect();
+        let mut builder = TripletBuilder::new(dof, dof);
+        for i in 0..dof {
+            let wi = inv_sqrt[i / 3];
+            for (j, v) in asm.hessian.row_entries(i) {
+                builder.push(i, j, v * wi * inv_sqrt[j / 3]);
+            }
+        }
+        let dalpha = std::array::from_fn(|c| {
+            asm.dalpha[c]
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v * inv_sqrt[i / 3])
+                .collect()
+        });
+        let dmu = std::array::from_fn(|c| {
+            asm.dmu[c]
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v * inv_sqrt[i / 3])
+                .collect()
+        });
+        Self { hessian: builder.build(), dalpha, dmu }
+    }
+
+    /// The operator dimension (`3N`).
+    pub fn dim(&self) -> usize {
+        self.hessian.dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::{JobKind, LinkHydrogen};
+    use qfr_linalg::DMatrix;
+    use qfr_geom::Vec3;
+
+    fn unit_response(n_atoms: usize, hval: f64, aval: f64) -> FragmentResponse {
+        FragmentResponse {
+            hessian: DMatrix::from_fn(3 * n_atoms, 3 * n_atoms, |i, j| {
+                if i == j {
+                    hval
+                } else {
+                    0.0
+                }
+            }),
+            dalpha: DMatrix::from_fn(6, 3 * n_atoms, |_, _| aval),
+            dmu: DMatrix::from_fn(3, 3 * n_atoms, |_, _| aval),
+        }
+    }
+
+    fn job(kind: JobKind, coeff: f64, atoms: Vec<usize>) -> FragmentJob {
+        FragmentJob { kind, coefficient: coeff, atoms, link_hydrogens: vec![] }
+    }
+
+    #[test]
+    fn overlapping_jobs_accumulate_with_coefficients() {
+        // Two jobs over atoms {0,1} and {1,2}, plus a -1 monomer on atom 1:
+        // diagonal coverage 1 everywhere.
+        let jobs = vec![
+            job(JobKind::WaterMonomer { w: 0 }, 1.0, vec![0, 1]),
+            job(JobKind::WaterMonomer { w: 1 }, 1.0, vec![1, 2]),
+            job(JobKind::WaterMonomer { w: 2 }, -1.0, vec![1]),
+        ];
+        let responses = vec![
+            unit_response(2, 2.0, 1.0),
+            unit_response(2, 2.0, 1.0),
+            unit_response(1, 2.0, 1.0),
+        ];
+        let asm = assemble(&jobs, &responses, 3);
+        let dense = asm.hessian.to_dense();
+        for d in 0..9 {
+            assert!((dense[(d, d)] - 2.0).abs() < 1e-12, "dof {d}");
+        }
+        for c in 0..6 {
+            assert_eq!(asm.dalpha[c], vec![1.0; 9]);
+        }
+    }
+
+    #[test]
+    fn link_hydrogen_rows_dropped() {
+        let j = FragmentJob {
+            kind: JobKind::WaterMonomer { w: 0 },
+            coefficient: 1.0,
+            atoms: vec![0],
+            link_hydrogens: vec![LinkHydrogen { anchor: 0, position: Vec3::ZERO }],
+        };
+        // Response over 2 atoms (real + link H), all entries 1.
+        let resp = FragmentResponse {
+            hessian: DMatrix::from_fn(6, 6, |_, _| 1.0),
+            dalpha: DMatrix::from_fn(6, 6, |_, _| 1.0),
+            dmu: DMatrix::from_fn(3, 6, |_, _| 1.0),
+        };
+        let asm = assemble(&[j], &[resp], 1);
+        let dense = asm.hessian.to_dense();
+        assert_eq!(dense.shape(), (3, 3));
+        // Only the real-atom block survives.
+        for i in 0..3 {
+            for jj in 0..3 {
+                assert_eq!(dense[(i, jj)], 1.0);
+            }
+        }
+        assert_eq!(asm.dalpha[0], vec![1.0; 3]);
+    }
+
+    #[test]
+    fn off_diagonal_blocks_map_correctly() {
+        // One job on atoms {2, 5} with a distinctive off-diagonal entry.
+        let mut h = DMatrix::zeros(6, 6);
+        h[(0, 3)] = 7.0; // atom-local (0,x)-(1,x)
+        h[(3, 0)] = 7.0;
+        let resp = FragmentResponse {
+            hessian: h,
+            dalpha: DMatrix::zeros(6, 6),
+            dmu: DMatrix::zeros(3, 6),
+        };
+        let asm = assemble(
+            &[job(JobKind::WaterMonomer { w: 0 }, 1.0, vec![2, 5])],
+            &[resp],
+            6,
+        );
+        assert_eq!(asm.hessian.get(6, 15), 7.0); // (atom2,x)-(atom5,x)
+        assert_eq!(asm.hessian.get(15, 6), 7.0);
+        assert_eq!(asm.hessian.get(6, 6), 0.0);
+    }
+
+    #[test]
+    fn exact_cancellation_produces_empty_matrix() {
+        let jobs = vec![
+            job(JobKind::WaterMonomer { w: 0 }, 1.0, vec![0]),
+            job(JobKind::WaterMonomer { w: 0 }, -1.0, vec![0]),
+        ];
+        let responses = vec![unit_response(1, 3.0, 2.0), unit_response(1, 3.0, 2.0)];
+        let asm = assemble(&jobs, &responses, 1);
+        assert_eq!(asm.hessian.nnz(), 0);
+        assert_eq!(asm.dalpha[0], vec![0.0; 3]);
+    }
+
+    #[test]
+    fn mass_weighting_scales_correctly() {
+        let jobs = vec![job(JobKind::WaterMonomer { w: 0 }, 1.0, vec![0, 1])];
+        let responses = vec![unit_response(2, 4.0, 2.0)];
+        let asm = assemble(&jobs, &responses, 2);
+        let masses = [4.0, 16.0];
+        let mw = MassWeighted::new(&asm, &masses);
+        let dense = mw.hessian.to_dense();
+        assert!((dense[(0, 0)] - 1.0).abs() < 1e-12, "4/sqrt(4*4)");
+        assert!((dense[(3, 3)] - 0.25).abs() < 1e-12, "4/sqrt(16*16)");
+        assert!((mw.dalpha[0][0] - 1.0).abs() < 1e-12, "2/sqrt(4)");
+        assert!((mw.dalpha[0][3] - 0.5).abs() < 1e-12, "2/sqrt(16)");
+        assert_eq!(mw.dim(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "one response per job")]
+    fn length_mismatch_panics() {
+        let jobs = vec![job(JobKind::WaterMonomer { w: 0 }, 1.0, vec![0])];
+        let _ = assemble(&jobs, &[], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "hessian shape mismatch")]
+    fn shape_mismatch_panics() {
+        let jobs = vec![job(JobKind::WaterMonomer { w: 0 }, 1.0, vec![0, 1])];
+        let responses = vec![unit_response(1, 1.0, 1.0)];
+        let _ = assemble(&jobs, &responses, 2);
+    }
+}

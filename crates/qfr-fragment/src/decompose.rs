@@ -1,0 +1,387 @@
+//! Enumeration of the signed fragment jobs of Eq. (1).
+
+use crate::fragment::{FragmentJob, JobKind, LinkHydrogen};
+use crate::stats::DecompositionStats;
+use qfr_geom::neighbor::group_pairs_within;
+use qfr_geom::{MolecularSystem, Vec3};
+
+/// Parameters of the decomposition.
+#[derive(Debug, Clone, Copy)]
+pub struct DecompositionParams {
+    /// Distance threshold λ for all two-body terms (paper: 4 Å for
+    /// protein–protein, protein–water and water–water alike).
+    pub lambda: f64,
+    /// Minimum sequence separation for a generalized concap. Residue pairs
+    /// with separation 1 or 2 share a capped triple already; the default 3
+    /// adds exactly the missing pairs.
+    pub min_sequence_separation: usize,
+}
+
+impl Default for DecompositionParams {
+    fn default() -> Self {
+        Self { lambda: 4.0, min_sequence_separation: 3 }
+    }
+}
+
+/// The complete signed job list for one system, plus workload statistics.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// All jobs with non-zero coefficient, deterministic order: capped
+    /// fragments, cap pairs, concap dimers, residue–water dimers,
+    /// water–water dimers, residue monomers, water monomers.
+    pub jobs: Vec<FragmentJob>,
+    /// Counts and size distribution (Section VI-A of the paper).
+    pub stats: DecompositionStats,
+}
+
+impl Decomposition {
+    /// Decomposes a system under the given parameters.
+    pub fn new(sys: &MolecularSystem, params: DecompositionParams) -> Self {
+        let nres = sys.residues.len();
+        let mut jobs: Vec<FragmentJob> = Vec::new();
+        let mut stats = DecompositionStats::default();
+
+        // ------------------------------------------------------------------
+        // One-body protein terms: capped fragments and cap-pair subtractions.
+        // ------------------------------------------------------------------
+        match nres {
+            0 => {}
+            1 | 2 => {
+                jobs.push(residue_job(
+                    sys,
+                    JobKind::CappedFragment { k: 0 },
+                    1.0,
+                    0,
+                    nres - 1,
+                ));
+                stats.n_capped_fragments = 1;
+            }
+            _ => {
+                for k in 1..=nres - 2 {
+                    jobs.push(residue_job(
+                        sys,
+                        JobKind::CappedFragment { k },
+                        1.0,
+                        k - 1,
+                        k + 1,
+                    ));
+                }
+                stats.n_capped_fragments = nres - 2;
+                for k in 1..=nres - 3 {
+                    jobs.push(residue_job(sys, JobKind::CapCap { k }, -1.0, k, k + 1));
+                }
+                stats.n_cap_pairs = nres.saturating_sub(3);
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // λ-threshold pair enumeration over residue and water groups.
+        // ------------------------------------------------------------------
+        let positions: Vec<Vec3> = sys.atoms.iter().map(|a| a.position).collect();
+        let mut group_of = vec![0u32; sys.n_atoms()];
+        for (r, span) in sys.residues.iter().enumerate() {
+            for a in span.atom_range() {
+                group_of[a] = r as u32;
+            }
+        }
+        for w in 0..sys.n_waters {
+            for a in sys.water_atoms(w) {
+                group_of[a] = (nres + w) as u32;
+            }
+        }
+        let pairs = group_pairs_within(&positions, &group_of, params.lambda);
+
+        let mut res_monomer_coeff = vec![0.0f64; nres];
+        let mut water_monomer_coeff = vec![1.0f64; sys.n_waters];
+
+        for &(ga, gb) in &pairs {
+            let (ga, gb) = (ga as usize, gb as usize);
+            match (ga < nres, gb < nres) {
+                (true, true) => {
+                    // Generalized concap between non-neighboring residues.
+                    if gb - ga < params.min_sequence_separation {
+                        continue;
+                    }
+                    let mut job = residue_job(
+                        sys,
+                        JobKind::ConcapDimer { i: ga, j: gb },
+                        1.0,
+                        ga,
+                        ga,
+                    );
+                    let other = residue_job(sys, JobKind::ConcapDimer { i: ga, j: gb }, 1.0, gb, gb);
+                    job.atoms.extend(other.atoms);
+                    job.link_hydrogens.extend(other.link_hydrogens);
+                    jobs.push(job);
+                    res_monomer_coeff[ga] -= 1.0;
+                    res_monomer_coeff[gb] -= 1.0;
+                    stats.n_generalized_concaps += 1;
+                }
+                (true, false) => {
+                    let w = gb - nres;
+                    let mut job = residue_job(
+                        sys,
+                        JobKind::ResidueWaterDimer { r: ga, w },
+                        1.0,
+                        ga,
+                        ga,
+                    );
+                    job.atoms.extend(sys.water_atoms(w));
+                    jobs.push(job);
+                    res_monomer_coeff[ga] -= 1.0;
+                    water_monomer_coeff[w] -= 1.0;
+                    stats.n_residue_water_pairs += 1;
+                }
+                (false, false) => {
+                    let (a, b) = (ga - nres, gb - nres);
+                    let mut atoms = sys.water_atoms(a).to_vec();
+                    atoms.extend(sys.water_atoms(b));
+                    jobs.push(FragmentJob {
+                        kind: JobKind::WaterWaterDimer { a, b },
+                        coefficient: 1.0,
+                        atoms,
+                        link_hydrogens: vec![],
+                    });
+                    water_monomer_coeff[a] -= 1.0;
+                    water_monomer_coeff[b] -= 1.0;
+                    stats.n_water_water_pairs += 1;
+                }
+                (false, true) => unreachable!("pairs are ordered ga <= gb"),
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // Merged monomer subtractions.
+        // ------------------------------------------------------------------
+        for (r, &coeff) in res_monomer_coeff.iter().enumerate() {
+            if coeff != 0.0 {
+                jobs.push(residue_job(sys, JobKind::ResidueMonomer { r }, coeff, r, r));
+            }
+        }
+        for (w, &coeff) in water_monomer_coeff.iter().enumerate() {
+            if coeff != 0.0 {
+                jobs.push(FragmentJob {
+                    kind: JobKind::WaterMonomer { w },
+                    coefficient: coeff,
+                    atoms: sys.water_atoms(w).to_vec(),
+                    link_hydrogens: vec![],
+                });
+            }
+        }
+        stats.n_water_monomers = sys.n_waters;
+
+        for job in &jobs {
+            stats.record_size(job.size());
+        }
+        stats.n_jobs = jobs.len();
+        Decomposition { jobs, stats }
+    }
+
+    /// Sum of all coefficients weighted by atom count — a quick check that
+    /// every *real* atom's self-term enters exactly once (see tests).
+    pub fn atom_coverage(&self, n_atoms: usize) -> Vec<f64> {
+        let mut cover = vec![0.0; n_atoms];
+        for job in &self.jobs {
+            for &a in &job.atoms {
+                cover[a] += job.coefficient;
+            }
+        }
+        cover
+    }
+}
+
+/// Builds the job covering residues `first..=last`, cutting and capping at
+/// both chain ends.
+fn residue_job(
+    sys: &MolecularSystem,
+    kind: JobKind,
+    coefficient: f64,
+    first: usize,
+    last: usize,
+) -> FragmentJob {
+    let nres = sys.residues.len();
+    let start = sys.residues[first].start;
+    let end = sys.residues[last].start + sys.residues[last].len;
+    let atoms: Vec<usize> = (start..end).collect();
+    let mut link_hydrogens = Vec::new();
+    // N-side cut: previous residue's carbonyl C removed; cap the N.
+    if first > 0 {
+        let n_idx = sys.residues[first].n_idx;
+        let prev_c = sys.residues[first - 1].c_idx;
+        link_hydrogens.push(cap_hydrogen(sys, n_idx, prev_c));
+    }
+    // C-side cut: next residue's N removed; cap the C.
+    if last + 1 < nres {
+        let c_idx = sys.residues[last].c_idx;
+        let next_n = sys.residues[last + 1].n_idx;
+        link_hydrogens.push(cap_hydrogen(sys, c_idx, next_n));
+    }
+    FragmentJob { kind, coefficient, atoms, link_hydrogens }
+}
+
+/// Places a cap hydrogen on `anchor` along the direction of the removed
+/// atom, at the anchor element's X–H bond length.
+fn cap_hydrogen(sys: &MolecularSystem, anchor: usize, removed: usize) -> LinkHydrogen {
+    let a = sys.atoms[anchor];
+    let dir = (sys.atoms[removed].position - a.position)
+        .try_normalized()
+        .unwrap_or(Vec3::new(1.0, 0.0, 0.0));
+    LinkHydrogen { anchor, position: a.position + dir * a.element.h_bond_length() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfr_geom::{ProteinBuilder, ResidueKind, SolvatedSystem, WaterBoxBuilder};
+
+    #[test]
+    fn pure_water_counts() {
+        let sys = WaterBoxBuilder::new(27).seed(1).build();
+        let d = Decomposition::new(&sys, DecompositionParams::default());
+        assert_eq!(d.stats.n_capped_fragments, 0);
+        assert_eq!(d.stats.n_water_monomers, 27);
+        // 3.1 A grid spacing with lambda 4 A: every water touches several
+        // neighbors.
+        assert!(d.stats.n_water_water_pairs > 27, "dense box must have many pairs");
+        // Water dimer jobs have exactly 6 atoms (the paper's water-dimer
+        // fragment size).
+        for job in &d.jobs {
+            if matches!(job.kind, JobKind::WaterWaterDimer { .. }) {
+                assert_eq!(job.size(), 6);
+            }
+        }
+    }
+
+    #[test]
+    fn atom_coverage_is_exactly_one() {
+        // The inclusion-exclusion of Eq. (1) must count every atom's
+        // one-body contribution exactly once, protein and water alike.
+        let protein = ProteinBuilder::new(8).seed(2).fold(4, 2).build();
+        let sys = SolvatedSystem::build(&protein, 4.0, 3.1, 2.4, 3);
+        let d = Decomposition::new(&sys, DecompositionParams::default());
+        for (a, c) in d.atom_coverage(sys.n_atoms()).iter().enumerate() {
+            assert!(
+                (c - 1.0).abs() < 1e-12,
+                "atom {a} covered {c} times (should be 1)"
+            );
+        }
+    }
+
+    #[test]
+    fn protein_fragment_and_cap_counts() {
+        let n = 12;
+        let sys = ProteinBuilder::new(n).seed(3).build();
+        let d = Decomposition::new(&sys, DecompositionParams::default());
+        assert_eq!(d.stats.n_capped_fragments, n - 2);
+        assert_eq!(d.stats.n_cap_pairs, n - 3);
+    }
+
+    #[test]
+    fn tiny_proteins() {
+        for n in [1usize, 2] {
+            let sys = ProteinBuilder::new(n).seed(4).build();
+            let d = Decomposition::new(&sys, DecompositionParams::default());
+            assert_eq!(d.stats.n_capped_fragments, 1);
+            assert_eq!(d.stats.n_cap_pairs, 0);
+            let cover = d.atom_coverage(sys.n_atoms());
+            assert!(cover.iter().all(|c| (c - 1.0).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn capped_fragments_have_two_link_hydrogens_in_the_middle() {
+        let sys = ProteinBuilder::new(6).seed(5).build();
+        let d = Decomposition::new(&sys, DecompositionParams::default());
+        for job in &d.jobs {
+            if let JobKind::CappedFragment { k } = job.kind {
+                let expected = usize::from(k > 1) + usize::from(k + 2 < 6);
+                assert_eq!(
+                    job.link_hydrogens.len(),
+                    expected,
+                    "fragment {k} link H count"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn link_hydrogen_geometry() {
+        let sys = ProteinBuilder::new(6).seed(6).build();
+        let d = Decomposition::new(&sys, DecompositionParams::default());
+        for job in &d.jobs {
+            for lh in &job.link_hydrogens {
+                let dist = sys.atoms[lh.anchor].position.dist(lh.position);
+                let expect = sys.atoms[lh.anchor].element.h_bond_length();
+                assert!((dist - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_separation_respected() {
+        // Compact fold so residues i, i+1, i+2 are spatially close; none may
+        // appear as concap dimers.
+        let sys = ProteinBuilder::new(15).seed(7).fold(5, 3).build();
+        let d = Decomposition::new(&sys, DecompositionParams::default());
+        for job in &d.jobs {
+            if let JobKind::ConcapDimer { i, j } = job.kind {
+                assert!(j - i >= 3, "concap {i},{j} too close in sequence");
+            }
+        }
+    }
+
+    #[test]
+    fn coefficients_balance_pairwise_terms() {
+        let sys = WaterBoxBuilder::new(8).seed(8).build();
+        let d = Decomposition::new(&sys, DecompositionParams::default());
+        // Per water: monomer coefficient == 1 - (pairs containing it).
+        let mut pair_count = [0usize; 8];
+        for job in &d.jobs {
+            if let JobKind::WaterWaterDimer { a, b } = job.kind {
+                pair_count[a] += 1;
+                pair_count[b] += 1;
+            }
+        }
+        for job in &d.jobs {
+            if let JobKind::WaterMonomer { w } = job.kind {
+                assert!((job.coefficient - (1.0 - pair_count[w] as f64)).abs() < 1e-12);
+            }
+        }
+        // Waters whose coefficient would be exactly zero are omitted.
+        for (w, &pc) in pair_count.iter().enumerate() {
+            if pc == 1 {
+                assert!(!d
+                    .jobs
+                    .iter()
+                    .any(|j| matches!(j.kind, JobKind::WaterMonomer { w: jw } if jw == w)));
+            }
+        }
+    }
+
+    #[test]
+    fn lambda_zero_disables_two_body_terms() {
+        let sys = WaterBoxBuilder::new(8).seed(9).build();
+        let d = Decomposition::new(
+            &sys,
+            DecompositionParams { lambda: 0.5, ..Default::default() },
+        );
+        assert_eq!(d.stats.n_water_water_pairs, 0);
+        assert_eq!(d.stats.n_jobs, 8, "only the 8 monomers remain");
+    }
+
+    #[test]
+    fn solvated_protein_has_all_term_types() {
+        let protein = ProteinBuilder::new(10)
+            .seed(10)
+            .fold(5, 2)
+            .sequence(vec![ResidueKind::Gly; 10])
+            .build();
+        let sys = SolvatedSystem::build(&protein, 5.0, 3.1, 2.4, 11);
+        let d = Decomposition::new(&sys, DecompositionParams::default());
+        assert!(d.stats.n_capped_fragments > 0);
+        assert!(d.stats.n_cap_pairs > 0);
+        assert!(d.stats.n_residue_water_pairs > 0, "protein surface touches water");
+        assert!(d.stats.n_water_water_pairs > 0);
+        assert!(d.stats.n_water_monomers > 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # qfr-fragment
+//!
+//! The Quantum Fragmentation (QF) algorithm of the QF-RAMAN paper
+//! (Section IV-A, Eq. (1)):
+//!
+//! - the protein is cut at every peptide bond except the first and last;
+//!   each naked residue `a_k` is capped with its former neighbors, forming
+//!   fragments `Cap*_{k-1} a_k Cap_{k+1}`;
+//! - the doubly-counted cap pairs `Cap*_k Cap_{k+1}` are subtracted;
+//! - every water molecule is a one-body fragment;
+//! - *generalized concaps* add two-body corrections `E_ij - E_i - E_j` for
+//!   every fragment pair within the distance threshold λ (4 Å): sequentially
+//!   non-neighboring residues, residue–water, and water–water pairs;
+//! - dangling bonds created by the cuts are terminated with link hydrogens.
+//!
+//! [`decompose::Decomposition`] enumerates the resulting signed job list,
+//! [`fragment::FragmentStructure`] materializes each job's geometry for an
+//! engine, and [`assemble`] folds per-fragment Hessian and polarizability-
+//! derivative blocks into the global sparse operators that the Lanczos/GAGQ
+//! spectral solver consumes.
+
+pub mod assemble;
+pub mod decompose;
+pub mod fragment;
+pub mod stats;
+
+pub use assemble::{AssembledSystem, MassWeighted};
+pub use decompose::{Decomposition, DecompositionParams};
+pub use fragment::{FragmentEngine, FragmentJob, FragmentResponse, FragmentStructure, JobKind};
+pub use stats::DecompositionStats;

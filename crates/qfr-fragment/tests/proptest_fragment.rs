@@ -1,0 +1,190 @@
+//! Property tests for the QF decomposition and assembly.
+
+use proptest::prelude::*;
+use qfr_fragment::{
+    assemble, Decomposition, DecompositionParams, FragmentResponse, JobKind,
+    MassWeighted,
+};
+use qfr_geom::{ProteinBuilder, WaterBoxBuilder};
+use qfr_linalg::DMatrix;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Coverage: every atom's one-body term enters exactly once for any
+    /// water box and any λ.
+    #[test]
+    fn water_coverage_any_lambda(n in 1..40usize, seed in 0u64..1000, lambda in 0.1..8.0f64) {
+        let sys = WaterBoxBuilder::new(n).seed(seed).build();
+        let d = Decomposition::new(
+            &sys,
+            DecompositionParams { lambda, ..Default::default() },
+        );
+        for (a, c) in d.atom_coverage(sys.n_atoms()).iter().enumerate() {
+            prop_assert!((c - 1.0).abs() < 1e-12, "atom {a}: {c}");
+        }
+    }
+
+    /// Protein coverage for any chain length and fold.
+    #[test]
+    fn protein_coverage(n in 1..30usize, seed in 0u64..500, per_row in 2..12usize) {
+        let sys = ProteinBuilder::new(n).seed(seed).fold(per_row, 3).build();
+        let d = Decomposition::new(&sys, DecompositionParams::default());
+        for (a, c) in d.atom_coverage(sys.n_atoms()).iter().enumerate() {
+            prop_assert!((c - 1.0).abs() < 1e-12, "atom {a}: {c}");
+        }
+        // Fragment / cap counts follow the Eq. (1) bookkeeping.
+        if n >= 3 {
+            prop_assert_eq!(d.stats.n_capped_fragments, n - 2);
+            prop_assert_eq!(d.stats.n_cap_pairs, n.saturating_sub(3));
+        } else {
+            prop_assert_eq!(d.stats.n_capped_fragments, 1);
+        }
+    }
+
+    /// λ monotonicity: growing the threshold never removes two-body terms.
+    #[test]
+    fn lambda_monotonicity(n in 2..25usize, seed in 0u64..500, l1 in 1.0..4.0f64, dl in 0.0..3.0f64) {
+        let sys = WaterBoxBuilder::new(n).seed(seed).build();
+        let d1 = Decomposition::new(&sys, DecompositionParams { lambda: l1, ..Default::default() });
+        let d2 = Decomposition::new(
+            &sys,
+            DecompositionParams { lambda: l1 + dl, ..Default::default() },
+        );
+        prop_assert!(d2.stats.n_water_water_pairs >= d1.stats.n_water_water_pairs);
+    }
+
+    /// Assembly is linear: doubling every response doubles the assembled
+    /// operators.
+    #[test]
+    fn assembly_linearity(n in 1..12usize, seed in 0u64..500) {
+        let sys = WaterBoxBuilder::new(n).seed(seed).build();
+        let d = Decomposition::new(&sys, DecompositionParams::default());
+        let make = |scale: f64| -> Vec<FragmentResponse> {
+            d.jobs
+                .iter()
+                .map(|j| {
+                    let m = j.size();
+                    FragmentResponse {
+                        hessian: DMatrix::from_fn(3 * m, 3 * m, |i, jj| {
+                            scale * ((i * 31 + jj * 7 + seed as usize) % 11) as f64
+                        }),
+                        dalpha: DMatrix::from_fn(6, 3 * m, |i, jj| {
+                            scale * ((i * 13 + jj * 3) % 5) as f64
+                        }),
+                        dmu: DMatrix::from_fn(3, 3 * m, |i, jj| {
+                            scale * ((i * 5 + jj) % 7) as f64
+                        }),
+                    }
+                })
+                .collect()
+        };
+        let a1 = assemble::assemble(&d.jobs, &make(1.0), sys.n_atoms());
+        let a2 = assemble::assemble(&d.jobs, &make(2.0), sys.n_atoms());
+        let d1 = a1.hessian.to_dense();
+        let d2 = a2.hessian.to_dense();
+        prop_assert!(d2.max_abs_diff(&d1.scaled(2.0)) < 1e-9);
+        for c in 0..6 {
+            for (x1, x2) in a1.dalpha[c].iter().zip(&a2.dalpha[c]) {
+                prop_assert!((x2 - 2.0 * x1).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Mass weighting with unit masses is the identity.
+    #[test]
+    fn unit_mass_weighting_is_identity(n in 1..10usize, seed in 0u64..300) {
+        let sys = WaterBoxBuilder::new(n).seed(seed).build();
+        let d = Decomposition::new(&sys, DecompositionParams::default());
+        let responses: Vec<FragmentResponse> = d
+            .jobs
+            .iter()
+            .map(|j| {
+                let m = j.size();
+                FragmentResponse {
+                    hessian: DMatrix::identity(3 * m),
+                    dalpha: DMatrix::from_fn(6, 3 * m, |_, _| 1.0),
+                    dmu: DMatrix::from_fn(3, 3 * m, |_, _| 1.0),
+                }
+            })
+            .collect();
+        let asm = assemble::assemble(&d.jobs, &responses, sys.n_atoms());
+        let mw = MassWeighted::new(&asm, &vec![1.0; sys.n_atoms()]);
+        prop_assert!(mw.hessian.to_dense().max_abs_diff(&asm.hessian.to_dense()) < 1e-12);
+    }
+
+    /// Fragment structures always carry their bonds and valid global maps.
+    #[test]
+    fn structures_well_formed(n in 1..15usize, seed in 0u64..300) {
+        let sys = WaterBoxBuilder::new(n).seed(seed).build();
+        let d = Decomposition::new(&sys, DecompositionParams::default());
+        for job in &d.jobs {
+            let frag = job.structure(&sys);
+            prop_assert_eq!(frag.n_atoms(), job.size());
+            for b in &frag.bonds {
+                prop_assert!(b.i < frag.n_atoms() && b.j < frag.n_atoms());
+            }
+            // Water jobs: 2 bonds per molecule, no crossings.
+            match job.kind {
+                JobKind::WaterMonomer { .. } => prop_assert_eq!(frag.bonds.len(), 2),
+                JobKind::WaterWaterDimer { .. } => prop_assert_eq!(frag.bonds.len(), 4),
+                _ => {}
+            }
+            // Global map: real atoms map, link H do not.
+            for (local, g) in frag.global_map.iter().enumerate() {
+                if local < job.atoms.len() {
+                    prop_assert_eq!(*g, Some(job.atoms[local]));
+                } else {
+                    prop_assert!(g.is_none());
+                }
+            }
+        }
+    }
+}
+
+/// Non-proptest regression: dimers appear symmetrically (i<j once).
+#[test]
+fn dimers_unique_and_ordered() {
+    let sys = WaterBoxBuilder::new(27).seed(5).build();
+    let d = Decomposition::new(&sys, DecompositionParams::default());
+    let mut seen = std::collections::HashSet::new();
+    for job in &d.jobs {
+        if let JobKind::WaterWaterDimer { a, b } = job.kind {
+            assert!(a < b, "dimer order violated");
+            assert!(seen.insert((a, b)), "duplicate dimer {a},{b}");
+        }
+    }
+    assert_eq!(seen.len(), d.stats.n_water_water_pairs);
+}
+
+/// Non-proptest regression: capped fragments contain their own residue's
+/// atoms plus both neighbors.
+#[test]
+fn capped_fragment_atom_spans() {
+    let sys = ProteinBuilder::new(6).seed(6).build();
+    let d = Decomposition::new(&sys, DecompositionParams::default());
+    for job in &d.jobs {
+        if let JobKind::CappedFragment { k } = job.kind {
+            let lo = sys.residues[k - 1].start;
+            let hi = sys.residues[k + 1].start + sys.residues[k + 1].len;
+            let expect: Vec<usize> = (lo..hi).collect();
+            assert_eq!(job.atoms, expect, "fragment {k} span");
+        }
+    }
+}
+
+/// The FragmentJob size matches the structure it materializes, including
+/// caps.
+#[test]
+fn job_size_includes_link_hydrogens() {
+    let sys = ProteinBuilder::new(5).seed(7).build();
+    let d = Decomposition::new(&sys, DecompositionParams::default());
+    for job in &d.jobs {
+        let frag = job.structure(&sys);
+        assert_eq!(job.size(), frag.n_atoms());
+        assert_eq!(
+            frag.n_atoms(),
+            job.atoms.len() + job.link_hydrogens.len()
+        );
+    }
+}

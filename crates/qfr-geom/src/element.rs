@@ -1,0 +1,131 @@
+//! Chemical elements occurring in proteins and water.
+
+/// The elements present in the benchmark systems (protein + water).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Element {
+    /// Hydrogen.
+    H,
+    /// Carbon.
+    C,
+    /// Nitrogen.
+    N,
+    /// Oxygen.
+    O,
+    /// Sulfur (CYS, MET side chains).
+    S,
+}
+
+impl Element {
+    /// Atomic mass in amu (standard atomic weights).
+    pub fn mass(self) -> f64 {
+        match self {
+            Element::H => 1.008,
+            Element::C => 12.011,
+            Element::N => 14.007,
+            Element::O => 15.999,
+            Element::S => 32.06,
+        }
+    }
+
+    /// Typical covalent valence used by the auto-hydrogenation pass.
+    pub fn valence(self) -> u8 {
+        match self {
+            Element::H => 1,
+            Element::C => 4,
+            Element::N => 3,
+            Element::O => 2,
+            Element::S => 2,
+        }
+    }
+
+    /// Typical X–H bond length in Å.
+    pub fn h_bond_length(self) -> f64 {
+        match self {
+            Element::H => 0.74,
+            Element::C => 1.09,
+            Element::N => 1.01,
+            Element::O => 0.96,
+            Element::S => 1.34,
+        }
+    }
+
+    /// One- or two-letter element symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Element::H => "H",
+            Element::C => "C",
+            Element::N => "N",
+            Element::O => "O",
+            Element::S => "S",
+        }
+    }
+
+    /// Parses a symbol (case-insensitive).
+    pub fn from_symbol(s: &str) -> Option<Element> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "H" => Some(Element::H),
+            "C" => Some(Element::C),
+            "N" => Some(Element::N),
+            "O" => Some(Element::O),
+            "S" => Some(Element::S),
+            _ => None,
+        }
+    }
+
+    /// Number of electrons of the neutral atom — the DFPT mini-engine sizes
+    /// its model basis from this.
+    pub fn atomic_number(self) -> u32 {
+        match self {
+            Element::H => 1,
+            Element::C => 6,
+            Element::N => 7,
+            Element::O => 8,
+            Element::S => 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masses_are_physical() {
+        assert!((Element::H.mass() - 1.008).abs() < 1e-6);
+        assert!(Element::C.mass() > Element::H.mass());
+        assert!(Element::S.mass() > Element::O.mass());
+    }
+
+    #[test]
+    fn valences() {
+        assert_eq!(Element::C.valence(), 4);
+        assert_eq!(Element::N.valence(), 3);
+        assert_eq!(Element::O.valence(), 2);
+        assert_eq!(Element::H.valence(), 1);
+        assert_eq!(Element::S.valence(), 2);
+    }
+
+    #[test]
+    fn symbol_round_trip() {
+        for e in [Element::H, Element::C, Element::N, Element::O, Element::S] {
+            assert_eq!(Element::from_symbol(e.symbol()), Some(e));
+            assert_eq!(Element::from_symbol(&e.symbol().to_lowercase()), Some(e));
+        }
+        assert_eq!(Element::from_symbol("Xx"), None);
+        assert_eq!(Element::from_symbol(" c "), Some(Element::C));
+    }
+
+    #[test]
+    fn h_bond_lengths_reasonable() {
+        for e in [Element::C, Element::N, Element::O, Element::S] {
+            let l = e.h_bond_length();
+            assert!((0.9..1.5).contains(&l), "{e:?}: {l}");
+        }
+    }
+
+    #[test]
+    fn atomic_numbers() {
+        assert_eq!(Element::H.atomic_number(), 1);
+        assert_eq!(Element::S.atomic_number(), 16);
+    }
+}

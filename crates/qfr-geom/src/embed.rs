@@ -1,0 +1,290 @@
+//! Geometric embedding helpers: ring placement and automatic hydrogenation.
+//!
+//! Residue templates specify heavy atoms only; hydrogens are added by
+//! [`plan_hydrogens`], which fills each heavy atom's remaining valence with
+//! hydrogens placed at chemically sensible directions (tetrahedral /
+//! trigonal geometry inferred from the existing bond directions). The same
+//! placement rule is reused by the fragmenter when terminating cut peptide
+//! bonds with cap hydrogens.
+
+use crate::element::Element;
+use crate::vec3::Vec3;
+
+/// Tetrahedral half-angle used when adding two hydrogens: each H sits at
+/// ±(109.47°/2) from the mean open direction.
+const TET_HALF: f64 = 0.9553; // 54.735 degrees in radians
+
+/// Angle between a CH3-style hydrogen direction and the open axis
+/// (180° − 109.47°).
+const CONE_ANGLE: f64 = 1.2310; // 70.53 degrees in radians
+
+/// Positions of `count` hydrogens to attach to a heavy atom at `center`,
+/// given the unit directions of its existing bonds.
+///
+/// - 0 existing bonds: hydrogens spread around +z;
+/// - 1 H: opposite the mean bond direction;
+/// - 2 H: split symmetrically about the open direction (tetrahedral);
+/// - 3 H: a 120°-spaced cone around the open direction (methyl/ammonium).
+pub fn hydrogen_positions(
+    center: Vec3,
+    existing_dirs: &[Vec3],
+    count: usize,
+    bond_len: f64,
+) -> Vec<Vec3> {
+    if count == 0 {
+        return Vec::new();
+    }
+    // Open direction: opposite the resultant of existing bonds.
+    let mut sum = Vec3::ZERO;
+    for d in existing_dirs {
+        sum += *d;
+    }
+    let base = (-sum)
+        .try_normalized()
+        .or_else(|| existing_dirs.first().map(|d| d.any_perpendicular()))
+        .unwrap_or(Vec3::new(0.0, 0.0, 1.0));
+
+    match count {
+        1 => vec![center + base * bond_len],
+        2 => {
+            // Split in the plane least occupied: rotate about an axis
+            // perpendicular to both base and the first existing bond.
+            let axis = existing_dirs
+                .first()
+                .and_then(|d| base.cross(*d).try_normalized())
+                .unwrap_or_else(|| base.any_perpendicular());
+            vec![
+                center + base.rotated_about(axis, TET_HALF) * bond_len,
+                center + base.rotated_about(axis, -TET_HALF) * bond_len,
+            ]
+        }
+        _ => {
+            let perp = base.any_perpendicular();
+            let tilted = base * CONE_ANGLE.cos() + perp * CONE_ANGLE.sin();
+            (0..count)
+                .map(|k| {
+                    let ang = 2.0 * std::f64::consts::PI * k as f64 / count as f64;
+                    center + tilted.rotated_about(base, ang) * bond_len
+                })
+                .collect()
+        }
+    }
+}
+
+/// Plans hydrogens for every heavy atom: returns, per heavy atom, the
+/// positions of hydrogens needed to complete its valence.
+///
+/// `bond_orders[i]` lists `(neighbor index, order)` of atom `i`'s bonds
+/// (both directions must be present).
+pub fn plan_hydrogens(
+    elements: &[Element],
+    positions: &[Vec3],
+    bond_orders: &[Vec<(usize, u8)>],
+) -> Vec<Vec<Vec3>> {
+    assert_eq!(elements.len(), positions.len());
+    assert_eq!(elements.len(), bond_orders.len());
+    elements
+        .iter()
+        .enumerate()
+        .map(|(i, &el)| {
+            if el == Element::H {
+                return Vec::new();
+            }
+            let used: u8 = bond_orders[i].iter().map(|&(_, o)| o).sum();
+            let free = el.valence().saturating_sub(used) as usize;
+            if free == 0 {
+                return Vec::new();
+            }
+            let dirs: Vec<Vec3> = bond_orders[i]
+                .iter()
+                .filter_map(|&(j, _)| (positions[j] - positions[i]).try_normalized())
+                .collect();
+            hydrogen_positions(positions[i], &dirs, free, el.h_bond_length())
+        })
+        .collect()
+}
+
+/// Vertices of a regular `n`-gon that contains `first` as a vertex and
+/// extends from it in the direction `outward` (which need not be exactly
+/// in-plane; it is projected). Returns the remaining `n-1` vertices in ring
+/// order. `normal` fixes the ring plane.
+pub fn ring_vertices(first: Vec3, outward: Vec3, normal: Vec3, n: usize, bond_len: f64) -> Vec<Vec3> {
+    assert!(n >= 3, "a ring needs at least 3 vertices");
+    let nrm = normal.normalized();
+    // Project outward into the ring plane.
+    let out_in_plane = (outward - nrm * outward.dot(nrm))
+        .try_normalized()
+        .unwrap_or_else(|| nrm.any_perpendicular());
+    let circumradius = bond_len / (2.0 * (std::f64::consts::PI / n as f64).sin());
+    let center = first + out_in_plane * circumradius;
+    let spoke = first - center; // length = circumradius
+    (1..n)
+        .map(|k| {
+            let ang = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            center + spoke.rotated_about(nrm, ang)
+        })
+        .collect()
+}
+
+/// Completes a hexagon sharing the edge `a`–`b`, on the side away from
+/// `away`. Returns the 4 remaining vertices in ring order starting from the
+/// vertex adjacent to `b`. Used for the fused six-ring of tryptophan.
+pub fn fused_hexagon(a: Vec3, b: Vec3, away: Vec3) -> Vec<Vec3> {
+    let edge = b - a;
+    let bond_len = edge.norm();
+    let mid = (a + b) * 0.5;
+    // Plane normal: perpendicular to the edge and the (edge, away) plane.
+    let to_away = away - mid;
+    let nrm = edge
+        .cross(to_away)
+        .try_normalized()
+        .unwrap_or_else(|| edge.any_perpendicular());
+    // In-plane direction pointing away from `away`.
+    let in_plane = nrm.cross(edge).normalized();
+    let dir = if in_plane.dot(to_away) > 0.0 { -in_plane } else { in_plane };
+    let apothem = bond_len * 3.0_f64.sqrt() / 2.0;
+    let center = mid + dir * apothem;
+    // Rotate the spoke center->b around the normal to enumerate vertices.
+    let spoke = b - center;
+    let trial = center + spoke.rotated_about(nrm, std::f64::consts::FRAC_PI_3);
+    let sign = if trial.dist(a) > bond_len { 1.0 } else { -1.0 };
+    (1..5)
+        .map(|k| center + spoke.rotated_about(nrm, sign * std::f64::consts::FRAC_PI_3 * k as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hydrogen_opposes_bonds() {
+        let c = Vec3::ZERO;
+        let dirs = [Vec3::new(1.0, 0.0, 0.0)];
+        let h = hydrogen_positions(c, &dirs, 1, 1.09);
+        assert_eq!(h.len(), 1);
+        assert!((h[0] - Vec3::new(-1.09, 0.0, 0.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn two_hydrogens_tetrahedral() {
+        let c = Vec3::ZERO;
+        let dirs = [Vec3::new(1.0, 0.0, 0.0), Vec3::new(-0.3, 0.9, 0.0).normalized()];
+        let hs = hydrogen_positions(c, &dirs, 2, 1.0);
+        assert_eq!(hs.len(), 2);
+        for h in &hs {
+            assert!((h.norm() - 1.0).abs() < 1e-12, "bond length wrong");
+        }
+        // H-C-H angle near tetrahedral.
+        let ang = hs[0].angle_between(hs[1]).to_degrees();
+        assert!((ang - 109.47).abs() < 1.0, "H-C-H angle {ang}");
+    }
+
+    #[test]
+    fn three_hydrogens_methyl() {
+        let c = Vec3::new(1.0, 2.0, 3.0);
+        let dirs = [Vec3::new(0.0, 0.0, -1.0)];
+        let hs = hydrogen_positions(c, &dirs, 3, 1.09);
+        assert_eq!(hs.len(), 3);
+        for h in &hs {
+            assert!(((h.dist(c)) - 1.09).abs() < 1e-12);
+            // Each H-C-bond angle near 109.5 deg.
+            let ang = (*h - c).angle_between(Vec3::new(0.0, 0.0, -1.0)).to_degrees();
+            assert!((ang - 109.47).abs() < 1.0, "angle {ang}");
+        }
+        // Mutual angles near 109.5 too.
+        let a01 = (hs[0] - c).angle_between(hs[1] - c).to_degrees();
+        assert!((a01 - 109.47).abs() < 2.0);
+    }
+
+    #[test]
+    fn isolated_atom_gets_hydrogens() {
+        let hs = hydrogen_positions(Vec3::ZERO, &[], 2, 0.96);
+        assert_eq!(hs.len(), 2);
+        let ang = hs[0].angle_between(hs[1]).to_degrees();
+        assert!((ang - 109.47).abs() < 2.0);
+    }
+
+    #[test]
+    fn plan_hydrogens_water_like() {
+        // Lone O with no bonds -> 2 H.
+        let els = [Element::O];
+        let pos = [Vec3::ZERO];
+        let bonds = [vec![]];
+        let plan = plan_hydrogens(&els, &pos, &bonds);
+        assert_eq!(plan[0].len(), 2);
+    }
+
+    #[test]
+    fn plan_hydrogens_methane_like() {
+        let els = [Element::C, Element::H];
+        let pos = [Vec3::ZERO, Vec3::new(1.09, 0.0, 0.0)];
+        let bonds = [vec![(1usize, 1u8)], vec![(0usize, 1u8)]];
+        let plan = plan_hydrogens(&els, &pos, &bonds);
+        assert_eq!(plan[0].len(), 3, "CH needs 3 more H");
+        assert!(plan[1].is_empty(), "H never gets hydrogens");
+    }
+
+    #[test]
+    fn plan_hydrogens_respects_double_bonds() {
+        // Carbonyl C: bonded to O (order 2) and C (order 1) -> 1 H.
+        let els = [Element::C, Element::O, Element::C];
+        let pos = [Vec3::ZERO, Vec3::new(1.2, 0.0, 0.0), Vec3::new(-0.8, 1.2, 0.0)];
+        let bonds = [vec![(1, 2), (2, 1)], vec![(0, 2)], vec![(0, 1)]];
+        let plan = plan_hydrogens(&els, &pos, &bonds);
+        assert_eq!(plan[0].len(), 1);
+        assert!(plan[1].is_empty(), "carbonyl O is saturated");
+        assert_eq!(plan[2].len(), 3);
+    }
+
+    #[test]
+    fn ring_vertices_hexagon_geometry() {
+        let first = Vec3::ZERO;
+        let rest = ring_vertices(first, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0), 6, 1.39);
+        assert_eq!(rest.len(), 5);
+        let all: Vec<Vec3> = std::iter::once(first).chain(rest).collect();
+        // Consecutive distances all equal the bond length.
+        for k in 0..6 {
+            let d = all[k].dist(all[(k + 1) % 6]);
+            assert!((d - 1.39).abs() < 1e-9, "edge {k} length {d}");
+        }
+        // All vertices in the z=0 plane.
+        for v in &all {
+            assert!(v.z.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ring_vertices_pentagon() {
+        let rest = ring_vertices(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 0.0, 1.0), 5, 1.4);
+        assert_eq!(rest.len(), 4);
+        let all: Vec<Vec3> = std::iter::once(Vec3::ZERO).chain(rest).collect();
+        for k in 0..5 {
+            let d = all[k].dist(all[(k + 1) % 5]);
+            assert!((d - 1.4).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fused_hexagon_shares_edge() {
+        // Base hexagon edge a-b; fused ring grows away from `away`.
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(1.4, 0.0, 0.0);
+        let away = Vec3::new(0.7, 1.0, 0.0);
+        let verts = fused_hexagon(a, b, away);
+        assert_eq!(verts.len(), 4);
+        // All on the -y side.
+        for v in &verts {
+            assert!(v.y < 0.1, "vertex on wrong side: {v:?}");
+        }
+        // Ring closure: b -> verts[0] -> ... -> verts[3] -> a, all 1.4.
+        let cycle: Vec<Vec3> = std::iter::once(b)
+            .chain(verts.iter().copied())
+            .chain(std::iter::once(a))
+            .collect();
+        for w in cycle.windows(2) {
+            let d = w[0].dist(w[1]);
+            assert!((d - 1.4).abs() < 1e-9, "edge {d}");
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! XYZ and PDB-lite file I/O.
+//!
+//! XYZ is the interchange format used by the examples (write a built system,
+//! reload it elsewhere); the PDB-lite writer produces viewable output for
+//! protein systems.
+
+use crate::element::Element;
+use crate::system::{Atom, MolecularSystem};
+use crate::vec3::Vec3;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+
+/// Serializes a system to XYZ text (atom count, comment, `El x y z` lines).
+pub fn to_xyz(sys: &MolecularSystem, comment: &str) -> String {
+    let mut out = String::with_capacity(sys.n_atoms() * 40 + 64);
+    let _ = writeln!(out, "{}", sys.n_atoms());
+    let _ = writeln!(out, "{}", comment.replace('\n', " "));
+    for a in &sys.atoms {
+        let _ = writeln!(
+            out,
+            "{} {:.6} {:.6} {:.6}",
+            a.element.symbol(),
+            a.position.x,
+            a.position.y,
+            a.position.z
+        );
+    }
+    out
+}
+
+/// Writes XYZ to any writer.
+pub fn write_xyz<W: Write>(sys: &MolecularSystem, comment: &str, w: &mut W) -> io::Result<()> {
+    w.write_all(to_xyz(sys, comment).as_bytes())
+}
+
+/// Error from XYZ parsing.
+#[derive(Debug)]
+pub enum XyzError {
+    /// I/O failure.
+    Io(io::Error),
+    /// Structural / syntactic problem with a line.
+    Parse(String),
+}
+
+impl std::fmt::Display for XyzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XyzError::Io(e) => write!(f, "io error: {e}"),
+            XyzError::Parse(m) => write!(f, "xyz parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for XyzError {}
+
+impl From<io::Error> for XyzError {
+    fn from(e: io::Error) -> Self {
+        XyzError::Io(e)
+    }
+}
+
+/// Reads an XYZ file into a bare system (atoms only — bonds, residues and
+/// water structure are not represented in XYZ).
+pub fn read_xyz<R: BufRead>(r: &mut R) -> Result<MolecularSystem, XyzError> {
+    let mut lines = r.lines();
+    let count_line = lines
+        .next()
+        .ok_or_else(|| XyzError::Parse("empty input".into()))??;
+    let n: usize = count_line
+        .trim()
+        .parse()
+        .map_err(|_| XyzError::Parse(format!("bad atom count: {count_line:?}")))?;
+    let _comment = lines
+        .next()
+        .ok_or_else(|| XyzError::Parse("missing comment line".into()))??;
+    let mut atoms = Vec::with_capacity(n);
+    for i in 0..n {
+        let line = lines
+            .next()
+            .ok_or_else(|| XyzError::Parse(format!("truncated at atom {i}")))??;
+        let mut parts = line.split_whitespace();
+        let sym = parts
+            .next()
+            .ok_or_else(|| XyzError::Parse(format!("empty atom line {i}")))?;
+        let element = Element::from_symbol(sym)
+            .ok_or_else(|| XyzError::Parse(format!("unknown element {sym:?}")))?;
+        let mut coord = |name: &str| -> Result<f64, XyzError> {
+            parts
+                .next()
+                .ok_or_else(|| XyzError::Parse(format!("missing {name} on atom {i}")))?
+                .parse()
+                .map_err(|_| XyzError::Parse(format!("bad {name} on atom {i}")))
+        };
+        let (x, y, z) = (coord("x")?, coord("y")?, coord("z")?);
+        atoms.push(Atom { element, position: Vec3::new(x, y, z) });
+    }
+    Ok(MolecularSystem { atoms, ..Default::default() })
+}
+
+/// Writes a PDB-lite representation: protein residues as ATOM records with
+/// residue names/numbers, waters as HOH HETATM records.
+pub fn to_pdb(sys: &MolecularSystem) -> String {
+    let mut out = String::new();
+    let mut serial = 1usize;
+    for (ri, span) in sys.residues.iter().enumerate() {
+        for idx in span.atom_range() {
+            let a = &sys.atoms[idx];
+            let _ = writeln!(
+                out,
+                "ATOM  {serial:>5} {:>4} {} A{:>4}    {:8.3}{:8.3}{:8.3}  1.00  0.00          {:>2}",
+                a.element.symbol(),
+                span.kind.code(),
+                (ri + 1) % 10000,
+                a.position.x,
+                a.position.y,
+                a.position.z,
+                a.element.symbol()
+            );
+            serial += 1;
+        }
+    }
+    for w in 0..sys.n_waters {
+        for idx in sys.water_atoms(w) {
+            let a = &sys.atoms[idx];
+            let _ = writeln!(
+                out,
+                "HETATM{serial:>5} {:>4} HOH W{:>4}    {:8.3}{:8.3}{:8.3}  1.00  0.00          {:>2}",
+                a.element.symbol(),
+                (w + 1) % 10000,
+                a.position.x,
+                a.position.y,
+                a.position.z,
+                a.element.symbol()
+            );
+            serial += 1;
+        }
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// Reads a PDB-lite file (as produced by [`to_pdb`], or any PDB whose
+/// ATOM/HETATM records carry the element in columns 77–78 or as the atom
+/// name): returns a bare system with atoms only. Water residues (`HOH`)
+/// are recognized and counted when they appear as trailing O-H-H triples.
+pub fn read_pdb<R: BufRead>(r: &mut R) -> Result<MolecularSystem, XyzError> {
+    let mut atoms = Vec::new();
+    let mut water_atoms = 0usize;
+    for line in r.lines() {
+        let line = line?;
+        if !(line.starts_with("ATOM") || line.starts_with("HETATM")) {
+            continue;
+        }
+        if line.len() < 54 {
+            return Err(XyzError::Parse(format!("short PDB record: {line:?}")));
+        }
+        let coord = |range: std::ops::Range<usize>, name: &str| -> Result<f64, XyzError> {
+            line.get(range.clone())
+                .ok_or_else(|| XyzError::Parse(format!("missing {name} field")))?
+                .trim()
+                .parse()
+                .map_err(|_| XyzError::Parse(format!("bad {name} in {line:?}")))
+        };
+        let x = coord(30..38, "x")?;
+        let y = coord(38..46, "y")?;
+        let z = coord(46..54, "z")?;
+        // Element: columns 77-78 if present, else first letter of the atom
+        // name field.
+        let sym = line
+            .get(76..78)
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .or_else(|| line.get(12..16).map(str::trim))
+            .unwrap_or("");
+        let element = Element::from_symbol(sym)
+            .or_else(|| sym.get(0..1).and_then(Element::from_symbol))
+            .ok_or_else(|| XyzError::Parse(format!("unknown element {sym:?}")))?;
+        if line.contains("HOH") {
+            water_atoms += 1;
+        }
+        atoms.push(Atom { element, position: Vec3::new(x, y, z) });
+    }
+    // Count waters only if the trailing HOH block is well-formed triples.
+    let n_waters = if water_atoms > 0 && water_atoms % 3 == 0 {
+        let start = atoms.len() - water_atoms;
+        let pattern_ok = (0..water_atoms / 3).all(|w| {
+            atoms[start + 3 * w].element == Element::O
+                && atoms[start + 3 * w + 1].element == Element::H
+                && atoms[start + 3 * w + 2].element == Element::H
+        });
+        if pattern_ok {
+            water_atoms / 3
+        } else {
+            0
+        }
+    } else {
+        0
+    };
+    Ok(MolecularSystem { atoms, n_waters, ..Default::default() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ProteinBuilder, WaterBoxBuilder};
+    use std::io::BufReader;
+
+    #[test]
+    fn xyz_round_trip() {
+        let sys = WaterBoxBuilder::new(4).seed(1).build();
+        let text = to_xyz(&sys, "four waters");
+        let mut reader = BufReader::new(text.as_bytes());
+        let back = read_xyz(&mut reader).unwrap();
+        assert_eq!(back.n_atoms(), sys.n_atoms());
+        for (a, b) in back.atoms.iter().zip(&sys.atoms) {
+            assert_eq!(a.element, b.element);
+            assert!(a.position.dist(b.position) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn xyz_header_shape() {
+        let sys = WaterBoxBuilder::new(1).build();
+        let text = to_xyz(&sys, "multi\nline comment");
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("3"));
+        assert_eq!(lines.next(), Some("multi line comment"));
+        assert!(lines.next().unwrap().starts_with("O "));
+    }
+
+    #[test]
+    fn xyz_rejects_garbage() {
+        let mut r = BufReader::new("not a number\nhi\n".as_bytes());
+        assert!(matches!(read_xyz(&mut r), Err(XyzError::Parse(_))));
+        let mut r = BufReader::new("2\nc\nH 0 0 0\n".as_bytes());
+        assert!(matches!(read_xyz(&mut r), Err(XyzError::Parse(_))), "truncated");
+        let mut r = BufReader::new("1\nc\nXq 0 0 0\n".as_bytes());
+        assert!(matches!(read_xyz(&mut r), Err(XyzError::Parse(_))), "bad element");
+        let mut r = BufReader::new("1\nc\nH 0 zero 0\n".as_bytes());
+        assert!(matches!(read_xyz(&mut r), Err(XyzError::Parse(_))), "bad coord");
+    }
+
+    #[test]
+    fn pdb_round_trip_atoms_and_waters() {
+        let protein = ProteinBuilder::new(2).seed(4).build();
+        let solvated = crate::builder::SolvatedSystem::build(&protein, 4.0, 3.1, 2.4, 5);
+        let pdb = to_pdb(&solvated);
+        let mut r = BufReader::new(pdb.as_bytes());
+        let back = read_pdb(&mut r).unwrap();
+        assert_eq!(back.n_atoms(), solvated.n_atoms());
+        assert_eq!(back.n_waters, solvated.n_waters, "water block recognized");
+        for (a, b) in back.atoms.iter().zip(&solvated.atoms) {
+            assert_eq!(a.element, b.element);
+            assert!(a.position.dist(b.position) < 2e-3, "PDB precision is 3 decimals");
+        }
+    }
+
+    #[test]
+    fn pdb_reader_rejects_garbage() {
+        let mut r = BufReader::new("ATOM      1    C\n".as_bytes());
+        assert!(matches!(read_pdb(&mut r), Err(XyzError::Parse(_))));
+        // Non-record lines are skipped silently.
+        let mut r = BufReader::new("REMARK hello\nEND\n".as_bytes());
+        let sys = read_pdb(&mut r).unwrap();
+        assert_eq!(sys.n_atoms(), 0);
+    }
+
+    #[test]
+    fn pdb_contains_residues_and_waters() {
+        let protein = ProteinBuilder::new(2).seed(2).build();
+        let solvated = crate::builder::SolvatedSystem::build(&protein, 4.0, 3.1, 2.4, 3);
+        let pdb = to_pdb(&solvated);
+        assert!(pdb.contains("ATOM"));
+        assert!(pdb.contains("HETATM"));
+        assert!(pdb.contains("HOH"));
+        assert!(pdb.trim_end().ends_with("END"));
+        let atom_lines = pdb.lines().filter(|l| l.starts_with("ATOM") || l.starts_with("HETATM")).count();
+        assert_eq!(atom_lines, solvated.n_atoms());
+    }
+}

@@ -1,0 +1,334 @@
+//! Cell-list neighbor search.
+//!
+//! Eq. (1) requires every pair of fragments whose minimal inter-atomic
+//! distance is within λ (4 Å in the paper): protein–protein generalized
+//! concaps, protein–water and water–water two-body terms. For 10⁸ atoms a
+//! brute-force O(N²) scan is impossible; [`CellList`] bins atoms into cubic
+//! cells of edge ≥ λ so only the 27 surrounding cells must be examined per
+//! atom — the standard linked-cell technique of molecular dynamics.
+
+use crate::vec3::Vec3;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// A cubic-cell spatial index over a set of points.
+#[derive(Debug, Clone)]
+pub struct CellList {
+    cell: f64,
+    origin: Vec3,
+    dims: [usize; 3],
+    /// CSR-style storage: `starts[c]..starts[c+1]` indexes into `items`.
+    starts: Vec<usize>,
+    items: Vec<u32>,
+    positions: Vec<Vec3>,
+}
+
+impl CellList {
+    /// Builds a cell list with the given cell edge (must be > 0). Typically
+    /// the edge equals the search radius λ.
+    pub fn new(positions: &[Vec3], cell: f64) -> Self {
+        assert!(cell > 0.0, "cell size must be positive");
+        assert!(positions.len() <= u32::MAX as usize, "too many points for u32 ids");
+        if positions.is_empty() {
+            return Self {
+                cell,
+                origin: Vec3::ZERO,
+                dims: [1, 1, 1],
+                starts: vec![0, 0],
+                items: vec![],
+                positions: vec![],
+            };
+        }
+        let mut lo = positions[0];
+        let mut hi = positions[0];
+        for p in positions {
+            lo.x = lo.x.min(p.x);
+            lo.y = lo.y.min(p.y);
+            lo.z = lo.z.min(p.z);
+            hi.x = hi.x.max(p.x);
+            hi.y = hi.y.max(p.y);
+            hi.z = hi.z.max(p.z);
+        }
+        let dims = [
+            (((hi.x - lo.x) / cell).floor() as usize) + 1,
+            (((hi.y - lo.y) / cell).floor() as usize) + 1,
+            (((hi.z - lo.z) / cell).floor() as usize) + 1,
+        ];
+        let ncells = dims[0] * dims[1] * dims[2];
+        // Counting sort into cells.
+        let mut counts = vec![0usize; ncells + 1];
+        let cell_of = |p: &Vec3| -> usize {
+            let ix = ((p.x - lo.x) / cell) as usize;
+            let iy = ((p.y - lo.y) / cell) as usize;
+            let iz = ((p.z - lo.z) / cell) as usize;
+            (ix.min(dims[0] - 1) * dims[1] + iy.min(dims[1] - 1)) * dims[2] + iz.min(dims[2] - 1)
+        };
+        for p in positions {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for c in 0..ncells {
+            counts[c + 1] += counts[c];
+        }
+        let starts = counts.clone();
+        let mut cursor = counts;
+        let mut items = vec![0u32; positions.len()];
+        for (i, p) in positions.iter().enumerate() {
+            let c = cell_of(p);
+            items[cursor[c]] = i as u32;
+            cursor[c] += 1;
+        }
+        Self { cell, origin: lo, dims, starts, items, positions: positions.to_vec() }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    #[inline]
+    fn cell_coords(&self, p: Vec3) -> [isize; 3] {
+        [
+            ((p.x - self.origin.x) / self.cell) as isize,
+            ((p.y - self.origin.y) / self.cell) as isize,
+            ((p.z - self.origin.z) / self.cell) as isize,
+        ]
+    }
+
+    /// Indices of all points within `radius` of `query` (inclusive).
+    ///
+    /// `radius` must not exceed the cell edge, or neighbors could be missed.
+    pub fn query_within(&self, query: Vec3, radius: f64) -> Vec<usize> {
+        assert!(
+            radius <= self.cell + 1e-12,
+            "query radius {radius} exceeds cell size {}",
+            self.cell
+        );
+        let r2 = radius * radius;
+        let cc = self.cell_coords(query);
+        let mut out = Vec::new();
+        for dx in -1..=1isize {
+            for dy in -1..=1isize {
+                for dz in -1..=1isize {
+                    let ix = cc[0] + dx;
+                    let iy = cc[1] + dy;
+                    let iz = cc[2] + dz;
+                    if ix < 0 || iy < 0 || iz < 0 {
+                        continue;
+                    }
+                    let (ix, iy, iz) = (ix as usize, iy as usize, iz as usize);
+                    if ix >= self.dims[0] || iy >= self.dims[1] || iz >= self.dims[2] {
+                        continue;
+                    }
+                    let c = (ix * self.dims[1] + iy) * self.dims[2] + iz;
+                    for &i in &self.items[self.starts[c]..self.starts[c + 1]] {
+                        if self.positions[i as usize].dist_sqr(query) <= r2 {
+                            out.push(i as usize);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// True if any indexed point lies within `radius` of `query`.
+    pub fn any_within(&self, query: Vec3, radius: f64) -> bool {
+        let r2 = radius * radius;
+        let cc = self.cell_coords(query);
+        for dx in -1..=1isize {
+            for dy in -1..=1isize {
+                for dz in -1..=1isize {
+                    let ix = cc[0] + dx;
+                    let iy = cc[1] + dy;
+                    let iz = cc[2] + dz;
+                    if ix < 0 || iy < 0 || iz < 0 {
+                        continue;
+                    }
+                    let (ix, iy, iz) = (ix as usize, iy as usize, iz as usize);
+                    if ix >= self.dims[0] || iy >= self.dims[1] || iz >= self.dims[2] {
+                        continue;
+                    }
+                    let c = (ix * self.dims[1] + iy) * self.dims[2] + iz;
+                    for &i in &self.items[self.starts[c]..self.starts[c + 1]] {
+                        if self.positions[i as usize].dist_sqr(query) <= r2 {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Finds all unordered pairs of *groups* whose minimal inter-atomic distance
+/// is within `lambda`.
+///
+/// `group_of[a]` maps atom `a` to its group id; `positions[a]` is its
+/// location. Pairs `(g, g)` (same group) are never reported. Parallelized
+/// over atoms with rayon; the result is sorted and deduplicated.
+pub fn group_pairs_within(
+    positions: &[Vec3],
+    group_of: &[u32],
+    lambda: f64,
+) -> Vec<(u32, u32)> {
+    assert_eq!(positions.len(), group_of.len(), "group map length mismatch");
+    let cl = CellList::new(positions, lambda);
+    let mut pairs: Vec<(u32, u32)> = positions
+        .par_iter()
+        .enumerate()
+        .flat_map_iter(|(a, &pa)| {
+            let ga = group_of[a];
+            cl.query_within(pa, lambda)
+                .into_iter()
+                .filter_map(move |b| {
+                    let gb = group_of[b];
+                    // Count each group pair once (lower id first); skip
+                    // intra-group contacts.
+                    if gb > ga {
+                        Some((ga, gb))
+                    } else {
+                        None
+                    }
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+        })
+        .collect();
+    pairs.par_sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// Brute-force reference for [`group_pairs_within`] (tests only; O(N²)).
+pub fn group_pairs_brute_force(
+    positions: &[Vec3],
+    group_of: &[u32],
+    lambda: f64,
+) -> Vec<(u32, u32)> {
+    let l2 = lambda * lambda;
+    let mut set: HashMap<(u32, u32), ()> = HashMap::new();
+    for a in 0..positions.len() {
+        for b in (a + 1)..positions.len() {
+            let (ga, gb) = (group_of[a], group_of[b]);
+            if ga == gb {
+                continue;
+            }
+            if positions[a].dist_sqr(positions[b]) <= l2 {
+                let key = (ga.min(gb), ga.max(gb));
+                set.insert(key, ());
+            }
+        }
+    }
+    let mut pairs: Vec<(u32, u32)> = set.into_keys().collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(n: usize, spacing: f64) -> Vec<Vec3> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    out.push(Vec3::new(i as f64, j as f64, k as f64) * spacing);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn query_finds_neighbors_on_grid() {
+        let pts = grid_points(4, 1.0);
+        let cl = CellList::new(&pts, 1.5);
+        // Center point (1,1,1) has 6 face neighbors at distance 1 plus itself.
+        let q = Vec3::new(1.0, 1.0, 1.0);
+        let within = cl.query_within(q, 1.0);
+        assert_eq!(within.len(), 7);
+        let within = cl.query_within(q, 1.5);
+        // + 12 edge-diagonal neighbors at sqrt(2).
+        assert_eq!(within.len(), 19);
+    }
+
+    #[test]
+    fn any_within_matches_query() {
+        let pts = grid_points(3, 2.0);
+        let cl = CellList::new(&pts, 2.0);
+        assert!(cl.any_within(Vec3::new(0.5, 0.0, 0.0), 1.0));
+        assert!(!cl.any_within(Vec3::new(1.0, 1.0, 1.0), 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cell size")]
+    fn oversized_radius_rejected() {
+        let cl = CellList::new(&[Vec3::ZERO], 1.0);
+        let _ = cl.query_within(Vec3::ZERO, 2.0);
+    }
+
+    #[test]
+    fn empty_cell_list() {
+        let cl = CellList::new(&[], 1.0);
+        assert!(cl.is_empty());
+        assert!(cl.query_within(Vec3::ZERO, 1.0).is_empty());
+        assert!(!cl.any_within(Vec3::ZERO, 1.0));
+    }
+
+    #[test]
+    fn group_pairs_match_brute_force() {
+        // Pseudo-random cloud in a 12 A box, groups of 3 atoms.
+        let mut state = 12345u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 * 12.0
+        };
+        let n = 120;
+        let positions: Vec<Vec3> = (0..n).map(|_| Vec3::new(rnd(), rnd(), rnd())).collect();
+        let group_of: Vec<u32> = (0..n).map(|i| (i / 3) as u32).collect();
+        let fast = group_pairs_within(&positions, &group_of, 4.0);
+        let slow = group_pairs_brute_force(&positions, &group_of, 4.0);
+        assert_eq!(fast, slow);
+        assert!(!fast.is_empty(), "test cloud should produce contacts");
+    }
+
+    #[test]
+    fn group_pairs_exclude_same_group() {
+        let positions = vec![Vec3::ZERO, Vec3::new(0.5, 0.0, 0.0)];
+        let pairs = group_pairs_within(&positions, &[0, 0], 4.0);
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn group_pairs_threshold_boundary() {
+        let positions = vec![Vec3::ZERO, Vec3::new(4.0, 0.0, 0.0), Vec3::new(8.5, 0.0, 0.0)];
+        let pairs = group_pairs_within(&positions, &[0, 1, 2], 4.0);
+        // 0-1 exactly at lambda: included. 1-2 at 4.5: excluded.
+        assert_eq!(pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn points_on_cell_boundaries() {
+        // Degenerate coordinates landing exactly on cell edges must not be
+        // lost or double counted.
+        let positions = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(4.0, 0.0, 0.0),
+            Vec3::new(4.0, 4.0, 0.0),
+            Vec3::new(4.0, 4.0, 4.0),
+        ];
+        let cl = CellList::new(&positions, 4.0);
+        assert_eq!(cl.len(), 4);
+        for (i, &p) in positions.iter().enumerate() {
+            let hits = cl.query_within(p, 0.1);
+            assert_eq!(hits, vec![i]);
+        }
+    }
+}

@@ -1,0 +1,496 @@
+//! The 20 amino-acid residue templates.
+//!
+//! Templates carry heavy atoms only (hydrogens are added at chain-assembly
+//! time by [`crate::embed::plan_hydrogens`], because backbone valences
+//! depend on the peptide bonds to neighboring residues). Local geometry is
+//! procedural: a standard backbone plank in the xy-plane with side chains
+//! growing in +z, rings placed as regular polygons. Bond orders follow the
+//! neutral tautomers, so the automatic hydrogen count reproduces the
+//! standard per-residue atom counts (GLY 7 … TRP 24 in-chain).
+
+use crate::element::Element;
+use crate::embed::{fused_hexagon, ring_vertices};
+use crate::vec3::Vec3;
+
+/// The 20 proteinogenic amino acids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum ResidueKind {
+    Gly, Ala, Ser, Cys, Thr, Val, Pro, Leu, Ile, Asn,
+    Asp, Gln, Glu, Lys, Met, His, Phe, Arg, Tyr, Trp,
+}
+
+impl ResidueKind {
+    /// All residue kinds, smallest to largest side chain.
+    pub const ALL: [ResidueKind; 20] = [
+        ResidueKind::Gly, ResidueKind::Ala, ResidueKind::Ser, ResidueKind::Cys,
+        ResidueKind::Thr, ResidueKind::Val, ResidueKind::Pro, ResidueKind::Leu,
+        ResidueKind::Ile, ResidueKind::Asn, ResidueKind::Asp, ResidueKind::Gln,
+        ResidueKind::Glu, ResidueKind::Lys, ResidueKind::Met, ResidueKind::His,
+        ResidueKind::Phe, ResidueKind::Arg, ResidueKind::Tyr, ResidueKind::Trp,
+    ];
+
+    /// Three-letter code.
+    pub fn code(self) -> &'static str {
+        match self {
+            ResidueKind::Gly => "GLY", ResidueKind::Ala => "ALA", ResidueKind::Ser => "SER",
+            ResidueKind::Cys => "CYS", ResidueKind::Thr => "THR", ResidueKind::Val => "VAL",
+            ResidueKind::Pro => "PRO", ResidueKind::Leu => "LEU", ResidueKind::Ile => "ILE",
+            ResidueKind::Asn => "ASN", ResidueKind::Asp => "ASP", ResidueKind::Gln => "GLN",
+            ResidueKind::Glu => "GLU", ResidueKind::Lys => "LYS", ResidueKind::Met => "MET",
+            ResidueKind::His => "HIS", ResidueKind::Phe => "PHE", ResidueKind::Arg => "ARG",
+            ResidueKind::Tyr => "TYR", ResidueKind::Trp => "TRP",
+        }
+    }
+
+    /// Builds this residue's heavy-atom template.
+    pub fn template(self) -> ResidueTemplate {
+        build_template(self)
+    }
+
+    /// Expected total in-chain atom count (heavy + hydrogens) once embedded
+    /// in a chain with peptide bonds on both sides. Used to validate the
+    /// builders and to drive workload statistics without building geometry.
+    pub fn chain_atom_count(self) -> usize {
+        match self {
+            ResidueKind::Gly => 7,
+            ResidueKind::Ala => 10,
+            ResidueKind::Ser => 11,
+            ResidueKind::Cys => 11,
+            ResidueKind::Thr => 14,
+            ResidueKind::Val => 16,
+            ResidueKind::Pro => 14,
+            ResidueKind::Leu => 19,
+            ResidueKind::Ile => 19,
+            ResidueKind::Asn => 14,
+            ResidueKind::Asp => 13,
+            ResidueKind::Gln => 17,
+            ResidueKind::Glu => 16,
+            ResidueKind::Lys => 21,
+            ResidueKind::Met => 17,
+            ResidueKind::His => 17,
+            ResidueKind::Phe => 20,
+            ResidueKind::Arg => 23,
+            ResidueKind::Tyr => 21,
+            ResidueKind::Trp => 24,
+        }
+    }
+}
+
+/// Heavy-atom template of one residue in local coordinates.
+#[derive(Debug, Clone)]
+pub struct ResidueTemplate {
+    /// Residue kind.
+    pub kind: ResidueKind,
+    /// Heavy-atom elements.
+    pub elements: Vec<Element>,
+    /// Heavy-atom local positions (Å). Backbone N at the origin; the next
+    /// residue's N is expected near `(3.5, 0, 0)`.
+    pub positions: Vec<Vec3>,
+    /// Heavy–heavy bonds `(i, j, order)` with local indices.
+    pub bonds: Vec<(usize, usize, u8)>,
+    /// Local index of backbone N.
+    pub n: usize,
+    /// Local index of C-alpha.
+    pub ca: usize,
+    /// Local index of the carbonyl carbon.
+    pub c: usize,
+    /// Local index of the carbonyl oxygen.
+    pub o: usize,
+}
+
+impl ResidueTemplate {
+    /// Number of heavy atoms.
+    pub fn heavy_count(&self) -> usize {
+        self.elements.len()
+    }
+}
+
+struct Tb {
+    elements: Vec<Element>,
+    positions: Vec<Vec3>,
+    bonds: Vec<(usize, usize, u8)>,
+}
+
+impl Tb {
+    fn new() -> Self {
+        Self { elements: Vec::new(), positions: Vec::new(), bonds: Vec::new() }
+    }
+
+    fn atom(&mut self, el: Element, pos: Vec3) -> usize {
+        self.elements.push(el);
+        self.positions.push(pos);
+        self.elements.len() - 1
+    }
+
+    fn bond(&mut self, i: usize, j: usize, order: u8) {
+        self.bonds.push((i, j, order));
+    }
+
+    /// Standard backbone: N, CA, C, O. Returns `(n, ca, c, o)`.
+    fn backbone(&mut self) -> (usize, usize, usize, usize) {
+        let n = self.atom(Element::N, Vec3::new(0.0, 0.0, 0.0));
+        let ca = self.atom(Element::C, Vec3::new(1.46, 0.0, 0.0));
+        let c = self.atom(Element::C, Vec3::new(2.40, 1.00, 0.0));
+        let o = self.atom(Element::O, Vec3::new(2.10, 2.20, 0.0));
+        self.bond(n, ca, 1);
+        self.bond(ca, c, 1);
+        self.bond(c, o, 2);
+        (n, ca, c, o)
+    }
+
+    /// Grows a chain of single-bonded atoms from `parent`, zigzagging in +z.
+    /// Returns the new atom indices.
+    fn chain(&mut self, parent: usize, els: &[Element]) -> Vec<usize> {
+        let mut out = Vec::with_capacity(els.len());
+        let mut prev = parent;
+        let mut pos = self.positions[parent];
+        for (k, &el) in els.iter().enumerate() {
+            let step = if k % 2 == 0 {
+                Vec3::new(0.25, 0.70, 1.25)
+            } else {
+                Vec3::new(0.25, -0.70, 1.25)
+            };
+            pos += step;
+            let idx = self.atom(el, pos);
+            self.bond(prev, idx, 1);
+            prev = idx;
+            out.push(idx);
+        }
+        out
+    }
+
+    /// Two branch atoms off `parent` at tetrahedral-ish positions.
+    /// `orders` gives each branch bond's order.
+    fn branch2(&mut self, parent: usize, els: [Element; 2], orders: [u8; 2]) -> [usize; 2] {
+        let p = self.positions[parent];
+        let a = self.atom(els[0], p + Vec3::new(0.90, 0.55, 1.00));
+        let b = self.atom(els[1], p + Vec3::new(-0.90, -0.55, 1.00));
+        self.bond(parent, a, orders[0]);
+        self.bond(parent, b, orders[1]);
+        [a, b]
+    }
+
+    /// Standard CB attached to CA.
+    fn cb(&mut self, ca: usize) -> usize {
+        let p = self.positions[ca];
+        let cb = self.atom(Element::C, p + Vec3::new(0.0, -0.77, 1.26));
+        self.bond(ca, cb, 1);
+        cb
+    }
+
+    fn finish(self, kind: ResidueKind, n: usize, ca: usize, c: usize, o: usize) -> ResidueTemplate {
+        ResidueTemplate {
+            kind,
+            elements: self.elements,
+            positions: self.positions,
+            bonds: self.bonds,
+            n,
+            ca,
+            c,
+            o,
+        }
+    }
+}
+
+fn build_template(kind: ResidueKind) -> ResidueTemplate {
+    let mut t = Tb::new();
+    let (n, ca, c, o) = t.backbone();
+    use Element::{C as Ec, N as En, O as Eo, S as Es};
+    match kind {
+        ResidueKind::Gly => {}
+        ResidueKind::Ala => {
+            t.cb(ca);
+        }
+        ResidueKind::Ser => {
+            let cb = t.cb(ca);
+            t.chain(cb, &[Eo]);
+        }
+        ResidueKind::Cys => {
+            let cb = t.cb(ca);
+            t.chain(cb, &[Es]);
+        }
+        ResidueKind::Thr => {
+            let cb = t.cb(ca);
+            t.branch2(cb, [Eo, Ec], [1, 1]);
+        }
+        ResidueKind::Val => {
+            let cb = t.cb(ca);
+            t.branch2(cb, [Ec, Ec], [1, 1]);
+        }
+        ResidueKind::Pro => {
+            let cb = t.cb(ca);
+            let cd = t.atom(Ec, t.positions[n] + Vec3::new(0.0, -0.60, 1.30));
+            let cg_pos = (t.positions[cb] + t.positions[cd]) * 0.5 + Vec3::new(0.0, -0.75, 0.60);
+            let cg = t.atom(Ec, cg_pos);
+            t.bond(cb, cg, 1);
+            t.bond(cg, cd, 1);
+            t.bond(cd, n, 1); // ring closure: proline N has no H
+        }
+        ResidueKind::Leu => {
+            let cb = t.cb(ca);
+            let cg = t.chain(cb, &[Ec])[0];
+            t.branch2(cg, [Ec, Ec], [1, 1]);
+        }
+        ResidueKind::Ile => {
+            let cb = t.cb(ca);
+            let [cg1, _cg2] = t.branch2(cb, [Ec, Ec], [1, 1]);
+            t.chain(cg1, &[Ec]);
+        }
+        ResidueKind::Asn => {
+            let cb = t.cb(ca);
+            let cg = t.chain(cb, &[Ec])[0];
+            t.branch2(cg, [Eo, En], [2, 1]);
+        }
+        ResidueKind::Asp => {
+            let cb = t.cb(ca);
+            let cg = t.chain(cb, &[Ec])[0];
+            t.branch2(cg, [Eo, Eo], [2, 1]);
+        }
+        ResidueKind::Gln => {
+            let cb = t.cb(ca);
+            let cd = t.chain(cb, &[Ec, Ec])[1];
+            t.branch2(cd, [Eo, En], [2, 1]);
+        }
+        ResidueKind::Glu => {
+            let cb = t.cb(ca);
+            let cd = t.chain(cb, &[Ec, Ec])[1];
+            t.branch2(cd, [Eo, Eo], [2, 1]);
+        }
+        ResidueKind::Lys => {
+            let cb = t.cb(ca);
+            t.chain(cb, &[Ec, Ec, Ec, En]);
+        }
+        ResidueKind::Met => {
+            let cb = t.cb(ca);
+            t.chain(cb, &[Ec, Es, Ec]);
+        }
+        ResidueKind::His => {
+            let cb = t.cb(ca);
+            let cg = t.chain(cb, &[Ec])[0];
+            let ring = ring_vertices(
+                t.positions[cg],
+                Vec3::new(0.1, 0.2, 1.0),
+                Vec3::new(1.0, 0.25, 0.0),
+                5,
+                1.38,
+            );
+            let nd1 = t.atom(En, ring[0]);
+            let ce1 = t.atom(Ec, ring[1]);
+            let ne2 = t.atom(En, ring[2]);
+            let cd2 = t.atom(Ec, ring[3]);
+            t.bond(cg, nd1, 1);
+            t.bond(nd1, ce1, 2);
+            t.bond(ce1, ne2, 1);
+            t.bond(ne2, cd2, 1);
+            t.bond(cd2, cg, 2);
+        }
+        ResidueKind::Phe | ResidueKind::Tyr => {
+            let cb = t.cb(ca);
+            let cg = t.chain(cb, &[Ec])[0];
+            let ring = ring_vertices(
+                t.positions[cg],
+                Vec3::new(0.1, 0.2, 1.0),
+                Vec3::new(1.0, 0.25, 0.0),
+                6,
+                1.39,
+            );
+            let cd1 = t.atom(Ec, ring[0]);
+            let ce1 = t.atom(Ec, ring[1]);
+            let cz = t.atom(Ec, ring[2]);
+            let ce2 = t.atom(Ec, ring[3]);
+            let cd2 = t.atom(Ec, ring[4]);
+            t.bond(cg, cd1, 2);
+            t.bond(cd1, ce1, 1);
+            t.bond(ce1, cz, 2);
+            t.bond(cz, ce2, 1);
+            t.bond(ce2, cd2, 2);
+            t.bond(cd2, cg, 1);
+            if kind == ResidueKind::Tyr {
+                let dir = (t.positions[cz] - t.positions[cg]).normalized();
+                let oh = t.atom(Eo, t.positions[cz] + dir * 1.36);
+                t.bond(cz, oh, 1);
+            }
+        }
+        ResidueKind::Arg => {
+            let cb = t.cb(ca);
+            let idx = t.chain(cb, &[Ec, Ec, En, Ec]);
+            let cz = idx[3];
+            t.branch2(cz, [En, En], [2, 1]);
+        }
+        ResidueKind::Trp => {
+            let cb = t.cb(ca);
+            let cg = t.chain(cb, &[Ec])[0];
+            let ring5 = ring_vertices(
+                t.positions[cg],
+                Vec3::new(0.1, 0.2, 1.0),
+                Vec3::new(1.0, 0.25, 0.0),
+                5,
+                1.38,
+            );
+            let cd1 = t.atom(Ec, ring5[0]);
+            let ne1 = t.atom(En, ring5[1]);
+            let ce2 = t.atom(Ec, ring5[2]);
+            let cd2 = t.atom(Ec, ring5[3]);
+            t.bond(cg, cd1, 2);
+            t.bond(cd1, ne1, 1);
+            t.bond(ne1, ce2, 1);
+            t.bond(ce2, cd2, 2);
+            t.bond(cd2, cg, 1);
+            // Fused six-ring on the CD2–CE2 edge, away from CG.
+            let hexa = fused_hexagon(t.positions[cd2], t.positions[ce2], t.positions[cg]);
+            let cz2 = t.atom(Ec, hexa[0]);
+            let ch2 = t.atom(Ec, hexa[1]);
+            let cz3 = t.atom(Ec, hexa[2]);
+            let ce3 = t.atom(Ec, hexa[3]);
+            t.bond(ce2, cz2, 1);
+            t.bond(cz2, ch2, 2);
+            t.bond(ch2, cz3, 1);
+            t.bond(cz3, ce3, 2);
+            t.bond(ce3, cd2, 1);
+        }
+    }
+    t.finish(kind, n, ca, c, o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_templates_build() {
+        for kind in ResidueKind::ALL {
+            let t = kind.template();
+            assert!(t.heavy_count() >= 4, "{kind:?} missing backbone");
+            assert_eq!(t.elements[t.n], Element::N);
+            assert_eq!(t.elements[t.ca], Element::C);
+            assert_eq!(t.elements[t.c], Element::C);
+            assert_eq!(t.elements[t.o], Element::O);
+        }
+    }
+
+    #[test]
+    fn heavy_atom_counts() {
+        let expect = |k: ResidueKind| match k {
+            ResidueKind::Gly => 4,
+            ResidueKind::Ala => 5,
+            ResidueKind::Ser | ResidueKind::Cys => 6,
+            ResidueKind::Thr | ResidueKind::Val | ResidueKind::Pro => 7,
+            ResidueKind::Leu | ResidueKind::Ile | ResidueKind::Asn | ResidueKind::Asp
+            | ResidueKind::Met => 8,
+            ResidueKind::Gln | ResidueKind::Glu | ResidueKind::Lys => 9,
+            ResidueKind::His => 10,
+            ResidueKind::Phe => 11,
+            ResidueKind::Arg => 11,
+            ResidueKind::Tyr => 12,
+            ResidueKind::Trp => 14,
+        };
+        for k in ResidueKind::ALL {
+            assert_eq!(k.template().heavy_count(), expect(k), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn bonds_reference_valid_atoms_no_dups() {
+        for k in ResidueKind::ALL {
+            let t = k.template();
+            let mut seen = HashSet::new();
+            for &(i, j, order) in &t.bonds {
+                assert!(i < t.heavy_count() && j < t.heavy_count(), "{k:?}");
+                assert_ne!(i, j, "{k:?} self-bond");
+                assert!(order == 1 || order == 2, "{k:?} bad order");
+                let key = (i.min(j), i.max(j));
+                assert!(seen.insert(key), "{k:?} duplicate bond {key:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bond_lengths_physical() {
+        for k in ResidueKind::ALL {
+            let t = k.template();
+            for &(i, j, _) in &t.bonds {
+                let d = t.positions[i].dist(t.positions[j]);
+                assert!(
+                    (1.0..2.2).contains(&d),
+                    "{k:?} bond {i}-{j} length {d:.2} out of range"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_atom_clashes_within_template() {
+        for k in ResidueKind::ALL {
+            let t = k.template();
+            for i in 0..t.heavy_count() {
+                for j in (i + 1)..t.heavy_count() {
+                    let d = t.positions[i].dist(t.positions[j]);
+                    assert!(d > 0.9, "{k:?} atoms {i},{j} clash at {d:.2} A");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn valences_never_exceeded() {
+        for k in ResidueKind::ALL {
+            let t = k.template();
+            let mut used = vec![0u8; t.heavy_count()];
+            for &(i, j, order) in &t.bonds {
+                used[i] += order;
+                used[j] += order;
+            }
+            for (idx, (&el, &u)) in t.elements.iter().zip(&used).enumerate() {
+                // Backbone N and C each need one spare slot for the peptide
+                // bonds added at chain level.
+                let budget = el.valence()
+                    - if idx == t.n || idx == t.c { 1 } else { 0 };
+                assert!(
+                    u <= budget,
+                    "{k:?} atom {idx} ({el:?}) uses {u} of {budget} valence"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proline_nitrogen_is_saturated() {
+        let t = ResidueKind::Pro.template();
+        let n_bonds: u8 = t
+            .bonds
+            .iter()
+            .filter(|&&(i, j, _)| i == t.n || j == t.n)
+            .map(|&(_, _, o)| o)
+            .sum();
+        // CA + CD within the template; the chain adds the peptide bond.
+        assert_eq!(n_bonds, 2);
+    }
+
+    #[test]
+    fn aromatic_rings_have_alternating_orders() {
+        let t = ResidueKind::Phe.template();
+        let aromatic: Vec<u8> = t
+            .bonds
+            .iter()
+            .filter(|&&(i, j, _)| i >= 5 && j >= 5) // ring-ring bonds (after backbone+CB+CG)
+            .map(|&(_, _, o)| o)
+            .collect();
+        assert!(aromatic.contains(&1) && aromatic.contains(&2));
+    }
+
+    #[test]
+    fn codes_unique() {
+        let codes: HashSet<&str> = ResidueKind::ALL.iter().map(|k| k.code()).collect();
+        assert_eq!(codes.len(), 20);
+    }
+
+    #[test]
+    fn chain_atom_counts_span_paper_range() {
+        let min = ResidueKind::ALL.iter().map(|k| k.chain_atom_count()).min().unwrap();
+        let max = ResidueKind::ALL.iter().map(|k| k.chain_atom_count()).max().unwrap();
+        assert_eq!(min, 7); // GLY
+        assert_eq!(max, 24); // TRP
+    }
+}

@@ -1,0 +1,261 @@
+//! Minimal 3-vector math on `[f64; 3]`-backed values.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A 3-component Cartesian vector (Å for positions).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Constructs from components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * o.z - self.z * o.y,
+            y: self.z * o.x - self.x * o.z,
+            z: self.x * o.y - self.y * o.x,
+        }
+    }
+
+    /// Squared length.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn dist(self, o: Vec3) -> f64 {
+        (self - o).norm()
+    }
+
+    /// Squared distance to another point (cheaper for threshold tests).
+    #[inline]
+    pub fn dist_sqr(self, o: Vec3) -> f64 {
+        (self - o).norm_sqr()
+    }
+
+    /// Unit vector in this direction.
+    ///
+    /// # Panics
+    /// Panics on the zero vector.
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalize the zero vector");
+        self * (1.0 / n)
+    }
+
+    /// Unit vector, or `None` for (numerically) zero input.
+    pub fn try_normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n > 1e-12 {
+            Some(self * (1.0 / n))
+        } else {
+            None
+        }
+    }
+
+    /// Any unit vector perpendicular to `self` (which must be nonzero).
+    pub fn any_perpendicular(self) -> Vec3 {
+        let axis = if self.x.abs() < 0.9 {
+            Vec3::new(1.0, 0.0, 0.0)
+        } else {
+            Vec3::new(0.0, 1.0, 0.0)
+        };
+        self.cross(axis).normalized()
+    }
+
+    /// Rotates `self` about the (unit) `axis` by `angle` radians
+    /// (Rodrigues' formula).
+    pub fn rotated_about(self, axis: Vec3, angle: f64) -> Vec3 {
+        let (s, c) = angle.sin_cos();
+        self * c + axis.cross(self) * s + axis * (axis.dot(self) * (1.0 - c))
+    }
+
+    /// Angle in radians between two (nonzero) vectors.
+    pub fn angle_between(self, o: Vec3) -> f64 {
+        let d = self.dot(o) / (self.norm() * o.norm());
+        d.clamp(-1.0, 1.0).acos()
+    }
+
+    /// Component array `[x, y, z]`.
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    fn from(a: [f64; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        self.x += o.x;
+        self.y += o.y;
+        self.z += o.z;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-1.0, 0.5, 2.0);
+        assert_eq!(a + b, Vec3::new(0.0, 2.5, 5.0));
+        assert_eq!(a - b, Vec3::new(2.0, 1.5, 1.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+    }
+
+    #[test]
+    fn dot_cross_orthogonality() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), Vec3::new(0.0, 0.0, 1.0));
+        let v = Vec3::new(0.3, -1.2, 2.2);
+        let w = Vec3::new(1.5, 0.2, -0.7);
+        let c = v.cross(w);
+        assert!(c.dot(v).abs() < 1e-12);
+        assert!(c.dot(w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norms_and_distance() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.norm_sqr(), 25.0);
+        assert_eq!(Vec3::ZERO.dist(v), 5.0);
+        assert_eq!(Vec3::ZERO.dist_sqr(v), 25.0);
+        assert!((v.normalized().norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn try_normalize_zero() {
+        assert!(Vec3::ZERO.try_normalized().is_none());
+        assert!(Vec3::new(1e-15, 0.0, 0.0).try_normalized().is_none());
+        assert!(Vec3::new(2.0, 0.0, 0.0).try_normalized().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn normalize_zero_panics() {
+        let _ = Vec3::ZERO.normalized();
+    }
+
+    #[test]
+    fn perpendicular_really_is() {
+        for v in [
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(0.3, -2.0, 0.9),
+        ] {
+            let p = v.any_perpendicular();
+            assert!(v.dot(p).abs() < 1e-12);
+            assert!((p.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rotation_quarter_turn() {
+        let v = Vec3::new(1.0, 0.0, 0.0);
+        let r = v.rotated_about(Vec3::new(0.0, 0.0, 1.0), FRAC_PI_2);
+        assert!((r - Vec3::new(0.0, 1.0, 0.0)).norm() < 1e-12);
+        // Full turn is identity.
+        let r = v.rotated_about(Vec3::new(0.0, 0.0, 1.0), 2.0 * PI);
+        assert!((r - v).norm() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let v = Vec3::new(1.2, -0.7, 3.3);
+        let axis = Vec3::new(0.5, 0.5, 0.7).normalized();
+        let r = v.rotated_about(axis, 1.234);
+        assert!((r.norm() - v.norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_between_basis() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 2.0, 0.0);
+        assert!((a.angle_between(b) - FRAC_PI_2).abs() < 1e-12);
+        assert!(a.angle_between(a) < 1e-7);
+        assert!((a.angle_between(-a) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conversions() {
+        let v: Vec3 = [1.0, 2.0, 3.0].into();
+        assert_eq!(v.to_array(), [1.0, 2.0, 3.0]);
+    }
+}

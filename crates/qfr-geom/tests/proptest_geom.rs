@@ -1,0 +1,91 @@
+//! Property-based tests for geometry, builders and neighbor search.
+
+use proptest::prelude::*;
+use qfr_geom::neighbor::{group_pairs_brute_force, group_pairs_within, CellList};
+use qfr_geom::{ProteinBuilder, ResidueKind, Vec3, WaterBoxBuilder};
+
+fn vec3_strategy(extent: f64) -> impl Strategy<Value = Vec3> {
+    (-extent..extent, -extent..extent, -extent..extent).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cell_list_query_matches_brute_force(
+        points in prop::collection::vec(vec3_strategy(15.0), 1..120),
+        q in vec3_strategy(15.0),
+        radius in 0.5..4.0f64,
+    ) {
+        let cl = CellList::new(&points, 4.0);
+        let mut fast = cl.query_within(q, radius);
+        fast.sort_unstable();
+        let slow: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.dist(q) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn group_pairs_match_reference(
+        points in prop::collection::vec(vec3_strategy(10.0), 2..80),
+        lambda in 1.0..5.0f64,
+        group_size in 1..5usize,
+    ) {
+        let groups: Vec<u32> = (0..points.len()).map(|i| (i / group_size) as u32).collect();
+        let fast = group_pairs_within(&points, &groups, lambda);
+        let slow = group_pairs_brute_force(&points, &groups, lambda);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn rotation_is_isometry(v in vec3_strategy(5.0), axis in vec3_strategy(2.0), angle in -6.3..6.3f64) {
+        prop_assume!(axis.norm() > 0.1);
+        let a = axis.normalized();
+        let r = v.rotated_about(a, angle);
+        prop_assert!((r.norm() - v.norm()).abs() < 1e-10);
+        // Rotating back recovers the original.
+        let back = r.rotated_about(a, -angle);
+        prop_assert!(back.dist(v) < 1e-10);
+    }
+
+    #[test]
+    fn protein_builder_always_valid(n in 1..25usize, seed in 0u64..500) {
+        let sys = ProteinBuilder::new(n).seed(seed).build();
+        prop_assert!(sys.validate().is_empty());
+        prop_assert_eq!(sys.residues.len(), n);
+        // Every bond shorter than 8 A (serpentine turns are the longest).
+        for b in &sys.bonds {
+            let d = sys.atoms[b.i].position.dist(sys.atoms[b.j].position);
+            prop_assert!(d < 8.5, "bond length {d}");
+        }
+        // No two atoms exactly coincide.
+        for (i, a) in sys.atoms.iter().enumerate() {
+            for bb in sys.atoms.iter().skip(i + 1) {
+                prop_assert!(a.position.dist(bb.position) > 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn middle_residue_counts_exact(kind_idx in 0..20usize, seed in 0u64..100) {
+        let kind = ResidueKind::ALL[kind_idx];
+        let sys = ProteinBuilder::new(3)
+            .seed(seed)
+            .sequence(vec![ResidueKind::Ala, kind, ResidueKind::Ala])
+            .build();
+        prop_assert_eq!(sys.residues[1].len, kind.chain_atom_count());
+    }
+
+    #[test]
+    fn water_box_valid_any_size(n in 1..80usize, seed in 0u64..200) {
+        let sys = WaterBoxBuilder::new(n).seed(seed).build();
+        prop_assert_eq!(sys.n_waters, n);
+        prop_assert_eq!(sys.n_atoms(), 3 * n);
+        prop_assert!(sys.validate().is_empty());
+        prop_assert_eq!(sys.bonds.len(), 2 * n);
+    }
+}

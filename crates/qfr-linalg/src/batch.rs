@@ -1,0 +1,307 @@
+//! Batched GEMM with stride-32 size classes — the compute kernel behind the
+//! paper's *elastic workload offloading* (Section V-C).
+//!
+//! A single fragment's DFPT cycle issues thousands of tiny GEMMs (each
+//! ~0.01 s on a CPU core in the paper's profile), far too small to offload
+//! individually. QF-RAMAN gathers them, pads every operand to a multiple of
+//! 32 in each dimension, and batches all GEMMs of equal padded shape into one
+//! accelerator launch. This module implements exactly that policy:
+//! [`BatchGemmPlan`] groups jobs into [`SizeClass`]es, and
+//! [`execute_batched`] runs one parallel "launch" per class. The scattered
+//! reference path [`execute_scattered`] runs jobs one at a time, which is
+//! what the Fig. 9 speedup bench compares against (combined with the
+//! launch-overhead model in `qfr-sched::offload`).
+
+use crate::gemm;
+use crate::matrix::DMatrix;
+use rayon::prelude::*;
+
+/// One `C = A * B` job destined for batching.
+#[derive(Debug, Clone)]
+pub struct GemmJob {
+    /// Left operand (`m x k`).
+    pub a: DMatrix,
+    /// Right operand (`k x n`).
+    pub b: DMatrix,
+}
+
+impl GemmJob {
+    /// Creates a job, validating inner dimensions.
+    pub fn new(a: DMatrix, b: DMatrix) -> Self {
+        assert_eq!(a.cols(), b.rows(), "GemmJob: inner dimensions differ");
+        Self { a, b }
+    }
+
+    /// Unpadded output shape `(m, n)`.
+    pub fn out_shape(&self) -> (usize, usize) {
+        (self.a.rows(), self.b.cols())
+    }
+
+    /// FLOPs this job costs (unpadded).
+    pub fn flops(&self) -> u64 {
+        crate::flops::gemm_flops(self.a.rows(), self.b.cols(), self.a.cols())
+    }
+}
+
+/// Padded GEMM dimensions `(m, n, k)`, each rounded up to the batching
+/// stride. Jobs sharing a class are dispatched in one launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SizeClass {
+    /// Padded output rows.
+    pub m: usize,
+    /// Padded output cols.
+    pub n: usize,
+    /// Padded inner dimension.
+    pub k: usize,
+}
+
+impl SizeClass {
+    /// Classifies a job under the given stride (`ceil(d/stride)*stride` per
+    /// dimension), mirroring the paper's `32*ceil(M/32) x 32*ceil(N/32)`
+    /// padding rule.
+    pub fn of(job: &GemmJob, stride: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        let round = |d: usize| d.div_ceil(stride) * stride;
+        Self { m: round(job.a.rows()), n: round(job.b.cols()), k: round(job.a.cols()) }
+    }
+
+    /// FLOPs of one padded GEMM of this class.
+    pub fn padded_flops(&self) -> u64 {
+        crate::flops::gemm_flops(self.m, self.n, self.k)
+    }
+}
+
+/// Grouping of job indices into size classes.
+#[derive(Debug, Clone)]
+pub struct BatchGemmPlan {
+    stride: usize,
+    /// `(class, job indices)`, sorted by class for determinism.
+    classes: Vec<(SizeClass, Vec<usize>)>,
+}
+
+impl BatchGemmPlan {
+    /// Builds the plan for `jobs` under the given padding stride.
+    pub fn build(jobs: &[GemmJob], stride: usize) -> Self {
+        let mut map: std::collections::BTreeMap<SizeClass, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (i, job) in jobs.iter().enumerate() {
+            map.entry(SizeClass::of(job, stride)).or_default().push(i);
+        }
+        Self { stride, classes: map.into_iter().collect() }
+    }
+
+    /// The padding stride this plan was built with.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of batched launches (= number of distinct size classes).
+    pub fn launch_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Iterates `(class, indices)` groups.
+    pub fn groups(&self) -> impl Iterator<Item = (&SizeClass, &[usize])> {
+        self.classes.iter().map(|(c, idx)| (c, idx.as_slice()))
+    }
+
+    /// Total *padded* FLOPs the plan will execute (includes padding waste).
+    pub fn padded_flops(&self) -> u64 {
+        self.classes
+            .iter()
+            .map(|(c, idx)| c.padded_flops() * idx.len() as u64)
+            .sum()
+    }
+
+    /// Fraction of padded FLOPs that are waste relative to the exact job
+    /// FLOPs. 0 means every job already matched its class exactly.
+    pub fn padding_overhead(&self, jobs: &[GemmJob]) -> f64 {
+        let exact: u64 = jobs.iter().map(|j| j.flops()).sum();
+        let padded = self.padded_flops();
+        if exact == 0 {
+            return 0.0;
+        }
+        (padded as f64 - exact as f64) / exact as f64
+    }
+}
+
+/// Executes jobs one at a time (the pre-optimization "scattered" path).
+pub fn execute_scattered(jobs: &[GemmJob]) -> Vec<DMatrix> {
+    jobs.iter()
+        .map(|job| {
+            let mut c = DMatrix::zeros(job.a.rows(), job.b.cols());
+            gemm::gemm_blocked(&mut c, &job.a, &job.b, 1.0, 0.0);
+            c
+        })
+        .collect()
+}
+
+/// Executes jobs batched by size class: every class becomes one parallel
+/// launch over its padded members; results are unpadded back to the exact
+/// output shapes and returned in the original job order.
+pub fn execute_batched(jobs: &[GemmJob], stride: usize) -> Vec<DMatrix> {
+    let plan = BatchGemmPlan::build(jobs, stride);
+    execute_planned(jobs, &plan)
+}
+
+/// Executes jobs under a pre-built plan (lets callers reuse/inspect plans).
+pub fn execute_planned(jobs: &[GemmJob], plan: &BatchGemmPlan) -> Vec<DMatrix> {
+    let mut results: Vec<Option<DMatrix>> = vec![None; jobs.len()];
+    for (class, indices) in plan.groups() {
+        // Pad operands of the whole class, then run them as one launch.
+        let padded: Vec<(usize, DMatrix, DMatrix)> = indices
+            .iter()
+            .map(|&i| {
+                let job = &jobs[i];
+                (
+                    i,
+                    job.a.zero_padded(class.m, class.k),
+                    job.b.zero_padded(class.k, class.n),
+                )
+            })
+            .collect();
+        let outputs: Vec<(usize, DMatrix)> = padded
+            .par_iter()
+            .map(|(i, a, b)| {
+                let mut c = DMatrix::zeros(class.m, class.n);
+                gemm::gemm_blocked(&mut c, a, b, 1.0, 0.0);
+                (*i, c)
+            })
+            .collect();
+        for (i, c) in outputs {
+            let (m, n) = jobs[i].out_shape();
+            results[i] = Some(c.block(0, 0, m, n));
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every job belongs to exactly one size class"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(m: usize, n: usize, seed: u64) -> DMatrix {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        DMatrix::from_fn(m, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    fn jobs_mixed() -> Vec<GemmJob> {
+        vec![
+            GemmJob::new(sample(5, 7, 1), sample(7, 9, 2)),
+            GemmJob::new(sample(30, 30, 3), sample(30, 30, 4)),
+            GemmJob::new(sample(6, 7, 5), sample(7, 8, 6)),
+            GemmJob::new(sample(33, 40, 7), sample(40, 20, 8)),
+            GemmJob::new(sample(5, 7, 9), sample(7, 9, 10)),
+        ]
+    }
+
+    #[test]
+    fn size_class_rounding() {
+        let job = GemmJob::new(DMatrix::zeros(33, 40), DMatrix::zeros(40, 20));
+        let c = SizeClass::of(&job, 32);
+        assert_eq!(c, SizeClass { m: 64, n: 32, k: 64 });
+        let c1 = SizeClass::of(&job, 1);
+        assert_eq!(c1, SizeClass { m: 33, n: 20, k: 40 });
+    }
+
+    #[test]
+    fn exact_multiple_not_padded() {
+        let job = GemmJob::new(DMatrix::zeros(32, 64), DMatrix::zeros(64, 32));
+        let c = SizeClass::of(&job, 32);
+        assert_eq!(c, SizeClass { m: 32, n: 32, k: 64 });
+        assert_eq!(c.padded_flops(), job.flops());
+    }
+
+    #[test]
+    fn plan_groups_equal_classes() {
+        let jobs = jobs_mixed();
+        let plan = BatchGemmPlan::build(&jobs, 32);
+        // Jobs 0, 1, 2, 4 all pad to (32,32,32); job 3 pads to (64,32,64).
+        assert_eq!(plan.launch_count(), 2);
+        let sizes: Vec<usize> = plan.groups().map(|(_, idx)| idx.len()).collect();
+        assert!(sizes.contains(&4) && sizes.contains(&1));
+    }
+
+    #[test]
+    fn batched_matches_scattered() {
+        let jobs = jobs_mixed();
+        let scattered = execute_scattered(&jobs);
+        let batched = execute_batched(&jobs, 32);
+        assert_eq!(scattered.len(), batched.len());
+        for (s, b) in scattered.iter().zip(&batched) {
+            assert_eq!(s.shape(), b.shape());
+            assert!(s.max_abs_diff(b) < 1e-12, "batched result diverged");
+        }
+    }
+
+    #[test]
+    fn batched_stride_one_matches_too() {
+        let jobs = jobs_mixed();
+        let scattered = execute_scattered(&jobs);
+        let batched = execute_batched(&jobs, 1);
+        for (s, b) in scattered.iter().zip(&batched) {
+            assert!(s.max_abs_diff(b) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn padding_overhead_bounds() {
+        let jobs = jobs_mixed();
+        let plan1 = BatchGemmPlan::build(&jobs, 1);
+        assert_eq!(plan1.padding_overhead(&jobs), 0.0);
+        let plan32 = BatchGemmPlan::build(&jobs, 32);
+        let ovh = plan32.padding_overhead(&jobs);
+        assert!(ovh > 0.0, "mixed sizes must incur padding waste");
+        let plan128 = BatchGemmPlan::build(&jobs, 128);
+        assert!(plan128.padding_overhead(&jobs) >= ovh, "larger stride wastes more");
+    }
+
+    #[test]
+    fn larger_stride_fewer_launches() {
+        let jobs = jobs_mixed();
+        let l1 = BatchGemmPlan::build(&jobs, 1).launch_count();
+        let l32 = BatchGemmPlan::build(&jobs, 32).launch_count();
+        let l128 = BatchGemmPlan::build(&jobs, 128).launch_count();
+        assert!(l32 <= l1);
+        assert!(l128 <= l32);
+        assert_eq!(l128, 1, "stride 128 folds all mixed jobs into one class");
+    }
+
+    #[test]
+    fn empty_jobs() {
+        let jobs: Vec<GemmJob> = vec![];
+        assert!(execute_batched(&jobs, 32).is_empty());
+        let plan = BatchGemmPlan::build(&jobs, 32);
+        assert_eq!(plan.launch_count(), 0);
+        assert_eq!(plan.padded_flops(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn job_dim_mismatch_panics() {
+        let _ = GemmJob::new(DMatrix::zeros(2, 3), DMatrix::zeros(4, 2));
+    }
+
+    #[test]
+    fn result_order_preserved() {
+        // Give each job a distinguishable scalar result.
+        let jobs: Vec<GemmJob> = (1..=6)
+            .map(|v| {
+                GemmJob::new(
+                    DMatrix::from_vec(1, 1, vec![v as f64]),
+                    DMatrix::from_vec(1, 1, vec![10.0]),
+                )
+            })
+            .collect();
+        let out = execute_batched(&jobs, 32);
+        for (i, c) in out.iter().enumerate() {
+            assert_eq!(c[(0, 0)], (i as f64 + 1.0) * 10.0);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! Used by the DFPT mini-engine to solve the generalized eigenproblem
+//! `H C = S C eps` via Löwdin-style transformation with `S = L L^T`, and by
+//! the SCF linear solves.
+
+use crate::matrix::DMatrix;
+
+/// Lower-triangular Cholesky factor `L` with `A = L L^T`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: DMatrix,
+}
+
+/// Error returned when the matrix is not (numerically) positive definite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// Pivot index at which a non-positive diagonal appeared.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is not positive definite (pivot {})", self.pivot)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read.
+    pub fn new(a: &DMatrix) -> Result<Self, NotPositiveDefinite> {
+        assert!(a.is_square(), "cholesky requires a square matrix");
+        let n = a.rows();
+        crate::flops::add((n * n * n / 3) as u64);
+        let mut l = DMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(NotPositiveDefinite { pivot: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &DMatrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` via forward/back substitution.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "cholesky solve: rhs length mismatch");
+        crate::flops::add(2 * (n * n) as u64);
+        // Forward: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Backward: L^T x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `L y = b` only (forward substitution).
+    pub fn forward_solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n);
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        y
+    }
+
+    /// Explicit inverse of `L` (lower triangular). Used by the Löwdin
+    /// orthogonalization `H' = L^{-1} H L^{-T}` in the SCF engine.
+    pub fn l_inverse(&self) -> DMatrix {
+        let n = self.l.rows();
+        crate::flops::add((n * n * n / 3) as u64);
+        let mut inv = DMatrix::zeros(n, n);
+        for col in 0..n {
+            // Solve L x = e_col; x is lower-triangular column.
+            for i in col..n {
+                let mut sum = if i == col { 1.0 } else { 0.0 };
+                for k in col..i {
+                    sum -= self.l[(i, k)] * inv[(k, col)];
+                }
+                inv[(i, col)] = sum / self.l[(i, i)];
+            }
+        }
+        inv
+    }
+
+    /// log(det A) computed from the factor: `2 * sum log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_sample(n: usize, seed: u64) -> DMatrix {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let b = DMatrix::from_fn(n, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        });
+        // B^T B + n*I is SPD.
+        let mut a = crate::gemm::matmul(&b.transpose(), &b);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd_sample(12, 1);
+        let ch = Cholesky::new(&a).unwrap();
+        let l = ch.l();
+        let llt = crate::gemm::matmul(l, &l.transpose());
+        assert!(llt.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn factor_is_lower_triangular() {
+        let a = spd_sample(8, 2);
+        let ch = Cholesky::new(&a).unwrap();
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                assert_eq!(ch.l()[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_rhs() {
+        let a = spd_sample(10, 3);
+        let ch = Cholesky::new(&a).unwrap();
+        let x_true: Vec<f64> = (0..10).map(|i| (i as f64) - 4.5).collect();
+        let b = a.matvec(&x_true);
+        let x = ch.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = DMatrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        let err = Cholesky::new(&a).unwrap_err();
+        assert_eq!(err.pivot, 1);
+        assert!(err.to_string().contains("not positive definite"));
+    }
+
+    #[test]
+    fn rejects_zero_matrix() {
+        assert!(Cholesky::new(&DMatrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn l_inverse_is_inverse() {
+        let a = spd_sample(9, 4);
+        let ch = Cholesky::new(&a).unwrap();
+        let linv = ch.l_inverse();
+        let prod = crate::gemm::matmul(&linv, ch.l());
+        assert!(prod.max_abs_diff(&DMatrix::identity(9)) < 1e-10);
+    }
+
+    #[test]
+    fn forward_solve_consistent() {
+        let a = spd_sample(7, 5);
+        let ch = Cholesky::new(&a).unwrap();
+        let b: Vec<f64> = (0..7).map(|i| 1.0 + i as f64).collect();
+        let y = ch.forward_solve(&b);
+        let ly = ch.l().matvec(&y);
+        for (bi, li) in b.iter().zip(&ly) {
+            assert!((bi - li).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn log_det_matches_identity() {
+        let ch = Cholesky::new(&DMatrix::identity(5)).unwrap();
+        assert!(ch.log_det().abs() < 1e-14);
+        let a = DMatrix::from_diagonal(&[2.0, 3.0]);
+        let ch = Cholesky::new(&a).unwrap();
+        assert!((ch.log_det() - 6.0_f64.ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,412 @@
+//! Radix-2 complex FFT, 1-D and 3-D.
+//!
+//! The DFPT worker's third phase solves the Poisson equation for the
+//! response electrostatic potential `v1_es(r)` from the response density
+//! `n1(r)` on a real-space grid. In Fourier space the solve is a pointwise
+//! division by `|k|^2`, so all the heavy lifting is the forward/inverse 3-D
+//! FFT implemented here (grid dimensions are powers of two by construction
+//! in `qfr-dfpt`).
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// Minimal complex number type (no external num crates needed).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Constructs `re + i*im`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity.
+    pub const ZERO: Complex64 = Complex64::new(0.0, 0.0);
+
+    /// `e^{i theta}`.
+    pub fn cis(theta: f64) -> Self {
+        Self { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Self { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Self {
+        Self { re: -self.re, im: -self.im }
+    }
+}
+
+/// In-place forward FFT (`sum x_n e^{-2 pi i k n / N}`). Length must be a
+/// power of two.
+pub fn fft_in_place(x: &mut [Complex64]) {
+    transform(x, -1.0);
+}
+
+/// In-place inverse FFT including the `1/N` normalization.
+pub fn ifft_in_place(x: &mut [Complex64]) {
+    transform(x, 1.0);
+    let scale = 1.0 / x.len() as f64;
+    for v in x.iter_mut() {
+        *v = v.scale(scale);
+    }
+}
+
+fn transform(x: &mut [Complex64], sign: f64) {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "FFT length {n} must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // ~5 N log2 N real FLOPs for a radix-2 complex FFT.
+    crate::flops::add(5 * n as u64 * n.trailing_zeros() as u64);
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+
+    // Iterative Cooley-Tukey butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        for chunk in x.chunks_mut(len) {
+            let mut w = Complex64::new(1.0, 0.0);
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half] * w;
+                chunk[i] = u + v;
+                chunk[i + half] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// 3-D grid of complex values in row-major `[nx][ny][nz]` order with
+/// in-place forward/inverse FFT along every axis.
+#[derive(Debug, Clone)]
+pub struct Grid3 {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    data: Vec<Complex64>,
+}
+
+impl Grid3 {
+    /// Zero-filled grid. Each dimension must be a power of two.
+    pub fn zeros(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(
+            nx.is_power_of_two() && ny.is_power_of_two() && nz.is_power_of_two(),
+            "Grid3 dimensions must be powers of two ({nx},{ny},{nz})"
+        );
+        Self { nx, ny, nz, data: vec![Complex64::ZERO; nx * ny * nz] }
+    }
+
+    /// Builds from a real-valued field.
+    pub fn from_real(nx: usize, ny: usize, nz: usize, real: &[f64]) -> Self {
+        assert_eq!(real.len(), nx * ny * nz, "Grid3::from_real length mismatch");
+        let mut g = Self::zeros(nx, ny, nz);
+        for (c, &r) in g.data.iter_mut().zip(real) {
+            c.re = r;
+        }
+        g
+    }
+
+    /// Grid dimensions `(nx, ny, nz)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Linear index of `(i, j, k)`.
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        (i * self.ny + j) * self.nz + k
+    }
+
+    /// Immutable access to the raw data.
+    pub fn data(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Mutable access to the raw data.
+    pub fn data_mut(&mut self) -> &mut [Complex64] {
+        &mut self.data
+    }
+
+    /// Extracts the real parts.
+    pub fn to_real(&self) -> Vec<f64> {
+        self.data.iter().map(|c| c.re).collect()
+    }
+
+    /// Largest absolute imaginary part — a diagnostic that a round-tripped
+    /// real field stayed real.
+    pub fn max_imag(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, c| m.max(c.im.abs()))
+    }
+
+    /// Forward 3-D FFT (in place).
+    pub fn fft(&mut self) {
+        self.transform_axes(false);
+    }
+
+    /// Inverse 3-D FFT (in place, normalized).
+    pub fn ifft(&mut self) {
+        self.transform_axes(true);
+    }
+
+    fn transform_axes(&mut self, inverse: bool) {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        let run = |buf: &mut [Complex64]| {
+            if inverse {
+                ifft_in_place(buf);
+            } else {
+                fft_in_place(buf);
+            }
+        };
+        // z axis: contiguous rows.
+        for row in self.data.chunks_mut(nz) {
+            run(row);
+        }
+        // y axis.
+        let mut buf = vec![Complex64::ZERO; ny];
+        for i in 0..nx {
+            for k in 0..nz {
+                for j in 0..ny {
+                    buf[j] = self.data[(i * ny + j) * nz + k];
+                }
+                run(&mut buf);
+                for j in 0..ny {
+                    self.data[(i * ny + j) * nz + k] = buf[j];
+                }
+            }
+        }
+        // x axis.
+        let mut buf = vec![Complex64::ZERO; nx];
+        for j in 0..ny {
+            for k in 0..nz {
+                for (i, b) in buf.iter_mut().enumerate() {
+                    *b = self.data[(i * ny + j) * nz + k];
+                }
+                run(&mut buf);
+                for (i, b) in buf.iter().enumerate() {
+                    self.data[(i * ny + j) * nz + k] = *b;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        let p = a * b;
+        assert!(close(p.re, 5.0, 1e-15) && close(p.im, 5.0, 1e-15));
+        assert_eq!(a.conj().im, -2.0);
+        assert!(close(a.norm_sqr(), 5.0, 1e-15));
+        assert_eq!((-a).re, -1.0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        assert_eq!((a - b).re, -2.0);
+    }
+
+    #[test]
+    fn cis_unit_circle() {
+        let z = Complex64::cis(std::f64::consts::FRAC_PI_2);
+        assert!(close(z.re, 0.0, 1e-15) && close(z.im, 1.0, 1e-15));
+        assert!(close(z.abs(), 1.0, 1e-15));
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex64::ZERO; 8];
+        x[0] = Complex64::new(1.0, 0.0);
+        fft_in_place(&mut x);
+        for v in &x {
+            assert!(close(v.re, 1.0, 1e-12) && close(v.im, 0.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse() {
+        let mut x = vec![Complex64::new(2.0, 0.0); 16];
+        fft_in_place(&mut x);
+        assert!(close(x[0].re, 32.0, 1e-12));
+        for v in &x[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_frequency_bin() {
+        // x_n = e^{2 pi i * 3 n / N} -> spike at bin 3.
+        let n = 32;
+        let mut x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::cis(2.0 * std::f64::consts::PI * 3.0 * i as f64 / n as f64))
+            .collect();
+        fft_in_place(&mut x);
+        for (k, v) in x.iter().enumerate() {
+            if k == 3 {
+                assert!(close(v.re, n as f64, 1e-9));
+            } else {
+                assert!(v.abs() < 1e-9, "leak at bin {k}: {}", v.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        let n = 64;
+        let orig: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let mut x = orig.clone();
+        fft_in_place(&mut x);
+        ifft_in_place(&mut x);
+        for (a, b) in x.iter().zip(&orig) {
+            assert!(close(a.re, b.re, 1e-12) && close(a.im, b.im, 1e-12));
+        }
+    }
+
+    #[test]
+    fn parseval_theorem() {
+        let n = 128;
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.7).sin(), 0.0))
+            .collect();
+        let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let mut f = x;
+        fft_in_place(&mut f);
+        let freq_energy: f64 = f.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        assert!(close(time_energy, freq_energy, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut x = vec![Complex64::ZERO; 12];
+        fft_in_place(&mut x);
+    }
+
+    #[test]
+    fn grid3_round_trip() {
+        let (nx, ny, nz) = (4, 8, 2);
+        let real: Vec<f64> = (0..nx * ny * nz).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let mut g = Grid3::from_real(nx, ny, nz, &real);
+        g.fft();
+        g.ifft();
+        for (a, b) in g.to_real().iter().zip(&real) {
+            assert!(close(*a, *b, 1e-10));
+        }
+        assert!(g.max_imag() < 1e-10);
+    }
+
+    #[test]
+    fn grid3_dc_component() {
+        let (nx, ny, nz) = (4, 4, 4);
+        let real = vec![1.5; nx * ny * nz];
+        let mut g = Grid3::from_real(nx, ny, nz, &real);
+        g.fft();
+        // DC bin holds the field sum.
+        assert!(close(g.data()[0].re, 1.5 * 64.0, 1e-10));
+        let others: f64 = g.data()[1..].iter().map(|c| c.abs()).sum();
+        assert!(others < 1e-9);
+    }
+
+    #[test]
+    fn grid3_indexing() {
+        let g = Grid3::zeros(2, 4, 8);
+        assert_eq!(g.dims(), (2, 4, 8));
+        assert_eq!(g.idx(0, 0, 0), 0);
+        assert_eq!(g.idx(1, 0, 0), 32);
+        assert_eq!(g.idx(0, 1, 0), 8);
+        assert_eq!(g.idx(0, 0, 1), 1);
+    }
+
+    #[test]
+    fn tiny_sizes() {
+        let mut x = vec![Complex64::new(5.0, 0.0)];
+        fft_in_place(&mut x);
+        assert_eq!(x[0].re, 5.0);
+        let mut x = vec![Complex64::new(1.0, 0.0), Complex64::new(-1.0, 0.0)];
+        fft_in_place(&mut x);
+        assert!(close(x[0].re, 0.0, 1e-15));
+        assert!(close(x[1].re, 2.0, 1e-15));
+    }
+}

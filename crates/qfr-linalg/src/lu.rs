@@ -1,0 +1,207 @@
+//! LU factorization with partial pivoting.
+//!
+//! General-purpose linear solver used where SPD structure is not guaranteed
+//! (e.g. the coupled-perturbed response equations of the DFPT engine away
+//! from convergence, and the finite-difference calibration fits in
+//! `qfr-model`).
+
+use crate::matrix::DMatrix;
+
+/// LU decomposition `P A = L U` with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed factors: strictly-lower L (unit diagonal implied) + upper U.
+    lu: DMatrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1/-1), for determinants.
+    sign: f64,
+}
+
+/// Error for a numerically singular matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Singular {
+    /// Column at which no usable pivot was found.
+    pub column: usize,
+}
+
+impl std::fmt::Display for Singular {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular at column {}", self.column)
+    }
+}
+
+impl std::error::Error for Singular {}
+
+impl Lu {
+    /// Factors a square matrix.
+    pub fn new(a: &DMatrix) -> Result<Self, Singular> {
+        assert!(a.is_square(), "LU requires a square matrix");
+        let n = a.rows();
+        crate::flops::add((2 * n * n * n / 3) as u64);
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for col in 0..n {
+            // Pivot search.
+            let mut pivot_row = col;
+            let mut pivot_val = lu[(col, col)].abs();
+            for r in (col + 1)..n {
+                let v = lu[(r, col)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < f64::MIN_POSITIVE {
+                return Err(Singular { column: col });
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    let tmp = lu[(col, j)];
+                    lu[(col, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(col, pivot_row);
+                sign = -sign;
+            }
+            // Eliminate below the pivot.
+            let pivot = lu[(col, col)];
+            for r in (col + 1)..n {
+                let factor = lu[(r, col)] / pivot;
+                lu[(r, col)] = factor;
+                for j in (col + 1)..n {
+                    let delta = factor * lu[(col, j)];
+                    lu[(r, j)] -= delta;
+                }
+            }
+        }
+        Ok(Self { lu, perm, sign })
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.rows();
+        assert_eq!(b.len(), n, "LU solve: rhs length mismatch");
+        crate::flops::add(2 * (n * n) as u64);
+        // Apply permutation, then forward solve with unit-lower L.
+        let mut y: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.lu[(i, k)] * y[k];
+            }
+        }
+        // Back substitution with U.
+        let mut x = y;
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                x[i] -= self.lu[(i, k)] * x[k];
+            }
+            x[i] /= self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A X = B` column by column.
+    pub fn solve_matrix(&self, b: &DMatrix) -> DMatrix {
+        let n = self.lu.rows();
+        assert_eq!(b.rows(), n, "LU solve_matrix: row mismatch");
+        let mut x = DMatrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let sol = self.solve(&col);
+            for i in 0..n {
+                x[(i, j)] = sol[i];
+            }
+        }
+        x
+    }
+
+    /// Determinant from the factorization.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.rows();
+        self.sign * (0..n).map(|i| self.lu[(i, i)]).product::<f64>()
+    }
+
+    /// Explicit inverse (solve against the identity). O(n^3); use `solve`
+    /// when possible.
+    pub fn inverse(&self) -> DMatrix {
+        self.solve_matrix(&DMatrix::identity(self.lu.rows()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize, seed: u64) -> DMatrix {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut m = DMatrix::from_fn(n, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        });
+        // Diagonal dominance ensures non-singularity.
+        for i in 0..n {
+            m[(i, i)] += n as f64;
+        }
+        m
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = sample(12, 1);
+        let lu = Lu::new(&a).unwrap();
+        let x_true: Vec<f64> = (0..12).map(|i| (i as f64 * 0.3) - 1.0).collect();
+        let b = a.matvec(&x_true);
+        let x = lu.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = DMatrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let lu = Lu::new(&a).unwrap();
+        let x = lu.solve(&[3.0, 7.0]);
+        assert!((x[0] - 7.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+        assert!((lu.det() + 1.0).abs() < 1e-14); // swap => det = -1
+    }
+
+    #[test]
+    fn det_of_diagonal() {
+        let a = DMatrix::from_diagonal(&[2.0, 3.0, 4.0]);
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.det() - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut a = DMatrix::zeros(3, 3);
+        a[(0, 0)] = 1.0;
+        a[(1, 1)] = 1.0; // third row/col all zero
+        let err = Lu::new(&a).unwrap_err();
+        assert_eq!(err.column, 2);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = sample(8, 9);
+        let lu = Lu::new(&a).unwrap();
+        let inv = lu.inverse();
+        let prod = crate::gemm::matmul(&a, &inv);
+        assert!(prod.max_abs_diff(&DMatrix::identity(8)) < 1e-9);
+    }
+
+    #[test]
+    fn solve_matrix_multiple_rhs() {
+        let a = sample(6, 17);
+        let lu = Lu::new(&a).unwrap();
+        let x_true = sample(6, 18);
+        let b = crate::gemm::matmul(&a, &x_true);
+        let x = lu.solve_matrix(&b);
+        assert!(x.max_abs_diff(&x_true) < 1e-9);
+    }
+}

@@ -1,0 +1,368 @@
+//! Compressed sparse row (CSR) matrices and the mat-vec abstraction.
+//!
+//! The assembled mass-weighted Hessian of Eq. (1) is block sparse: each
+//! fragment, cap and two-body concap contributes a small dense block to the
+//! global `3N x 3N` matrix, and fragments only couple within the λ = 4 Å
+//! threshold. The Lanczos solver needs only `y = H x`, so we expose a
+//! [`MatVec`] trait; [`CsrMatrix`] is the materialized implementation used up
+//! to millions of rows, while the 10⁸-atom path implements `MatVec` directly
+//! over fragment block lists without ever materializing the matrix.
+
+use crate::matrix::DMatrix;
+use rayon::prelude::*;
+
+/// Anything that can apply itself to a vector: the only operation the
+/// Lanczos/GAGQ spectral solver requires.
+pub trait MatVec: Sync {
+    /// Matrix dimension (square operators only).
+    fn dim(&self) -> usize;
+    /// Computes `y = A x`. `y` is fully overwritten.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+}
+
+impl MatVec for DMatrix {
+    fn dim(&self) -> usize {
+        assert!(self.is_square(), "MatVec requires a square matrix");
+        self.rows()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let out = self.matvec(x);
+        y.copy_from_slice(&out);
+    }
+}
+
+/// Accumulates `(row, col, value)` triplets, then compresses to CSR.
+/// Duplicate coordinates are summed — exactly the semantics fragment-block
+/// assembly needs (overlapping caps subtract via negative values).
+#[derive(Debug, Clone, Default)]
+pub struct TripletBuilder {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl TripletBuilder {
+    /// New builder for an `rows x cols` matrix.
+    ///
+    /// # Panics
+    /// Panics if a dimension exceeds `u32::MAX` (the CSR index type).
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows <= u32::MAX as usize && cols <= u32::MAX as usize,
+            "TripletBuilder dimensions exceed u32 index range");
+        Self { rows, cols, entries: Vec::new() }
+    }
+
+    /// Adds `value` at `(row, col)` (accumulating with any prior entry).
+    #[inline]
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.rows && col < self.cols,
+            "triplet ({row},{col}) out of {}x{}", self.rows, self.cols);
+        if value != 0.0 {
+            self.entries.push((row as u32, col as u32, value));
+        }
+    }
+
+    /// Adds an entire dense block with top-left corner `(row0, col0)`,
+    /// scaled by `scale`. This is the fragment-assembly workhorse.
+    pub fn push_block(&mut self, row0: usize, col0: usize, block: &DMatrix, scale: f64) {
+        self.entries.reserve(block.rows() * block.cols());
+        for i in 0..block.rows() {
+            for j in 0..block.cols() {
+                self.push(row0 + i, col0 + j, scale * block[(i, j)]);
+            }
+        }
+    }
+
+    /// Number of raw (pre-compression) triplets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no triplets were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Compresses to CSR, summing duplicates and dropping entries that
+    /// cancel to exactly zero.
+    pub fn build(mut self) -> CsrMatrix {
+        self.entries
+            .par_sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx: Vec<u32> = Vec::with_capacity(self.entries.len());
+        let mut values: Vec<f64> = Vec::with_capacity(self.entries.len());
+
+        let mut iter = self.entries.iter().peekable();
+        while let Some(&(r, c, v)) = iter.next() {
+            let mut acc = v;
+            while let Some(&&(r2, c2, v2)) = iter.peek() {
+                if r2 == r && c2 == c {
+                    acc += v2;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            if acc != 0.0 {
+                col_idx.push(c);
+                values.push(acc);
+                row_ptr[r as usize + 1] += 1;
+            }
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        CsrMatrix { rows: self.rows, cols: self.cols, row_ptr, col_idx, values }
+    }
+}
+
+/// Compressed sparse row matrix with `u32` column indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates `(col, value)` pairs of row `i`.
+    pub fn row_entries(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Value at `(i, j)` (0 if not stored). Binary search within the row.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        match self.col_idx[lo..hi].binary_search(&(j as u32)) {
+            Ok(pos) => self.values[lo + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sequential SpMV `y = A x`.
+    pub fn spmv_serial(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "spmv: x length mismatch");
+        assert_eq!(y.len(), self.rows, "spmv: y length mismatch");
+        crate::flops::add(2 * self.nnz() as u64);
+        for i in 0..self.rows {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Rayon-parallel SpMV `y = A x`, row-partitioned.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "spmv: x length mismatch");
+        assert_eq!(y.len(), self.rows, "spmv: y length mismatch");
+        crate::flops::add(2 * self.nnz() as u64);
+        y.par_iter_mut().enumerate().for_each(|(i, yi)| {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            *yi = acc;
+        });
+    }
+
+    /// Converts to dense; for tests and small reference problems only.
+    pub fn to_dense(&self) -> DMatrix {
+        let mut m = DMatrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (j, v) in self.row_entries(i) {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Maximum absolute asymmetry `|a_ij - a_ji|` over stored entries
+    /// (requires square). Used to validate assembled Hessians.
+    pub fn max_asymmetry(&self) -> f64 {
+        assert_eq!(self.rows, self.cols);
+        let mut worst = 0.0_f64;
+        for i in 0..self.rows {
+            for (j, v) in self.row_entries(i) {
+                worst = worst.max((v - self.get(j, i)).abs());
+            }
+        }
+        worst
+    }
+}
+
+impl MatVec for CsrMatrix {
+    fn dim(&self) -> usize {
+        assert_eq!(self.rows, self.cols, "MatVec requires a square matrix");
+        self.rows
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_csr() -> CsrMatrix {
+        // [[1, 0, 2], [0, 3, 0], [4, 0, 5]]
+        let mut b = TripletBuilder::new(3, 3);
+        b.push(0, 0, 1.0);
+        b.push(0, 2, 2.0);
+        b.push(1, 1, 3.0);
+        b.push(2, 0, 4.0);
+        b.push(2, 2, 5.0);
+        b.build()
+    }
+
+    #[test]
+    fn build_and_get() {
+        let m = small_csr();
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(2, 2), 5.0);
+    }
+
+    #[test]
+    fn duplicates_accumulate() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.push(0, 0, 1.5);
+        b.push(0, 0, 2.5);
+        b.push(1, 1, 1.0);
+        b.push(1, 1, -1.0); // cancels exactly
+        let m = b.build();
+        assert_eq!(m.get(0, 0), 4.0);
+        assert_eq!(m.nnz(), 1, "exact cancellation should drop the entry");
+    }
+
+    #[test]
+    fn zero_pushes_ignored() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.push(0, 1, 0.0);
+        assert!(b.is_empty());
+        assert_eq!(b.build().nnz(), 0);
+    }
+
+    #[test]
+    fn push_block_scales() {
+        let mut b = TripletBuilder::new(4, 4);
+        let blk = DMatrix::from_fn(2, 2, |i, j| (i * 2 + j + 1) as f64);
+        b.push_block(1, 1, &blk, -2.0);
+        let m = b.build();
+        assert_eq!(m.get(1, 1), -2.0);
+        assert_eq!(m.get(2, 2), -8.0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let m = small_csr();
+        let d = m.to_dense();
+        let x = vec![1.0, -2.0, 0.5];
+        let mut y1 = vec![0.0; 3];
+        let mut y2 = vec![0.0; 3];
+        m.spmv_serial(&x, &mut y1);
+        m.spmv(&x, &mut y2);
+        let yd = d.matvec(&x);
+        assert_eq!(y1, yd);
+        assert_eq!(y2, yd);
+    }
+
+    #[test]
+    fn spmv_parallel_large_random() {
+        // A banded matrix large enough to exercise the rayon path.
+        let n = 5000;
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 2.0);
+            if i + 1 < n {
+                b.push(i, i + 1, -1.0);
+                b.push(i + 1, i, -1.0);
+            }
+        }
+        let m = b.build();
+        let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64 - 6.0).collect();
+        let mut y_par = vec![0.0; n];
+        let mut y_ser = vec![0.0; n];
+        m.spmv(&x, &mut y_par);
+        m.spmv_serial(&x, &mut y_ser);
+        assert_eq!(y_par, y_ser);
+    }
+
+    #[test]
+    fn matvec_trait_objects() {
+        let m = small_csr();
+        let d = m.to_dense();
+        let ops: Vec<&dyn MatVec> = vec![&m, &d];
+        let x = vec![1.0, 1.0, 1.0];
+        let mut outs = Vec::new();
+        for op in ops {
+            assert_eq!(op.dim(), 3);
+            let mut y = vec![0.0; 3];
+            op.apply(&x, &mut y);
+            outs.push(y);
+        }
+        assert_eq!(outs[0], outs[1]);
+    }
+
+    #[test]
+    fn row_entries_iteration() {
+        let m = small_csr();
+        let row0: Vec<(usize, f64)> = m.row_entries(0).collect();
+        assert_eq!(row0, vec![(0, 1.0), (2, 2.0)]);
+        let row1: Vec<(usize, f64)> = m.row_entries(1).collect();
+        assert_eq!(row1, vec![(1, 3.0)]);
+    }
+
+    #[test]
+    fn asymmetry_detection() {
+        let m = small_csr(); // entry (0,2)=2 vs (2,0)=4
+        assert_eq!(m.max_asymmetry(), 2.0);
+        let mut b = TripletBuilder::new(2, 2);
+        b.push(0, 1, 3.0);
+        b.push(1, 0, 3.0);
+        assert_eq!(b.build().max_asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let b = TripletBuilder::new(3, 3);
+        let m = b.build();
+        assert_eq!(m.nnz(), 0);
+        let mut y = vec![7.0; 3];
+        m.spmv(&[1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, vec![0.0; 3]);
+    }
+}

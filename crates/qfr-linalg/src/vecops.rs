@@ -1,0 +1,159 @@
+//! Level-1 BLAS-style vector operations on `&[f64]` slices.
+//!
+//! These are the primitives the Lanczos solver and SCF loops are built on.
+//! All of them account their double-precision FLOPs through [`crate::flops`].
+
+use rayon::prelude::*;
+
+/// Threshold above which level-1 kernels switch to rayon parallel iterators.
+/// Below it, thread fan-out costs more than the arithmetic saves.
+const PAR_THRESHOLD: usize = 1 << 15;
+
+/// Dot product `x . y`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    crate::flops::add(2 * x.len() as u64);
+    if x.len() >= PAR_THRESHOLD {
+        x.par_iter().zip(y.par_iter()).map(|(a, b)| a * b).sum()
+    } else {
+        x.iter().zip(y).map(|(a, b)| a * b).sum()
+    }
+}
+
+/// Euclidean norm `||x||_2`.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// `y <- a * x + y`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    crate::flops::add(2 * x.len() as u64);
+    if x.len() >= PAR_THRESHOLD {
+        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| *yi += a * xi);
+    } else {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += a * xi;
+        }
+    }
+}
+
+/// `x <- s * x`.
+pub fn scale(s: f64, x: &mut [f64]) {
+    crate::flops::add(x.len() as u64);
+    if x.len() >= PAR_THRESHOLD {
+        x.par_iter_mut().for_each(|xi| *xi *= s);
+    } else {
+        for xi in x.iter_mut() {
+            *xi *= s;
+        }
+    }
+}
+
+/// Normalizes `x` to unit 2-norm, returning the original norm.
+/// Leaves `x` untouched (and returns 0) if its norm is exactly zero.
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Entry-wise `z = x - y` into a fresh vector.
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "sub: length mismatch");
+    crate::flops::add(x.len() as u64);
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// Maximum absolute entry, 0 for an empty slice.
+pub fn max_abs(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+}
+
+/// Maximum absolute difference between two equal-length slices.
+pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "max_abs_diff: length mismatch");
+    x.iter().zip(y).fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_small() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn dot_parallel_path_matches_serial() {
+        let n = PAR_THRESHOLD + 17;
+        let x: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
+        let serial: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&x, &y) - serial).abs() < 1e-9 * serial.abs().max(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norm_and_normalize() {
+        let mut v = vec![3.0, 4.0];
+        assert_eq!(norm2(&v), 5.0);
+        let n = normalize(&mut v);
+        assert_eq!(n, 5.0);
+        assert!((norm2(&v) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut v = vec![0.0; 4];
+        assert_eq!(normalize(&mut v), 0.0);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = vec![1.0, 2.0];
+        let mut y = vec![10.0, 20.0];
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, vec![10.5, 21.0]);
+    }
+
+    #[test]
+    fn axpy_parallel_path() {
+        let n = PAR_THRESHOLD + 3;
+        let x = vec![2.0; n];
+        let mut y = vec![1.0; n];
+        axpy(-0.5, &x, &mut y);
+        assert!(y.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn scale_and_maxabs() {
+        let mut v = vec![-2.0, 1.0, 0.5];
+        scale(2.0, &mut v);
+        assert_eq!(v, vec![-4.0, 2.0, 1.0]);
+        assert_eq!(max_abs(&v), 4.0);
+        assert_eq!(max_abs(&[]), 0.0);
+    }
+
+    #[test]
+    fn sub_and_diff() {
+        assert_eq!(sub(&[3.0, 2.0], &[1.0, 5.0]), vec![2.0, -3.0]);
+        assert_eq!(max_abs_diff(&[3.0, 2.0], &[1.0, 5.0]), 3.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use qfr_linalg::blas;
+use qfr_linalg::cholesky::Cholesky;
+use qfr_linalg::eigen::symmetric_eigen;
+use qfr_linalg::fft::{fft_in_place, ifft_in_place, Complex64};
+use qfr_linalg::gemm;
+use qfr_linalg::lu::Lu;
+use qfr_linalg::sparse::TripletBuilder;
+use qfr_linalg::tridiag::{gauss_quadrature_nodes, tridiagonal_eigen};
+use qfr_linalg::DMatrix;
+
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = DMatrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-10.0..10.0f64, r * c)
+            .prop_map(move |data| DMatrix::from_vec(r, c, data))
+    })
+}
+
+fn square_strategy(max_dim: usize) -> impl Strategy<Value = DMatrix> {
+    (1..=max_dim).prop_flat_map(|n| {
+        prop::collection::vec(-10.0..10.0f64, n * n)
+            .prop_map(move |data| DMatrix::from_vec(n, n, data))
+    })
+}
+
+fn symmetric_strategy(max_dim: usize) -> impl Strategy<Value = DMatrix> {
+    square_strategy(max_dim).prop_map(|mut m| {
+        m.symmetrize_mut();
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gemm_kernels_agree(a in matrix_strategy(24), bcols in 1..20usize, seed in 0u64..1000) {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let b = DMatrix::from_fn(a.cols(), bcols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        });
+        let mut c1 = DMatrix::zeros(a.rows(), bcols);
+        let mut c2 = c1.clone();
+        let mut c3 = c1.clone();
+        gemm::gemm_naive(&mut c1, &a, &b, 1.0, 0.0);
+        gemm::gemm_blocked(&mut c2, &a, &b, 1.0, 0.0);
+        gemm::gemm_parallel(&mut c3, &a, &b, 1.0, 0.0);
+        prop_assert!(c1.max_abs_diff(&c2) < 1e-9);
+        prop_assert!(c1.max_abs_diff(&c3) < 1e-9);
+    }
+
+    #[test]
+    fn transpose_involution(m in matrix_strategy(20)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn gemm_transpose_identity(a in matrix_strategy(16), seed in 0u64..1000) {
+        // (A B)^T == B^T A^T
+        let mut state = seed | 1;
+        let b = DMatrix::from_fn(a.cols(), 7, |_, _| {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        });
+        let ab_t = gemm::matmul(&a, &b).transpose();
+        let bt_at = gemm::matmul(&b.transpose(), &a.transpose());
+        prop_assert!(ab_t.max_abs_diff(&bt_at) < 1e-9);
+    }
+
+    #[test]
+    fn eigen_reconstruction(a in symmetric_strategy(12)) {
+        let eig = symmetric_eigen(&a);
+        let r = eig.reconstruct();
+        prop_assert!(r.max_abs_diff(&a) < 1e-7, "reconstruction error {}", r.max_abs_diff(&a));
+        // Eigenvalues ascending.
+        for w in eig.eigenvalues.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn eigen_orthonormal(a in symmetric_strategy(10)) {
+        let eig = symmetric_eigen(&a);
+        let v = &eig.eigenvectors;
+        let vtv = gemm::matmul(&v.transpose(), v);
+        prop_assert!(vtv.max_abs_diff(&DMatrix::identity(a.rows())) < 1e-8);
+    }
+
+    #[test]
+    fn cholesky_solve_residual(n in 2..10usize, data in prop::collection::vec(-1.0..1.0f64, 100), rhs in prop::collection::vec(-5.0..5.0f64, 10)) {
+        prop_assume!(data.len() >= n * n && rhs.len() >= n);
+        let b = DMatrix::from_vec(n, n, data[..n * n].to_vec());
+        let mut a = gemm::matmul(&b.transpose(), &b);
+        for i in 0..n { a[(i, i)] += n as f64; }
+        let ch = Cholesky::new(&a).unwrap();
+        let x = ch.solve(&rhs[..n]);
+        let ax = a.matvec(&x);
+        for (axi, bi) in ax.iter().zip(&rhs[..n]) {
+            prop_assert!((axi - bi).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn lu_solve_residual(n in 2..10usize, data in prop::collection::vec(-1.0..1.0f64, 100), rhs in prop::collection::vec(-5.0..5.0f64, 10)) {
+        prop_assume!(data.len() >= n * n && rhs.len() >= n);
+        let mut a = DMatrix::from_vec(n, n, data[..n * n].to_vec());
+        for i in 0..n { a[(i, i)] += n as f64 + 1.0; }
+        let lu = Lu::new(&a).unwrap();
+        let x = lu.solve(&rhs[..n]);
+        let ax = a.matvec(&x);
+        for (axi, bi) in ax.iter().zip(&rhs[..n]) {
+            prop_assert!((axi - bi).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn fft_round_trip(re in prop::collection::vec(-100.0..100.0f64, 1..=64)) {
+        // Round the length down to a power of two.
+        let n = re.len().next_power_of_two() / if re.len().is_power_of_two() { 1 } else { 2 };
+        let orig: Vec<Complex64> = re[..n].iter().map(|&r| Complex64::new(r, 0.0)).collect();
+        let mut x = orig.clone();
+        fft_in_place(&mut x);
+        ifft_in_place(&mut x);
+        for (a, b) in x.iter().zip(&orig) {
+            prop_assert!((a.re - b.re).abs() < 1e-8);
+            prop_assert!(a.im.abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn fft_linearity(re1 in prop::collection::vec(-10.0..10.0f64, 16), re2 in prop::collection::vec(-10.0..10.0f64, 16), alpha in -3.0..3.0f64) {
+        let mut x1: Vec<Complex64> = re1.iter().map(|&r| Complex64::new(r, 0.0)).collect();
+        let mut x2: Vec<Complex64> = re2.iter().map(|&r| Complex64::new(r, 0.0)).collect();
+        let mut combo: Vec<Complex64> = re1.iter().zip(&re2)
+            .map(|(&a, &b)| Complex64::new(a + alpha * b, 0.0)).collect();
+        fft_in_place(&mut x1);
+        fft_in_place(&mut x2);
+        fft_in_place(&mut combo);
+        for i in 0..16 {
+            let expect = x1[i] + x2[i].scale(alpha);
+            prop_assert!((combo[i].re - expect.re).abs() < 1e-8);
+            prop_assert!((combo[i].im - expect.im).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn csr_spmv_matches_dense(entries in prop::collection::vec((0..20usize, 0..20usize, -5.0..5.0f64), 0..200), x in prop::collection::vec(-2.0..2.0f64, 20)) {
+        let mut b = TripletBuilder::new(20, 20);
+        for &(i, j, v) in &entries {
+            b.push(i, j, v);
+        }
+        let m = b.build();
+        let d = m.to_dense();
+        let mut y = vec![0.0; 20];
+        m.spmv(&x, &mut y);
+        let yd = d.matvec(&x);
+        for (a, b) in y.iter().zip(&yd) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tridiag_eigen_matches_dense(diag in prop::collection::vec(-5.0..5.0f64, 2..12), subs in prop::collection::vec(-3.0..3.0f64, 11)) {
+        let n = diag.len();
+        let sub = &subs[..n - 1];
+        let (vals, _) = tridiagonal_eigen(&diag, sub);
+        let mut dense = DMatrix::zeros(n, n);
+        for i in 0..n {
+            dense[(i, i)] = diag[i];
+            if i + 1 < n {
+                dense[(i, i + 1)] = sub[i];
+                dense[(i + 1, i)] = sub[i];
+            }
+        }
+        let reference = symmetric_eigen(&dense);
+        for (v, r) in vals.iter().zip(&reference.eigenvalues) {
+            prop_assert!((v - r).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn quadrature_weights_normalized(diag in prop::collection::vec(-5.0..5.0f64, 2..10), subs in prop::collection::vec(0.1..3.0f64, 9)) {
+        let n = diag.len();
+        let (_, w) = gauss_quadrature_nodes(&diag, &subs[..n - 1]);
+        let total: f64 = w.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(w.iter().all(|&x| x >= -1e-15));
+    }
+
+    #[test]
+    fn strength_reduction_identities(npts in 4..24usize, nb in 2..10usize, seed in 0u64..500) {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(99);
+        let mut gen = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let x = DMatrix::from_fn(npts, nb, |_, _| gen());
+        let g = DMatrix::from_fn(npts, nb, |_, _| gen());
+        let mut p = DMatrix::from_fn(nb, nb, |_, _| gen());
+        p.symmetrize_mut();
+        prop_assert!(blas::cross_term_naive(&x, &g).max_abs_diff(&blas::symmetric_cross_term(&x, &g)) < 1e-9);
+        prop_assert!(blas::sandwich_naive(&x, &p, &g).max_abs_diff(&blas::symmetric_sandwich(&x, &p, &g)) < 1e-9);
+    }
+}

@@ -1,0 +1,139 @@
+//! Bond-dipole model: analytic `∂μ/∂r` for IR intensities.
+//!
+//! Companion observable to the Raman pipeline (the paper's DFPT machinery
+//! yields both response properties; IR is the natural extension the same
+//! Eq. (5)-style solver evaluates). The molecular dipole is a sum of bond
+//! dipoles `μ = Σ_b m_b(r) û` with `m_b(r) = m0 + m'·r`; differentiating
+//! gives the `3 x 3m` derivative matrix whose mass-weighted rows feed
+//! `I_IR(ω) ∝ Σ_c d_cᵀ δ(ω − H) d_c`.
+//!
+//! Bond dipoles point from atom `i` to atom `j` as stored; within our
+//! builders hydrogens are always the bond's `j` atom, giving consistent
+//! X→H polarity.
+
+use crate::params::bond_dipole;
+use qfr_fragment::FragmentStructure;
+use qfr_linalg::DMatrix;
+
+/// Analytic dipole derivatives (`3 x 3m`) of a fragment.
+pub fn dmu(frag: &FragmentStructure) -> DMatrix {
+    let mut out = DMatrix::zeros(3, frag.dof());
+    for b in &frag.bonds {
+        let pars = bond_dipole(b.class);
+        let u = frag.positions[b.j] - frag.positions[b.i];
+        let r = u.norm();
+        if r < 1e-9 {
+            continue;
+        }
+        let uh = u * (1.0 / r);
+        let ua = uh.to_array();
+        qfr_linalg::flops::add(3 * 3 * 6);
+        let m = pars.static_moment + pars.deriv * r;
+        // ∂(m û_p)/∂x_j^c = m' û_c û_p + (m/r)(δ_pc − û_p û_c).
+        for p in 0..3 {
+            for c in 0..3 {
+                let delta_pc = if p == c { 1.0 } else { 0.0 };
+                let v = pars.deriv * ua[c] * ua[p] + m / r * (delta_pc - ua[p] * ua[c]);
+                out[(p, 3 * b.j + c)] += v;
+                out[(p, 3 * b.i + c)] -= v;
+            }
+        }
+    }
+    out
+}
+
+/// Total bond-model dipole vector of a fragment (validation helper for the
+/// finite-difference tests).
+pub fn mu(frag: &FragmentStructure) -> [f64; 3] {
+    let mut out = [0.0; 3];
+    for b in &frag.bonds {
+        let pars = bond_dipole(b.class);
+        let u = frag.positions[b.j] - frag.positions[b.i];
+        let r = u.norm();
+        if r < 1e-9 {
+            continue;
+        }
+        let m = pars.static_moment + pars.deriv * r;
+        let uh = u * (m / r);
+        out[0] += uh.x;
+        out[1] += uh.y;
+        out[2] += uh.z;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polarizability::displaced;
+    use qfr_fragment::{FragmentJob, JobKind};
+    use qfr_geom::WaterBoxBuilder;
+
+    fn water_fragment() -> FragmentStructure {
+        let sys = WaterBoxBuilder::new(1).seed(1).build();
+        FragmentJob {
+            kind: JobKind::WaterMonomer { w: 0 },
+            coefficient: 1.0,
+            atoms: vec![0, 1, 2],
+            link_hydrogens: vec![],
+        }
+        .structure(&sys)
+    }
+
+    #[test]
+    fn water_has_a_dipole() {
+        let m = mu(&water_fragment());
+        let norm = (m[0] * m[0] + m[1] * m[1] + m[2] * m[2]).sqrt();
+        assert!(norm > 0.1, "water must be polar: |mu| = {norm}");
+    }
+
+    #[test]
+    fn dmu_matches_finite_differences() {
+        let frag = water_fragment();
+        let d = dmu(&frag);
+        let h = 1e-6;
+        for atom in 0..frag.n_atoms() {
+            for c in 0..3 {
+                let mp = mu(&displaced(&frag, atom, c, h));
+                let mm = mu(&displaced(&frag, atom, c, -h));
+                for p in 0..3 {
+                    let fd = (mp[p] - mm[p]) / (2.0 * h);
+                    assert!(
+                        (fd - d[(p, 3 * atom + c)]).abs() < 1e-6,
+                        "atom {atom} dir {c} comp {p}: fd {fd} vs {}",
+                        d[(p, 3 * atom + c)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn translation_invariance() {
+        let d = dmu(&water_fragment());
+        for p in 0..3 {
+            for c in 0..3 {
+                let total: f64 = (0..3).map(|a| d[(p, 3 * a + c)]).sum();
+                assert!(total.abs() < 1e-12, "comp {p} dir {c}: {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn oh_stretch_is_ir_active() {
+        // Stretching an O-H bond along its axis changes mu strongly.
+        let frag = water_fragment();
+        let d = dmu(&frag);
+        // H atom 1 displacement along the O-H direction: project.
+        let dir = (frag.positions[1] - frag.positions[0]).normalized().to_array();
+        let mut proj = 0.0;
+        for p in 0..3 {
+            let mut along = 0.0;
+            for c in 0..3 {
+                along += d[(p, 3 + c)] * dir[c];
+            }
+            proj += along * along;
+        }
+        assert!(proj.sqrt() > 0.5, "O-H stretch must be IR-bright: {proj}");
+    }
+}

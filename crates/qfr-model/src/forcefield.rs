@@ -1,0 +1,345 @@
+//! Harmonic force-field terms and the analytic Cartesian Hessian.
+//!
+//! Every term is harmonic about the *current* geometry (equilibrium = built
+//! structure), so the gradient vanishes identically and the Hessian takes
+//! the Gauss–Newton form `k · J Jᵀ` per term, with `J` the internal-
+//! coordinate Jacobian. This guarantees two invariants the tests rely on:
+//! the Hessian is positive semidefinite, and it is exactly translation
+//! invariant (every `J` depends only on coordinate differences), i.e. the
+//! acoustic sum rule `Σ_J H_IJ = 0` holds.
+
+use crate::params::{bend_constant, nonbonded_constant, stretch_constant, ForceFieldParams};
+use qfr_fragment::FragmentStructure;
+use qfr_geom::Vec3;
+use qfr_linalg::DMatrix;
+
+/// One internal coordinate term of the force field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// Bond stretch: atoms, force constant (mdyn/Å), current direction and
+    /// length baked into the Jacobian at evaluation time.
+    Stretch {
+        /// First atom.
+        i: usize,
+        /// Second atom.
+        j: usize,
+        /// Force constant (mdyn/Å).
+        k: f64,
+    },
+    /// Angle bend `i - center - j` with constant in mdyn·Å/rad².
+    Bend {
+        /// First end atom.
+        i: usize,
+        /// Central atom.
+        center: usize,
+        /// Second end atom.
+        j: usize,
+        /// Force constant (mdyn·Å/rad²).
+        k: f64,
+    },
+    /// Soft non-bonded harmonic coupling (intermolecular / through-space).
+    NonBonded {
+        /// First atom.
+        i: usize,
+        /// Second atom.
+        j: usize,
+        /// Force constant (mdyn/Å).
+        k: f64,
+    },
+}
+
+/// Enumerates the force-field terms of a fragment: one stretch per bond,
+/// one bend per bonded pair sharing a center, and soft non-bonded couplings
+/// between atoms separated by ≥ 3 bonds (or in different connected
+/// components) within the cutoff.
+pub fn build_terms(frag: &FragmentStructure, params: &ForceFieldParams) -> Vec<Term> {
+    let n = frag.n_atoms();
+    let mut terms = Vec::new();
+
+    // Stretches.
+    for b in &frag.bonds {
+        terms.push(Term::Stretch {
+            i: b.i,
+            j: b.j,
+            k: params.stretch_scale * stretch_constant(b.class),
+        });
+    }
+
+    // Bends: every unordered pair of neighbors of each center.
+    let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for b in &frag.bonds {
+        neighbors[b.i].push(b.j);
+        neighbors[b.j].push(b.i);
+    }
+    for (center, nb) in neighbors.iter().enumerate() {
+        for a in 0..nb.len() {
+            for b in (a + 1)..nb.len() {
+                let (i, j) = (nb[a], nb[b]);
+                terms.push(Term::Bend {
+                    i,
+                    center,
+                    j,
+                    k: params.bend_scale
+                        * bend_constant(
+                            frag.elements[i],
+                            frag.elements[center],
+                            frag.elements[j],
+                        ),
+                });
+            }
+        }
+    }
+
+    // Non-bonded: bond-path distance >= 3 within cutoff.
+    if params.nonbonded_scale > 0.0 {
+        let close = bonded_within_two(&neighbors, n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if close[i].contains(&j) {
+                    continue;
+                }
+                let r = frag.positions[i].dist(frag.positions[j]);
+                if r <= params.nonbonded_cutoff {
+                    let k = params.nonbonded_scale * nonbonded_constant(r);
+                    if k > 0.0 {
+                        terms.push(Term::NonBonded { i, j, k });
+                    }
+                }
+            }
+        }
+    }
+    terms
+}
+
+/// For each atom, the set of atoms within bond-path distance ≤ 2 (self,
+/// bonded, and geminal neighbors) — excluded from non-bonded terms.
+fn bonded_within_two(neighbors: &[Vec<usize>], n: usize) -> Vec<std::collections::HashSet<usize>> {
+    let mut out = vec![std::collections::HashSet::new(); n];
+    for (i, set) in out.iter_mut().enumerate() {
+        set.insert(i);
+        for &j in &neighbors[i] {
+            set.insert(j);
+            for &k in &neighbors[j] {
+                set.insert(k);
+            }
+        }
+    }
+    out
+}
+
+/// Accumulates `k · J Jᵀ` into the Hessian for a Jacobian supported on the
+/// given atoms (each entry of `jac` is the 3-vector ∂q/∂x_atom).
+fn accumulate_outer(h: &mut DMatrix, atoms: &[usize], jac: &[Vec3], k: f64) {
+    qfr_linalg::flops::add((9 * atoms.len() * atoms.len()) as u64 * 2);
+    for (ai, &a) in atoms.iter().enumerate() {
+        let ja = jac[ai].to_array();
+        for (bi, &b) in atoms.iter().enumerate() {
+            let jb = jac[bi].to_array();
+            for p in 0..3 {
+                for q in 0..3 {
+                    h[(3 * a + p, 3 * b + q)] += k * ja[p] * jb[q];
+                }
+            }
+        }
+    }
+}
+
+/// Analytic Cartesian Hessian of all terms at the current geometry
+/// (mdyn/Å), `3m x 3m`.
+pub fn hessian(frag: &FragmentStructure, terms: &[Term]) -> DMatrix {
+    let mut h = DMatrix::zeros(frag.dof(), frag.dof());
+    for t in terms {
+        match *t {
+            Term::Stretch { i, j, k } | Term::NonBonded { i, j, k } => {
+                let u = frag.positions[j] - frag.positions[i];
+                let Some(uh) = u.try_normalized() else { continue };
+                // q = |x_j - x_i|: dq/dx_j = û, dq/dx_i = -û.
+                accumulate_outer(&mut h, &[i, j], &[-uh, uh], k);
+            }
+            Term::Bend { i, center, j, k } => {
+                if let Some((ji, jc, jj)) = bend_jacobian(
+                    frag.positions[i],
+                    frag.positions[center],
+                    frag.positions[j],
+                ) {
+                    accumulate_outer(&mut h, &[i, center, j], &[ji, jc, jj], k);
+                }
+            }
+        }
+    }
+    h
+}
+
+/// Jacobian of the angle `i-center-j` with respect to the three atom
+/// positions; `None` when the geometry is (nearly) collinear or degenerate.
+pub fn bend_jacobian(pi: Vec3, pc: Vec3, pj: Vec3) -> Option<(Vec3, Vec3, Vec3)> {
+    let u = pi - pc;
+    let v = pj - pc;
+    let ru = u.norm();
+    let rv = v.norm();
+    if ru < 1e-9 || rv < 1e-9 {
+        return None;
+    }
+    let uh = u * (1.0 / ru);
+    let vh = v * (1.0 / rv);
+    let cos_t = uh.dot(vh).clamp(-1.0, 1.0);
+    let sin_t = (1.0 - cos_t * cos_t).sqrt();
+    if sin_t < 1e-6 {
+        return None;
+    }
+    // d(theta)/dx_i = (cos(t) û - v̂) / (r_u sin t), and symmetrically.
+    let ji = (uh * cos_t - vh) * (1.0 / (ru * sin_t));
+    let jj = (vh * cos_t - uh) * (1.0 / (rv * sin_t));
+    let jc = -(ji + jj);
+    Some((ji, jc, jj))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfr_fragment::{FragmentJob, JobKind};
+    use qfr_geom::WaterBoxBuilder;
+    use qfr_linalg::eigen::symmetric_eigen;
+
+    fn water_fragment() -> FragmentStructure {
+        let sys = WaterBoxBuilder::new(1).seed(1).build();
+        FragmentJob {
+            kind: JobKind::WaterMonomer { w: 0 },
+            coefficient: 1.0,
+            atoms: vec![0, 1, 2],
+            link_hydrogens: vec![],
+        }
+        .structure(&sys)
+    }
+
+    #[test]
+    fn water_terms() {
+        let frag = water_fragment();
+        let terms = build_terms(&frag, &ForceFieldParams::default());
+        let stretches = terms.iter().filter(|t| matches!(t, Term::Stretch { .. })).count();
+        let bends = terms.iter().filter(|t| matches!(t, Term::Bend { .. })).count();
+        assert_eq!(stretches, 2);
+        assert_eq!(bends, 1);
+    }
+
+    #[test]
+    fn hessian_is_symmetric_and_psd() {
+        let frag = water_fragment();
+        let terms = build_terms(&frag, &ForceFieldParams::default());
+        let h = hessian(&frag, &terms);
+        assert!(h.is_symmetric(1e-12));
+        let eig = symmetric_eigen(&h);
+        assert!(
+            eig.eigenvalues.iter().all(|&w| w > -1e-10),
+            "negative eigenvalue: {:?}",
+            eig.eigenvalues
+        );
+    }
+
+    #[test]
+    fn acoustic_sum_rule() {
+        // Translation invariance: sum over atom blocks of each row is zero.
+        let frag = water_fragment();
+        let terms = build_terms(&frag, &ForceFieldParams::default());
+        let h = hessian(&frag, &terms);
+        for row in 0..frag.dof() {
+            for q in 0..3 {
+                let total: f64 = (0..frag.n_atoms()).map(|b| h[(row, 3 * b + q)]).sum();
+                assert!(total.abs() < 1e-12, "ASR violated at row {row} comp {q}: {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn water_has_exactly_six_zero_modes() {
+        // 3 translations + 3 rotations for a nonlinear molecule.
+        let frag = water_fragment();
+        let terms = build_terms(&frag, &ForceFieldParams::default());
+        let h = hessian(&frag, &terms);
+        let eig = symmetric_eigen(&h);
+        let zeros = eig.eigenvalues.iter().filter(|&&w| w.abs() < 1e-8).count();
+        assert_eq!(zeros, 6, "eigenvalues: {:?}", eig.eigenvalues);
+    }
+
+    #[test]
+    fn bend_jacobian_orthogonal_to_bond_stretch() {
+        // The angle gradient at atom i is perpendicular to the i-center
+        // bond direction.
+        let pi = Vec3::new(1.0, 0.2, -0.1);
+        let pc = Vec3::ZERO;
+        let pj = Vec3::new(-0.2, 1.1, 0.3);
+        let (ji, jc, jj) = bend_jacobian(pi, pc, pj).unwrap();
+        assert!(ji.dot((pi - pc).normalized()).abs() < 1e-12);
+        assert!(jj.dot((pj - pc).normalized()).abs() < 1e-12);
+        // Jacobian sums to zero (translation invariance).
+        assert!((ji + jc + jj).norm() < 1e-12);
+    }
+
+    #[test]
+    fn bend_jacobian_matches_finite_differences() {
+        let pi = Vec3::new(0.9, 0.3, 0.1);
+        let pc = Vec3::new(0.0, 0.0, 0.0);
+        let pj = Vec3::new(-0.1, 1.0, -0.4);
+        let (ji, jc, jj) = bend_jacobian(pi, pc, pj).unwrap();
+        let angle = |pi: Vec3, pc: Vec3, pj: Vec3| (pi - pc).angle_between(pj - pc);
+        let h = 1e-6;
+        for (atom, jac) in [(0, ji), (1, jc), (2, jj)] {
+            for c in 0..3 {
+                let mut d = Vec3::ZERO;
+                match c {
+                    0 => d.x = h,
+                    1 => d.y = h,
+                    _ => d.z = h,
+                }
+                let (a_p, a_m) = match atom {
+                    0 => (angle(pi + d, pc, pj), angle(pi - d, pc, pj)),
+                    1 => (angle(pi, pc + d, pj), angle(pi, pc - d, pj)),
+                    _ => (angle(pi, pc, pj + d), angle(pi, pc, pj - d)),
+                };
+                let fd = (a_p - a_m) / (2.0 * h);
+                let an = jac.to_array()[c];
+                assert!((fd - an).abs() < 1e-6, "atom {atom} comp {c}: fd {fd} vs {an}");
+            }
+        }
+    }
+
+    #[test]
+    fn collinear_bend_skipped() {
+        assert!(bend_jacobian(
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::ZERO,
+            Vec3::new(-2.0, 0.0, 0.0)
+        )
+        .is_none());
+        assert!(bend_jacobian(Vec3::ZERO, Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn nonbonded_terms_between_molecules() {
+        let sys = WaterBoxBuilder::new(2).seed(2).build();
+        let mut atoms = sys.water_atoms(0).to_vec();
+        atoms.extend(sys.water_atoms(1));
+        let frag = FragmentJob {
+            kind: JobKind::WaterWaterDimer { a: 0, b: 1 },
+            coefficient: 1.0,
+            atoms,
+            link_hydrogens: vec![],
+        }
+        .structure(&sys);
+        let terms = build_terms(&frag, &ForceFieldParams::default());
+        let nb = terms.iter().filter(|t| matches!(t, Term::NonBonded { .. })).count();
+        assert!(nb > 0, "3.1 A apart waters must couple");
+        // Disabling non-bonded terms removes them.
+        let params = ForceFieldParams { nonbonded_scale: 0.0, ..Default::default() };
+        let terms = build_terms(&frag, &params);
+        assert!(terms.iter().all(|t| !matches!(t, Term::NonBonded { .. })));
+    }
+
+    #[test]
+    fn geminal_pairs_not_nonbonded() {
+        let frag = water_fragment();
+        let terms = build_terms(&frag, &ForceFieldParams::default());
+        // H...H in one water is a 1-3 pair: excluded.
+        assert!(terms.iter().all(|t| !matches!(t, Term::NonBonded { .. })));
+    }
+}

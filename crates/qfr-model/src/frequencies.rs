@@ -1,0 +1,68 @@
+//! Unit conversion between mass-weighted-Hessian eigenvalues and
+//! vibrational wavenumbers.
+
+/// `ν̃ [cm⁻¹] = WAVENUMBER_PER_SQRT_EIG · sqrt(λ)` for eigenvalues λ of the
+/// mass-weighted Hessian in mdyn/(Å·amu). The constant is
+/// `sqrt(10^2 N/m / amu) / (2 π c)` evaluated in CGS-friendly units.
+pub const WAVENUMBER_PER_SQRT_EIG: f64 = 1302.7914;
+
+/// Converts one eigenvalue to a signed wavenumber: negative eigenvalues
+/// (numerical noise around the acoustic modes) map to negative wavenumbers
+/// of the corresponding magnitude so they are easy to filter.
+pub fn eigenvalue_to_wavenumber(lambda: f64) -> f64 {
+    if lambda >= 0.0 {
+        WAVENUMBER_PER_SQRT_EIG * lambda.sqrt()
+    } else {
+        -WAVENUMBER_PER_SQRT_EIG * (-lambda).sqrt()
+    }
+}
+
+/// Inverse of [`eigenvalue_to_wavenumber`].
+pub fn wavenumber_to_eigenvalue(nu: f64) -> f64 {
+    let l = nu / WAVENUMBER_PER_SQRT_EIG;
+    if nu >= 0.0 {
+        l * l
+    } else {
+        -(l * l)
+    }
+}
+
+/// Converts a whole eigenvalue slice, preserving order.
+pub fn spectrum_wavenumbers(eigenvalues: &[f64]) -> Vec<f64> {
+    eigenvalues.iter().map(|&l| eigenvalue_to_wavenumber(l)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diatomic_ch_lands_near_2900() {
+        // k = 4.7 mdyn/A, mu = 1.008*12.011/13.019.
+        let mu = 1.008 * 12.011 / (1.008 + 12.011);
+        let nu = eigenvalue_to_wavenumber(4.7 / mu);
+        assert!((2850.0..3050.0).contains(&nu), "{nu}");
+    }
+
+    #[test]
+    fn round_trip() {
+        for nu in [-500.0, 0.0, 100.0, 1650.0, 3400.0] {
+            let back = eigenvalue_to_wavenumber(wavenumber_to_eigenvalue(nu));
+            assert!((back - nu).abs() < 1e-9, "{nu} -> {back}");
+        }
+    }
+
+    #[test]
+    fn negative_eigenvalues_signed() {
+        let nu = eigenvalue_to_wavenumber(-1.0);
+        assert!(nu < 0.0);
+        assert!((nu + WAVENUMBER_PER_SQRT_EIG).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spectrum_conversion_preserves_order() {
+        let nus = spectrum_wavenumbers(&[0.0, 1.0, 4.0]);
+        assert_eq!(nus[0], 0.0);
+        assert!((nus[2] / nus[1] - 2.0).abs() < 1e-12);
+    }
+}

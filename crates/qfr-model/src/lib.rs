@@ -1,0 +1,34 @@
+//! # qfr-model
+//!
+//! Analytic per-fragment engine: a calibrated harmonic force field for the
+//! Hessian (`∂²E/∂r∂r`) and a bond-polarizability model for the Raman
+//! activity (`∂α/∂ξ`).
+//!
+//! **Substitution note** (see DESIGN.md): the paper computes these
+//! quantities with all-electron DFPT. A full quantum-chemistry stack is out
+//! of scope for a Rust reproduction (repro score 1/5: "no quantum chemistry
+//! ecosystem"), so this engine produces the *same data structures* with
+//! *physically calibrated* values: stretch force constants chosen so the
+//! characteristic Raman bands land where the paper's Fig. 12 shows them
+//! (C–H ≈ 2900 cm⁻¹, CH₂ bend ≈ 1450 cm⁻¹, amide I ≈ 1650 cm⁻¹, water bend
+//! ≈ 1640 cm⁻¹ / stretch ≈ 3400 cm⁻¹, aromatic ring modes near 1000–1600
+//! cm⁻¹). Because every term is harmonic about the *built* geometry, the
+//! Hessian is exactly positive semidefinite and translation invariant
+//! (acoustic sum rule), which the property tests assert.
+//!
+//! Units: lengths Å, masses amu, force constants mdyn/Å; mass-weighted
+//! Hessian eigenvalues convert to wavenumbers via
+//! `ν̃ [cm⁻¹] = 1302.79 · sqrt(λ)`.
+
+#![allow(clippy::needless_range_loop)] // index loops over tensor components
+
+pub mod dipole;
+pub mod engine;
+pub mod forcefield;
+pub mod frequencies;
+pub mod params;
+pub mod polarizability;
+
+pub use engine::ForceFieldEngine;
+pub use frequencies::{eigenvalue_to_wavenumber, wavenumber_to_eigenvalue, WAVENUMBER_PER_SQRT_EIG};
+pub use params::ForceFieldParams;

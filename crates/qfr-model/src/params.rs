@@ -1,0 +1,206 @@
+//! Force-field and polarizability parameter sets.
+
+use qfr_geom::system::BondClass;
+use qfr_geom::Element;
+
+/// Bond-stretch force constant in mdyn/Å, per bond class. Values chosen so
+/// the diatomic estimate `ν̃ = 1302.79 sqrt(k/μ)` lands on the literature
+/// band centers quoted in the paper's Fig. 12 discussion.
+pub fn stretch_constant(class: BondClass) -> f64 {
+    match class {
+        BondClass::CH => 4.70,        // ≈2940 cm⁻¹ C-H stretch
+        BondClass::NH => 6.00,        // ≈3280 cm⁻¹
+        BondClass::OH => 6.50,        // water stretch band ≈3400 cm⁻¹
+        BondClass::SH => 4.00,        // ≈2560 cm⁻¹
+        BondClass::CCSingle => 4.50,  // skeletal ≈1100 cm⁻¹
+        BondClass::CCAromatic => 6.50, // ring modes 1000–1600 cm⁻¹
+        BondClass::CNSingle => 5.00,
+        BondClass::CNAmide => 6.30,   // amide III coupling 1200–1360 cm⁻¹
+        BondClass::CNDouble => 10.00,
+        BondClass::COSingle => 5.00,
+        BondClass::CODouble => 11.50, // amide I ≈1690 cm⁻¹
+        BondClass::CSSingle => 3.00,
+        BondClass::SSBond => 2.50,    // ≈510 cm⁻¹
+        BondClass::Other => 3.00,
+    }
+}
+
+/// Angle-bend force constant in mdyn·Å/rad², keyed on the (end, center,
+/// end) element triple. Calibrated so the H-C-H scissor lands near 1450
+/// cm⁻¹ and the water bend near 1640 cm⁻¹.
+pub fn bend_constant(end_a: Element, center: Element, end_b: Element) -> f64 {
+    use Element::*;
+    let (lo, hi) = if end_a <= end_b { (end_a, end_b) } else { (end_b, end_a) };
+    match (lo, center, hi) {
+        (H, O, H) => 0.68,
+        (H, C, H) => 0.55,
+        (H, N, H) => 0.48,
+        (H, _, H) => 0.50,
+        (H, _, _) | (_, _, H) => 0.60,
+        _ => 0.95, // heavy-heavy skeletal bends (300–700 cm⁻¹)
+    }
+}
+
+/// Non-bonded (intermolecular / through-space) harmonic coupling constant
+/// at separation `r` (Å), mdyn/Å. A soft `r^-4` falloff produces the
+/// low-frequency intermolecular band the paper observes emerging in large
+/// water boxes.
+pub fn nonbonded_constant(r: f64) -> f64 {
+    if r <= 0.0 {
+        return 0.0;
+    }
+    // Clamped so close contacts never rival covalent stretches (which
+    // would blue-shift the intramolecular bands).
+    (0.05 * (2.8 / r).powi(4)).min(0.12)
+}
+
+/// Cutoff beyond which non-bonded couplings are dropped (Å).
+pub const NONBONDED_CUTOFF: f64 = 4.5;
+
+/// Bond-polarizability parameters of one bond class (arbitrary
+/// polarizability-volume units; relative magnitudes set Raman intensities).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BondPolarizability {
+    /// d(alpha_parallel)/dr — dominant Raman stretch activity.
+    pub par_deriv: f64,
+    /// d(alpha_perp)/dr.
+    pub perp_deriv: f64,
+    /// Static anisotropy (alpha_par - alpha_perp), drives reorientation
+    /// activity of bends.
+    pub anisotropy: f64,
+}
+
+/// Polarizability parameters per bond class.
+pub fn bond_polarizability(class: BondClass) -> BondPolarizability {
+    match class {
+        BondClass::CH => BondPolarizability { par_deriv: 1.00, perp_deriv: 0.20, anisotropy: 0.50 },
+        BondClass::NH => BondPolarizability { par_deriv: 0.70, perp_deriv: 0.15, anisotropy: 0.35 },
+        BondClass::OH => BondPolarizability { par_deriv: 0.85, perp_deriv: 0.20, anisotropy: 0.40 },
+        BondClass::SH => BondPolarizability { par_deriv: 1.40, perp_deriv: 0.25, anisotropy: 0.60 },
+        BondClass::CCSingle => BondPolarizability { par_deriv: 1.10, perp_deriv: 0.25, anisotropy: 0.55 },
+        BondClass::CCAromatic => BondPolarizability { par_deriv: 2.10, perp_deriv: 0.45, anisotropy: 1.10 },
+        BondClass::CNSingle => BondPolarizability { par_deriv: 0.90, perp_deriv: 0.20, anisotropy: 0.45 },
+        BondClass::CNAmide => BondPolarizability { par_deriv: 1.30, perp_deriv: 0.30, anisotropy: 0.70 },
+        BondClass::CNDouble => BondPolarizability { par_deriv: 1.60, perp_deriv: 0.35, anisotropy: 0.85 },
+        BondClass::COSingle => BondPolarizability { par_deriv: 0.90, perp_deriv: 0.20, anisotropy: 0.45 },
+        BondClass::CODouble => BondPolarizability { par_deriv: 1.50, perp_deriv: 0.35, anisotropy: 0.80 },
+        BondClass::CSSingle => BondPolarizability { par_deriv: 1.80, perp_deriv: 0.35, anisotropy: 0.90 },
+        BondClass::SSBond => BondPolarizability { par_deriv: 2.40, perp_deriv: 0.50, anisotropy: 1.20 },
+        BondClass::Other => BondPolarizability { par_deriv: 1.00, perp_deriv: 0.20, anisotropy: 0.50 },
+    }
+}
+
+/// Bond-dipole parameters (IR intensities): dipole moment derivative and
+/// static moment per bond, model units. Polar bonds dominate the IR
+/// spectrum; near-apolar C–C bonds are IR-dark, exactly the
+/// complementarity to the Raman-bright ring modes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BondDipole {
+    /// d(mu)/dr along the bond.
+    pub deriv: f64,
+    /// Static bond moment at the reference geometry.
+    pub static_moment: f64,
+}
+
+/// Dipole parameters per bond class.
+pub fn bond_dipole(class: BondClass) -> BondDipole {
+    match class {
+        BondClass::CH => BondDipole { deriv: 0.25, static_moment: 0.10 },
+        BondClass::NH => BondDipole { deriv: 1.00, static_moment: 0.45 },
+        BondClass::OH => BondDipole { deriv: 1.20, static_moment: 0.50 },
+        BondClass::SH => BondDipole { deriv: 0.40, static_moment: 0.20 },
+        BondClass::CCSingle => BondDipole { deriv: 0.03, static_moment: 0.00 },
+        BondClass::CCAromatic => BondDipole { deriv: 0.05, static_moment: 0.00 },
+        BondClass::CNSingle => BondDipole { deriv: 0.55, static_moment: 0.25 },
+        BondClass::CNAmide => BondDipole { deriv: 1.10, static_moment: 0.40 },
+        BondClass::CNDouble => BondDipole { deriv: 1.00, static_moment: 0.35 },
+        BondClass::COSingle => BondDipole { deriv: 0.80, static_moment: 0.35 },
+        BondClass::CODouble => BondDipole { deriv: 1.60, static_moment: 0.60 },
+        BondClass::CSSingle => BondDipole { deriv: 0.35, static_moment: 0.15 },
+        BondClass::SSBond => BondDipole { deriv: 0.02, static_moment: 0.00 },
+        BondClass::Other => BondDipole { deriv: 0.30, static_moment: 0.10 },
+    }
+}
+
+/// Bundled parameter set handed to the engine; the defaults above are the
+/// calibrated set, but benches may perturb them for ablation.
+#[derive(Debug, Clone, Copy)]
+pub struct ForceFieldParams {
+    /// Global scale on all stretch constants (ablation knob).
+    pub stretch_scale: f64,
+    /// Global scale on all bend constants.
+    pub bend_scale: f64,
+    /// Global scale on non-bonded couplings (0 disables the intermolecular
+    /// low-frequency band entirely).
+    pub nonbonded_scale: f64,
+    /// Non-bonded cutoff in Å.
+    pub nonbonded_cutoff: f64,
+}
+
+impl Default for ForceFieldParams {
+    fn default() -> Self {
+        Self {
+            stretch_scale: 1.0,
+            bend_scale: 1.0,
+            nonbonded_scale: 1.0,
+            nonbonded_cutoff: NONBONDED_CUTOFF,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diatomic_stretch_frequencies_hit_bands() {
+        // nu = 1302.79 sqrt(k/mu) with reduced masses of the X-H pairs.
+        let nu = |k: f64, m1: f64, m2: f64| 1302.79 * (k / (m1 * m2 / (m1 + m2))).sqrt();
+        let ch = nu(stretch_constant(BondClass::CH), 12.011, 1.008);
+        assert!((2800.0..3050.0).contains(&ch), "C-H {ch}");
+        let oh = nu(stretch_constant(BondClass::OH), 15.999, 1.008);
+        assert!((3250.0..3550.0).contains(&oh), "O-H {oh}");
+        let co = nu(stretch_constant(BondClass::CODouble), 12.011, 15.999);
+        assert!((1550.0..1800.0).contains(&co), "C=O {co}");
+        let ss = nu(stretch_constant(BondClass::SSBond), 32.06, 32.06);
+        assert!((400.0..620.0).contains(&ss), "S-S {ss}");
+    }
+
+    #[test]
+    fn bend_constants_symmetric_in_ends() {
+        use Element::*;
+        assert_eq!(bend_constant(H, C, C), bend_constant(C, C, H));
+        assert_eq!(bend_constant(H, O, H), 0.68);
+        assert!(bend_constant(C, C, C) > bend_constant(H, C, H));
+    }
+
+    #[test]
+    fn nonbonded_decays_with_distance() {
+        assert!(nonbonded_constant(2.5) > nonbonded_constant(3.5));
+        assert!(nonbonded_constant(4.0) > 0.0);
+        assert_eq!(nonbonded_constant(0.0), 0.0);
+        // Much weaker than any covalent bond.
+        assert!(nonbonded_constant(2.5) < 0.5 * stretch_constant(BondClass::SSBond));
+    }
+
+    #[test]
+    fn aromatic_polarizability_strongest_of_cc() {
+        let arom = bond_polarizability(BondClass::CCAromatic);
+        let single = bond_polarizability(BondClass::CCSingle);
+        assert!(arom.par_deriv > single.par_deriv, "ring breathing must be Raman-bright");
+    }
+
+    #[test]
+    fn polar_bonds_ir_bright_apolar_dark() {
+        assert!(bond_dipole(BondClass::OH).deriv > 10.0 * bond_dipole(BondClass::CCSingle).deriv);
+        assert!(bond_dipole(BondClass::CODouble).deriv > bond_dipole(BondClass::CH).deriv);
+        assert_eq!(bond_dipole(BondClass::SSBond).static_moment, 0.0);
+    }
+
+    #[test]
+    fn default_params() {
+        let p = ForceFieldParams::default();
+        assert_eq!(p.stretch_scale, 1.0);
+        assert_eq!(p.nonbonded_cutoff, NONBONDED_CUTOFF);
+    }
+}

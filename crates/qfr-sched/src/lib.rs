@@ -1,0 +1,37 @@
+//! # qfr-sched
+//!
+//! The HPC runtime of QF-RAMAN (Section V of the paper), reproduced at two
+//! levels of fidelity:
+//!
+//! - a **real shared-memory runtime** ([`runtime`]) with the paper's
+//!   three-level master/leader/worker hierarchy on OS threads and crossbeam
+//!   channels, including task prefetching and failure re-queueing;
+//! - a **discrete-event cluster simulator** ([`simulator`]) that drives the
+//!   *same* [`balancer`] policies at the paper's scales (750–96,000 nodes),
+//!   regenerating the load-balance variance of Fig. 8 and the strong/weak
+//!   scaling of Figs. 10–11 — the substitution for the inaccessible ORISE
+//!   and Sunway machines (see DESIGN.md);
+//! - the **system-size-sensitive load balancer** ([`balancer`], Fig. 4):
+//!   largest fragments as singleton tasks, medium fragments packed to a
+//!   target cost, and a shrinking-granularity tail that lets busy leaders
+//!   finish together with idle ones;
+//! - **elastic workload offloading** ([`offload`], Fig. 5): scattered small
+//!   GEMMs gathered into stride-32 size-class batches, executed either on a
+//!   real rayon "accelerator" or against a modeled accelerator with launch
+//!   overheads, reproducing the profitability crossover;
+//! - **machine models** ([`machine`]) of ORISE and the new Sunway for the
+//!   Table I full-system extrapolations.
+
+pub mod balancer;
+pub mod machine;
+pub mod offload;
+pub mod runtime;
+pub mod simulator;
+pub mod task;
+
+pub use balancer::{Policy, RandomPolicy, RoundRobinPolicy, SizeSensitivePolicy, SortedSingletonPolicy};
+pub use machine::MachineModel;
+pub use offload::{offload_comparison, CpuAccelerator, ModeledAccelerator, OffloadReport};
+pub use runtime::{run_master_leader_worker, RunReport, RuntimeConfig};
+pub use simulator::{simulate, SimConfig, SimReport};
+pub use task::{cost_model, FragmentWorkItem, Task};

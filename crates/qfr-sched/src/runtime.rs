@@ -1,0 +1,459 @@
+//! The real master/leader/worker runtime on OS threads (Fig. 3).
+//!
+//! - The **master** owns the scheduling policy and serves task-assignment
+//!   requests over crossbeam channels (the `leader-available` /
+//!   `task-assignment` signals of Fig. 4(a)).
+//! - Each **leader** pulls tasks, partitions every fragment's displacement
+//!   set statically across its **workers** (scoped threads), and reports
+//!   completion or failure back to the master.
+//! - **Prefetching** (Fig. 4(d)): a leader requests its next task while the
+//!   current one is still executing, hiding the master round-trip.
+//! - **Re-queueing**: a failed task (the stand-in for the paper's
+//!   "processed for a long time but not yet completed") goes back to the
+//!   pool and is eventually served to another leader.
+
+use crate::balancer::Policy;
+use crate::task::{FragmentWorkItem, Task};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// Runtime shape.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Number of leader threads.
+    pub n_leaders: usize,
+    /// Worker threads per leader (static displacement partitioning).
+    pub workers_per_leader: usize,
+    /// Whether leaders prefetch their next task.
+    pub prefetch: bool,
+    /// Time-based straggler re-issue (the paper's "processed for a long
+    /// time but not yet completed" rule): when an idle leader asks for work
+    /// and the pool is empty, any in-flight task older than
+    /// `factor × mean completed-task duration` is re-issued to the idle
+    /// leader. The first finisher wins; duplicate completions are
+    /// deduplicated. `None` disables the mechanism.
+    pub straggler_factor: Option<f64>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self { n_leaders: 4, workers_per_leader: 2, prefetch: true, straggler_factor: None }
+    }
+}
+
+/// Outcome of a run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Wall-clock seconds from first dispatch to last completion.
+    pub makespan: f64,
+    /// Per-leader busy seconds (executing fragments).
+    pub leader_busy: Vec<f64>,
+    /// Tasks executed to completion (including re-executions).
+    pub tasks_executed: usize,
+    /// Distinct fragments completed successfully.
+    pub fragments_done: usize,
+    /// Tasks re-queued after a failure.
+    pub requeues: usize,
+}
+
+impl RunReport {
+    /// Relative busy-time deviation range across leaders
+    /// `((min-mean)/mean, (max-mean)/mean)` — the Fig. 8 metric.
+    pub fn busy_variation(&self) -> (f64, f64) {
+        let mean = self.leader_busy.iter().sum::<f64>() / self.leader_busy.len().max(1) as f64;
+        if mean <= 0.0 {
+            return (0.0, 0.0);
+        }
+        let min = self.leader_busy.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self.leader_busy.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        ((min - mean) / mean, (max - mean) / mean)
+    }
+}
+
+/// A leader's task mailbox (`None` = shut down).
+type TaskChannel = (Sender<Option<Task>>, Receiver<Option<Task>>);
+
+enum MasterMsg {
+    Available { leader: usize },
+    Completed { task_id: u32, seconds: f64 },
+    Failed { task: Task },
+}
+
+/// Runs a workload through the three-level hierarchy.
+///
+/// `workload` processes one fragment (one displacement partition is handled
+/// internally by the leader's workers) and returns `true` on success. A
+/// `false` fails the whole task, which the master re-queues; re-executions
+/// call the workload again, so an intermittent failure eventually succeeds.
+pub fn run_master_leader_worker<F>(
+    mut policy: Box<dyn Policy>,
+    workload: F,
+    cfg: RuntimeConfig,
+) -> RunReport
+where
+    F: Fn(&FragmentWorkItem) -> bool + Sync,
+{
+    assert!(cfg.n_leaders > 0 && cfg.workers_per_leader > 0);
+    let (to_master, master_rx): (Sender<MasterMsg>, Receiver<MasterMsg>) = unbounded();
+    // Unbounded so the master's final None broadcast can never block.
+    let leader_channels: Vec<TaskChannel> = (0..cfg.n_leaders).map(|_| unbounded()).collect();
+
+    let busy: Vec<Mutex<f64>> = (0..cfg.n_leaders).map(|_| Mutex::new(0.0)).collect();
+    let done_fragments = Mutex::new(std::collections::HashSet::<u32>::new());
+    let stats = Mutex::new((0usize, 0usize)); // (tasks_executed, requeues)
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        // ---------------- master ----------------
+        let master_senders: Vec<Sender<Option<Task>>> =
+            leader_channels.iter().map(|(s, _)| s.clone()).collect();
+        let stats_ref = &stats;
+        scope.spawn(move || {
+            // Copies in flight per task id, plus the original issue time.
+            let mut in_flight: std::collections::HashMap<u32, (Task, Instant, u32)> =
+                std::collections::HashMap::new();
+            let mut completed: std::collections::HashSet<u32> =
+                std::collections::HashSet::new();
+            let mut inflight_copies = 0usize;
+            let mut waiting: Vec<usize> = Vec::new();
+            let mut drained = false;
+            let mut mean_acc = (0.0f64, 0usize); // (sum seconds, count)
+            // Finds an in-flight task that has exceeded the straggler
+            // age threshold.
+            let find_straggler = |in_flight: &std::collections::HashMap<u32, (Task, Instant, u32)>,
+                                  completed: &std::collections::HashSet<u32>,
+                                  mean_acc: (f64, usize)|
+             -> Option<u32> {
+                let factor = cfg.straggler_factor?;
+                if mean_acc.1 == 0 {
+                    return None;
+                }
+                let mean = mean_acc.0 / mean_acc.1 as f64;
+                in_flight
+                    .iter()
+                    // One duplicate at a time per task: the paper re-queues
+                    // a straggler once, not into a duplicate storm.
+                    .filter(|(id, (_, _, copies))| !completed.contains(id) && *copies < 2)
+                    .find(|(_, (_, issued, _))| issued.elapsed().as_secs_f64() > factor * mean)
+                    .map(|(&id, _)| id)
+            };
+            loop {
+                // While leaders are parked and straggler detection is on,
+                // poll with a timeout so aging tasks get re-issued without
+                // waiting for another message.
+                let msg = if !waiting.is_empty() && cfg.straggler_factor.is_some() {
+                    match master_rx.recv_timeout(std::time::Duration::from_millis(2)) {
+                        Ok(m) => Some(m),
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
+                        Err(_) => break,
+                    }
+                } else {
+                    match master_rx.recv() {
+                        Ok(m) => Some(m),
+                        Err(_) => break,
+                    }
+                };
+                match msg {
+                    Some(MasterMsg::Available { leader }) => {
+                        if let Some(task) = policy.next_task() {
+                            inflight_copies += 1;
+                            in_flight.insert(task.id, (task.clone(), Instant::now(), 1));
+                            master_senders[leader].send(Some(task)).ok();
+                        } else if inflight_copies == 0 {
+                            drained = true;
+                            master_senders[leader].send(None).ok();
+                        } else {
+                            waiting.push(leader);
+                        }
+                    }
+                    Some(MasterMsg::Completed { task_id, seconds }) => {
+                        inflight_copies -= 1;
+                        if completed.insert(task_id) {
+                            mean_acc.0 += seconds;
+                            mean_acc.1 += 1;
+                        }
+                        if let Some(entry) = in_flight.get_mut(&task_id) {
+                            entry.2 -= 1;
+                            if entry.2 == 0 {
+                                in_flight.remove(&task_id);
+                            }
+                        }
+                    }
+                    Some(MasterMsg::Failed { task }) => {
+                        inflight_copies -= 1;
+                        let already_done = completed.contains(&task.id);
+                        if let Some(entry) = in_flight.get_mut(&task.id) {
+                            entry.2 -= 1;
+                            if entry.2 == 0 {
+                                in_flight.remove(&task.id);
+                            }
+                        }
+                        if !already_done {
+                            stats_ref.lock().1 += 1;
+                            policy.requeue(task);
+                        }
+                        // Serve a waiting leader if any.
+                        if let Some(leader) = waiting.pop() {
+                            if let Some(task) = policy.next_task() {
+                                inflight_copies += 1;
+                                in_flight.insert(task.id, (task.clone(), Instant::now(), 1));
+                                master_senders[leader].send(Some(task)).ok();
+                            } else {
+                                waiting.push(leader);
+                            }
+                        }
+                    }
+                    None => {}
+                }
+                // Serve parked leaders with duplicate copies of stragglers
+                // (the paper's "mark un-processed again" rule).
+                while let Some(&leader) = waiting.last() {
+                    let Some(straggler) = find_straggler(&in_flight, &completed, mean_acc)
+                    else {
+                        break;
+                    };
+                    waiting.pop();
+                    let entry = in_flight.get_mut(&straggler).expect("just found");
+                    entry.2 += 1;
+                    inflight_copies += 1;
+                    stats_ref.lock().1 += 1;
+                    master_senders[leader].send(Some(entry.0.clone())).ok();
+                }
+                if drained || (inflight_copies == 0 && policy.remaining_fragments() == 0) {
+                    // Release everyone and stop.
+                    for s in &master_senders {
+                        s.send(None).ok();
+                    }
+                    break;
+                }
+            }
+        });
+
+        // ---------------- leaders ----------------
+        for (leader_id, (_, task_rx)) in leader_channels.iter().enumerate() {
+            let to_master = to_master.clone();
+            let task_rx = task_rx.clone();
+            let workload = &workload;
+            let busy_slot = &busy[leader_id];
+            let done_ref = &done_fragments;
+            let stats_ref = &stats;
+            scope.spawn(move || {
+                to_master.send(MasterMsg::Available { leader: leader_id }).ok();
+                let mut pending: Option<Task> = None;
+                loop {
+                    let task = match pending.take() {
+                        Some(t) => t,
+                        None => match task_rx.recv() {
+                            Ok(Some(t)) => t,
+                            _ => break,
+                        },
+                    };
+                    // Prefetch: ask for the next task before executing.
+                    if cfg.prefetch {
+                        to_master.send(MasterMsg::Available { leader: leader_id }).ok();
+                    }
+                    let start = Instant::now();
+                    // Partition each fragment's work across the leader's
+                    // workers: fragments of the task are split statically.
+                    let results: Vec<(u32, bool)> = std::thread::scope(|ws| {
+                        let chunks: Vec<&[FragmentWorkItem]> = task
+                            .fragments
+                            .chunks(task.fragments.len().div_ceil(cfg.workers_per_leader))
+                            .collect();
+                        let handles: Vec<_> = chunks
+                            .into_iter()
+                            .map(|chunk| {
+                                ws.spawn(move || {
+                                    chunk
+                                        .iter()
+                                        .map(|f| (f.id, workload(f)))
+                                        .collect::<Vec<_>>()
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+                    });
+                    let seconds = start.elapsed().as_secs_f64();
+                    *busy_slot.lock() += seconds;
+                    let ok = results.iter().all(|&(_, s)| s);
+                    if ok {
+                        {
+                            let mut done = done_ref.lock();
+                            for (id, _) in &results {
+                                done.insert(*id);
+                            }
+                        }
+                        stats_ref.lock().0 += 1;
+                        let task_id = task.id;
+                        drop(task);
+                        to_master.send(MasterMsg::Completed { task_id, seconds }).ok();
+                    } else {
+                        to_master.send(MasterMsg::Failed { task }).ok();
+                    }
+                    if !cfg.prefetch {
+                        to_master.send(MasterMsg::Available { leader: leader_id }).ok();
+                    } else if let Ok(Some(t)) = task_rx.try_recv() {
+                        pending = Some(t);
+                    }
+                }
+            });
+        }
+        drop(to_master);
+    });
+
+    let makespan = t0.elapsed().as_secs_f64();
+    let (tasks_executed, requeues) = *stats.lock();
+    let fragments_done = done_fragments.lock().len();
+    RunReport {
+        makespan,
+        leader_busy: busy.iter().map(|b| *b.lock()).collect(),
+        tasks_executed,
+        fragments_done,
+        requeues,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balancer::{SizeSensitivePolicy, SortedSingletonPolicy};
+    use crate::task::{protein_workload, water_dimer_workload};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn spin_for(cost: f64) {
+        // Busy work proportional to cost (deterministic, ~microseconds).
+        let iters = (cost * 40.0) as u64;
+        let mut acc = 0.0_f64;
+        for i in 0..iters {
+            acc += (i as f64).sqrt();
+        }
+        std::hint::black_box(acc);
+    }
+
+    #[test]
+    fn processes_every_fragment() {
+        let frags = protein_workload(200, 1);
+        let policy = SizeSensitivePolicy::with_defaults(frags);
+        let report = run_master_leader_worker(
+            Box::new(policy),
+            |f| {
+                spin_for(f.cost() / 50.0);
+                true
+            },
+            RuntimeConfig { n_leaders: 4, workers_per_leader: 2, prefetch: true, ..Default::default() },
+        );
+        assert_eq!(report.fragments_done, 200);
+        assert_eq!(report.requeues, 0);
+        assert!(report.tasks_executed > 0);
+        assert!(report.makespan > 0.0);
+    }
+
+    #[test]
+    fn failure_injection_requeues_and_recovers() {
+        let frags = water_dimer_workload(60);
+        let policy = SizeSensitivePolicy::with_defaults(frags);
+        // Fragment 7 fails on its first attempt only.
+        let failures = AtomicUsize::new(0);
+        let report = run_master_leader_worker(
+            Box::new(policy),
+            |f| {
+                if f.id == 7 && failures.fetch_add(1, Ordering::SeqCst) == 0 {
+                    return false;
+                }
+                true
+            },
+            RuntimeConfig { n_leaders: 3, workers_per_leader: 1, prefetch: false, ..Default::default() },
+        );
+        assert_eq!(report.fragments_done, 60, "all fragments recover");
+        assert!(report.requeues >= 1, "the failure must trigger a requeue");
+    }
+
+    #[test]
+    fn single_leader_single_worker() {
+        let frags = water_dimer_workload(10);
+        let policy = SizeSensitivePolicy::with_defaults(frags);
+        let report = run_master_leader_worker(
+            Box::new(policy),
+            |_| true,
+            RuntimeConfig { n_leaders: 1, workers_per_leader: 1, prefetch: false, ..Default::default() },
+        );
+        assert_eq!(report.fragments_done, 10);
+        assert_eq!(report.leader_busy.len(), 1);
+    }
+
+    #[test]
+    fn time_based_straggler_reissued_to_idle_leader() {
+        // Fragment 0's first execution stalls; the other fragments finish
+        // fast, the pool drains, and the idle leader receives a duplicate
+        // copy of the stalled task, which completes immediately.
+        let frags = water_dimer_workload(10);
+        let first = AtomicUsize::new(0);
+        let report = run_master_leader_worker(
+            Box::new(SortedSingletonPolicy::new(frags)),
+            |f| {
+                if f.id == 0 && first.fetch_add(1, Ordering::SeqCst) == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(250));
+                }
+                true
+            },
+            RuntimeConfig {
+                n_leaders: 2,
+                workers_per_leader: 1,
+                prefetch: false,
+                straggler_factor: Some(5.0),
+            },
+        );
+        assert_eq!(report.fragments_done, 10);
+        assert!(
+            report.requeues >= 1,
+            "idle leader should have received a straggler copy"
+        );
+        assert!(
+            report.tasks_executed >= 11,
+            "the duplicate must actually execute: {}",
+            report.tasks_executed
+        );
+    }
+
+    #[test]
+    fn busy_variation_metric() {
+        let report = RunReport {
+            makespan: 1.0,
+            leader_busy: vec![0.9, 1.0, 1.1],
+            tasks_executed: 3,
+            fragments_done: 3,
+            requeues: 0,
+        };
+        let (lo, hi) = report.busy_variation();
+        assert!((lo + 0.1).abs() < 1e-12);
+        assert!((hi - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_leaders_under_size_sensitive_policy() {
+        // Many uneven fragments across 4 leaders: busy times should agree
+        // within a loose bound thanks to the shrinking-granularity tail.
+        let frags = protein_workload(400, 7);
+        let policy = SizeSensitivePolicy::with_defaults(frags);
+        let report = run_master_leader_worker(
+            Box::new(policy),
+            |f| {
+                spin_for(f.cost() / 10.0);
+                true
+            },
+            RuntimeConfig { n_leaders: 4, workers_per_leader: 1, prefetch: true, ..Default::default() },
+        );
+        assert_eq!(report.fragments_done, 400);
+        // Wall-clock balance on a real machine is noisy (CI boxes run other
+        // work); the *deterministic* balance property is asserted in the
+        // simulator tests. Here we only require that no leader was starved
+        // or hogged outright.
+        let (lo, hi) = report.busy_variation();
+        assert!(
+            lo > -0.95 && hi < 2.0,
+            "leader busy times pathologically unbalanced: {lo:+.2}..{hi:+.2}"
+        );
+        assert!(report.leader_busy.iter().all(|&b| b > 0.0), "a leader was starved");
+    }
+}

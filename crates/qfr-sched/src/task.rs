@@ -1,0 +1,136 @@
+//! Work items and tasks.
+//!
+//! A *fragment work item* is one fragment's full DFPT job (all of its
+//! atomic displacements); its cost follows the cubic scaling of the
+//! per-fragment quantum calculation, which is what makes the paper's
+//! workload hard to balance: the spike protein's 9–68-atom fragments spread
+//! per-fragment runtimes by ~19x.
+
+/// Abstract cost of processing one fragment (arbitrary time units): a
+/// constant per-fragment overhead plus the cubic electronic-structure term.
+/// `cost_model(9) : cost_model(35)` ≈ 1 : 5.5, matching the 5.4x spread the
+/// paper quotes for the Fig. 8 protein, and `cost_model(9) : cost_model(68)`
+/// ≈ 1 : 19, matching the Section IV-B figure.
+pub fn cost_model(atoms: u32) -> f64 {
+    let a = atoms as f64;
+    // Effective measured scaling: the asymptotic cubic cost of the
+    // electronic structure is tempered by per-fragment constant overheads
+    // (I/O, setup, small-matrix inefficiency). `179 + a²` reproduces both
+    // measured spreads the paper quotes: 9→35 atoms ≈ 5.4x (Fig. 8) and
+    // 9→68 atoms ≈ 19x (Section IV-B).
+    179.0 + a * a
+}
+
+/// One fragment's workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FragmentWorkItem {
+    /// Stable fragment id.
+    pub id: u32,
+    /// Fragment size in atoms (including link hydrogens).
+    pub atoms: u32,
+}
+
+impl FragmentWorkItem {
+    /// Cost in abstract time units.
+    pub fn cost(&self) -> f64 {
+        cost_model(self.atoms)
+    }
+}
+
+/// A task: one or more fragments packed together by the load balancer and
+/// dispatched to a single leader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// Task id (unique per balancer instance).
+    pub id: u32,
+    /// Packed fragments.
+    pub fragments: Vec<FragmentWorkItem>,
+}
+
+impl Task {
+    /// Total cost of the packed fragments.
+    pub fn cost(&self) -> f64 {
+        self.fragments.iter().map(|f| f.cost()).sum()
+    }
+
+    /// Number of fragments in the task.
+    pub fn len(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// True for an empty task (never produced by the balancer).
+    pub fn is_empty(&self) -> bool {
+        self.fragments.is_empty()
+    }
+}
+
+/// Builds the water-dimer benchmark workload: `n` uniform 6-atom fragments
+/// (the ORISE water-dimer study of Figs. 8, 10, 11).
+pub fn water_dimer_workload(n: usize) -> Vec<FragmentWorkItem> {
+    (0..n).map(|i| FragmentWorkItem { id: i as u32, atoms: 6 }).collect()
+}
+
+/// Builds a protein-like workload with fragment sizes drawn from the
+/// 9–35-atom range of the Fig. 8 study (deterministic, seeded).
+pub fn protein_workload(n: usize, seed: u64) -> Vec<FragmentWorkItem> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (0..n)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Triangular-ish distribution over 9..=35 (mid sizes common).
+            let a = 9 + ((state >> 33) % 27) as u32;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = 9 + ((state >> 33) % 27) as u32;
+            FragmentWorkItem { id: i as u32, atoms: (a + b) / 2 }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_spread_matches_paper() {
+        let r35 = cost_model(35) / cost_model(9);
+        assert!((4.5..6.5).contains(&r35), "9->35 spread {r35} (paper: ~5.4x)");
+        let r68 = cost_model(68) / cost_model(9);
+        assert!((15.0..25.0).contains(&r68), "9->68 spread {r68} (paper: ~19x)");
+    }
+
+    #[test]
+    fn cost_monotone_in_size() {
+        for a in 6..68 {
+            assert!(cost_model(a + 1) > cost_model(a));
+        }
+    }
+
+    #[test]
+    fn task_cost_sums() {
+        let t = Task {
+            id: 0,
+            fragments: vec![
+                FragmentWorkItem { id: 0, atoms: 6 },
+                FragmentWorkItem { id: 1, atoms: 6 },
+            ],
+        };
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert!((t.cost() - 2.0 * cost_model(6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workload_builders() {
+        let w = water_dimer_workload(100);
+        assert_eq!(w.len(), 100);
+        assert!(w.iter().all(|f| f.atoms == 6));
+        let p = protein_workload(1000, 42);
+        assert!(p.iter().all(|f| (9..=35).contains(&f.atoms)));
+        let min = p.iter().map(|f| f.atoms).min().unwrap();
+        let max = p.iter().map(|f| f.atoms).max().unwrap();
+        assert!(min <= 12 && max >= 32, "distribution should span the range: {min}..{max}");
+        // Deterministic.
+        assert_eq!(p, protein_workload(1000, 42));
+        assert_ne!(p, protein_workload(1000, 43));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the scheduling stack: policy completeness, simulator
+//! conservation laws, and runtime correctness under failure injection.
+
+use proptest::prelude::*;
+use qfr_sched::balancer::{Policy, RandomPolicy, RoundRobinPolicy, SizeSensitivePolicy};
+use qfr_sched::runtime::{run_master_leader_worker, RuntimeConfig};
+use qfr_sched::simulator::{simulate, SimConfig};
+use qfr_sched::task::FragmentWorkItem;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn workload(sizes: &[u32]) -> Vec<FragmentWorkItem> {
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &atoms)| FragmentWorkItem { id: i as u32, atoms: atoms.clamp(3, 80) })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_policy_schedules_every_fragment_once(
+        sizes in prop::collection::vec(3u32..80, 1..300),
+        chunk in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let frags = workload(&sizes);
+        let n = frags.len();
+        let policies: Vec<Box<dyn Policy>> = vec![
+            Box::new(SizeSensitivePolicy::with_defaults(frags.clone())),
+            Box::new(RoundRobinPolicy::new(frags.clone(), chunk)),
+            Box::new(RandomPolicy::new(frags, chunk, seed)),
+        ];
+        for mut p in policies {
+            let mut seen = HashSet::new();
+            while let Some(t) = p.next_task() {
+                prop_assert!(!t.is_empty());
+                for f in &t.fragments {
+                    prop_assert!(seen.insert(f.id), "fragment {} twice", f.id);
+                }
+            }
+            prop_assert_eq!(seen.len(), n);
+        }
+    }
+
+    #[test]
+    fn simulator_conserves_work(
+        sizes in prop::collection::vec(3u32..80, 1..400),
+        n_leaders in 1usize..64,
+        seed in 0u64..1000,
+    ) {
+        let frags = workload(&sizes);
+        let total_cost: f64 = frags.iter().map(|f| f.cost()).sum();
+        let report = simulate(
+            Box::new(SizeSensitivePolicy::with_defaults(frags)),
+            &SimConfig { n_leaders, seed, speed_jitter: 0.0, ..Default::default() },
+        );
+        prop_assert_eq!(report.fragments, sizes.len());
+        // With unit speeds, busy time sums exactly to total cost.
+        let busy: f64 = report.node_busy.iter().sum();
+        prop_assert!((busy - total_cost).abs() < 1e-6 * total_cost.max(1.0));
+        // Makespan bounds: total/n <= makespan (no node exceeds it).
+        prop_assert!(report.makespan + 1e-9 >= total_cost / n_leaders as f64);
+        for &f in &report.node_finish {
+            prop_assert!(f <= report.makespan + 1e-9);
+        }
+    }
+
+    #[test]
+    fn runtime_recovers_from_any_single_failure(
+        sizes in prop::collection::vec(3u32..40, 2..60),
+        victim in 0usize..60,
+        leaders in 1usize..5,
+    ) {
+        let frags = workload(&sizes);
+        let n = frags.len();
+        let victim_id = (victim % n) as u32;
+        let failures = AtomicUsize::new(0);
+        let report = run_master_leader_worker(
+            Box::new(SizeSensitivePolicy::with_defaults(frags)),
+            |f| {
+                !(f.id == victim_id && failures.fetch_add(1, Ordering::SeqCst) == 0)
+            },
+            RuntimeConfig { n_leaders: leaders, workers_per_leader: 1, prefetch: true, ..Default::default() },
+        );
+        prop_assert_eq!(report.fragments_done, n, "lost fragments after failure");
+        prop_assert!(report.requeues >= 1);
+    }
+}

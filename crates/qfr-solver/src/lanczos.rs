@@ -1,0 +1,200 @@
+//! The Lanczos process with full reorthogonalization.
+//!
+//! A `k`-step Lanczos run on a symmetric operator `H` with starting vector
+//! `q_1 = d/|d|` produces orthonormal `q_1..q_k` and a tridiagonal `T_k`
+//! with `H Q_k = Q_k T_k + β_k q_{k+1} e_kᵀ` (Eq. (6) of the paper). For the
+//! modest `k` the spectral solver needs (tens to a few hundred), full
+//! reorthogonalization against all stored vectors is affordable and keeps
+//! the quadrature weights clean — exactly the regime the paper operates in.
+
+use qfr_linalg::sparse::MatVec;
+use qfr_linalg::vecops;
+
+/// Output of a Lanczos run.
+#[derive(Debug, Clone)]
+pub struct LanczosResult {
+    /// Diagonal entries α_1..α_m of `T` (m ≤ requested k on breakdown).
+    pub alpha: Vec<f64>,
+    /// Subdiagonal entries β_1..β_{m-1} of `T`.
+    pub beta: Vec<f64>,
+    /// The residual norm β_m coupling to q_{m+1} (0 on exact breakdown);
+    /// the GAGQ augmentation consumes this.
+    pub beta_last: f64,
+    /// `|d|` of the starting vector (the functional is scaled by `|d|²`).
+    pub start_norm: f64,
+}
+
+impl LanczosResult {
+    /// Number of completed steps.
+    pub fn steps(&self) -> usize {
+        self.alpha.len()
+    }
+}
+
+/// Runs `k` Lanczos steps of `h` starting from `d`.
+///
+/// Returns early (fewer steps) on invariant-subspace breakdown. A zero `d`
+/// yields an empty result with `start_norm == 0`.
+///
+/// # Panics
+/// Panics if `d.len() != h.dim()`.
+pub fn lanczos(h: &dyn MatVec, d: &[f64], k: usize) -> LanczosResult {
+    let n = h.dim();
+    assert_eq!(d.len(), n, "starting vector length mismatch");
+    let start_norm = vecops::norm2(d);
+    if start_norm == 0.0 || k == 0 || n == 0 {
+        return LanczosResult { alpha: vec![], beta: vec![], beta_last: 0.0, start_norm };
+    }
+
+    let mut q: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let mut q1 = d.to_vec();
+    vecops::scale(1.0 / start_norm, &mut q1);
+    q.push(q1);
+
+    let mut alpha = Vec::with_capacity(k);
+    let mut beta: Vec<f64> = Vec::with_capacity(k.saturating_sub(1));
+    let mut beta_last = 0.0;
+    let mut w = vec![0.0; n];
+
+    for j in 0..k {
+        h.apply(&q[j], &mut w);
+        let a_j = vecops::dot(&q[j], &w);
+        alpha.push(a_j);
+        // w <- w - a_j q_j - b_{j-1} q_{j-1}
+        vecops::axpy(-a_j, &q[j], &mut w);
+        if j > 0 {
+            let b_prev = beta[j - 1];
+            vecops::axpy(-b_prev, &q[j - 1], &mut w);
+        }
+        // Full reorthogonalization (twice is enough, and cheap at small k).
+        for _ in 0..2 {
+            for qi in &q {
+                let c = vecops::dot(qi, &w);
+                if c != 0.0 {
+                    vecops::axpy(-c, qi, &mut w);
+                }
+            }
+        }
+        let b_j = vecops::norm2(&w);
+        if j + 1 == k {
+            beta_last = b_j;
+            break;
+        }
+        if b_j < 1e-12 * start_norm.max(1.0) {
+            // Invariant subspace: T is exact, stop early.
+            beta_last = 0.0;
+            break;
+        }
+        beta.push(b_j);
+        let mut qn = std::mem::replace(&mut w, vec![0.0; n]);
+        vecops::scale(1.0 / b_j, &mut qn);
+        q.push(qn);
+    }
+
+    LanczosResult { alpha, beta, beta_last, start_norm }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfr_linalg::tridiag::tridiagonal_eigen;
+    use qfr_linalg::DMatrix;
+
+    fn sym_sample(n: usize, seed: u64) -> DMatrix {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut m = DMatrix::from_fn(n, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        });
+        m.symmetrize_mut();
+        m
+    }
+
+    #[test]
+    fn full_run_reproduces_spectrum() {
+        // k = n Lanczos on a small matrix: T eigenvalues == A eigenvalues.
+        let n = 12;
+        let a = sym_sample(n, 1);
+        let d: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.1).collect();
+        let res = lanczos(&a, &d, n);
+        assert_eq!(res.steps(), n);
+        let (tvals, _) = tridiagonal_eigen(&res.alpha, &res.beta);
+        let avals = qfr_linalg::eigen::symmetric_eigen(&a).eigenvalues;
+        for (t, av) in tvals.iter().zip(&avals) {
+            assert!((t - av).abs() < 1e-8, "{t} vs {av}");
+        }
+    }
+
+    #[test]
+    fn moments_match() {
+        // d^T H^p d == |d|^2 (T^p)_{11} for p < k.
+        let n = 20;
+        let a = sym_sample(n, 2);
+        let d: Vec<f64> = (0..n).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+        let k = 6;
+        let res = lanczos(&a, &d, k);
+        // Build dense T.
+        let m = res.steps();
+        let mut t = DMatrix::zeros(m, m);
+        for i in 0..m {
+            t[(i, i)] = res.alpha[i];
+            if i + 1 < m {
+                t[(i, i + 1)] = res.beta[i];
+                t[(i + 1, i)] = res.beta[i];
+            }
+        }
+        // p = 3: d^T H^3 d.
+        let hd = a.matvec(&d);
+        let h2d = a.matvec(&hd);
+        let h3d = a.matvec(&h2d);
+        let lhs = vecops::dot(&d, &h3d);
+        let t2 = qfr_linalg::gemm::matmul(&t, &t);
+        let t3 = qfr_linalg::gemm::matmul(&t2, &t);
+        let rhs = res.start_norm * res.start_norm * t3[(0, 0)];
+        assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn breakdown_on_invariant_subspace() {
+        // Start vector = eigenvector of a diagonal matrix -> 1 step.
+        let a = DMatrix::from_diagonal(&[1.0, 2.0, 3.0]);
+        let d = vec![1.0, 0.0, 0.0];
+        let res = lanczos(&a, &d, 3);
+        assert_eq!(res.steps(), 1);
+        assert!((res.alpha[0] - 1.0).abs() < 1e-14);
+        assert_eq!(res.beta_last, 0.0);
+    }
+
+    #[test]
+    fn zero_start_vector() {
+        let a = DMatrix::identity(4);
+        let res = lanczos(&a, &[0.0; 4], 3);
+        assert_eq!(res.steps(), 0);
+        assert_eq!(res.start_norm, 0.0);
+    }
+
+    #[test]
+    fn beta_last_positive_mid_spectrum() {
+        let a = sym_sample(30, 3);
+        let d = vec![1.0; 30];
+        let res = lanczos(&a, &d, 5);
+        assert_eq!(res.steps(), 5);
+        assert_eq!(res.beta.len(), 4);
+        assert!(res.beta_last > 0.0, "k << n must leave a residual");
+        assert!((res.start_norm - (30.0_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigenvalue_interlacing() {
+        // Lanczos Ritz values lie within the spectrum of A.
+        let a = sym_sample(25, 4);
+        let avals = qfr_linalg::eigen::symmetric_eigen(&a).eigenvalues;
+        let (lo, hi) = (avals[0], avals[24]);
+        let d = vec![1.0; 25];
+        let res = lanczos(&a, &d, 8);
+        let (tvals, _) = tridiagonal_eigen(&res.alpha, &res.beta);
+        for t in tvals {
+            assert!(t >= lo - 1e-9 && t <= hi + 1e-9, "Ritz value {t} outside [{lo},{hi}]");
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Orientation-averaged Raman spectra (Eq. (4)) via Lanczos/GAGQ or dense
+//! diagonalization.
+//!
+//! Eq. (4) of the paper:
+//!
+//! ```text
+//! R_p ∝ (3/2) (Σ_i ∂α_ii/∂Q_p)² + (21/2) Σ_ij (∂α_ij/∂Q_p)²
+//! ```
+//!
+//! Writing `d_c = ∂α_c/∂ξ` (mass-weighted Cartesian derivatives of tensor
+//! component `c`), each squared mode sum becomes a matrix functional
+//! `d_cᵀ δ(ω−H) d_c`, because `∂α/∂Q_p = d · e_p` (Eq. (2)) and the `e_p`
+//! are the eigenvectors of `H`. The isotropic cross terms use the combined
+//! vector `d_iso = d_xx + d_yy + d_zz`. Seven Lanczos runs therefore yield
+//! the full orientation-averaged intensity without any eigenvectors:
+//!
+//! ```text
+//! I(ω) = (3/2) S_iso(ω)
+//!      + (21/2) [S_xx + S_yy + S_zz + 2 (S_xy + S_xz + S_yz)](ω)
+//! ```
+//!
+//! with `S_v(ω) = vᵀ g_σ(ω−H) v`.
+
+use crate::gagq::{averaged_quadrature, gauss_quadrature};
+use crate::lanczos::lanczos;
+use crate::spectrum::SpectralDensity;
+use qfr_linalg::eigen::symmetric_eigen;
+use qfr_linalg::sparse::MatVec;
+use qfr_linalg::vecops;
+use qfr_linalg::DMatrix;
+
+/// Options for the spectral solve.
+#[derive(Debug, Clone, Copy)]
+pub struct RamanOptions {
+    /// Lanczos steps per starting vector.
+    pub lanczos_steps: usize,
+    /// Gaussian smearing σ in cm⁻¹ (paper: 5 gas phase, 20 solvated).
+    pub sigma: f64,
+    /// Grid lower bound (cm⁻¹).
+    pub grid_lo: f64,
+    /// Grid upper bound (cm⁻¹).
+    pub grid_hi: f64,
+    /// Grid points.
+    pub grid_points: usize,
+    /// Use the GAGQ augmented rule (`false` = plain Gauss, for the
+    /// ablation bench).
+    pub use_gagq: bool,
+    /// Modes below this wavenumber are dropped (acoustic filter, cm⁻¹).
+    pub acoustic_floor: f64,
+}
+
+impl Default for RamanOptions {
+    fn default() -> Self {
+        Self {
+            lanczos_steps: 120,
+            sigma: 5.0,
+            grid_lo: 0.0,
+            grid_hi: 4000.0,
+            grid_points: 2001,
+            use_gagq: true,
+            acoustic_floor: 12.0,
+        }
+    }
+}
+
+/// A computed Raman spectrum.
+pub type RamanSpectrum = SpectralDensity;
+
+/// Weight of each tensor component in the anisotropic sum of Eq. (4):
+/// diagonal components once, off-diagonals twice (ij and ji).
+const COMPONENT_MULTIPLICITY: [f64; 6] = [1.0, 1.0, 1.0, 2.0, 2.0, 2.0];
+
+/// Computes the Raman spectrum via Lanczos/GAGQ from the mass-weighted
+/// Hessian operator and the six mass-weighted polarizability-derivative
+/// vectors (components xx, yy, zz, xy, xz, yz).
+pub fn raman_lanczos(h: &dyn MatVec, dalpha: &[Vec<f64>; 6], opts: &RamanOptions) -> RamanSpectrum {
+    let mut spec = SpectralDensity::zeros(opts.grid_lo, opts.grid_hi, opts.grid_points);
+
+    let quad = |d: &[f64]| {
+        let lz = lanczos(h, d, opts.lanczos_steps);
+        if opts.use_gagq {
+            averaged_quadrature(&lz)
+        } else {
+            gauss_quadrature(&lz)
+        }
+    };
+
+    // Isotropic part: d_iso = d_xx + d_yy + d_zz.
+    let n = h.dim();
+    let mut d_iso = vec![0.0; n];
+    for c in 0..3 {
+        vecops::axpy(1.0, &dalpha[c], &mut d_iso);
+    }
+    spec.accumulate_quadrature(&quad(&d_iso), opts.sigma, 1.5, opts.acoustic_floor);
+
+    // Anisotropic part: every component with its multiplicity.
+    for (c, &mult) in COMPONENT_MULTIPLICITY.iter().enumerate() {
+        spec.accumulate_quadrature(&quad(&dalpha[c]), opts.sigma, 10.5 * mult, opts.acoustic_floor);
+    }
+    spec
+}
+
+/// Dense reference: diagonalizes the mass-weighted Hessian, forms
+/// `∂α/∂Q_p = d · e_p` per mode, applies Eq. (4) and broadens. Only viable
+/// for small systems; used to validate the Lanczos path.
+pub fn raman_dense_reference(
+    h: &DMatrix,
+    dalpha: &[Vec<f64>; 6],
+    opts: &RamanOptions,
+) -> RamanSpectrum {
+    let eig = symmetric_eigen(h);
+    let n = h.rows();
+    let mut sticks = Vec::with_capacity(n);
+    for p in 0..n {
+        let ep = eig.eigenvectors.col(p);
+        let mut da_dq = [0.0f64; 6];
+        for c in 0..6 {
+            da_dq[c] = vecops::dot(&dalpha[c], &ep);
+        }
+        let iso = da_dq[0] + da_dq[1] + da_dq[2];
+        let aniso: f64 = da_dq
+            .iter()
+            .zip(&COMPONENT_MULTIPLICITY)
+            .map(|(d, m)| m * d * d)
+            .sum();
+        let intensity = 1.5 * iso * iso + 10.5 * aniso;
+        let nu = crate::spectrum::node_to_wavenumber(eig.eigenvalues[p]);
+        sticks.push((nu, intensity));
+    }
+    let mut spec = SpectralDensity::zeros(opts.grid_lo, opts.grid_hi, opts.grid_points);
+    spec.accumulate_sticks(&sticks, opts.sigma, opts.acoustic_floor);
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic "mass-weighted Hessian": diagonal blocks with known
+    /// eigenvalues, plus derivative vectors aligned with chosen modes.
+    fn synthetic_problem(n: usize, seed: u64) -> (DMatrix, [Vec<f64>; 6]) {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        // Random PSD matrix with spectrum spread over eigenvalue units
+        // corresponding to 0..~3600 cm-1 (lambda in 0..7.6).
+        let b = DMatrix::from_fn(n, n, |_, _| rnd());
+        let mut h = qfr_linalg::gemm::matmul(&b.transpose(), &b);
+        let scale = 7.6 / h.trace().max(1.0) * n as f64 / 4.0;
+        h.scale_mut(scale);
+        let dalpha: [Vec<f64>; 6] = std::array::from_fn(|_| (0..n).map(|_| rnd()).collect());
+        (h, dalpha)
+    }
+
+    #[test]
+    fn lanczos_matches_dense_reference() {
+        let (h, dalpha) = synthetic_problem(40, 1);
+        let opts = RamanOptions {
+            lanczos_steps: 40,
+            sigma: 40.0,
+            grid_points: 401,
+            ..Default::default()
+        };
+        let dense = raman_dense_reference(&h, &dalpha, &opts);
+        let fast = raman_lanczos(&h, &dalpha, &opts);
+        let sim = dense.cosine_similarity(&fast);
+        assert!(sim > 0.999, "cosine similarity {sim}");
+    }
+
+    #[test]
+    fn truncated_lanczos_still_close() {
+        let (h, dalpha) = synthetic_problem(60, 2);
+        let opts = RamanOptions {
+            lanczos_steps: 25,
+            sigma: 60.0,
+            grid_points: 401,
+            ..Default::default()
+        };
+        let dense = raman_dense_reference(&h, &dalpha, &opts);
+        let fast = raman_lanczos(&h, &dalpha, &opts);
+        let sim = dense.cosine_similarity(&fast);
+        assert!(sim > 0.99, "cosine similarity {sim}");
+    }
+
+    #[test]
+    fn gagq_beats_plain_gauss_when_truncated() {
+        let (h, dalpha) = synthetic_problem(80, 3);
+        let base = RamanOptions {
+            lanczos_steps: 12,
+            sigma: 80.0,
+            grid_points: 301,
+            ..Default::default()
+        };
+        let dense = raman_dense_reference(&h, &dalpha, &base);
+        let with_gagq = raman_lanczos(&h, &dalpha, &base);
+        let without = raman_lanczos(&h, &dalpha, &RamanOptions { use_gagq: false, ..base });
+        let sim_gagq = dense.cosine_similarity(&with_gagq);
+        let sim_plain = dense.cosine_similarity(&without);
+        assert!(
+            sim_gagq >= sim_plain - 1e-6,
+            "GAGQ {sim_gagq} worse than Gauss {sim_plain}"
+        );
+    }
+
+    #[test]
+    fn intensities_nonnegative() {
+        let (h, dalpha) = synthetic_problem(30, 4);
+        let spec = raman_lanczos(&h, &dalpha, &RamanOptions::default());
+        // Eq. (4) is a sum of squares; GAGQ weights are nonnegative, so the
+        // diagonal-component functionals are too. Tiny negative excursions
+        // can only come from floating-point noise.
+        let min = spec.intensities.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = spec.intensities.iter().cloned().fold(0.0_f64, f64::max);
+        assert!(min > -1e-9 * max.max(1.0), "negative intensity {min}");
+    }
+
+    #[test]
+    fn zero_derivatives_give_zero_spectrum() {
+        let (h, _) = synthetic_problem(20, 5);
+        let dalpha: [Vec<f64>; 6] = std::array::from_fn(|_| vec![0.0; 20]);
+        let spec = raman_lanczos(&h, &dalpha, &RamanOptions::default());
+        assert!(spec.intensities.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn single_mode_lands_at_its_frequency() {
+        // H diagonal with one Raman-active mode at lambda chosen for
+        // 1000 cm-1.
+        let lambda = (1000.0f64 / 1302.7914).powi(2);
+        let mut h = DMatrix::zeros(5, 5);
+        h[(0, 0)] = lambda;
+        for i in 1..5 {
+            h[(i, i)] = (3000.0f64 / 1302.7914).powi(2);
+        }
+        let mut dalpha: [Vec<f64>; 6] = std::array::from_fn(|_| vec![0.0; 5]);
+        dalpha[0][0] = 1.0; // only alpha_xx couples, only mode 0
+        let opts = RamanOptions { sigma: 10.0, lanczos_steps: 5, ..Default::default() };
+        let spec = raman_lanczos(&h, &dalpha, &opts);
+        let peak = spec.peak().unwrap();
+        assert!((peak - 1000.0).abs() < 12.0, "peak at {peak}");
+    }
+}

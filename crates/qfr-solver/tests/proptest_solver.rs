@@ -1,0 +1,108 @@
+//! Property tests for the Lanczos/GAGQ spectral solver.
+
+use proptest::prelude::*;
+use qfr_linalg::eigen::symmetric_eigen;
+use qfr_linalg::vecops;
+use qfr_linalg::DMatrix;
+use qfr_solver::gagq::{averaged_quadrature, gauss_quadrature};
+use qfr_solver::lanczos::lanczos;
+use qfr_solver::{raman_dense_reference, raman_lanczos, RamanOptions};
+
+fn psd_matrix(n: usize, seed: u64, scale: f64) -> DMatrix {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let b = DMatrix::from_fn(n, n, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    });
+    let mut h = qfr_linalg::gemm::matmul(&b.transpose(), &b);
+    h.scale_mut(scale / n as f64);
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn quadrature_total_mass_is_d_norm(n in 4..30usize, seed in 0u64..1000, k in 2..12usize) {
+        let h = psd_matrix(n, seed, 5.0);
+        let d: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 7 + seed as usize) % 5) as f64).collect();
+        let lz = lanczos(&h, &d, k.min(n));
+        let norm2: f64 = d.iter().map(|x| x * x).sum();
+        for q in [gauss_quadrature(&lz), averaged_quadrature(&lz)] {
+            let total = q.apply(|_| 1.0);
+            prop_assert!((total - norm2).abs() < 1e-8 * norm2, "mass {total} vs {norm2}");
+            prop_assert!(q.weights.iter().all(|&w| w >= -1e-10), "negative weight");
+        }
+    }
+
+    #[test]
+    fn quadrature_nodes_near_spectrum(n in 4..25usize, seed in 0u64..1000) {
+        // Gauss nodes (Ritz values) lie strictly inside the spectrum.
+        // Averaged (GAGQ) rules are anti-Gaussian-like: a node may fall
+        // slightly OUTSIDE the interval — a known property — but never far.
+        let h = psd_matrix(n, seed, 3.0);
+        let eig = symmetric_eigen(&h);
+        let (lo, hi) = (eig.eigenvalues[0], eig.eigenvalues[n - 1]);
+        let width = (hi - lo).max(1e-12);
+        let d = vec![1.0; n];
+        let lz = lanczos(&h, &d, 6.min(n));
+        for &node in &gauss_quadrature(&lz).nodes {
+            prop_assert!(node >= lo - 1e-7 && node <= hi + 1e-7,
+                "Gauss node {node} outside [{lo},{hi}]");
+        }
+        for &node in &averaged_quadrature(&lz).nodes {
+            prop_assert!(node >= lo - 0.25 * width && node <= hi + 0.25 * width,
+                "GAGQ node {node} too far outside [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn full_lanczos_spectrum_exact(n in 3..15usize, seed in 0u64..1000) {
+        // k = n with reorthogonalization: matrix functional exact for any
+        // smooth f (here a Gaussian).
+        let h = psd_matrix(n, seed, 4.0);
+        let d: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() + 1.5).collect();
+        let lz = lanczos(&h, &d, n);
+        let q = averaged_quadrature(&lz);
+        let g = |x: f64| (-(x - 1.0) * (x - 1.0) / 0.5).exp();
+        let eig = symmetric_eigen(&h);
+        let mut exact = 0.0;
+        for j in 0..n {
+            let c = vecops::dot(&eig.eigenvectors.col(j), &d);
+            exact += c * c * g(eig.eigenvalues[j]);
+        }
+        let approx = q.apply(g);
+        prop_assert!((exact - approx).abs() < 1e-6 * exact.abs().max(1.0),
+            "{exact} vs {approx}");
+    }
+
+    #[test]
+    fn raman_solver_matches_dense(n in 6..30usize, seed in 0u64..500) {
+        let h = psd_matrix(n, seed, 7.0);
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let dalpha: [Vec<f64>; 6] = std::array::from_fn(|_| (0..n).map(|_| rnd()).collect());
+        let opts = RamanOptions { lanczos_steps: n, sigma: 60.0, grid_points: 201, ..Default::default() };
+        let fast = raman_lanczos(&h, &dalpha, &opts);
+        let dense = raman_dense_reference(&h, &dalpha, &opts);
+        let sim = fast.cosine_similarity(&dense);
+        prop_assert!(sim > 0.9999, "similarity {sim}");
+    }
+
+    #[test]
+    fn spectrum_scales_quadratically_with_d(n in 5..20usize, seed in 0u64..500, s in 0.5..3.0f64) {
+        // I ∝ d^T δ(ω-H) d: scaling d by s scales intensities by s².
+        let h = psd_matrix(n, seed, 5.0);
+        let d1: [Vec<f64>; 6] = std::array::from_fn(|c| (0..n).map(|i| ((i + c) % 3) as f64).collect());
+        let d2: [Vec<f64>; 6] = std::array::from_fn(|c| d1[c].iter().map(|x| x * s).collect());
+        let opts = RamanOptions { lanczos_steps: n, sigma: 50.0, grid_points: 101, ..Default::default() };
+        let s1 = raman_lanczos(&h, &d1, &opts);
+        let s2 = raman_lanczos(&h, &d2, &opts);
+        for (a, b) in s1.intensities.iter().zip(&s2.intensities) {
+            prop_assert!((b - s * s * a).abs() < 1e-8 * (1.0 + b.abs()), "{b} vs {}", s * s * a);
+        }
+    }
+}

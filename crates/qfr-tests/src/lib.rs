@@ -1,0 +1,12 @@
+//! # qfr-tests
+//!
+//! Cross-crate integration tests for the QF-RAMAN reproduction. The crate
+//! itself is empty; everything lives under `tests/`:
+//!
+//! - `integration.rs` — end-to-end pipeline invariants, including the
+//!   *exactness* test: for pure water the force field contains no
+//!   inter-molecular terms beyond two-body, so the Eq. (1) fragment
+//!   expansion must reproduce the monolithic whole-system Hessian to
+//!   floating-point accuracy;
+//! - `proptest_pipeline.rs` — property-based tests over randomized systems
+//!   and solver parameters.

@@ -1,0 +1,255 @@
+//! Cross-crate integration tests: geometry → fragmentation → engine →
+//! assembly → solver, plus the runtime executing real engine work.
+
+use qfr_core::{EngineKind, RamanWorkflow};
+use qfr_fragment::{
+    assemble, Decomposition, DecompositionParams, FragmentEngine, FragmentJob, FragmentResponse,
+    JobKind, MassWeighted,
+};
+use qfr_geom::{ProteinBuilder, ResidueKind, SolvatedSystem, WaterBoxBuilder};
+use qfr_model::ForceFieldEngine;
+use qfr_sched::balancer::SizeSensitivePolicy;
+use qfr_sched::runtime::{run_master_leader_worker, RuntimeConfig};
+use qfr_sched::task::FragmentWorkItem;
+
+/// Computes the whole system as ONE fragment (no fragmentation at all).
+fn monolithic_response(
+    sys: &qfr_geom::MolecularSystem,
+    engine: &dyn FragmentEngine,
+) -> FragmentResponse {
+    let job = FragmentJob {
+        kind: JobKind::WaterMonomer { w: 0 },
+        coefficient: 1.0,
+        atoms: (0..sys.n_atoms()).collect(),
+        link_hydrogens: vec![],
+    };
+    engine.compute(&job.structure(sys))
+}
+
+/// THE exactness test: for pure water our force field has only one- and
+/// two-body inter-molecular terms, so the QF expansion of Eq. (1) with
+/// λ ≥ the non-bonded cutoff must equal the monolithic computation
+/// exactly — Hessian and polarizability derivatives alike. This validates
+/// the cap/concap bookkeeping, the coefficient algebra, and the assembly
+/// index mapping end to end.
+#[test]
+fn water_qf_expansion_is_exact() {
+    let sys = WaterBoxBuilder::new(16).seed(3).build();
+    let engine = ForceFieldEngine::new();
+    let params = DecompositionParams {
+        lambda: qfr_model::params::NONBONDED_CUTOFF,
+        ..Default::default()
+    };
+    let d = Decomposition::new(&sys, params);
+    let responses: Vec<FragmentResponse> = d
+        .jobs
+        .iter()
+        .map(|j| engine.compute(&j.structure(&sys)))
+        .collect();
+    let asm = assemble::assemble(&d.jobs, &responses, sys.n_atoms());
+    let qf_dense = asm.hessian.to_dense();
+
+    let mono = monolithic_response(&sys, &engine);
+    let err = qf_dense.max_abs_diff(&mono.hessian);
+    assert!(
+        err < 1e-9,
+        "QF expansion must be exact for a two-body force field: err {err}"
+    );
+    for c in 0..6 {
+        for (i, &v) in asm.dalpha[c].iter().enumerate() {
+            assert!(
+                (v - mono.dalpha[(c, i)]).abs() < 1e-9,
+                "dalpha[{c}][{i}] diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn assembled_hessian_is_symmetric_and_satisfies_asr() {
+    let protein = ProteinBuilder::new(8).seed(4).fold(4, 2).build();
+    let sys = SolvatedSystem::build(&protein, 4.0, 3.1, 2.4, 5);
+    let engine = ForceFieldEngine::new();
+    let d = Decomposition::new(&sys, DecompositionParams::default());
+    let responses: Vec<FragmentResponse> = d
+        .jobs
+        .iter()
+        .map(|j| engine.compute(&j.structure(&sys)))
+        .collect();
+    let asm = assemble::assemble(&d.jobs, &responses, sys.n_atoms());
+    assert!(
+        asm.hessian.max_asymmetry() < 1e-9,
+        "assembled Hessian asymmetry {}",
+        asm.hessian.max_asymmetry()
+    );
+    // Acoustic sum rule within each *link-H-free* subsystem: water rows are
+    // unaffected by cap hydrogens, so their row block sums must vanish.
+    let dense = asm.hessian.to_dense();
+    let w0 = sys.water_atoms(0)[0];
+    for c in 0..3 {
+        let row = 3 * w0 + c;
+        for q in 0..3 {
+            let total: f64 = (0..sys.n_atoms()).map(|b| dense[(row, 3 * b + q)]).sum();
+            assert!(
+                total.abs() < 1e-9,
+                "water acoustic sum rule violated: {total}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gas_phase_protein_bands_match_fig12a() {
+    let sys = ProteinBuilder::new(30).seed(6).build();
+    let result = RamanWorkflow::new(sys).sigma(8.0).lanczos_steps(120).run().unwrap();
+    let mut spec = result.spectrum.clone();
+    spec.normalize_max();
+    let window_max = |lo: f64, hi: f64| {
+        spec.wavenumbers
+            .iter()
+            .zip(&spec.intensities)
+            .filter(|(&w, _)| (lo..hi).contains(&w))
+            .map(|(_, &i)| i)
+            .fold(0.0_f64, f64::max)
+    };
+    // The Fig. 12(a) characteristic regions all carry intensity.
+    assert!(window_max(980.0, 1100.0) > 0.01, "Phe ring breathing missing");
+    assert!(window_max(1200.0, 1360.0) > 0.05, "amide III missing");
+    assert!(window_max(1580.0, 1750.0) > 0.05, "amide I missing");
+    assert!(window_max(2800.0, 3050.0) > 0.05, "C-H stretch missing");
+    // No intensity far above the highest physical band.
+    assert!(window_max(3900.0, 4000.0) < 0.01, "unphysical high-frequency weight");
+}
+
+#[test]
+fn solvation_obscures_protein_but_not_ch_region() {
+    let protein = ProteinBuilder::new(10)
+        .seed(8)
+        .sequence(vec![ResidueKind::Ala; 10])
+        .build();
+    let solvated = SolvatedSystem::build(&protein, 5.0, 3.1, 2.4, 9);
+    let wet = RamanWorkflow::new(solvated).sigma(20.0).run().unwrap();
+    let mut spec = wet.spectrum.clone();
+    spec.normalize_max();
+    let window_max = |lo: f64, hi: f64| {
+        spec.wavenumbers
+            .iter()
+            .zip(&spec.intensities)
+            .filter(|(&w, _)| (lo..hi).contains(&w))
+            .map(|(_, &i)| i)
+            .fold(0.0_f64, f64::max)
+    };
+    // Water dominates ...
+    assert!(window_max(3200.0, 3650.0) > 0.1, "water stretch band missing");
+    // ... but the C-H stretch remains discernible (nonzero local signal
+    // in a window where water has none).
+    assert!(
+        window_max(2850.0, 3050.0) > 1e-4,
+        "C-H signal fully obscured, unlike Fig. 12(b)"
+    );
+}
+
+#[test]
+fn runtime_executes_real_engine_workload() {
+    // The master/leader/worker hierarchy driving REAL per-fragment engine
+    // computations (not synthetic spins).
+    let sys = WaterBoxBuilder::new(40).seed(10).build();
+    let d = Decomposition::new(&sys, DecompositionParams::default());
+    let engine = ForceFieldEngine::new();
+    let items: Vec<FragmentWorkItem> = d
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| FragmentWorkItem { id: i as u32, atoms: j.size() as u32 })
+        .collect();
+    let n_items = items.len();
+    let report = run_master_leader_worker(
+        Box::new(SizeSensitivePolicy::with_defaults(items)),
+        |item| {
+            let job = &d.jobs[item.id as usize];
+            let resp = engine.compute(&job.structure(&sys));
+            resp.hessian.rows() == 3 * job.size()
+        },
+        RuntimeConfig { n_leaders: 3, workers_per_leader: 2, prefetch: true, ..Default::default() },
+    );
+    assert_eq!(report.fragments_done, n_items);
+    assert_eq!(report.requeues, 0);
+}
+
+#[test]
+fn dfpt_and_forcefield_engines_agree_on_shapes() {
+    // Spacing beyond lambda: no pairs, so the monomer jobs survive
+    // with coefficient +1.
+    let sys = WaterBoxBuilder::new(2).seed(11).spacing(4.6).build();
+    let d = Decomposition::new(&sys, DecompositionParams::default());
+    let monomer = d
+        .jobs
+        .iter()
+        .find(|j| matches!(j.kind, JobKind::WaterMonomer { .. }))
+        .unwrap();
+    let frag = monomer.structure(&sys);
+    let ff = ForceFieldEngine::new().compute(&frag);
+    let dfpt = qfr_dfpt::DfptEngine::new().compute(&frag);
+    assert_eq!(ff.hessian.shape(), dfpt.hessian.shape());
+    assert_eq!(ff.dalpha.shape(), dfpt.dalpha.shape());
+    // Both produce symmetric Hessians and nonzero Raman activity.
+    assert!(ff.hessian.is_symmetric(1e-9));
+    assert!(dfpt.hessian.is_symmetric(1e-9));
+    assert!(ff.dalpha.max_abs() > 0.0);
+    assert!(dfpt.dalpha.max_abs() > 0.0);
+}
+
+#[test]
+fn workflow_dfpt_engine_runs_on_pure_water() {
+    // Tiny box so every fragment stays under the DFPT cap.
+    let sys = WaterBoxBuilder::new(2).seed(12).spacing(4.8).build();
+    let result = RamanWorkflow::new(sys)
+        .engine(EngineKind::ModelDfpt)
+        .sigma(60.0)
+        .run()
+        .unwrap();
+    assert_eq!(result.engine, "model-dfpt");
+    assert!(result.spectrum.peak().is_some(), "DFPT spectrum must be nonzero");
+}
+
+#[test]
+fn decomposition_counts_scale_linearly_in_chain_length() {
+    let d50 = Decomposition::new(
+        &ProteinBuilder::new(50).seed(13).build(),
+        DecompositionParams::default(),
+    );
+    let d100 = Decomposition::new(
+        &ProteinBuilder::new(100).seed(13).build(),
+        DecompositionParams::default(),
+    );
+    assert_eq!(d50.stats.n_capped_fragments, 48);
+    assert_eq!(d100.stats.n_capped_fragments, 98);
+    assert_eq!(d50.stats.n_cap_pairs, 47);
+    assert_eq!(d100.stats.n_cap_pairs, 97);
+}
+
+#[test]
+fn mass_weighting_moves_hydrogen_bands_up() {
+    // Swap all masses to carbon's: the O-H stretch region must collapse
+    // downward (frequency ~ 1/sqrt(mass)).
+    let sys = WaterBoxBuilder::new(4).seed(14).build();
+    let engine = ForceFieldEngine::new();
+    let d = Decomposition::new(&sys, DecompositionParams::default());
+    let responses: Vec<FragmentResponse> = d
+        .jobs
+        .iter()
+        .map(|j| engine.compute(&j.structure(&sys)))
+        .collect();
+    let asm = assemble::assemble(&d.jobs, &responses, sys.n_atoms());
+    let true_mw = MassWeighted::new(&asm, &sys.masses());
+    let heavy_mw = MassWeighted::new(&asm, &vec![12.011; sys.n_atoms()]);
+    let opts = qfr_solver::RamanOptions { sigma: 30.0, ..Default::default() };
+    let s_true = qfr_solver::raman_lanczos(&true_mw.hessian, &true_mw.dalpha, &opts);
+    let s_heavy = qfr_solver::raman_lanczos(&heavy_mw.hessian, &heavy_mw.dalpha, &opts);
+    let top_true = s_true.peaks_above(0.02).into_iter().fold(0.0_f64, f64::max);
+    let top_heavy = s_heavy.peaks_above(0.02).into_iter().fold(0.0_f64, f64::max);
+    assert!(
+        top_heavy < top_true,
+        "heavier hydrogens must red-shift the spectrum: {top_heavy} vs {top_true}"
+    );
+}

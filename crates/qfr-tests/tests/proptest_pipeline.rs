@@ -1,0 +1,106 @@
+//! Property-based tests over the whole pipeline.
+
+use proptest::prelude::*;
+use qfr_core::RamanWorkflow;
+use qfr_fragment::{assemble, Decomposition, DecompositionParams, FragmentEngine, FragmentResponse};
+use qfr_geom::{ProteinBuilder, WaterBoxBuilder};
+use qfr_model::ForceFieldEngine;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Eq. (1) exactness for pure water holds for ANY box size and seed.
+    #[test]
+    fn qf_exactness_randomized(n in 2..12usize, seed in 0u64..1000) {
+        let sys = WaterBoxBuilder::new(n).seed(seed).build();
+        let engine = ForceFieldEngine::new();
+        let params = DecompositionParams {
+            lambda: qfr_model::params::NONBONDED_CUTOFF,
+            ..Default::default()
+        };
+        let d = Decomposition::new(&sys, params);
+        let responses: Vec<FragmentResponse> = d
+            .jobs
+            .iter()
+            .map(|j| engine.compute(&j.structure(&sys)))
+            .collect();
+        let asm = assemble::assemble(&d.jobs, &responses, sys.n_atoms());
+        let mono = engine.compute(
+            &qfr_fragment::FragmentJob {
+                kind: qfr_fragment::JobKind::WaterMonomer { w: 0 },
+                coefficient: 1.0,
+                atoms: (0..sys.n_atoms()).collect(),
+                link_hydrogens: vec![],
+            }
+            .structure(&sys),
+        );
+        let err = asm.hessian.to_dense().max_abs_diff(&mono.hessian);
+        prop_assert!(err < 1e-9, "n={n} seed={seed}: err {err}");
+    }
+
+    /// Every atom enters the Eq. (1) sums exactly once, for any mixed
+    /// system.
+    #[test]
+    fn coverage_invariant(n_res in 1..8usize, n_waters in 0..20usize, seed in 0u64..500) {
+        let mut sys = ProteinBuilder::new(n_res).seed(seed).build();
+        if n_waters > 0 {
+            let waters = WaterBoxBuilder::new(n_waters).seed(seed + 1).build();
+            // Shift waters away from the protein, then append.
+            let offset = qfr_geom::Vec3::new(200.0, 0.0, 0.0);
+            for a in &waters.atoms {
+                sys.atoms.push(qfr_geom::Atom { element: a.element, position: a.position + offset });
+            }
+            let base = sys.bonds.len();
+            let shift = sys.atoms.len() - waters.atoms.len();
+            for b in &waters.bonds {
+                let mut nb = *b;
+                nb.i += shift;
+                nb.j += shift;
+                sys.bonds.push(nb);
+            }
+            sys.n_waters = n_waters;
+            let _ = base;
+        }
+        prop_assert!(sys.validate().is_empty());
+        let d = Decomposition::new(&sys, DecompositionParams::default());
+        for (a, c) in d.atom_coverage(sys.n_atoms()).iter().enumerate() {
+            prop_assert!((c - 1.0).abs() < 1e-12, "atom {a} covered {c}x");
+        }
+    }
+
+    /// The spectrum is invariant (to solver accuracy) under rigid
+    /// translation of the whole system.
+    #[test]
+    fn spectrum_translation_invariant(seed in 0u64..200, dx in -50.0..50.0f64) {
+        let sys = WaterBoxBuilder::new(5).seed(seed).build();
+        let mut moved = sys.clone();
+        for a in &mut moved.atoms {
+            a.position += qfr_geom::Vec3::new(dx, -dx * 0.5, 1.0);
+        }
+        let s1 = RamanWorkflow::new(sys).sigma(30.0).run().unwrap();
+        let s2 = RamanWorkflow::new(moved).sigma(30.0).run().unwrap();
+        let sim = s1.spectrum.cosine_similarity(&s2.spectrum);
+        prop_assert!(sim > 0.99999, "translation changed the spectrum: {sim}");
+    }
+
+    /// Lanczos spectra converge monotonically-ish to the dense reference
+    /// as k grows (similarity at 2k never much worse than at k).
+    #[test]
+    fn lanczos_convergence(seed in 0u64..100) {
+        let sys = WaterBoxBuilder::new(6).seed(seed).build();
+        let base = RamanWorkflow::new(sys).sigma(40.0);
+        let dense = base.run_dense_reference().unwrap();
+        let sim_k = |k: usize| {
+            base.clone()
+                .lanczos_steps(k)
+                .run()
+                .unwrap()
+                .spectrum
+                .cosine_similarity(&dense.spectrum)
+        };
+        let s20 = sim_k(20);
+        let s80 = sim_k(80);
+        prop_assert!(s80 > 0.995, "k=80 similarity {s80}");
+        prop_assert!(s80 >= s20 - 0.02, "convergence regressed: {s20} -> {s80}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Protein in an explicit water box — the Fig. 12(b) scenario.
+//!
+//! The paper's headline system is the SARS-CoV-2 spike protein solvated in
+//! water (101,299,008 atoms). This example reproduces the *physics* of
+//! Fig. 12(b) at a workstation scale: it computes the gas-phase protein
+//! spectrum and the solvated spectrum, showing how the water bands (O–H
+//! bend ≈ 1640 cm⁻¹, stretch ≈ 3400 cm⁻¹) obscure the protein signal while
+//! the C–H stretch region (≈ 2900 cm⁻¹) remains discernible.
+//!
+//! ```sh
+//! cargo run --release -p qfr-core --example solvated_protein -- 40
+//! ```
+
+use qfr_core::RamanWorkflow;
+use qfr_geom::{ProteinBuilder, SolvatedSystem};
+
+fn main() {
+    let n_residues: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+
+    let protein = ProteinBuilder::new(n_residues).seed(11).build();
+    println!("protein: {} atoms", protein.n_atoms());
+
+    // Solvate with a 6 A padding shell of water.
+    let solvated = SolvatedSystem::build(&protein, 6.0, 3.1, 2.4, 13);
+    println!(
+        "solvated: {} atoms total ({} waters)",
+        solvated.n_atoms(),
+        solvated.n_waters
+    );
+
+    let gas = RamanWorkflow::new(protein)
+        .sigma(5.0)
+        .run()
+        .expect("gas-phase run failed");
+    let wet = RamanWorkflow::new(solvated)
+        .sigma(20.0) // the paper's solvated smearing
+        .run()
+        .expect("solvated run failed");
+
+    println!("\ngas phase : {}", gas.summary());
+    println!("solvated  : {}", wet.summary());
+
+    let mut gas_spec = gas.spectrum.clone();
+    let mut wet_spec = wet.spectrum.clone();
+    gas_spec.normalize_max();
+    wet_spec.normalize_max();
+
+    // The Fig. 12(b) observation: water obscures the mid-range protein
+    // bands but the C-H stretch remains visible next to the O-H stretch.
+    let value_at = |spec: &qfr_solver::RamanSpectrum, nu: f64| -> f64 {
+        let idx = spec
+            .wavenumbers
+            .iter()
+            .position(|&w| w >= nu)
+            .unwrap_or(spec.wavenumbers.len() - 1);
+        spec.intensities[idx]
+    };
+    println!("\nrelative intensity (normalized to each spectrum's max):");
+    for (label, nu) in [
+        ("amide I  1650", 1650.0),
+        ("water bend 1640", 1640.0),
+        ("C-H str  2900", 2900.0),
+        ("O-H str  3400", 3400.0),
+    ] {
+        println!(
+            "  {label:>16} cm-1 | gas {:>6.3} | solvated {:>6.3}",
+            value_at(&gas_spec, nu),
+            value_at(&wet_spec, nu)
+        );
+    }
+    println!("\nsolvated spectrum:\n{}", wet_spec.ascii_plot(35, 60));
+}
