@@ -52,12 +52,9 @@ fn bench_gemm(c: &mut Criterion) {
 fn bench_batched_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("batched_gemm");
     // The paper's regime: many scattered ~24x24 GEMMs.
-    let jobs: Vec<GemmJob> = (0..128)
-        .map(|i| GemmJob::new(sample(24, 24, i), sample(24, 24, 500 + i)))
-        .collect();
-    group.bench_function("scattered_128x24", |b| {
-        b.iter(|| execute_scattered(black_box(&jobs)))
-    });
+    let jobs: Vec<GemmJob> =
+        (0..128).map(|i| GemmJob::new(sample(24, 24, i), sample(24, 24, 500 + i))).collect();
+    group.bench_function("scattered_128x24", |b| b.iter(|| execute_scattered(black_box(&jobs))));
     group.bench_function("batched_stride32_128x24", |b| {
         b.iter(|| execute_batched(black_box(&jobs), 32))
     });

@@ -17,13 +17,8 @@ use qfr_sched::task::protein_workload;
 fn main() {
     let n_frag = 88_800;
     let nodes = 3000;
-    header(&format!(
-        "Balancer ablation — {n_frag} protein fragments on {nodes} nodes"
-    ));
-    row(
-        &["policy", "variation", "makespan", "tasks", "norm. makespan"],
-        &[18, 18, 12, 10, 15],
-    );
+    header(&format!("Balancer ablation — {n_frag} protein fragments on {nodes} nodes"));
+    row(&["policy", "variation", "makespan", "tasks", "norm. makespan"], &[18, 18, 12, 10, 15]);
 
     let cfg = SimConfig { n_leaders: nodes, ..Default::default() };
     let policies: Vec<(&str, Box<dyn Policy>)> = vec![
@@ -31,18 +26,9 @@ fn main() {
             "size-sensitive",
             Box::new(SizeSensitivePolicy::with_defaults(protein_workload(n_frag, 1))),
         ),
-        (
-            "sorted-singleton",
-            Box::new(SortedSingletonPolicy::new(protein_workload(n_frag, 1))),
-        ),
-        (
-            "round-robin",
-            Box::new(RoundRobinPolicy::new(protein_workload(n_frag, 1), 8)),
-        ),
-        (
-            "random-chunks",
-            Box::new(RandomPolicy::new(protein_workload(n_frag, 1), 8, 5)),
-        ),
+        ("sorted-singleton", Box::new(SortedSingletonPolicy::new(protein_workload(n_frag, 1)))),
+        ("round-robin", Box::new(RoundRobinPolicy::new(protein_workload(n_frag, 1), 8))),
+        ("random-chunks", Box::new(RandomPolicy::new(protein_workload(n_frag, 1), 8, 5))),
     ];
 
     let mut best = f64::INFINITY;

@@ -1,0 +1,115 @@
+//! Ablation: fault-rate sweep through the discrete-event simulator.
+//!
+//! At the paper's scale (96,000 Sunway nodes, multi-hour runs) node and
+//! task failures are routine — `MachineModel::expected_node_failures`
+//! predicts tens per run — so the scheduler's recovery machinery is load-
+//! bearing, not defensive. This study sweeps the injected per-attempt
+//! failure rate over a protein workload and reports how retries,
+//! quarantine, and makespan respond, plus a straggler re-issue on/off
+//! comparison at a fixed failure rate using `work_complete_time` (the
+//! honest "workload done" clock — a suppressed duplicate can keep one
+//! node busy past it).
+
+use qfr_bench::{header, pct, row, write_record};
+use qfr_sched::balancer::SizeSensitivePolicy;
+use qfr_sched::fault::{FaultPlan, RecoveryPolicy};
+use qfr_sched::simulator::{simulate, SimConfig};
+use qfr_sched::task::protein_workload;
+
+fn main() {
+    let n_frag = 20_000;
+    let nodes = 500;
+    let rates = [0.0, 1e-3, 1e-2, 0.05, 0.1, 0.2];
+
+    header(&format!(
+        "Fault ablation — {n_frag} protein fragments on {nodes} nodes, failure-rate sweep"
+    ));
+    row(
+        &["fail rate", "retries", "quarantined", "fragments", "makespan", "inflation"],
+        &[10, 9, 12, 10, 12, 10],
+    );
+
+    let base = SimConfig {
+        n_leaders: nodes,
+        recovery: RecoveryPolicy { max_attempts: 3, backoff_base: 0.5, ..Default::default() },
+        ..Default::default()
+    };
+    let mut clean_makespan = 0.0;
+    let mut records = Vec::new();
+    for &rate in &rates {
+        let report = simulate(
+            Box::new(SizeSensitivePolicy::with_defaults(protein_workload(n_frag, 1))),
+            &SimConfig { faults: FaultPlan::with_failure_rate(2024, rate), ..base.clone() },
+        );
+        if rate == 0.0 {
+            clean_makespan = report.makespan;
+        }
+        let inflation = report.makespan / clean_makespan - 1.0;
+        row(
+            &[
+                &format!("{rate:.3}"),
+                &report.retries.to_string(),
+                &report.quarantined_fragments.len().to_string(),
+                &report.fragments.to_string(),
+                &format!("{:.0}", report.makespan),
+                &pct(inflation),
+            ],
+            &[10, 9, 12, 10, 12, 10],
+        );
+        records.push(format!(
+            "{{\"rate\":{rate},\"retries\":{},\"quarantined\":{},\"fragments\":{},\"makespan\":{},\"inflation\":{inflation}}}",
+            report.retries,
+            report.quarantined_fragments.len(),
+            report.fragments,
+            report.makespan,
+        ));
+    }
+
+    // Straggler-only plan: mixing in attempt failures would hide the
+    // re-issue effect, because a failing attempt fails on every copy and
+    // its retry has to wait for the slowest copy to finish either way.
+    header("Straggler re-issue on/off — 1% stragglers at 50x latency, no failures");
+    let plan = FaultPlan::with_stragglers(7, 0.01, 50.0);
+    let with = simulate(
+        Box::new(SizeSensitivePolicy::with_defaults(protein_workload(n_frag, 1))),
+        &SimConfig { faults: plan.clone(), ..base.clone() },
+    );
+    let without = simulate(
+        Box::new(SizeSensitivePolicy::with_defaults(protein_workload(n_frag, 1))),
+        &SimConfig {
+            faults: plan,
+            recovery: RecoveryPolicy { straggler_factor: None, ..base.recovery },
+            ..base
+        },
+    );
+    row(&["re-issue", "work done at", "makespan", "reissues", "suppressed"], &[10, 14, 12, 10, 12]);
+    for (name, r) in [("on", &with), ("off", &without)] {
+        row(
+            &[
+                name,
+                &format!("{:.0}", r.work_complete_time),
+                &format!("{:.0}", r.makespan),
+                &r.reissues.to_string(),
+                &r.duplicates_suppressed.to_string(),
+            ],
+            &[10, 14, 12, 10, 12],
+        );
+    }
+    let gain = 1.0 - with.work_complete_time / without.work_complete_time;
+    println!(
+        "\nReading: retries grow linearly in the failure rate while quarantine\n\
+         stays rare until the rate approaches the retry budget; makespan\n\
+         inflation tracks the retry volume. Straggler re-issue finishes the\n\
+         workload {} earlier (work_complete_time, not makespan: the\n\
+         suppressed original still occupies its node to the end). With\n\
+         attempt failures mixed in, the tail is retry-bound instead —\n\
+         a failing attempt fails on every copy, so re-issue cannot\n\
+         shortcut its retry.",
+        pct(gain)
+    );
+    records.push(format!(
+        "{{\"study\":\"straggler\",\"work_done_on\":{},\"work_done_off\":{},\"gain\":{gain}}}",
+        with.work_complete_time, without.work_complete_time
+    ));
+    write_record("ablation_faults", &format!("[{}]", records.join(",")));
+}

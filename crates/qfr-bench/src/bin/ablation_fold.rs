@@ -15,20 +15,13 @@ use qfr_geom::{FoldStyle, ProteinBuilder};
 fn main() {
     let n_residues = 600;
     header(&format!("Fold ablation — {n_residues} residues, λ = 4 Å"));
-    row(
-        &["fold", "concaps", "per residue", "|i-j| in 3..=4", "|i-j| > 8"],
-        &[12, 10, 12, 15, 10],
-    );
+    row(&["fold", "concaps", "per residue", "|i-j| in 3..=4", "|i-j| > 8"], &[12, 10, 12, 15, 10]);
 
     let mut records = Vec::new();
-    for (label, style) in [
-        ("serpentine", FoldStyle::Serpentine),
-        ("alpha-helix", FoldStyle::alpha_helix()),
-    ] {
-        let sys = ProteinBuilder::new(n_residues)
-            .seed(5)
-            .fold_style(style)
-            .build();
+    for (label, style) in
+        [("serpentine", FoldStyle::Serpentine), ("alpha-helix", FoldStyle::alpha_helix())]
+    {
+        let sys = ProteinBuilder::new(n_residues).seed(5).fold_style(style).build();
         let d = Decomposition::new(&sys, DecompositionParams::default());
         let (mut short, mut long) = (0usize, 0usize);
         for job in &d.jobs {

@@ -24,10 +24,7 @@ fn main() {
     let dense = base.run_dense_reference().expect("dense reference");
 
     header("GAGQ ablation — accuracy vs Lanczos steps");
-    row(
-        &["k", "Gauss sim.", "GAGQ sim.", "Gauss t(s)", "GAGQ t(s)"],
-        &[6, 12, 12, 12, 12],
-    );
+    row(&["k", "Gauss sim.", "GAGQ sim.", "Gauss t(s)", "GAGQ t(s)"], &[6, 12, 12, 12, 12]);
     let mut records = Vec::new();
     for k in [5usize, 10, 20, 40, 80, 160] {
         let opts = |gagq: bool| RamanOptions {
@@ -68,7 +65,9 @@ fn main() {
     // ----- KPM baseline at matched matvec budgets -----
     header("KPM baseline (Jackson-damped Chebyshev) vs Lanczos/GAGQ");
     {
-        use qfr_fragment::{assemble, Decomposition, DecompositionParams, FragmentEngine, MassWeighted};
+        use qfr_fragment::{
+            assemble, Decomposition, DecompositionParams, FragmentEngine, MassWeighted,
+        };
         use qfr_model::ForceFieldEngine;
         let sys = qfr_geom::WaterBoxBuilder::new(40).seed(3).build();
         let engine = ForceFieldEngine::new();
@@ -77,7 +76,8 @@ fn main() {
         let asm = assemble::assemble(&d.jobs, &responses, sys.n_atoms());
         let mw = MassWeighted::new(&asm, &sys.masses());
         let dense_opts = RamanOptions { sigma: 25.0, ..Default::default() };
-        let dense_ref = qfr_solver::raman_dense_reference(&mw.hessian.to_dense(), &mw.dalpha, &dense_opts);
+        let dense_ref =
+            qfr_solver::raman_dense_reference(&mw.hessian.to_dense(), &mw.dalpha, &dense_opts);
         row(&["matvecs/vector", "Lanczos+GAGQ sim.", "KPM sim."], &[14, 18, 12]);
         for budget in [32usize, 64, 128, 256] {
             let lz_opts = RamanOptions { lanczos_steps: budget, sigma: 25.0, ..Default::default() };
@@ -85,13 +85,8 @@ fn main() {
                 .cosine_similarity(&dense_ref);
             let kpm = qfr_solver::raman_kpm(&mw.hessian, &mw.dalpha, budget, &lz_opts)
                 .cosine_similarity(&dense_ref);
-            row(
-                &[&budget.to_string(), &format!("{lz:.5}"), &format!("{kpm:.5}")],
-                &[14, 18, 12],
-            );
-            records.push(format!(
-                "{{\"budget\":{budget},\"lanczos_gagq\":{lz},\"kpm\":{kpm}}}"
-            ));
+            row(&[&budget.to_string(), &format!("{lz:.5}"), &format!("{kpm:.5}")], &[14, 18, 12]);
+            records.push(format!("{{\"budget\":{budget},\"lanczos_gagq\":{lz},\"kpm\":{kpm}}}"));
         }
         println!(
             "\nReading: at equal matvec budgets the Lanczos/GAGQ nodes adapt to\n\

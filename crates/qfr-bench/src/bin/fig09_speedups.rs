@@ -68,11 +68,7 @@ fn main() {
 
     for (label, frag) in &fragments {
         let scf = ScfSolver {
-            config: ScfConfig {
-                max_grid_dim: grid_dim,
-                grid_spacing: 0.45,
-                ..Default::default()
-            },
+            config: ScfConfig { max_grid_dim: grid_dim, grid_spacing: 0.45, ..Default::default() },
         }
         .solve(frag);
 
@@ -91,8 +87,10 @@ fn main() {
         );
         // FLOP-based speedup of the GEMM-bearing work (wall times at this
         // scale are noise-dominated; FLOPs are exact).
-        let gemm_naive = prof_naive.phases.n1_flops + prof_naive.phases.h1_flops + prof_naive.pulay_flops;
-        let gemm_fast = prof_fast.phases.n1_flops + prof_fast.phases.h1_flops + prof_fast.pulay_flops;
+        let gemm_naive =
+            prof_naive.phases.n1_flops + prof_naive.phases.h1_flops + prof_naive.pulay_flops;
+        let gemm_fast =
+            prof_fast.phases.n1_flops + prof_fast.phases.h1_flops + prof_fast.pulay_flops;
         let blas_speedup = gemm_naive as f64 / gemm_fast as f64;
 
         // --- elastic offloading of the reduced cycle's GEMM stream ---
@@ -109,8 +107,7 @@ fn main() {
         // whole cycle once the density phase is included).
         const GEMM_TIME_SHARE: f64 = 0.93;
         let combined = |gain: f64| {
-            let t_opt = (1.0 - GEMM_TIME_SHARE)
-                + GEMM_TIME_SHARE / blas_speedup / gain.max(1e-12);
+            let t_opt = (1.0 - GEMM_TIME_SHARE) + GEMM_TIME_SHARE / blas_speedup / gain.max(1e-12);
             1.0 / t_opt
         };
         let orise_combined = combined(gain_orise);
@@ -141,10 +138,7 @@ fn main() {
         "BLAS-opt speedup   : avg {:.1}x   (paper ORISE 3.7x avg, 3.0-4.4x)",
         avg(&blas_speedups)
     );
-    println!(
-        "+offload on ORISE  : avg {:.1}x   (paper 8.2x avg, 6.3-11.6x)",
-        avg(&orise_speedups)
-    );
+    println!("+offload on ORISE  : avg {:.1}x   (paper 8.2x avg, 6.3-11.6x)", avg(&orise_speedups));
     println!(
         "+offload on Sunway : avg {:.1}x   (paper 11.2x avg, up to 16.2x)",
         avg(&sunway_speedups)

@@ -27,12 +27,8 @@ fn band_table(spec: &RamanSpectrum, bands: &[(&str, f64, f64)]) {
     s.normalize_max();
     let peaks = s.peaks_above(0.01);
     for &(name, lo, hi) in bands {
-        let found: Vec<f64> = peaks
-            .iter()
-            .cloned()
-            .filter(|p| (lo..hi).contains(p))
-            .map(|p| p.round())
-            .collect();
+        let found: Vec<f64> =
+            peaks.iter().cloned().filter(|p| (lo..hi).contains(p)).map(|p| p.round()).collect();
         // Band intensity: max normalized intensity inside the window.
         let intensity = s
             .wavenumbers
@@ -83,11 +79,8 @@ fn main() {
     header(&format!("Fig. 12(b) — pure water ({n_waters} molecules)"));
     let water = WaterBoxBuilder::new(n_waters).seed(9).build();
     println!("atoms: {}", water.n_atoms());
-    let water_run = RamanWorkflow::new(water)
-        .sigma(20.0)
-        .lanczos_steps(160)
-        .run()
-        .expect("water run");
+    let water_run =
+        RamanWorkflow::new(water).sigma(20.0).lanczos_steps(160).run().expect("water run");
     println!("{}", water_run.summary());
     band_table(
         &water_run.spectrum,
@@ -111,11 +104,8 @@ fn main() {
         protein.n_atoms(),
         solvated.n_waters
     );
-    let wet = RamanWorkflow::new(solvated)
-        .sigma(20.0)
-        .lanczos_steps(160)
-        .run()
-        .expect("solvated run");
+    let wet =
+        RamanWorkflow::new(solvated).sigma(20.0).lanczos_steps(160).run().expect("solvated run");
     println!("{}", wet.summary());
     band_table(
         &wet.spectrum,

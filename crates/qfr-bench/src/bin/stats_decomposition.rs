@@ -26,10 +26,7 @@ fn main() {
         "conjugate caps       : {:>10}   (paper: 3,171 for 3,180 residues in 3 chains)",
         d.stats.n_cap_pairs
     );
-    println!(
-        "generalized concaps  : {:>10}   (paper: 11,394)",
-        d.stats.n_generalized_concaps
-    );
+    println!("generalized concaps  : {:>10}   (paper: 11,394)", d.stats.n_generalized_concaps);
     println!(
         "fragment sizes       : {:>4}..{:<4}  (paper: 9..68 atoms)",
         d.stats.min_size, d.stats.max_size

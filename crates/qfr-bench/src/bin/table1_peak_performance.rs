@@ -64,10 +64,8 @@ fn main() {
     }
     {
         // Small protein fragment: glycine-only triple.
-        let sys = ProteinBuilder::new(3)
-            .seed(3)
-            .sequence(vec![qfr_geom::ResidueKind::Gly; 3])
-            .build();
+        let sys =
+            ProteinBuilder::new(3).seed(3).sequence(vec![qfr_geom::ResidueKind::Gly; 3]).build();
         let d = Decomposition::new(&sys, DecompositionParams::default());
         let job = d
             .jobs
@@ -131,10 +129,7 @@ fn main() {
     for machine in [MachineModel::orise(), MachineModel::sunway()] {
         let accel = ModeledAccelerator::from_machine(&machine);
         header(&format!("Table I — {} (peak {:.1} PFLOPS)", machine.name, machine.peak_pflops()));
-        row(
-            &["phase", "TFLOPS/accel", "full system", "FP64 eff.", "paper"],
-            &[10, 14, 14, 10, 26],
-        );
+        row(&["phase", "TFLOPS/accel", "full system", "FP64 eff.", "paper"], &[10, 14, 14, 10, 26]);
         for (phase, flops_of, paper) in [
             (
                 "n(1)(r)",
@@ -155,21 +150,15 @@ fn main() {
                 },
             ),
         ] {
-            let rates: Vec<f64> = samples
-                .iter()
-                .map(|s| phase_rate(&accel, s, flops_of(s)))
-                .collect();
+            let rates: Vec<f64> =
+                samples.iter().map(|s| phase_rate(&accel, s, flops_of(s))).collect();
             let lo = rates.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = rates.iter().cloned().fold(0.0_f64, f64::max);
             // Weighted mean by each size's phase FLOPs (the distribution
             // weighting of the paper's estimate).
             let wsum: f64 = samples.iter().map(|s| flops_of(s) as f64).sum();
-            let mean: f64 = samples
-                .iter()
-                .zip(&rates)
-                .map(|(s, r)| r * flops_of(s) as f64)
-                .sum::<f64>()
-                / wsum;
+            let mean: f64 =
+                samples.iter().zip(&rates).map(|(s, r)| r * flops_of(s) as f64).sum::<f64>() / wsum;
             let full = machine.full_system_pflops(mean);
             let eff = machine.efficiency(mean);
             row(

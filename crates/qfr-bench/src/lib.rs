@@ -17,6 +17,7 @@
 //! | `ablation_offload_stride` | batch-stride ablation |
 //! | `ablation_gagq` | GAGQ vs plain Gauss vs dense accuracy + KPM baseline |
 //! | `ablation_fold` | chain fold vs concap statistics |
+//! | `ablation_faults` | failure-rate sweep + straggler re-issue study |
 //!
 //! Every binary prints a human-readable table comparing measured values to
 //! the paper's reported ones and writes a JSON record under
@@ -27,8 +28,7 @@ use std::path::PathBuf;
 
 /// Output directory for experiment records (`target/experiments`).
 pub fn experiments_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     fs::create_dir_all(&dir).expect("cannot create experiments dir");
     dir
 }
@@ -64,9 +64,7 @@ pub fn row(cells: &[&str], widths: &[usize]) {
 /// Parses a `--flag value` style argument.
 pub fn arg_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
 }
 
 /// True if `--flag` is present.

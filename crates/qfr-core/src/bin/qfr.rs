@@ -32,7 +32,7 @@ fn usage() -> ! {
          qfr spectrum  (--protein N | --waters N) [--solvate PAD] [--sigma S]\n                \
          [--lambda L] [--lanczos K] [--seed SEED] [--temperature T]\n                \
          [--ir] [--json FILE] [--xyz FILE] [--dense | --stream]\n                \
-         [--checkpoint FILE]\n  \
+         [--sched LEADERS [--workers W]] [--checkpoint FILE]\n  \
          qfr decompose (--protein N | --waters N) [--lambda L] [--seed SEED]\n  \
          qfr info"
     );
@@ -76,6 +76,16 @@ fn cmd_spectrum(args: &[String]) {
         workflow.run_dense_reference()
     } else if has(args, "--stream") {
         workflow.run_streamed()
+    } else if let Some(leaders) = arg_value(args, "--sched") {
+        let n_leaders: usize = leaders.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+            eprintln!("error: --sched takes a positive leader count, got '{leaders}'");
+            std::process::exit(2);
+        });
+        workflow.run_scheduled(qfr_sched::RuntimeConfig {
+            n_leaders,
+            workers_per_leader: parse(args, "--workers", 2),
+            ..Default::default()
+        })
     } else if let Some(ckpt) = arg_value(args, "--checkpoint") {
         workflow.run_with_checkpoint(std::path::Path::new(&ckpt))
     } else {
@@ -94,14 +104,21 @@ fn cmd_spectrum(args: &[String]) {
 
     println!("decomposition: {}", result.stats.summary());
     println!("run: {}", result.summary());
+    if let Some(rec) = &result.recovery {
+        println!(
+            "recovery: {} retries, {} re-issues, {} duplicates suppressed, \
+             {} quarantined, {} unfinished, {} leaders died",
+            rec.retries,
+            rec.reissues,
+            rec.duplicates_suppressed,
+            rec.quarantined_jobs,
+            rec.unfinished_jobs,
+            rec.leaders_died
+        );
+    }
     println!(
         "Raman bands (cm-1): {:?}",
-        result
-            .spectrum
-            .peaks_above(0.05)
-            .iter()
-            .map(|p| p.round())
-            .collect::<Vec<_>>()
+        result.spectrum.peaks_above(0.05).iter().map(|p| p.round()).collect::<Vec<_>>()
     );
     if has(args, "--ir") {
         println!(

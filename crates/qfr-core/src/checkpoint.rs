@@ -99,11 +99,7 @@ pub fn save_responses(
     n_atoms: usize,
     responses: &[FragmentResponse],
 ) -> Result<(), CheckpointError> {
-    assert_eq!(
-        decomposition.jobs.len(),
-        responses.len(),
-        "one response per job"
-    );
+    assert_eq!(decomposition.jobs.len(), responses.len(), "one response per job");
     let mut buf = BytesMut::new();
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
@@ -197,11 +193,7 @@ mod tests {
         let sys = WaterBoxBuilder::new(6).seed(1).build();
         let d = Decomposition::new(&sys, DecompositionParams::default());
         let engine = ForceFieldEngine::new();
-        let responses = d
-            .jobs
-            .iter()
-            .map(|j| engine.compute(&j.structure(&sys)))
-            .collect();
+        let responses = d.jobs.iter().map(|j| engine.compute(&j.structure(&sys))).collect();
         (sys, d, responses)
     }
 
@@ -233,10 +225,7 @@ mod tests {
         let other_sys = WaterBoxBuilder::new(7).seed(2).build();
         let other = Decomposition::new(&other_sys, DecompositionParams::default());
         let err = load_responses(&path, &other, other_sys.n_atoms()).unwrap_err();
-        assert!(
-            matches!(err, CheckpointError::FingerprintMismatch { .. }),
-            "{err}"
-        );
+        assert!(matches!(err, CheckpointError::FingerprintMismatch { .. }), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -36,6 +36,6 @@ pub mod streamed;
 pub mod workflow;
 
 pub use modes::{normal_modes, NormalModes};
-pub use report::RamanResult;
+pub use report::{RamanResult, RecoverySummary, StageTimings};
 pub use streamed::StreamedHessian;
 pub use workflow::{EngineKind, RamanWorkflow, WorkflowError};

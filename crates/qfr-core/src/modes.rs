@@ -35,19 +35,13 @@ pub fn normal_modes(
     decomposition: &Decomposition,
     engine: &dyn FragmentEngine,
 ) -> NormalModes {
-    let responses: Vec<FragmentResponse> = decomposition
-        .jobs
-        .iter()
-        .map(|j| engine.compute(&j.structure(system)))
-        .collect();
+    let responses: Vec<FragmentResponse> =
+        decomposition.jobs.iter().map(|j| engine.compute(&j.structure(system))).collect();
     let asm = assemble::assemble(&decomposition.jobs, &responses, system.n_atoms());
     let mw = MassWeighted::new(&asm, &system.masses());
     let eig = symmetric_eigen(&mw.hessian.to_dense());
-    let frequencies = eig
-        .eigenvalues
-        .iter()
-        .map(|&l| qfr_model::eigenvalue_to_wavenumber(l))
-        .collect();
+    let frequencies =
+        eig.eigenvalues.iter().map(|&l| qfr_model::eigenvalue_to_wavenumber(l)).collect();
     NormalModes { frequencies, vectors: eig.eigenvectors, n_atoms: system.n_atoms() }
 }
 
@@ -86,24 +80,18 @@ impl NormalModes {
     /// (normalized so the weights over all classes sum to the total stretch
     /// fraction of the mode; the remainder is bend/torsion/translation
     /// character).
-    pub fn stretch_character(
-        &self,
-        system: &MolecularSystem,
-        p: usize,
-    ) -> HashMap<BondClass, f64> {
+    pub fn stretch_character(&self, system: &MolecularSystem, p: usize) -> HashMap<BondClass, f64> {
         let masses = system.masses();
         // Convert the mass-weighted mode back to Cartesian displacements.
-        let cart: Vec<f64> = (0..3 * self.n_atoms)
-            .map(|i| self.vectors[(i, p)] / masses[i / 3].sqrt())
-            .collect();
+        let cart: Vec<f64> =
+            (0..3 * self.n_atoms).map(|i| self.vectors[(i, p)] / masses[i / 3].sqrt()).collect();
         let norm: f64 = cart.iter().map(|x| x * x).sum();
         let mut out: HashMap<BondClass, f64> = HashMap::new();
         if norm <= 0.0 {
             return out;
         }
         for b in &system.bonds {
-            let u = (system.atoms[b.j].position - system.atoms[b.i].position)
-                .try_normalized();
+            let u = (system.atoms[b.j].position - system.atoms[b.i].position).try_normalized();
             let Some(u) = u else { continue };
             let ua = u.to_array();
             // Stretch coordinate derivative: û on atom j, −û on atom i.
@@ -153,10 +141,7 @@ mod tests {
 
     #[test]
     fn ch_band_in_alanine_is_ch_character() {
-        let sys = ProteinBuilder::new(3)
-            .seed(2)
-            .sequence(vec![ResidueKind::Ala; 3])
-            .build();
+        let sys = ProteinBuilder::new(3).seed(2).sequence(vec![ResidueKind::Ala; 3]).build();
         let modes = modes_of(&sys);
         let ch_modes = modes.modes_in_window(2800.0, 3100.0);
         assert!(!ch_modes.is_empty(), "no C-H stretch modes");
@@ -188,17 +173,10 @@ mod tests {
         // this window is the signature (the strong ring C=C stretches sit
         // near 1600-1700 cm-1 in this model, as in real benzene).
         let aromatic_present = window.iter().any(|&p| {
-            modes
-                .stretch_character(&sys, p)
-                .get(&BondClass::CCAromatic)
-                .copied()
-                .unwrap_or(0.0)
+            modes.stretch_character(&sys, p).get(&BondClass::CCAromatic).copied().unwrap_or(0.0)
                 > 0.02
         });
-        assert!(
-            aromatic_present,
-            "no aromatic ring character in the 1030 cm-1 window"
-        );
+        assert!(aromatic_present, "no aromatic ring character in the 1030 cm-1 window");
     }
 
     #[test]
@@ -210,10 +188,7 @@ mod tests {
         // An O-H stretch mode lives on one molecule.
         let stretch = *modes.modes_in_window(3100.0, 3800.0).first().unwrap();
         let pr_stretch = modes.participation_ratio(stretch);
-        assert!(
-            pr_low > pr_stretch,
-            "acoustic PR {pr_low} should exceed stretch PR {pr_stretch}"
-        );
+        assert!(pr_low > pr_stretch, "acoustic PR {pr_low} should exceed stretch PR {pr_stretch}");
         assert!(pr_stretch < 0.35, "stretch should be localized: {pr_stretch}");
     }
 

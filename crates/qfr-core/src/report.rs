@@ -24,6 +24,34 @@ impl StageTimings {
     }
 }
 
+/// Recovery counters of a fault-tolerant scheduled engine stage
+/// ([`crate::RamanWorkflow::run_scheduled`]). Mirrors
+/// `qfr_sched::RunReport`'s recovery fields at the workflow level, where
+/// each scheduled "fragment" is one decomposition job.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RecoverySummary {
+    /// Failure-triggered re-queues during the engine stage.
+    pub retries: usize,
+    /// Straggler duplicates issued to idle leaders.
+    pub reissues: usize,
+    /// Completions discarded because another copy already won.
+    pub duplicates_suppressed: usize,
+    /// Jobs that exhausted their attempts; their contributions are missing
+    /// from the (partial) spectrum.
+    pub quarantined_jobs: usize,
+    /// Jobs abandoned because every leader died.
+    pub unfinished_jobs: usize,
+    /// Leaders that died during the engine stage.
+    pub leaders_died: usize,
+}
+
+impl RecoverySummary {
+    /// Whether every job contributed to the result.
+    pub fn is_complete(&self) -> bool {
+        self.quarantined_jobs == 0 && self.unfinished_jobs == 0
+    }
+}
+
 /// Everything a Raman run produces.
 #[derive(Debug, Clone)]
 pub struct RamanResult {
@@ -44,6 +72,9 @@ pub struct RamanResult {
     pub engine: String,
     /// Per-stage wall times.
     pub timings: StageTimings,
+    /// Recovery counters when the engine stage ran through the
+    /// fault-tolerant scheduler (`None` for the plain rayon path).
+    pub recovery: Option<RecoverySummary>,
 }
 
 impl RamanResult {
@@ -67,6 +98,7 @@ impl RamanResult {
             fragment_size_max: usize,
             wavenumbers: &'a [f64],
             intensities: &'a [f64],
+            recovery: &'a Option<RecoverySummary>,
         }
         let record = Record {
             n_atoms: self.n_atoms,
@@ -84,6 +116,7 @@ impl RamanResult {
             fragment_size_max: self.stats.max_size,
             wavenumbers: &self.spectrum.wavenumbers,
             intensities: &self.spectrum.intensities,
+            recovery: &self.recovery,
         };
         serde_json::to_string_pretty(&record).expect("serialization cannot fail")
     }
@@ -116,7 +149,13 @@ mod tests {
             dof: 27,
             hessian_nnz: 81,
             engine: "force-field".into(),
-            timings: StageTimings { decompose_s: 0.1, engine_s: 0.2, assemble_s: 0.3, solver_s: 0.4 },
+            timings: StageTimings {
+                decompose_s: 0.1,
+                engine_s: 0.2,
+                assemble_s: 0.3,
+                solver_s: 0.4,
+            },
+            recovery: None,
         }
     }
 
@@ -129,6 +168,25 @@ mod tests {
         assert_eq!(v["engine"], "force-field");
         assert_eq!(v["n_jobs"], 5);
         assert_eq!(v["wavenumbers"].as_array().unwrap().len(), 201);
+        assert!(v["recovery"].is_null(), "plain runs record no recovery block");
+    }
+
+    #[test]
+    fn recovery_summary_serializes_when_present() {
+        let mut r = sample_result();
+        r.recovery = Some(RecoverySummary {
+            retries: 2,
+            reissues: 1,
+            duplicates_suppressed: 1,
+            quarantined_jobs: 1,
+            unfinished_jobs: 0,
+            leaders_died: 0,
+        });
+        assert!(!r.recovery.as_ref().unwrap().is_complete());
+        let v: serde_json::Value = serde_json::from_str(&r.to_json()).unwrap();
+        assert_eq!(v["recovery"]["retries"], 2);
+        assert_eq!(v["recovery"]["quarantined_jobs"], 1);
+        assert!(RecoverySummary::default().is_complete());
     }
 
     #[test]

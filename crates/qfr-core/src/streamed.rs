@@ -30,11 +30,7 @@ impl<'a> StreamedHessian<'a> {
         decomposition: &'a Decomposition,
         engine: &'a dyn FragmentEngine,
     ) -> Self {
-        let inv_sqrt_mass = system
-            .masses()
-            .iter()
-            .map(|&m| 1.0 / m.sqrt())
-            .collect();
+        let inv_sqrt_mass = system.masses().iter().map(|&m| 1.0 / m.sqrt()).collect();
         Self { system, jobs: &decomposition.jobs, engine, inv_sqrt_mass }
     }
 }
@@ -104,11 +100,8 @@ mod tests {
         let engine = ForceFieldEngine::new();
 
         // Assembled reference.
-        let responses: Vec<FragmentResponse> = decomposition
-            .jobs
-            .iter()
-            .map(|j| engine.compute(&j.structure(&system)))
-            .collect();
+        let responses: Vec<FragmentResponse> =
+            decomposition.jobs.iter().map(|j| engine.compute(&j.structure(&system))).collect();
         let asm = assemble::assemble(&decomposition.jobs, &responses, system.n_atoms());
         let mw = MassWeighted::new(&asm, &system.masses());
 
@@ -152,11 +145,8 @@ mod tests {
         let decomposition = Decomposition::new(&system, DecompositionParams::default());
         let engine = ForceFieldEngine::new();
 
-        let responses: Vec<FragmentResponse> = decomposition
-            .jobs
-            .iter()
-            .map(|j| engine.compute(&j.structure(&system)))
-            .collect();
+        let responses: Vec<FragmentResponse> =
+            decomposition.jobs.iter().map(|j| engine.compute(&j.structure(&system))).collect();
         let asm = assemble::assemble(&decomposition.jobs, &responses, system.n_atoms());
         let mw = MassWeighted::new(&asm, &system.masses());
 

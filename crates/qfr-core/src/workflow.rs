@@ -1,6 +1,6 @@
 //! The end-to-end Raman workflow builder.
 
-use crate::report::{RamanResult, StageTimings};
+use crate::report::{RamanResult, RecoverySummary, StageTimings};
 use qfr_fragment::{
     assemble, Decomposition, DecompositionParams, FragmentEngine, FragmentResponse, MassWeighted,
 };
@@ -233,6 +233,7 @@ impl RamanWorkflow {
             hessian_nnz: mw.hessian.nnz(),
             engine: engine.name().to_string(),
             timings,
+            recovery: None,
         })
     }
 
@@ -240,6 +241,98 @@ impl RamanWorkflow {
     /// (small systems; validation and the Fig. 12 cross-checks).
     pub fn run_dense_reference(&self) -> Result<RamanResult, WorkflowError> {
         self.run_inner(true)
+    }
+
+    /// Runs the pipeline with the engine stage executed through the
+    /// fault-tolerant master/leader/worker scheduler of `qfr-sched`
+    /// instead of the plain rayon map.
+    ///
+    /// Each decomposition job becomes one scheduler work item (its id is
+    /// the job index). The run **always** produces a result: jobs
+    /// quarantined after exhausting their retry budget — or abandoned
+    /// because every leader died — are simply left out of the assembly,
+    /// yielding a *partial* spectrum, and the scheduler's recovery
+    /// counters are reported in [`RamanResult::recovery`]. A response
+    /// computed during an attempt that later failed is still salvaged
+    /// unless its job was quarantined (best-effort semantics).
+    pub fn run_scheduled(
+        &self,
+        sched: qfr_sched::RuntimeConfig,
+    ) -> Result<RamanResult, WorkflowError> {
+        use qfr_sched::{run_master_leader_worker, FragmentWorkItem, SizeSensitivePolicy};
+        use std::sync::Mutex;
+
+        let mut timings = StageTimings::default();
+        let t = Instant::now();
+        let decomposition = self.decompose();
+        timings.decompose_s = t.elapsed().as_secs_f64();
+        self.validate(&decomposition)?;
+        let engine = self.make_engine();
+
+        let t = Instant::now();
+        let jobs = &decomposition.jobs;
+        let items: Vec<FragmentWorkItem> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, job)| FragmentWorkItem { id: i as u32, atoms: job.size() as u32 })
+            .collect();
+        let slots: Vec<Mutex<Option<FragmentResponse>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let report = run_master_leader_worker(
+            Box::new(SizeSensitivePolicy::with_defaults(items)),
+            |item| {
+                let job = &jobs[item.id as usize];
+                let resp = engine.compute(&job.structure(&self.system));
+                *slots[item.id as usize].lock().expect("slot poisoned") = Some(resp);
+                true
+            },
+            sched,
+        );
+        timings.engine_s = t.elapsed().as_secs_f64();
+
+        // Partial assembly: keep every job with a computed response whose
+        // task was not quarantined.
+        let t = Instant::now();
+        let quarantined: std::collections::HashSet<u32> =
+            report.quarantined_fragments.iter().copied().collect();
+        let mut kept_jobs = Vec::new();
+        let mut kept_responses = Vec::new();
+        for (i, (job, slot)) in jobs.iter().zip(slots).enumerate() {
+            if quarantined.contains(&(i as u32)) {
+                continue;
+            }
+            if let Some(resp) = slot.into_inner().expect("slot poisoned") {
+                kept_jobs.push(job.clone());
+                kept_responses.push(resp);
+            }
+        }
+        let assembled = assemble::assemble(&kept_jobs, &kept_responses, self.system.n_atoms());
+        let mw = MassWeighted::new(&assembled, &self.system.masses());
+        timings.assemble_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let spectrum = raman_lanczos(&mw.hessian, &mw.dalpha, &self.raman);
+        let ir = ir_lanczos(&mw.hessian, &mw.dmu, &self.raman);
+        timings.solver_s = t.elapsed().as_secs_f64();
+
+        Ok(RamanResult {
+            spectrum,
+            ir,
+            stats: decomposition.stats,
+            n_atoms: self.system.n_atoms(),
+            dof: self.system.dof(),
+            hessian_nnz: mw.hessian.nnz(),
+            engine: engine.name().to_string(),
+            timings,
+            recovery: Some(RecoverySummary {
+                retries: report.retries,
+                reissues: report.reissues,
+                duplicates_suppressed: report.duplicates_suppressed,
+                quarantined_jobs: report.quarantined_fragments.len(),
+                unfinished_jobs: report.unfinished_fragments,
+                leaders_died: report.leaders_died,
+            }),
+        })
     }
 
     /// Runs the pipeline in matrix-free streaming mode: the Hessian is
@@ -268,8 +361,7 @@ impl RamanWorkflow {
                 std::array::from_fn::<Vec<f64>, 3, _>(|_| vec![0.0; dof]),
             )
         };
-        let merge = |mut a: ([Vec<f64>; 6], [Vec<f64>; 3]),
-                     b: ([Vec<f64>; 6], [Vec<f64>; 3])| {
+        let merge = |mut a: ([Vec<f64>; 6], [Vec<f64>; 3]), b: ([Vec<f64>; 6], [Vec<f64>; 3])| {
             for c in 0..6 {
                 for (x, y) in a.0[c].iter_mut().zip(&b.0[c]) {
                     *x += y;
@@ -300,11 +392,7 @@ impl RamanWorkflow {
             acc
         };
         let (dalpha_mw, dmu_mw) = if self.parallel {
-            decomposition
-                .jobs
-                .par_iter()
-                .fold(zero, &accumulate)
-                .reduce(zero, merge)
+            decomposition.jobs.par_iter().fold(zero, &accumulate).reduce(zero, merge)
         } else {
             decomposition.jobs.iter().fold(zero(), accumulate)
         };
@@ -325,6 +413,7 @@ impl RamanWorkflow {
             hessian_nnz: 0, // never materialized
             engine: engine.name().to_string(),
             timings,
+            recovery: None,
         })
     }
 
@@ -376,6 +465,7 @@ impl RamanWorkflow {
             hessian_nnz: mw.hessian.nnz(),
             engine: engine.name().to_string(),
             timings,
+            recovery: None,
         })
     }
 }
@@ -394,10 +484,7 @@ mod tests {
         assert_eq!(result.engine, "force-field");
         // Water bands: bend near 1640 and the stretch band near 3400.
         let peaks = result.spectrum.peaks_above(0.05);
-        assert!(
-            peaks.iter().any(|&p| (1400.0..1900.0).contains(&p)),
-            "no bend band in {peaks:?}"
-        );
+        assert!(peaks.iter().any(|&p| (1400.0..1900.0).contains(&p)), "no bend band in {peaks:?}");
         assert!(
             peaks.iter().any(|&p| (3100.0..3800.0).contains(&p)),
             "no stretch band in {peaks:?}"
@@ -416,10 +503,7 @@ mod tests {
 
     #[test]
     fn protein_gas_phase_has_ch_band() {
-        let system = ProteinBuilder::new(6)
-            .seed(3)
-            .sequence(vec![ResidueKind::Ala; 6])
-            .build();
+        let system = ProteinBuilder::new(6).seed(3).sequence(vec![ResidueKind::Ala; 6]).build();
         let result = RamanWorkflow::new(system).sigma(10.0).run().unwrap();
         let peaks = result.spectrum.peaks_above(0.05);
         assert!(
@@ -438,10 +522,7 @@ mod tests {
     #[test]
     fn dfpt_engine_cap_enforced() {
         let system = ProteinBuilder::new(4).seed(4).build();
-        let err = RamanWorkflow::new(system)
-            .engine(EngineKind::ModelDfpt)
-            .run()
-            .unwrap_err();
+        let err = RamanWorkflow::new(system).engine(EngineKind::ModelDfpt).run().unwrap_err();
         assert!(matches!(err, WorkflowError::DfptTooLarge { .. }));
     }
 
@@ -515,6 +596,52 @@ mod tests {
             assert!(sim > 0.999999, "checkpointed spectrum diverged: {sim}");
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scheduled_run_matches_plain_run() {
+        let system = WaterBoxBuilder::new(10).seed(41).build();
+        let wf = RamanWorkflow::new(system).sigma(25.0);
+        let plain = wf.run().unwrap();
+        let scheduled = wf
+            .run_scheduled(qfr_sched::RuntimeConfig {
+                n_leaders: 3,
+                workers_per_leader: 2,
+                ..Default::default()
+            })
+            .unwrap();
+        let recovery = scheduled.recovery.as_ref().expect("scheduled runs report recovery");
+        assert!(recovery.is_complete(), "fault-free run must be complete: {recovery:?}");
+        assert_eq!(recovery.retries, 0);
+        let sim = plain.spectrum.cosine_similarity(&scheduled.spectrum);
+        assert!(sim > 0.999999, "scheduler changed the physics: {sim}");
+    }
+
+    #[test]
+    fn scheduled_run_with_quarantine_yields_partial_spectrum() {
+        let system = WaterBoxBuilder::new(12).seed(42).build();
+        let wf = RamanWorkflow::new(system).sigma(25.0);
+        // Job 0 fails on every attempt: its whole task is quarantined and
+        // the run still returns a (partial) spectrum instead of hanging.
+        let result = wf
+            .run_scheduled(qfr_sched::RuntimeConfig {
+                n_leaders: 2,
+                workers_per_leader: 1,
+                recovery: qfr_sched::RecoveryPolicy {
+                    max_attempts: 2,
+                    backoff_base: 1e-4,
+                    ..Default::default()
+                },
+                faults: qfr_sched::FaultPlan::none().permanent([0]),
+                ..Default::default()
+            })
+            .unwrap();
+        let recovery = result.recovery.as_ref().unwrap();
+        assert!(recovery.quarantined_jobs >= 1, "job 0 must be quarantined: {recovery:?}");
+        assert!(!recovery.is_complete());
+        assert!(recovery.retries >= 1, "the failing task retries before quarantine");
+        let total: f64 = result.spectrum.intensities.iter().sum();
+        assert!(total > 0.0, "partial spectrum must still carry signal");
     }
 
     #[test]

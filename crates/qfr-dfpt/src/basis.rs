@@ -143,7 +143,8 @@ impl Basis {
             for &(rc, z) in &self.nuclei {
                 let q = p + WELL_EXPONENT;
                 let d2 = prod_center.dist_sqr(rc);
-                v -= z * WELL_DEPTH
+                v -= z
+                    * WELL_DEPTH
                     * k
                     * (std::f64::consts::PI / q).powf(1.5)
                     * (-p * WELL_EXPONENT / q * d2).exp();
@@ -233,7 +234,10 @@ impl Basis {
 fn gaussian_overlap(a: &Shell, b: &Shell) -> f64 {
     let p = a.alpha + b.alpha;
     let mu = a.alpha * b.alpha / p;
-    a.norm * b.norm * (std::f64::consts::PI / p).powf(1.5) * (-mu * a.center.dist_sqr(b.center)).exp()
+    a.norm
+        * b.norm
+        * (std::f64::consts::PI / p).powf(1.5)
+        * (-mu * a.center.dist_sqr(b.center)).exp()
 }
 
 #[cfg(test)]
@@ -314,11 +318,7 @@ mod tests {
         let mut s_num = qfr_linalg::gemm::matmul(&x.transpose(), &x);
         s_num.scale_mut(grid.dv);
         let s = b.overlap();
-        assert!(
-            s_num.max_abs_diff(&s) < 0.02,
-            "numeric overlap error {}",
-            s_num.max_abs_diff(&s)
-        );
+        assert!(s_num.max_abs_diff(&s) < 0.02, "numeric overlap error {}", s_num.max_abs_diff(&s));
     }
 
     #[test]

@@ -102,9 +102,8 @@ impl DfptEngine {
 
         let mut hess = DMatrix::zeros(dof, dof);
         // Diagonal: central second difference.
-        let singles: Vec<(f64, f64)> = (0..dof)
-            .map(|i| (displaced(i, 1.0, i, 0.0), displaced(i, -1.0, i, 0.0)))
-            .collect();
+        let singles: Vec<(f64, f64)> =
+            (0..dof).map(|i| (displaced(i, 1.0, i, 0.0), displaced(i, -1.0, i, 0.0))).collect();
         for i in 0..dof {
             hess[(i, i)] = (singles[i].0 + singles[i].1 - 2.0 * e0) / (h * h);
         }
@@ -113,7 +112,10 @@ impl DfptEngine {
             for j in (i + 1)..dof {
                 let epp = displaced(i, 1.0, j, 1.0);
                 let emm = displaced(i, -1.0, j, -1.0);
-                let v = (epp + emm + 2.0 * e0 - singles[i].0 - singles[i].1 - singles[j].0
+                let v = (epp + emm + 2.0 * e0
+                    - singles[i].0
+                    - singles[i].1
+                    - singles[j].0
                     - singles[j].1)
                     / (2.0 * h * h);
                 hess[(i, j)] = v;

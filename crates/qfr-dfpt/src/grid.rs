@@ -67,9 +67,7 @@ impl RealSpaceGrid {
         for i in 0..dims.0 {
             for j in 0..dims.1 {
                 for k in 0..dims.2 {
-                    points.push(
-                        lo + Vec3::new(i as f64, j as f64, k as f64) * spacing,
-                    );
+                    points.push(lo + Vec3::new(i as f64, j as f64, k as f64) * spacing);
                 }
             }
         }
@@ -203,11 +201,7 @@ mod tests {
         let g = RealSpaceGrid::for_fragment(&frag, 0.5, 3.0, 16);
         let lx = g.dims.0 as f64 * g.spacing;
         let k = 2.0 * std::f64::consts::PI / lx;
-        let density: Vec<f64> = g
-            .points
-            .iter()
-            .map(|p| (k * (p.x - g.origin.x)).cos())
-            .collect();
+        let density: Vec<f64> = g.points.iter().map(|p| (k * (p.x - g.origin.x)).cos()).collect();
         let v = g.solve_poisson(&density);
         let expect = 4.0 * std::f64::consts::PI / (k * k);
         for (vi, ni) in v.iter().zip(&density) {

@@ -130,10 +130,8 @@ pub fn solve_response(scf: &ScfResult, h1_ext: &DMatrix, cfg: &ResponseConfig) -
     let n = scf.basis.len();
     let batches = scf.grid.batches(cfg.batch_size);
     // Pre-evaluated panels: values and Cartesian gradients.
-    let x_panels: Vec<DMatrix> = batches
-        .iter()
-        .map(|b| scf.basis.evaluate(&scf.grid.points[b.clone()]))
-        .collect();
+    let x_panels: Vec<DMatrix> =
+        batches.iter().map(|b| scf.basis.evaluate(&scf.grid.points[b.clone()])).collect();
     let g_panels: Vec<[DMatrix; 3]> = batches
         .iter()
         .map(|b| {
@@ -150,12 +148,7 @@ pub fn solve_response(scf: &ScfResult, h1_ext: &DMatrix, cfg: &ResponseConfig) -
         for (x, g) in x_panels.iter().zip(&g_panels) {
             let xp = gemm::matmul(x, &scf.p);
             for row in 0..x.rows() {
-                let v: f64 = xp
-                    .row(row)
-                    .iter()
-                    .zip(g[dir].row(row))
-                    .map(|(a, b)| a * b)
-                    .sum();
+                let v: f64 = xp.row(row).iter().zip(g[dir].row(row)).map(|(a, b)| a * b).sum();
                 out.push(2.0 * v);
             }
         }
@@ -199,10 +192,8 @@ pub fn solve_response(scf: &ScfResult, h1_ext: &DMatrix, cfg: &ResponseConfig) -
                 // LDA kernel: f_xc = d v_x / d n = -(1/3) Cx n^{-2/3}.
                 let lda = -(CX / 3.0) * nd.powf(-2.0 / 3.0) * n1[i];
                 // Model gradient kernel: couples ∇n and ∇n(1).
-                let grad_term: f64 = (0..3)
-                    .map(|d| grad_n[d][i] * grad_n1[d][i])
-                    .sum::<f64>()
-                    / (nd * nd);
+                let grad_term: f64 =
+                    (0..3).map(|d| grad_n[d][i] * grad_n1[d][i]).sum::<f64>() / (nd * nd);
                 v.push(v_h1[i] + lda + GRADIENT_KERNEL * grad_term);
             }
             v
@@ -301,8 +292,7 @@ fn response_density_on_grid(
                 let g = &g3[dir];
                 qfr_linalg::flops::add((2 * rows * x.cols()) as u64);
                 for row in 0..rows {
-                    let v: f64 =
-                        xp.row(row).iter().zip(g.row(row)).map(|(a, b)| a * b).sum();
+                    let v: f64 = xp.row(row).iter().zip(g.row(row)).map(|(a, b)| a * b).sum();
                     gvec.push(2.0 * v);
                 }
             }
@@ -312,10 +302,8 @@ fn response_density_on_grid(
                 let gp = gemm::matmul(g, p1);
                 qfr_linalg::flops::add((4 * rows * x.cols()) as u64);
                 for row in 0..rows {
-                    let a: f64 =
-                        xp.row(row).iter().zip(g.row(row)).map(|(u, v)| u * v).sum();
-                    let b: f64 =
-                        gp.row(row).iter().zip(x.row(row)).map(|(u, v)| u * v).sum();
+                    let a: f64 = xp.row(row).iter().zip(g.row(row)).map(|(u, v)| u * v).sum();
+                    let b: f64 = gp.row(row).iter().zip(x.row(row)).map(|(u, v)| u * v).sum();
                     gvec.push(a + b);
                 }
             }

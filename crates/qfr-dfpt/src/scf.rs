@@ -113,10 +113,8 @@ impl ScfSolver {
 
         // Pre-evaluate basis panels per batch (reused every iteration).
         let batches = grid.batches(cfg.batch_size);
-        let x_panels: Vec<DMatrix> = batches
-            .iter()
-            .map(|b| basis.evaluate(&grid.points[b.clone()]))
-            .collect();
+        let x_panels: Vec<DMatrix> =
+            batches.iter().map(|b| basis.evaluate(&grid.points[b.clone()])).collect();
 
         let mut p = initial_density_matrix(&h_core, &l_inv, &basis);
         let mut fock = h_core.clone();
@@ -143,11 +141,8 @@ impl ScfSolver {
             }
             // Effective potential on the grid.
             let v_h = grid.solve_poisson(&density);
-            let v_eff: Vec<f64> = density
-                .iter()
-                .zip(&v_h)
-                .map(|(&nd, &vh)| vh - CX * nd.powf(1.0 / 3.0))
-                .collect();
+            let v_eff: Vec<f64> =
+                density.iter().zip(&v_h).map(|(&nd, &vh)| vh - CX * nd.powf(1.0 / 3.0)).collect();
             // V_eff matrix: sum over batches of X^T diag(v dv) X.
             let mut v_mat = DMatrix::zeros(n, n);
             for (b, x) in batches.iter().zip(&x_panels) {
@@ -182,13 +177,8 @@ impl ScfSolver {
 
             // Energy: tr(P H_core) + 0.5 ∫ n v_H + E_x.
             let e_core = trace_product(&p, &h_core);
-            let e_h: f64 = 0.5
-                * density
-                    .iter()
-                    .zip(&v_h)
-                    .map(|(&nd, &vh)| nd * vh)
-                    .sum::<f64>()
-                * grid.dv;
+            let e_h: f64 =
+                0.5 * density.iter().zip(&v_h).map(|(&nd, &vh)| nd * vh).sum::<f64>() * grid.dv;
             let e_x: f64 =
                 -0.75 * CX * density.iter().map(|&nd| nd.powf(4.0 / 3.0)).sum::<f64>() * grid.dv;
             energy = e_core + e_h + e_x + basis.nuclear_repulsion();
@@ -360,10 +350,7 @@ mod tests {
         let e1 = ScfSolver::new().solve(&frag).energy;
         let e2 = ScfSolver::new().solve(&moved).energy;
         // Grid alignment introduces a small egg-box error; it must stay tiny.
-        assert!(
-            (e1 - e2).abs() < 5e-3 * e1.abs(),
-            "egg-box error too large: {e1} vs {e2}"
-        );
+        assert!((e1 - e2).abs() < 5e-3 * e1.abs(), "egg-box error too large: {e1} vs {e2}");
     }
 
     #[test]

@@ -9,9 +9,7 @@ use qfr_geom::{Vec3, WaterBoxBuilder};
 use qfr_linalg::cholesky::Cholesky;
 
 fn fast_scf() -> ScfSolver {
-    ScfSolver {
-        config: ScfConfig { max_grid_dim: 16, grid_spacing: 0.55, ..Default::default() },
-    }
+    ScfSolver { config: ScfConfig { max_grid_dim: 16, grid_spacing: 0.55, ..Default::default() } }
 }
 
 fn jittered_water(seed: u64, jitter: f64) -> FragmentStructure {

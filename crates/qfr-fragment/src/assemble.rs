@@ -38,7 +38,11 @@ pub struct AssembledSystem {
 ///
 /// # Panics
 /// Panics on length or shape mismatches.
-pub fn assemble(jobs: &[FragmentJob], responses: &[FragmentResponse], n_atoms: usize) -> AssembledSystem {
+pub fn assemble(
+    jobs: &[FragmentJob],
+    responses: &[FragmentResponse],
+    n_atoms: usize,
+) -> AssembledSystem {
     assert_eq!(jobs.len(), responses.len(), "one response per job required");
     let dof = 3 * n_atoms;
     let mut builder = TripletBuilder::new(dof, dof);
@@ -111,18 +115,10 @@ impl MassWeighted {
             }
         }
         let dalpha = std::array::from_fn(|c| {
-            asm.dalpha[c]
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| v * inv_sqrt[i / 3])
-                .collect()
+            asm.dalpha[c].iter().enumerate().map(|(i, &v)| v * inv_sqrt[i / 3]).collect()
         });
         let dmu = std::array::from_fn(|c| {
-            asm.dmu[c]
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| v * inv_sqrt[i / 3])
-                .collect()
+            asm.dmu[c].iter().enumerate().map(|(i, &v)| v * inv_sqrt[i / 3]).collect()
         });
         Self { hessian: builder.build(), dalpha, dmu }
     }
@@ -137,18 +133,22 @@ impl MassWeighted {
 mod tests {
     use super::*;
     use crate::fragment::{JobKind, LinkHydrogen};
-    use qfr_linalg::DMatrix;
     use qfr_geom::Vec3;
+    use qfr_linalg::DMatrix;
 
     fn unit_response(n_atoms: usize, hval: f64, aval: f64) -> FragmentResponse {
         FragmentResponse {
-            hessian: DMatrix::from_fn(3 * n_atoms, 3 * n_atoms, |i, j| {
-                if i == j {
-                    hval
-                } else {
-                    0.0
-                }
-            }),
+            hessian: DMatrix::from_fn(
+                3 * n_atoms,
+                3 * n_atoms,
+                |i, j| {
+                    if i == j {
+                        hval
+                    } else {
+                        0.0
+                    }
+                },
+            ),
             dalpha: DMatrix::from_fn(6, 3 * n_atoms, |_, _| aval),
             dmu: DMatrix::from_fn(3, 3 * n_atoms, |_, _| aval),
         }
@@ -219,11 +219,7 @@ mod tests {
             dalpha: DMatrix::zeros(6, 6),
             dmu: DMatrix::zeros(3, 6),
         };
-        let asm = assemble(
-            &[job(JobKind::WaterMonomer { w: 0 }, 1.0, vec![2, 5])],
-            &[resp],
-            6,
-        );
+        let asm = assemble(&[job(JobKind::WaterMonomer { w: 0 }, 1.0, vec![2, 5])], &[resp], 6);
         assert_eq!(asm.hessian.get(6, 15), 7.0); // (atom2,x)-(atom5,x)
         assert_eq!(asm.hessian.get(15, 6), 7.0);
         assert_eq!(asm.hessian.get(6, 6), 0.0);

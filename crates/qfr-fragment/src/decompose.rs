@@ -47,24 +47,12 @@ impl Decomposition {
         match nres {
             0 => {}
             1 | 2 => {
-                jobs.push(residue_job(
-                    sys,
-                    JobKind::CappedFragment { k: 0 },
-                    1.0,
-                    0,
-                    nres - 1,
-                ));
+                jobs.push(residue_job(sys, JobKind::CappedFragment { k: 0 }, 1.0, 0, nres - 1));
                 stats.n_capped_fragments = 1;
             }
             _ => {
                 for k in 1..=nres - 2 {
-                    jobs.push(residue_job(
-                        sys,
-                        JobKind::CappedFragment { k },
-                        1.0,
-                        k - 1,
-                        k + 1,
-                    ));
+                    jobs.push(residue_job(sys, JobKind::CappedFragment { k }, 1.0, k - 1, k + 1));
                 }
                 stats.n_capped_fragments = nres - 2;
                 for k in 1..=nres - 3 {
@@ -102,14 +90,10 @@ impl Decomposition {
                     if gb - ga < params.min_sequence_separation {
                         continue;
                     }
-                    let mut job = residue_job(
-                        sys,
-                        JobKind::ConcapDimer { i: ga, j: gb },
-                        1.0,
-                        ga,
-                        ga,
-                    );
-                    let other = residue_job(sys, JobKind::ConcapDimer { i: ga, j: gb }, 1.0, gb, gb);
+                    let mut job =
+                        residue_job(sys, JobKind::ConcapDimer { i: ga, j: gb }, 1.0, ga, ga);
+                    let other =
+                        residue_job(sys, JobKind::ConcapDimer { i: ga, j: gb }, 1.0, gb, gb);
                     job.atoms.extend(other.atoms);
                     job.link_hydrogens.extend(other.link_hydrogens);
                     jobs.push(job);
@@ -119,13 +103,8 @@ impl Decomposition {
                 }
                 (true, false) => {
                     let w = gb - nres;
-                    let mut job = residue_job(
-                        sys,
-                        JobKind::ResidueWaterDimer { r: ga, w },
-                        1.0,
-                        ga,
-                        ga,
-                    );
+                    let mut job =
+                        residue_job(sys, JobKind::ResidueWaterDimer { r: ga, w }, 1.0, ga, ga);
                     job.atoms.extend(sys.water_atoms(w));
                     jobs.push(job);
                     res_monomer_coeff[ga] -= 1.0;
@@ -260,10 +239,7 @@ mod tests {
         let sys = SolvatedSystem::build(&protein, 4.0, 3.1, 2.4, 3);
         let d = Decomposition::new(&sys, DecompositionParams::default());
         for (a, c) in d.atom_coverage(sys.n_atoms()).iter().enumerate() {
-            assert!(
-                (c - 1.0).abs() < 1e-12,
-                "atom {a} covered {c} times (should be 1)"
-            );
+            assert!((c - 1.0).abs() < 1e-12, "atom {a} covered {c} times (should be 1)");
         }
     }
 
@@ -295,11 +271,7 @@ mod tests {
         for job in &d.jobs {
             if let JobKind::CappedFragment { k } = job.kind {
                 let expected = usize::from(k > 1) + usize::from(k + 2 < 6);
-                assert_eq!(
-                    job.link_hydrogens.len(),
-                    expected,
-                    "fragment {k} link H count"
-                );
+                assert_eq!(job.link_hydrogens.len(), expected, "fragment {k} link H count");
             }
         }
     }
@@ -361,10 +333,7 @@ mod tests {
     #[test]
     fn lambda_zero_disables_two_body_terms() {
         let sys = WaterBoxBuilder::new(8).seed(9).build();
-        let d = Decomposition::new(
-            &sys,
-            DecompositionParams { lambda: 0.5, ..Default::default() },
-        );
+        let d = Decomposition::new(&sys, DecompositionParams { lambda: 0.5, ..Default::default() });
         assert_eq!(d.stats.n_water_water_pairs, 0);
         assert_eq!(d.stats.n_jobs, 8, "only the 8 monomers remain");
     }

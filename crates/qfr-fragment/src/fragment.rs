@@ -108,9 +108,8 @@ impl FragmentJob {
             }
         }
         for lh in &self.link_hydrogens {
-            let anchor_local = *local_of
-                .get(&lh.anchor)
-                .expect("link hydrogen anchor must be a fragment atom");
+            let anchor_local =
+                *local_of.get(&lh.anchor).expect("link hydrogen anchor must be a fragment atom");
             let h_local = elements.len();
             elements.push(Element::H);
             positions.push(lh.position);

@@ -2,8 +2,7 @@
 
 use proptest::prelude::*;
 use qfr_fragment::{
-    assemble, Decomposition, DecompositionParams, FragmentResponse, JobKind,
-    MassWeighted,
+    assemble, Decomposition, DecompositionParams, FragmentResponse, JobKind, MassWeighted,
 };
 use qfr_geom::{ProteinBuilder, WaterBoxBuilder};
 use qfr_linalg::DMatrix;
@@ -182,9 +181,6 @@ fn job_size_includes_link_hydrogens() {
     for job in &d.jobs {
         let frag = job.structure(&sys);
         assert_eq!(job.size(), frag.n_atoms());
-        assert_eq!(
-            frag.n_atoms(),
-            job.atoms.len() + job.link_hydrogens.len()
-        );
+        assert_eq!(frag.n_atoms(), job.atoms.len() + job.link_hydrogens.len());
     }
 }

@@ -423,11 +423,7 @@ mod tests {
             assert!(sys.validate().is_empty(), "{kind:?}: {:?}", sys.validate());
             // Middle residue has both peptide bonds -> standard atom count.
             let mid = sys.residues[1];
-            assert_eq!(
-                mid.len,
-                kind.chain_atom_count(),
-                "{kind:?} in-chain atom count"
-            );
+            assert_eq!(mid.len, kind.chain_atom_count(), "{kind:?} in-chain atom count");
         }
     }
 
@@ -435,9 +431,7 @@ mod tests {
     fn terminal_residues_gain_hydrogens() {
         // First N misses its peptide bond -> one extra H; last C -> one
         // extra H.
-        let sys = ProteinBuilder::new(2)
-            .sequence(vec![ResidueKind::Ala, ResidueKind::Ala])
-            .build();
+        let sys = ProteinBuilder::new(2).sequence(vec![ResidueKind::Ala, ResidueKind::Ala]).build();
         assert_eq!(sys.residues[0].len, ResidueKind::Ala.chain_atom_count() + 1);
         assert_eq!(sys.residues[1].len, ResidueKind::Ala.chain_atom_count() + 1);
     }
@@ -445,11 +439,8 @@ mod tests {
     #[test]
     fn peptide_bonds_present_and_classified() {
         let sys = ProteinBuilder::new(5).seed(1).build();
-        let amide: Vec<&Bond> = sys
-            .bonds
-            .iter()
-            .filter(|b| b.class == BondClass::CNAmide)
-            .collect();
+        let amide: Vec<&Bond> =
+            sys.bonds.iter().filter(|b| b.class == BondClass::CNAmide).collect();
         assert_eq!(amide.len(), 4, "N-1 peptide bonds");
         for b in amide {
             let d = sys.atoms[b.i].position.dist(sys.atoms[b.j].position);
@@ -536,20 +527,14 @@ mod tests {
         for w in 0..solvated.n_waters {
             let o_pos = solvated.atoms[solvated.water_atoms(w)[0]].position;
             for pa in &protein.atoms {
-                assert!(
-                    o_pos.dist(pa.position) > 2.4 - 1e-9,
-                    "water O inside exclusion zone"
-                );
+                assert!(o_pos.dist(pa.position) > 2.4 - 1e-9, "water O inside exclusion zone");
             }
         }
     }
 
     #[test]
     fn helix_fold_builds_valid_system() {
-        let sys = ProteinBuilder::new(12)
-            .seed(31)
-            .fold_style(FoldStyle::alpha_helix())
-            .build();
+        let sys = ProteinBuilder::new(12).seed(31).fold_style(FoldStyle::alpha_helix()).build();
         assert!(sys.validate().is_empty(), "{:?}", sys.validate());
         assert_eq!(sys.residues.len(), 12);
         // The coarse rigid-template placement stretches peptide bonds on

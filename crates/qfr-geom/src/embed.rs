@@ -108,7 +108,13 @@ pub fn plan_hydrogens(
 /// extends from it in the direction `outward` (which need not be exactly
 /// in-plane; it is projected). Returns the remaining `n-1` vertices in ring
 /// order. `normal` fixes the ring plane.
-pub fn ring_vertices(first: Vec3, outward: Vec3, normal: Vec3, n: usize, bond_len: f64) -> Vec<Vec3> {
+pub fn ring_vertices(
+    first: Vec3,
+    outward: Vec3,
+    normal: Vec3,
+    n: usize,
+    bond_len: f64,
+) -> Vec<Vec3> {
     assert!(n >= 3, "a ring needs at least 3 vertices");
     let nrm = normal.normalized();
     // Project outward into the ring plane.
@@ -135,10 +141,7 @@ pub fn fused_hexagon(a: Vec3, b: Vec3, away: Vec3) -> Vec<Vec3> {
     let mid = (a + b) * 0.5;
     // Plane normal: perpendicular to the edge and the (edge, away) plane.
     let to_away = away - mid;
-    let nrm = edge
-        .cross(to_away)
-        .try_normalized()
-        .unwrap_or_else(|| edge.any_perpendicular());
+    let nrm = edge.cross(to_away).try_normalized().unwrap_or_else(|| edge.any_perpendicular());
     // In-plane direction pointing away from `away`.
     let in_plane = nrm.cross(edge).normalized();
     let dir = if in_plane.dot(to_away) > 0.0 { -in_plane } else { in_plane };
@@ -240,7 +243,8 @@ mod tests {
     #[test]
     fn ring_vertices_hexagon_geometry() {
         let first = Vec3::ZERO;
-        let rest = ring_vertices(first, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0), 6, 1.39);
+        let rest =
+            ring_vertices(first, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0), 6, 1.39);
         assert_eq!(rest.len(), 5);
         let all: Vec<Vec3> = std::iter::once(first).chain(rest).collect();
         // Consecutive distances all equal the bond length.
@@ -256,7 +260,8 @@ mod tests {
 
     #[test]
     fn ring_vertices_pentagon() {
-        let rest = ring_vertices(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 0.0, 1.0), 5, 1.4);
+        let rest =
+            ring_vertices(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 0.0, 1.0), 5, 1.4);
         assert_eq!(rest.len(), 4);
         let all: Vec<Vec3> = std::iter::once(Vec3::ZERO).chain(rest).collect();
         for k in 0..5 {
@@ -278,10 +283,8 @@ mod tests {
             assert!(v.y < 0.1, "vertex on wrong side: {v:?}");
         }
         // Ring closure: b -> verts[0] -> ... -> verts[3] -> a, all 1.4.
-        let cycle: Vec<Vec3> = std::iter::once(b)
-            .chain(verts.iter().copied())
-            .chain(std::iter::once(a))
-            .collect();
+        let cycle: Vec<Vec3> =
+            std::iter::once(b).chain(verts.iter().copied()).chain(std::iter::once(a)).collect();
         for w in cycle.windows(2) {
             let d = w[0].dist(w[1]);
             assert!((d - 1.4).abs() < 1e-9, "edge {d}");

@@ -63,25 +63,18 @@ impl From<io::Error> for XyzError {
 /// water structure are not represented in XYZ).
 pub fn read_xyz<R: BufRead>(r: &mut R) -> Result<MolecularSystem, XyzError> {
     let mut lines = r.lines();
-    let count_line = lines
-        .next()
-        .ok_or_else(|| XyzError::Parse("empty input".into()))??;
+    let count_line = lines.next().ok_or_else(|| XyzError::Parse("empty input".into()))??;
     let n: usize = count_line
         .trim()
         .parse()
         .map_err(|_| XyzError::Parse(format!("bad atom count: {count_line:?}")))?;
-    let _comment = lines
-        .next()
-        .ok_or_else(|| XyzError::Parse("missing comment line".into()))??;
+    let _comment = lines.next().ok_or_else(|| XyzError::Parse("missing comment line".into()))??;
     let mut atoms = Vec::with_capacity(n);
     for i in 0..n {
-        let line = lines
-            .next()
-            .ok_or_else(|| XyzError::Parse(format!("truncated at atom {i}")))??;
+        let line =
+            lines.next().ok_or_else(|| XyzError::Parse(format!("truncated at atom {i}")))??;
         let mut parts = line.split_whitespace();
-        let sym = parts
-            .next()
-            .ok_or_else(|| XyzError::Parse(format!("empty atom line {i}")))?;
+        let sym = parts.next().ok_or_else(|| XyzError::Parse(format!("empty atom line {i}")))?;
         let element = Element::from_symbol(sym)
             .ok_or_else(|| XyzError::Parse(format!("unknown element {sym:?}")))?;
         let mut coord = |name: &str| -> Result<f64, XyzError> {
@@ -274,7 +267,8 @@ mod tests {
         assert!(pdb.contains("HETATM"));
         assert!(pdb.contains("HOH"));
         assert!(pdb.trim_end().ends_with("END"));
-        let atom_lines = pdb.lines().filter(|l| l.starts_with("ATOM") || l.starts_with("HETATM")).count();
+        let atom_lines =
+            pdb.lines().filter(|l| l.starts_with("ATOM") || l.starts_with("HETATM")).count();
         assert_eq!(atom_lines, solvated.n_atoms());
     }
 }

@@ -172,11 +172,7 @@ impl CellList {
 /// `group_of[a]` maps atom `a` to its group id; `positions[a]` is its
 /// location. Pairs `(g, g)` (same group) are never reported. Parallelized
 /// over atoms with rayon; the result is sorted and deduplicated.
-pub fn group_pairs_within(
-    positions: &[Vec3],
-    group_of: &[u32],
-    lambda: f64,
-) -> Vec<(u32, u32)> {
+pub fn group_pairs_within(positions: &[Vec3], group_of: &[u32], lambda: f64) -> Vec<(u32, u32)> {
     assert_eq!(positions.len(), group_of.len(), "group map length mismatch");
     let cl = CellList::new(positions, lambda);
     let mut pairs: Vec<(u32, u32)> = positions

@@ -16,30 +16,76 @@ use crate::vec3::Vec3;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum ResidueKind {
-    Gly, Ala, Ser, Cys, Thr, Val, Pro, Leu, Ile, Asn,
-    Asp, Gln, Glu, Lys, Met, His, Phe, Arg, Tyr, Trp,
+    Gly,
+    Ala,
+    Ser,
+    Cys,
+    Thr,
+    Val,
+    Pro,
+    Leu,
+    Ile,
+    Asn,
+    Asp,
+    Gln,
+    Glu,
+    Lys,
+    Met,
+    His,
+    Phe,
+    Arg,
+    Tyr,
+    Trp,
 }
 
 impl ResidueKind {
     /// All residue kinds, smallest to largest side chain.
     pub const ALL: [ResidueKind; 20] = [
-        ResidueKind::Gly, ResidueKind::Ala, ResidueKind::Ser, ResidueKind::Cys,
-        ResidueKind::Thr, ResidueKind::Val, ResidueKind::Pro, ResidueKind::Leu,
-        ResidueKind::Ile, ResidueKind::Asn, ResidueKind::Asp, ResidueKind::Gln,
-        ResidueKind::Glu, ResidueKind::Lys, ResidueKind::Met, ResidueKind::His,
-        ResidueKind::Phe, ResidueKind::Arg, ResidueKind::Tyr, ResidueKind::Trp,
+        ResidueKind::Gly,
+        ResidueKind::Ala,
+        ResidueKind::Ser,
+        ResidueKind::Cys,
+        ResidueKind::Thr,
+        ResidueKind::Val,
+        ResidueKind::Pro,
+        ResidueKind::Leu,
+        ResidueKind::Ile,
+        ResidueKind::Asn,
+        ResidueKind::Asp,
+        ResidueKind::Gln,
+        ResidueKind::Glu,
+        ResidueKind::Lys,
+        ResidueKind::Met,
+        ResidueKind::His,
+        ResidueKind::Phe,
+        ResidueKind::Arg,
+        ResidueKind::Tyr,
+        ResidueKind::Trp,
     ];
 
     /// Three-letter code.
     pub fn code(self) -> &'static str {
         match self {
-            ResidueKind::Gly => "GLY", ResidueKind::Ala => "ALA", ResidueKind::Ser => "SER",
-            ResidueKind::Cys => "CYS", ResidueKind::Thr => "THR", ResidueKind::Val => "VAL",
-            ResidueKind::Pro => "PRO", ResidueKind::Leu => "LEU", ResidueKind::Ile => "ILE",
-            ResidueKind::Asn => "ASN", ResidueKind::Asp => "ASP", ResidueKind::Gln => "GLN",
-            ResidueKind::Glu => "GLU", ResidueKind::Lys => "LYS", ResidueKind::Met => "MET",
-            ResidueKind::His => "HIS", ResidueKind::Phe => "PHE", ResidueKind::Arg => "ARG",
-            ResidueKind::Tyr => "TYR", ResidueKind::Trp => "TRP",
+            ResidueKind::Gly => "GLY",
+            ResidueKind::Ala => "ALA",
+            ResidueKind::Ser => "SER",
+            ResidueKind::Cys => "CYS",
+            ResidueKind::Thr => "THR",
+            ResidueKind::Val => "VAL",
+            ResidueKind::Pro => "PRO",
+            ResidueKind::Leu => "LEU",
+            ResidueKind::Ile => "ILE",
+            ResidueKind::Asn => "ASN",
+            ResidueKind::Asp => "ASP",
+            ResidueKind::Gln => "GLN",
+            ResidueKind::Glu => "GLU",
+            ResidueKind::Lys => "LYS",
+            ResidueKind::Met => "MET",
+            ResidueKind::His => "HIS",
+            ResidueKind::Phe => "PHE",
+            ResidueKind::Arg => "ARG",
+            ResidueKind::Tyr => "TYR",
+            ResidueKind::Trp => "TRP",
         }
     }
 
@@ -146,11 +192,8 @@ impl Tb {
         let mut prev = parent;
         let mut pos = self.positions[parent];
         for (k, &el) in els.iter().enumerate() {
-            let step = if k % 2 == 0 {
-                Vec3::new(0.25, 0.70, 1.25)
-            } else {
-                Vec3::new(0.25, -0.70, 1.25)
-            };
+            let step =
+                if k % 2 == 0 { Vec3::new(0.25, 0.70, 1.25) } else { Vec3::new(0.25, -0.70, 1.25) };
             pos += step;
             let idx = self.atom(el, pos);
             self.bond(prev, idx, 1);
@@ -377,7 +420,10 @@ mod tests {
             ResidueKind::Ala => 5,
             ResidueKind::Ser | ResidueKind::Cys => 6,
             ResidueKind::Thr | ResidueKind::Val | ResidueKind::Pro => 7,
-            ResidueKind::Leu | ResidueKind::Ile | ResidueKind::Asn | ResidueKind::Asp
+            ResidueKind::Leu
+            | ResidueKind::Ile
+            | ResidueKind::Asn
+            | ResidueKind::Asp
             | ResidueKind::Met => 8,
             ResidueKind::Gln | ResidueKind::Glu | ResidueKind::Lys => 9,
             ResidueKind::His => 10,
@@ -412,10 +458,7 @@ mod tests {
             let t = k.template();
             for &(i, j, _) in &t.bonds {
                 let d = t.positions[i].dist(t.positions[j]);
-                assert!(
-                    (1.0..2.2).contains(&d),
-                    "{k:?} bond {i}-{j} length {d:.2} out of range"
-                );
+                assert!((1.0..2.2).contains(&d), "{k:?} bond {i}-{j} length {d:.2} out of range");
             }
         }
     }
@@ -445,12 +488,8 @@ mod tests {
             for (idx, (&el, &u)) in t.elements.iter().zip(&used).enumerate() {
                 // Backbone N and C each need one spare slot for the peptide
                 // bonds added at chain level.
-                let budget = el.valence()
-                    - if idx == t.n || idx == t.c { 1 } else { 0 };
-                assert!(
-                    u <= budget,
-                    "{k:?} atom {idx} ({el:?}) uses {u} of {budget} valence"
-                );
+                let budget = el.valence() - if idx == t.n || idx == t.c { 1 } else { 0 };
+                assert!(u <= budget, "{k:?} atom {idx} ({el:?}) uses {u} of {budget} valence");
             }
         }
     }
@@ -458,12 +497,8 @@ mod tests {
     #[test]
     fn proline_nitrogen_is_saturated() {
         let t = ResidueKind::Pro.template();
-        let n_bonds: u8 = t
-            .bonds
-            .iter()
-            .filter(|&&(i, j, _)| i == t.n || j == t.n)
-            .map(|&(_, _, o)| o)
-            .sum();
+        let n_bonds: u8 =
+            t.bonds.iter().filter(|&&(i, j, _)| i == t.n || j == t.n).map(|&(_, _, o)| o).sum();
         // CA + CD within the template; the chain adds the peptide bond.
         assert_eq!(n_bonds, 2);
     }

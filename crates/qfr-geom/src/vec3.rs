@@ -84,11 +84,8 @@ impl Vec3 {
 
     /// Any unit vector perpendicular to `self` (which must be nonzero).
     pub fn any_perpendicular(self) -> Vec3 {
-        let axis = if self.x.abs() < 0.9 {
-            Vec3::new(1.0, 0.0, 0.0)
-        } else {
-            Vec3::new(0.0, 1.0, 0.0)
-        };
+        let axis =
+            if self.x.abs() < 0.9 { Vec3::new(1.0, 0.0, 0.0) } else { Vec3::new(0.0, 1.0, 0.0) };
         self.cross(axis).normalized()
     }
 

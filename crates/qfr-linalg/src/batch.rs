@@ -107,10 +107,7 @@ impl BatchGemmPlan {
 
     /// Total *padded* FLOPs the plan will execute (includes padding waste).
     pub fn padded_flops(&self) -> u64 {
-        self.classes
-            .iter()
-            .map(|(c, idx)| c.padded_flops() * idx.len() as u64)
-            .sum()
+        self.classes.iter().map(|(c, idx)| c.padded_flops() * idx.len() as u64).sum()
     }
 
     /// Fraction of padded FLOPs that are waste relative to the exact job
@@ -153,11 +150,7 @@ pub fn execute_planned(jobs: &[GemmJob], plan: &BatchGemmPlan) -> Vec<DMatrix> {
             .iter()
             .map(|&i| {
                 let job = &jobs[i];
-                (
-                    i,
-                    job.a.zero_padded(class.m, class.k),
-                    job.b.zero_padded(class.k, class.n),
-                )
+                (i, job.a.zero_padded(class.m, class.k), job.b.zero_padded(class.k, class.n))
             })
             .collect();
         let outputs: Vec<(usize, DMatrix)> = padded
@@ -173,10 +166,7 @@ pub fn execute_planned(jobs: &[GemmJob], plan: &BatchGemmPlan) -> Vec<DMatrix> {
             results[i] = Some(c.block(0, 0, m, n));
         }
     }
-    results
-        .into_iter()
-        .map(|r| r.expect("every job belongs to exactly one size class"))
-        .collect()
+    results.into_iter().map(|r| r.expect("every job belongs to exactly one size class")).collect()
 }
 
 #[cfg(test)]

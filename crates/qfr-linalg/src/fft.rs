@@ -81,10 +81,7 @@ impl Mul for Complex64 {
     type Output = Complex64;
     #[inline]
     fn mul(self, rhs: Self) -> Self {
-        Self {
-            re: self.re * rhs.re - self.im * rhs.im,
-            im: self.re * rhs.im + self.im * rhs.re,
-        }
+        Self { re: self.re * rhs.re - self.im * rhs.im, im: self.re * rhs.im + self.im * rhs.re }
     }
 }
 
@@ -347,9 +344,8 @@ mod tests {
     #[test]
     fn parseval_theorem() {
         let n = 128;
-        let x: Vec<Complex64> = (0..n)
-            .map(|i| Complex64::new((i as f64 * 0.7).sin(), 0.0))
-            .collect();
+        let x: Vec<Complex64> =
+            (0..n).map(|i| Complex64::new((i as f64 * 0.7).sin(), 0.0)).collect();
         let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
         let mut f = x;
         fft_in_place(&mut f);

@@ -39,8 +39,15 @@ const PAR_ROWS: usize = 32;
 const PAR_WORK_THRESHOLD: usize = 64 * 64 * 64 * 8;
 
 fn check_dims(c: &DMatrix, a: &DMatrix, b: &DMatrix) {
-    assert_eq!(a.cols(), b.rows(), "gemm: inner dimensions differ: {}x{} * {}x{}",
-        a.rows(), a.cols(), b.rows(), b.cols());
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "gemm: inner dimensions differ: {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
     assert_eq!(c.rows(), a.rows(), "gemm: C row count mismatch");
     assert_eq!(c.cols(), b.cols(), "gemm: C col count mismatch");
 }
@@ -104,32 +111,29 @@ pub fn gemm_parallel(c: &mut DMatrix, a: &DMatrix, b: &DMatrix, alpha: f64, beta
     let n = b.cols();
     crate::flops::add(crate::flops::gemm_flops(m, n, k));
     let c_data = c.as_mut_slice();
-    c_data
-        .par_chunks_mut(PAR_ROWS * n)
-        .enumerate()
-        .for_each(|(chunk_idx, c_chunk)| {
-            let i0 = chunk_idx * PAR_ROWS;
-            let rows_here = c_chunk.len() / n;
-            for r in 0..rows_here {
-                let i = i0 + r;
-                let crow = &mut c_chunk[r * n..(r + 1) * n];
-                if beta == 0.0 {
-                    crow.iter_mut().for_each(|x| *x = 0.0);
-                } else if beta != 1.0 {
-                    crow.iter_mut().for_each(|x| *x *= beta);
+    c_data.par_chunks_mut(PAR_ROWS * n).enumerate().for_each(|(chunk_idx, c_chunk)| {
+        let i0 = chunk_idx * PAR_ROWS;
+        let rows_here = c_chunk.len() / n;
+        for r in 0..rows_here {
+            let i = i0 + r;
+            let crow = &mut c_chunk[r * n..(r + 1) * n];
+            if beta == 0.0 {
+                crow.iter_mut().for_each(|x| *x = 0.0);
+            } else if beta != 1.0 {
+                crow.iter_mut().for_each(|x| *x *= beta);
+            }
+            for p in 0..k {
+                let aip = alpha * a[(i, p)];
+                if aip == 0.0 {
+                    continue;
                 }
-                for p in 0..k {
-                    let aip = alpha * a[(i, p)];
-                    if aip == 0.0 {
-                        continue;
-                    }
-                    let brow = b.row(p);
-                    for j in 0..n {
-                        crow[j] += aip * brow[j];
-                    }
+                let brow = b.row(p);
+                for j in 0..n {
+                    crow[j] += aip * brow[j];
                 }
             }
-        });
+        }
+    });
 }
 
 #[inline]
@@ -328,11 +332,7 @@ mod tests {
         let x: Vec<f64> = (0..5).map(|i| i as f64 - 2.0).collect();
         let mut y = vec![1.0; 8];
         gemv(2.0, &a, &x, -1.0, &mut y);
-        let reference: Vec<f64> = a
-            .matvec(&x)
-            .iter()
-            .map(|v| 2.0 * v - 1.0)
-            .collect();
+        let reference: Vec<f64> = a.matvec(&x).iter().map(|v| 2.0 * v - 1.0).collect();
         for (yi, ri) in y.iter().zip(&reference) {
             assert!((yi - ri).abs() < 1e-12);
         }

@@ -187,9 +187,14 @@ impl DMatrix {
     /// # Panics
     /// Panics if the block does not fit.
     pub fn set_block(&mut self, row0: usize, col0: usize, src: &DMatrix) {
-        assert!(row0 + src.rows <= self.rows && col0 + src.cols <= self.cols,
+        assert!(
+            row0 + src.rows <= self.rows && col0 + src.cols <= self.cols,
             "set_block: {}x{} block at ({row0},{col0}) does not fit in {}x{}",
-            src.rows, src.cols, self.rows, self.cols);
+            src.rows,
+            src.cols,
+            self.rows,
+            self.cols
+        );
         for i in 0..src.rows {
             let dst = &mut self.row_mut(row0 + i)[col0..col0 + src.cols];
             dst.copy_from_slice(src.row(i));
@@ -198,9 +203,14 @@ impl DMatrix {
 
     /// Adds a rectangular block of `src` into `self` at `(row0, col0)`.
     pub fn add_block(&mut self, row0: usize, col0: usize, src: &DMatrix) {
-        assert!(row0 + src.rows <= self.rows && col0 + src.cols <= self.cols,
+        assert!(
+            row0 + src.rows <= self.rows && col0 + src.cols <= self.cols,
             "add_block: {}x{} block at ({row0},{col0}) does not fit in {}x{}",
-            src.rows, src.cols, self.rows, self.cols);
+            src.rows,
+            src.cols,
+            self.rows,
+            self.cols
+        );
         for i in 0..src.rows {
             let dst = &mut self.row_mut(row0 + i)[col0..col0 + src.cols];
             for (d, s) in dst.iter_mut().zip(src.row(i)) {
@@ -235,9 +245,7 @@ impl DMatrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         crate::flops::add(2 * self.rows as u64 * self.cols as u64);
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// True if `|a_ij - a_ji| <= tol` for all entries (requires square).
@@ -273,10 +281,7 @@ impl DMatrix {
     /// Panics on shape mismatch.
     pub fn max_abs_diff(&self, other: &DMatrix) -> f64 {
         assert_eq!(self.shape(), other.shape());
-        self.data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+        self.data.iter().zip(&other.data).fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
     }
 }
 
@@ -284,7 +289,12 @@ impl Index<(usize, usize)> for DMatrix {
     type Output = f64;
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[i * self.cols + j]
     }
 }
@@ -292,7 +302,12 @@ impl Index<(usize, usize)> for DMatrix {
 impl IndexMut<(usize, usize)> for DMatrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of {}x{}", self.rows, self.cols);
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[i * self.cols + j]
     }
 }

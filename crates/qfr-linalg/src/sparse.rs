@@ -48,16 +48,22 @@ impl TripletBuilder {
     /// # Panics
     /// Panics if a dimension exceeds `u32::MAX` (the CSR index type).
     pub fn new(rows: usize, cols: usize) -> Self {
-        assert!(rows <= u32::MAX as usize && cols <= u32::MAX as usize,
-            "TripletBuilder dimensions exceed u32 index range");
+        assert!(
+            rows <= u32::MAX as usize && cols <= u32::MAX as usize,
+            "TripletBuilder dimensions exceed u32 index range"
+        );
         Self { rows, cols, entries: Vec::new() }
     }
 
     /// Adds `value` at `(row, col)` (accumulating with any prior entry).
     #[inline]
     pub fn push(&mut self, row: usize, col: usize, value: f64) {
-        debug_assert!(row < self.rows && col < self.cols,
-            "triplet ({row},{col}) out of {}x{}", self.rows, self.cols);
+        debug_assert!(
+            row < self.rows && col < self.cols,
+            "triplet ({row},{col}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         if value != 0.0 {
             self.entries.push((row as u32, col as u32, value));
         }
@@ -87,8 +93,7 @@ impl TripletBuilder {
     /// Compresses to CSR, summing duplicates and dropping entries that
     /// cancel to exactly zero.
     pub fn build(mut self) -> CsrMatrix {
-        self.entries
-            .par_sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        self.entries.par_sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
         let mut row_ptr = vec![0usize; self.rows + 1];
         let mut col_idx: Vec<u32> = Vec::with_capacity(self.entries.len());
         let mut values: Vec<f64> = Vec::with_capacity(self.entries.len());
@@ -147,10 +152,7 @@ impl CsrMatrix {
     pub fn row_entries(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.row_ptr[i];
         let hi = self.row_ptr[i + 1];
-        self.col_idx[lo..hi]
-            .iter()
-            .zip(&self.values[lo..hi])
-            .map(|(&c, &v)| (c as usize, v))
+        self.col_idx[lo..hi].iter().zip(&self.values[lo..hi]).map(|(&c, &v)| (c as usize, v))
     }
 
     /// Value at `(i, j)` (0 if not stored). Binary search within the row.

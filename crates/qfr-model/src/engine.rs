@@ -78,11 +78,7 @@ mod tests {
             .collect();
         assert_eq!(nus.len(), 3, "water has 3 vibrational modes: {nus:?}");
         // Bend near 1640, stretches near 3400 (the Fig. 12 water bands).
-        assert!(
-            (1400.0..1900.0).contains(&nus[0]),
-            "bend at {} cm-1",
-            nus[0]
-        );
+        assert!((1400.0..1900.0).contains(&nus[0]), "bend at {} cm-1", nus[0]);
         assert!(
             (3100.0..3700.0).contains(&nus[1]) && (3100.0..3800.0).contains(&nus[2]),
             "stretches at {} / {} cm-1",
@@ -93,16 +89,9 @@ mod tests {
 
     #[test]
     fn alanine_fragment_has_ch_band() {
-        let sys = ProteinBuilder::new(3)
-            .seed(2)
-            .sequence(vec![ResidueKind::Ala; 3])
-            .build();
+        let sys = ProteinBuilder::new(3).seed(2).sequence(vec![ResidueKind::Ala; 3]).build();
         let d = Decomposition::new(&sys, DecompositionParams::default());
-        let job = d
-            .jobs
-            .iter()
-            .find(|j| matches!(j.kind, JobKind::CappedFragment { .. }))
-            .unwrap();
+        let job = d.jobs.iter().find(|j| matches!(j.kind, JobKind::CappedFragment { .. })).unwrap();
         let frag = job.structure(&sys);
         let resp = ForceFieldEngine::new().compute(&frag);
         let masses = frag.masses();
@@ -119,15 +108,9 @@ mod tests {
             .map(|&l| crate::frequencies::eigenvalue_to_wavenumber(l))
             .collect();
         // C-H stretch manifold near 2900-3000.
-        assert!(
-            nus.iter().any(|&nu| (2800.0..3100.0).contains(&nu)),
-            "no C-H band found"
-        );
+        assert!(nus.iter().any(|&nu| (2800.0..3100.0).contains(&nu)), "no C-H band found");
         // Amide I (C=O) near 1600-1800.
-        assert!(
-            nus.iter().any(|&nu| (1550.0..1850.0).contains(&nu)),
-            "no amide I band found"
-        );
+        assert!(nus.iter().any(|&nu| (1550.0..1850.0).contains(&nu)), "no amide I band found");
         // No imaginary modes beyond numerical noise.
         assert!(nus.iter().all(|&nu| nu > -1.0), "imaginary modes: {nus:?}");
     }

@@ -80,11 +80,7 @@ pub fn build_terms(frag: &FragmentStructure, params: &ForceFieldParams) -> Vec<T
                     center,
                     j,
                     k: params.bend_scale
-                        * bend_constant(
-                            frag.elements[i],
-                            frag.elements[center],
-                            frag.elements[j],
-                        ),
+                        * bend_constant(frag.elements[i], frag.elements[center], frag.elements[j]),
                 });
             }
         }
@@ -157,11 +153,9 @@ pub fn hessian(frag: &FragmentStructure, terms: &[Term]) -> DMatrix {
                 accumulate_outer(&mut h, &[i, j], &[-uh, uh], k);
             }
             Term::Bend { i, center, j, k } => {
-                if let Some((ji, jc, jj)) = bend_jacobian(
-                    frag.positions[i],
-                    frag.positions[center],
-                    frag.positions[j],
-                ) {
+                if let Some((ji, jc, jj)) =
+                    bend_jacobian(frag.positions[i], frag.positions[center], frag.positions[j])
+                {
                     accumulate_outer(&mut h, &[i, center, j], &[ji, jc, jj], k);
                 }
             }
@@ -305,12 +299,8 @@ mod tests {
 
     #[test]
     fn collinear_bend_skipped() {
-        assert!(bend_jacobian(
-            Vec3::new(1.0, 0.0, 0.0),
-            Vec3::ZERO,
-            Vec3::new(-2.0, 0.0, 0.0)
-        )
-        .is_none());
+        assert!(bend_jacobian(Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO, Vec3::new(-2.0, 0.0, 0.0))
+            .is_none());
         assert!(bend_jacobian(Vec3::ZERO, Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)).is_none());
     }
 

@@ -30,5 +30,7 @@ pub mod params;
 pub mod polarizability;
 
 pub use engine::ForceFieldEngine;
-pub use frequencies::{eigenvalue_to_wavenumber, wavenumber_to_eigenvalue, WAVENUMBER_PER_SQRT_EIG};
+pub use frequencies::{
+    eigenvalue_to_wavenumber, wavenumber_to_eigenvalue, WAVENUMBER_PER_SQRT_EIG,
+};
 pub use params::ForceFieldParams;

@@ -8,19 +8,19 @@ use qfr_geom::Element;
 /// band centers quoted in the paper's Fig. 12 discussion.
 pub fn stretch_constant(class: BondClass) -> f64 {
     match class {
-        BondClass::CH => 4.70,        // ≈2940 cm⁻¹ C-H stretch
-        BondClass::NH => 6.00,        // ≈3280 cm⁻¹
-        BondClass::OH => 6.50,        // water stretch band ≈3400 cm⁻¹
-        BondClass::SH => 4.00,        // ≈2560 cm⁻¹
-        BondClass::CCSingle => 4.50,  // skeletal ≈1100 cm⁻¹
+        BondClass::CH => 4.70,         // ≈2940 cm⁻¹ C-H stretch
+        BondClass::NH => 6.00,         // ≈3280 cm⁻¹
+        BondClass::OH => 6.50,         // water stretch band ≈3400 cm⁻¹
+        BondClass::SH => 4.00,         // ≈2560 cm⁻¹
+        BondClass::CCSingle => 4.50,   // skeletal ≈1100 cm⁻¹
         BondClass::CCAromatic => 6.50, // ring modes 1000–1600 cm⁻¹
         BondClass::CNSingle => 5.00,
-        BondClass::CNAmide => 6.30,   // amide III coupling 1200–1360 cm⁻¹
+        BondClass::CNAmide => 6.30, // amide III coupling 1200–1360 cm⁻¹
         BondClass::CNDouble => 10.00,
         BondClass::COSingle => 5.00,
         BondClass::CODouble => 11.50, // amide I ≈1690 cm⁻¹
         BondClass::CSSingle => 3.00,
-        BondClass::SSBond => 2.50,    // ≈510 cm⁻¹
+        BondClass::SSBond => 2.50, // ≈510 cm⁻¹
         BondClass::Other => 3.00,
     }
 }
@@ -77,16 +77,36 @@ pub fn bond_polarizability(class: BondClass) -> BondPolarizability {
         BondClass::NH => BondPolarizability { par_deriv: 0.70, perp_deriv: 0.15, anisotropy: 0.35 },
         BondClass::OH => BondPolarizability { par_deriv: 0.85, perp_deriv: 0.20, anisotropy: 0.40 },
         BondClass::SH => BondPolarizability { par_deriv: 1.40, perp_deriv: 0.25, anisotropy: 0.60 },
-        BondClass::CCSingle => BondPolarizability { par_deriv: 1.10, perp_deriv: 0.25, anisotropy: 0.55 },
-        BondClass::CCAromatic => BondPolarizability { par_deriv: 2.10, perp_deriv: 0.45, anisotropy: 1.10 },
-        BondClass::CNSingle => BondPolarizability { par_deriv: 0.90, perp_deriv: 0.20, anisotropy: 0.45 },
-        BondClass::CNAmide => BondPolarizability { par_deriv: 1.30, perp_deriv: 0.30, anisotropy: 0.70 },
-        BondClass::CNDouble => BondPolarizability { par_deriv: 1.60, perp_deriv: 0.35, anisotropy: 0.85 },
-        BondClass::COSingle => BondPolarizability { par_deriv: 0.90, perp_deriv: 0.20, anisotropy: 0.45 },
-        BondClass::CODouble => BondPolarizability { par_deriv: 1.50, perp_deriv: 0.35, anisotropy: 0.80 },
-        BondClass::CSSingle => BondPolarizability { par_deriv: 1.80, perp_deriv: 0.35, anisotropy: 0.90 },
-        BondClass::SSBond => BondPolarizability { par_deriv: 2.40, perp_deriv: 0.50, anisotropy: 1.20 },
-        BondClass::Other => BondPolarizability { par_deriv: 1.00, perp_deriv: 0.20, anisotropy: 0.50 },
+        BondClass::CCSingle => {
+            BondPolarizability { par_deriv: 1.10, perp_deriv: 0.25, anisotropy: 0.55 }
+        }
+        BondClass::CCAromatic => {
+            BondPolarizability { par_deriv: 2.10, perp_deriv: 0.45, anisotropy: 1.10 }
+        }
+        BondClass::CNSingle => {
+            BondPolarizability { par_deriv: 0.90, perp_deriv: 0.20, anisotropy: 0.45 }
+        }
+        BondClass::CNAmide => {
+            BondPolarizability { par_deriv: 1.30, perp_deriv: 0.30, anisotropy: 0.70 }
+        }
+        BondClass::CNDouble => {
+            BondPolarizability { par_deriv: 1.60, perp_deriv: 0.35, anisotropy: 0.85 }
+        }
+        BondClass::COSingle => {
+            BondPolarizability { par_deriv: 0.90, perp_deriv: 0.20, anisotropy: 0.45 }
+        }
+        BondClass::CODouble => {
+            BondPolarizability { par_deriv: 1.50, perp_deriv: 0.35, anisotropy: 0.80 }
+        }
+        BondClass::CSSingle => {
+            BondPolarizability { par_deriv: 1.80, perp_deriv: 0.35, anisotropy: 0.90 }
+        }
+        BondClass::SSBond => {
+            BondPolarizability { par_deriv: 2.40, perp_deriv: 0.50, anisotropy: 1.20 }
+        }
+        BondClass::Other => {
+            BondPolarizability { par_deriv: 1.00, perp_deriv: 0.20, anisotropy: 0.50 }
+        }
     }
 }
 

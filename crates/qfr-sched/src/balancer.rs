@@ -61,9 +61,7 @@ pub struct SizeSensitivePolicy {
 impl SizeSensitivePolicy {
     /// Builds the policy over a fragment population.
     pub fn new(mut fragments: Vec<FragmentWorkItem>, cfg: SizeSensitiveConfig) -> Self {
-        fragments.sort_by(|a, b| {
-            a.cost().partial_cmp(&b.cost()).unwrap().then(a.id.cmp(&b.id))
-        });
+        fragments.sort_by(|a, b| a.cost().partial_cmp(&b.cost()).unwrap().then(a.id.cmp(&b.id)));
         let initial_count = fragments.len();
         Self { pool: fragments, requeued: Vec::new(), cfg, initial_count, next_id: 0 }
     }
@@ -91,13 +89,12 @@ impl Policy for SizeSensitivePolicy {
         // divisor)` so granularity falls smoothly to single fragments and
         // all leaders drain together. The cap never *grows* tasks beyond
         // the medium pack target.
-        let tail_cap = if self.pool.len()
-            <= (self.cfg.tail_fraction * self.initial_count as f64) as usize
-        {
-            self.pool.len().div_ceil(self.cfg.tail_divisor).max(1)
-        } else {
-            usize::MAX
-        };
+        let tail_cap =
+            if self.pool.len() <= (self.cfg.tail_fraction * self.initial_count as f64) as usize {
+                self.pool.len().div_ceil(self.cfg.tail_divisor).max(1)
+            } else {
+                usize::MAX
+            };
         // Serve from the large end, packing until the master round-trip is
         // amortized. A fragment already at or above the target ships alone
         // (Fig. 4(b) "each large fragment as a task"); small ones pack.
@@ -176,9 +173,7 @@ pub struct SortedSingletonPolicy {
 impl SortedSingletonPolicy {
     /// Builds the policy (largest served first).
     pub fn new(mut fragments: Vec<FragmentWorkItem>) -> Self {
-        fragments.sort_by(|a, b| {
-            a.cost().partial_cmp(&b.cost()).unwrap().then(a.id.cmp(&b.id))
-        });
+        fragments.sort_by(|a, b| a.cost().partial_cmp(&b.cost()).unwrap().then(a.id.cmp(&b.id)));
         Self { pool: fragments, requeued: Vec::new(), next_id: 0 }
     }
 }
@@ -312,12 +307,7 @@ mod tests {
         let last = tasks.last().unwrap();
         assert_eq!(last.len(), 1, "final task must be a single fragment");
         // Tail task sizes are non-increasing.
-        let tail: Vec<usize> = tasks
-            .iter()
-            .rev()
-            .take(10)
-            .map(|t| t.len())
-            .collect();
+        let tail: Vec<usize> = tasks.iter().rev().take(10).map(|t| t.len()).collect();
         for w in tail.windows(2) {
             assert!(w[1] >= w[0], "tail granularity must shrink toward the end");
         }
@@ -343,7 +333,8 @@ mod tests {
         let mut p = RoundRobinPolicy::new(frags, 3);
         let tasks = drain(&mut p);
         assert_eq!(tasks.len(), 4);
-        let served: Vec<u32> = tasks.iter().flat_map(|t| t.fragments.iter().map(|f| f.id)).collect();
+        let served: Vec<u32> =
+            tasks.iter().flat_map(|t| t.fragments.iter().map(|f| f.id)).collect();
         assert_eq!(served, ids);
     }
 

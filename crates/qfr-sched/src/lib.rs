@@ -5,12 +5,16 @@
 //!
 //! - a **real shared-memory runtime** ([`runtime`]) with the paper's
 //!   three-level master/leader/worker hierarchy on OS threads and crossbeam
-//!   channels, including task prefetching and failure re-queueing;
+//!   channels, including task prefetching and fault recovery;
 //! - a **discrete-event cluster simulator** ([`simulator`]) that drives the
 //!   *same* [`balancer`] policies at the paper's scales (750–96,000 nodes),
 //!   regenerating the load-balance variance of Fig. 8 and the strong/weak
 //!   scaling of Figs. 10–11 — the substitution for the inaccessible ORISE
 //!   and Sunway machines (see DESIGN.md);
+//! - a **deterministic fault-injection layer** ([`fault`]) shared by both
+//!   executors: a seedable [`FaultPlan`] of per-attempt failure
+//!   probabilities, injected straggler latency, and leader-death schedules,
+//!   plus the [`RecoveryPolicy`] governing retries and re-issue;
 //! - the **system-size-sensitive load balancer** ([`balancer`], Fig. 4):
 //!   largest fragments as singleton tasks, medium fragments packed to a
 //!   target cost, and a shrinking-granularity tail that lets busy leaders
@@ -21,15 +25,45 @@
 //!   overheads, reproducing the profitability crossover;
 //! - **machine models** ([`machine`]) of ORISE and the new Sunway for the
 //!   Table I full-system extrapolations.
+//!
+//! # Recovery-semantics contract
+//!
+//! Both executors implement the same recovery contract (defined in detail
+//! in [`fault`]):
+//!
+//! 1. **Retry with exponential backoff** — a failed attempt `a` of a task
+//!    re-queues it at attempt `a + 1` after `backoff_base * 2^a`, held in
+//!    a master-side delay queue (never through [`Policy::requeue`]).
+//! 2. **Quarantine** — after [`RecoveryPolicy::max_attempts`] failed
+//!    attempts the task's fragments are reported as
+//!    `quarantined_fragments` in the run report; the run completes with a
+//!    partial result instead of hanging.
+//! 3. **Straggler re-issue** (on by default) — an idle leader duplicates an
+//!    in-flight task older than `straggler_factor x` the mean completed
+//!    duration; at most two copies of an attempt exist at once.
+//! 4. **Exactly-once crediting** — the first successful copy wins;
+//!    `tasks_executed`, `fragments_done` and busy time count each fragment
+//!    exactly once, and losers only increment `duplicates_suppressed`.
+//! 5. **Conservation** — every run satisfies (and asserts)
+//!    `fragments_done + quarantined + unfinished == distinct input
+//!    fragments`.
+//!
+//! Because injected failures are pure functions of `(fragment, attempt)`,
+//! the retry/quarantine counters of both executors match
+//! [`FaultPlan::forecast`] exactly for the same plan and decomposition.
 
 pub mod balancer;
+pub mod fault;
 pub mod machine;
 pub mod offload;
 pub mod runtime;
 pub mod simulator;
 pub mod task;
 
-pub use balancer::{Policy, RandomPolicy, RoundRobinPolicy, SizeSensitivePolicy, SortedSingletonPolicy};
+pub use balancer::{
+    Policy, RandomPolicy, RoundRobinPolicy, SizeSensitivePolicy, SortedSingletonPolicy,
+};
+pub use fault::{FaultForecast, FaultPlan, RecoveryPolicy};
 pub use machine::MachineModel;
 pub use offload::{offload_comparison, CpuAccelerator, ModeledAccelerator, OffloadReport};
 pub use runtime::{run_master_leader_worker, RunReport, RuntimeConfig};

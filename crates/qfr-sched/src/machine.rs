@@ -23,6 +23,11 @@ pub struct MachineModel {
     /// Host↔accelerator bandwidth in GB/s (PCIe on ORISE; on-chip DMA on
     /// Sunway, which shares the address space — effectively much higher).
     pub transfer_gbs: f64,
+    /// Mean time between failures of a single node, in hours. At the
+    /// 96,000-node scale a multi-hour run sees node failures as a matter
+    /// of course, which is what motivates the scheduler's retry/
+    /// re-issue/quarantine machinery (`crate::fault`).
+    pub node_mtbf_hours: f64,
 }
 
 impl MachineModel {
@@ -37,6 +42,7 @@ impl MachineModel {
             accel_peak_tflops: 6.6,
             launch_overhead_s: 20e-6,
             transfer_gbs: 16.0,
+            node_mtbf_hours: 50_000.0,
         }
     }
 
@@ -51,6 +57,7 @@ impl MachineModel {
             accel_peak_tflops: 14.1,
             launch_overhead_s: 5e-6,
             transfer_gbs: 400.0,
+            node_mtbf_hours: 30_000.0,
         }
     }
 
@@ -74,6 +81,19 @@ impl MachineModel {
     /// FP64 efficiency of an achieved per-accelerator rate.
     pub fn efficiency(&self, per_accel_tflops: f64) -> f64 {
         per_accel_tflops / self.accel_peak_tflops
+    }
+
+    /// Probability that a given node fails at least once during a run of
+    /// `run_hours`, under an exponential failure model with the node MTBF.
+    pub fn node_failure_probability(&self, run_hours: f64) -> f64 {
+        1.0 - (-run_hours / self.node_mtbf_hours).exp()
+    }
+
+    /// Expected number of node failures across the whole machine during a
+    /// run of `run_hours` — the rate to feed a [`crate::FaultPlan`] when
+    /// simulating full-system jobs.
+    pub fn expected_node_failures(&self, run_hours: f64) -> f64 {
+        self.nodes as f64 * run_hours / self.node_mtbf_hours
     }
 }
 
@@ -113,6 +133,22 @@ mod tests {
         let b = m.full_system_pflops(4.0);
         assert!((b / a - 2.0).abs() < 1e-12);
         assert!((a - 48.0).abs() < 1e-9); // 2 TF * 24000 / 1000
+    }
+
+    #[test]
+    fn failure_model_scales_with_machine_size() {
+        let sunway = MachineModel::sunway();
+        let orise = MachineModel::orise();
+        // A 10-hour full-system Sunway run expects tens of node failures —
+        // fault tolerance is mandatory, not optional, at this scale.
+        assert!(sunway.expected_node_failures(10.0) > 10.0);
+        assert!(sunway.expected_node_failures(10.0) > orise.expected_node_failures(10.0));
+        // Per-node failure probability stays tiny and bounded.
+        let p = sunway.node_failure_probability(10.0);
+        assert!(p > 0.0 && p < 1e-3, "per-node p {p}");
+        // Exponential model sanity: p(0) = 0, monotone in duration.
+        assert_eq!(sunway.node_failure_probability(0.0), 0.0);
+        assert!(sunway.node_failure_probability(20.0) > p);
     }
 
     #[test]

@@ -162,10 +162,7 @@ impl ModeledAccelerator {
             let batch_flops = class.padded_flops() as f64 * indices.len() as f64;
             // Effective dimension of the fused batch.
             let dim = batch_flops.cbrt() / 2.0_f64.cbrt();
-            let bytes: f64 = indices
-                .iter()
-                .map(|&i| Self::job_bytes(&jobs[i]))
-                .sum();
+            let bytes: f64 = indices.iter().map(|&i| Self::job_bytes(&jobs[i])).sum();
             let compute = batch_flops / (self.achieved_tflops(dim) * 1e12);
             // Aggregated transfer (Section V-F): one DMA setup per launch
             // instead of one per operand block.

@@ -8,18 +8,43 @@
 //!   completion or failure back to the master.
 //! - **Prefetching** (Fig. 4(d)): a leader requests its next task while the
 //!   current one is still executing, hiding the master round-trip.
-//! - **Re-queueing**: a failed task (the stand-in for the paper's
-//!   "processed for a long time but not yet completed") goes back to the
-//!   pool and is eventually served to another leader.
+//!
+//! # Recovery semantics
+//!
+//! The master implements the contract documented in [`crate::fault`]:
+//!
+//! - A failed attempt is **retried with exponential backoff** (the task
+//!   waits `backoff_base * 2^attempt` in a master-held delay queue — it
+//!   does *not* go back through [`Policy::requeue`]) until
+//!   [`RecoveryPolicy::max_attempts`] attempts have failed, after which the
+//!   task is **quarantined** and its fragments reported in
+//!   [`RunReport::quarantined_fragments`] instead of hanging the run.
+//! - **Straggler re-issue** (the paper's "processed for a long time but not
+//!   yet completed" rule, on by default): an idle leader receives a
+//!   duplicate copy of an in-flight task older than `straggler_factor x`
+//!   the mean completed-task duration. Completion is **exactly-once**: the
+//!   first successful copy wins; the loser only increments
+//!   [`RunReport::duplicates_suppressed`], so `tasks_executed`,
+//!   `fragments_done` and per-leader busy time count each fragment once.
+//! - A **dead leader** (scheduled via [`FaultPlan::kill_leader_after`])
+//!   bounces any assignment it still receives back to the master, which
+//!   re-dispatches it at the same attempt. If every leader dies, the run
+//!   returns with [`RunReport::unfinished_fragments`] set rather than
+//!   deadlocking.
+//!
+//! Conservation invariant (asserted on every run):
+//! `fragments_done + quarantined + unfinished == distinct input fragments`.
 
 use crate::balancer::Policy;
+use crate::fault::{FaultPlan, RecoveryPolicy};
 use crate::task::{FragmentWorkItem, Task};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use std::time::Instant;
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
 
-/// Runtime shape.
-#[derive(Debug, Clone, Copy)]
+/// Runtime shape and fault/recovery configuration.
+#[derive(Debug, Clone)]
 pub struct RuntimeConfig {
     /// Number of leader threads.
     pub n_leaders: usize,
@@ -27,18 +52,23 @@ pub struct RuntimeConfig {
     pub workers_per_leader: usize,
     /// Whether leaders prefetch their next task.
     pub prefetch: bool,
-    /// Time-based straggler re-issue (the paper's "processed for a long
-    /// time but not yet completed" rule): when an idle leader asks for work
-    /// and the pool is empty, any in-flight task older than
-    /// `factor × mean completed-task duration` is re-issued to the idle
-    /// leader. The first finisher wins; duplicate completions are
-    /// deduplicated. `None` disables the mechanism.
-    pub straggler_factor: Option<f64>,
+    /// Retry, backoff and straggler re-issue policy.
+    pub recovery: RecoveryPolicy,
+    /// Injected faults (none by default).
+    pub faults: FaultPlan,
 }
 
 impl Default for RuntimeConfig {
+    /// The default shape: 4 leaders x 2 workers, prefetching, default
+    /// recovery policy, no injected faults.
     fn default() -> Self {
-        Self { n_leaders: 4, workers_per_leader: 2, prefetch: true, straggler_factor: None }
+        Self {
+            n_leaders: 4,
+            workers_per_leader: 2,
+            prefetch: true,
+            recovery: RecoveryPolicy::default(),
+            faults: FaultPlan::none(),
+        }
     }
 }
 
@@ -47,14 +77,24 @@ impl Default for RuntimeConfig {
 pub struct RunReport {
     /// Wall-clock seconds from first dispatch to last completion.
     pub makespan: f64,
-    /// Per-leader busy seconds (executing fragments).
+    /// Per-leader busy seconds (first successful executions only).
     pub leader_busy: Vec<f64>,
-    /// Tasks executed to completion (including re-executions).
+    /// Tasks completed, each counted exactly once.
     pub tasks_executed: usize,
     /// Distinct fragments completed successfully.
     pub fragments_done: usize,
-    /// Tasks re-queued after a failure.
-    pub requeues: usize,
+    /// Failure-triggered re-queues (retry attempts scheduled).
+    pub retries: usize,
+    /// Straggler duplicates issued to idle leaders.
+    pub reissues: usize,
+    /// Completions discarded because another copy already won.
+    pub duplicates_suppressed: usize,
+    /// Fragments whose task exhausted `max_attempts` (sorted ids).
+    pub quarantined_fragments: Vec<u32>,
+    /// Fragments abandoned because every leader died.
+    pub unfinished_fragments: usize,
+    /// Leaders that died during the run.
+    pub leaders_died: usize,
 }
 
 impl RunReport {
@@ -69,23 +109,75 @@ impl RunReport {
         let max = self.leader_busy.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         ((min - mean) / mean, (max - mean) / mean)
     }
+
+    /// Whether every input fragment completed (nothing quarantined or
+    /// abandoned).
+    pub fn is_complete(&self) -> bool {
+        self.quarantined_fragments.is_empty() && self.unfinished_fragments == 0
+    }
+}
+
+/// One unit of work sent to a leader: a task, its attempt number, and the
+/// copy index within that attempt (straggler duplicates get copy ≥ 1).
+#[derive(Debug, Clone)]
+struct Assignment {
+    task: Task,
+    attempt: u32,
+    copy: u32,
 }
 
 /// A leader's task mailbox (`None` = shut down).
-type TaskChannel = (Sender<Option<Task>>, Receiver<Option<Task>>);
+type TaskChannel = (Sender<Option<Assignment>>, Receiver<Option<Assignment>>);
 
 enum MasterMsg {
     Available { leader: usize },
-    Completed { task_id: u32, seconds: f64 },
-    Failed { task: Task },
+    Completed { leader: usize, task_id: u32, seconds: f64 },
+    Failed { leader: usize, task_id: u32 },
+    Returned { leader: usize, task_id: u32 },
+    Died { leader: usize },
+}
+
+/// Master-side bookkeeping for one in-flight task attempt.
+struct InFlight {
+    task: Task,
+    attempt: u32,
+    issued: Instant,
+    /// Copies issued for this attempt (caps the duplicate storm at 2).
+    copies: u32,
+    /// Copies still outstanding.
+    live: u32,
+    holders: Vec<usize>,
+    completed: bool,
+}
+
+#[derive(Default)]
+struct MasterOut {
+    retries: usize,
+    reissues: usize,
+    leaders_died: usize,
+    quarantined: Vec<u32>,
+    unfinished: usize,
+}
+
+fn outstanding_fragments(
+    in_flight: &HashMap<u32, InFlight>,
+    ready: &[(Task, u32)],
+    delayed: &[(Instant, Task, u32)],
+    policy_remaining: usize,
+) -> usize {
+    policy_remaining
+        + ready.iter().map(|(t, _)| t.len()).sum::<usize>()
+        + delayed.iter().map(|(_, t, _)| t.len()).sum::<usize>()
+        + in_flight.values().filter(|e| !e.completed).map(|e| e.task.len()).sum::<usize>()
 }
 
 /// Runs a workload through the three-level hierarchy.
 ///
 /// `workload` processes one fragment (one displacement partition is handled
 /// internally by the leader's workers) and returns `true` on success. A
-/// `false` fails the whole task, which the master re-queues; re-executions
-/// call the workload again, so an intermittent failure eventually succeeds.
+/// `false` — or an injected failure from `cfg.faults` — fails the whole
+/// task, which the master retries with backoff up to
+/// `cfg.recovery.max_attempts` total attempts before quarantining it.
 pub fn run_master_leader_worker<F>(
     mut policy: Box<dyn Policy>,
     workload: F,
@@ -95,139 +187,239 @@ where
     F: Fn(&FragmentWorkItem) -> bool + Sync,
 {
     assert!(cfg.n_leaders > 0 && cfg.workers_per_leader > 0);
+    assert!(cfg.recovery.max_attempts >= 1, "need at least one attempt per task");
+    let initial_fragments = policy.remaining_fragments();
     let (to_master, master_rx): (Sender<MasterMsg>, Receiver<MasterMsg>) = unbounded();
     // Unbounded so the master's final None broadcast can never block.
     let leader_channels: Vec<TaskChannel> = (0..cfg.n_leaders).map(|_| unbounded()).collect();
 
     let busy: Vec<Mutex<f64>> = (0..cfg.n_leaders).map(|_| Mutex::new(0.0)).collect();
-    let done_fragments = Mutex::new(std::collections::HashSet::<u32>::new());
-    let stats = Mutex::new((0usize, 0usize)); // (tasks_executed, requeues)
+    let done_fragments = Mutex::new(HashSet::<u32>::new());
+    // Task ids whose first successful copy already reported: the arbiter
+    // for exactly-once crediting across straggler duplicates.
+    let won_tasks = Mutex::new(HashSet::<u32>::new());
+    let counters = Mutex::new((0usize, 0usize)); // (tasks_executed, duplicates_suppressed)
+    let master_out = Mutex::new(MasterOut::default());
 
     let t0 = Instant::now();
     std::thread::scope(|scope| {
         // ---------------- master ----------------
-        let master_senders: Vec<Sender<Option<Task>>> =
+        let master_senders: Vec<Sender<Option<Assignment>>> =
             leader_channels.iter().map(|(s, _)| s.clone()).collect();
-        let stats_ref = &stats;
+        let out_ref = &master_out;
+        let cfg_ref = &cfg;
         scope.spawn(move || {
-            // Copies in flight per task id, plus the original issue time.
-            let mut in_flight: std::collections::HashMap<u32, (Task, Instant, u32)> =
-                std::collections::HashMap::new();
-            let mut completed: std::collections::HashSet<u32> =
-                std::collections::HashSet::new();
-            let mut inflight_copies = 0usize;
+            let rec = cfg_ref.recovery;
+            let mut in_flight: HashMap<u32, InFlight> = HashMap::new();
+            let mut ready: Vec<(Task, u32)> = Vec::new();
+            let mut delayed: Vec<(Instant, Task, u32)> = Vec::new();
             let mut waiting: Vec<usize> = Vec::new();
-            let mut drained = false;
+            let mut dead = vec![false; cfg_ref.n_leaders];
             let mut mean_acc = (0.0f64, 0usize); // (sum seconds, count)
-            // Finds an in-flight task that has exceeded the straggler
-            // age threshold.
-            let find_straggler = |in_flight: &std::collections::HashMap<u32, (Task, Instant, u32)>,
-                                  completed: &std::collections::HashSet<u32>,
-                                  mean_acc: (f64, usize)|
-             -> Option<u32> {
-                let factor = cfg.straggler_factor?;
-                if mean_acc.1 == 0 {
-                    return None;
-                }
-                let mean = mean_acc.0 / mean_acc.1 as f64;
-                in_flight
-                    .iter()
-                    // One duplicate at a time per task: the paper re-queues
-                    // a straggler once, not into a duplicate storm.
-                    .filter(|(id, (_, _, copies))| !completed.contains(id) && *copies < 2)
-                    .find(|(_, (_, issued, _))| issued.elapsed().as_secs_f64() > factor * mean)
-                    .map(|(&id, _)| id)
-            };
+            let mut retries = 0usize;
+            let mut reissues = 0usize;
+            let mut leaders_died = 0usize;
+            let mut quarantined: Vec<u32> = Vec::new();
+            let unfinished;
             loop {
-                // While leaders are parked and straggler detection is on,
-                // poll with a timeout so aging tasks get re-issued without
-                // waiting for another message.
-                let msg = if !waiting.is_empty() && cfg.straggler_factor.is_some() {
-                    match master_rx.recv_timeout(std::time::Duration::from_millis(2)) {
+                // While leaders are parked and time-based work exists
+                // (straggler aging, backoff expiry), poll with a timeout so
+                // it gets picked up without waiting for another message.
+                let poll =
+                    !waiting.is_empty() && (rec.straggler_factor.is_some() || !delayed.is_empty());
+                let msg = if poll {
+                    match master_rx.recv_timeout(Duration::from_millis(1)) {
                         Ok(m) => Some(m),
                         Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
-                        Err(_) => break,
+                        Err(_) => {
+                            unfinished = outstanding_fragments(
+                                &in_flight,
+                                &ready,
+                                &delayed,
+                                policy.remaining_fragments(),
+                            );
+                            break;
+                        }
                     }
                 } else {
                     match master_rx.recv() {
                         Ok(m) => Some(m),
-                        Err(_) => break,
+                        Err(_) => {
+                            unfinished = outstanding_fragments(
+                                &in_flight,
+                                &ready,
+                                &delayed,
+                                policy.remaining_fragments(),
+                            );
+                            break;
+                        }
                     }
                 };
                 match msg {
-                    Some(MasterMsg::Available { leader }) => {
-                        if let Some(task) = policy.next_task() {
-                            inflight_copies += 1;
-                            in_flight.insert(task.id, (task.clone(), Instant::now(), 1));
-                            master_senders[leader].send(Some(task)).ok();
-                        } else if inflight_copies == 0 {
-                            drained = true;
-                            master_senders[leader].send(None).ok();
-                        } else {
-                            waiting.push(leader);
-                        }
+                    Some(MasterMsg::Available { leader }) if !dead[leader] => {
+                        waiting.push(leader);
                     }
-                    Some(MasterMsg::Completed { task_id, seconds }) => {
-                        inflight_copies -= 1;
-                        if completed.insert(task_id) {
-                            mean_acc.0 += seconds;
-                            mean_acc.1 += 1;
-                        }
-                        if let Some(entry) = in_flight.get_mut(&task_id) {
-                            entry.2 -= 1;
-                            if entry.2 == 0 {
+                    Some(MasterMsg::Available { .. }) => {}
+                    Some(MasterMsg::Completed { leader, task_id, seconds }) => {
+                        if let Some(e) = in_flight.get_mut(&task_id) {
+                            e.live -= 1;
+                            e.holders.retain(|&l| l != leader);
+                            if !e.completed {
+                                e.completed = true;
+                                mean_acc.0 += seconds;
+                                mean_acc.1 += 1;
+                            }
+                            if e.live == 0 {
                                 in_flight.remove(&task_id);
                             }
                         }
                     }
-                    Some(MasterMsg::Failed { task }) => {
-                        inflight_copies -= 1;
-                        let already_done = completed.contains(&task.id);
-                        if let Some(entry) = in_flight.get_mut(&task.id) {
-                            entry.2 -= 1;
-                            if entry.2 == 0 {
-                                in_flight.remove(&task.id);
+                    Some(MasterMsg::Failed { leader, task_id }) => {
+                        let concluded = match in_flight.get_mut(&task_id) {
+                            Some(e) => {
+                                e.live -= 1;
+                                e.holders.retain(|&l| l != leader);
+                                e.live == 0
                             }
-                        }
-                        if !already_done {
-                            stats_ref.lock().1 += 1;
-                            policy.requeue(task);
-                        }
-                        // Serve a waiting leader if any.
-                        if let Some(leader) = waiting.pop() {
-                            if let Some(task) = policy.next_task() {
-                                inflight_copies += 1;
-                                in_flight.insert(task.id, (task.clone(), Instant::now(), 1));
-                                master_senders[leader].send(Some(task)).ok();
-                            } else {
-                                waiting.push(leader);
+                            None => false,
+                        };
+                        if concluded {
+                            let e = in_flight.remove(&task_id).expect("checked above");
+                            if !e.completed {
+                                // Every copy of this attempt failed.
+                                let next = e.attempt + 1;
+                                if next >= rec.max_attempts {
+                                    quarantined.extend(e.task.fragments.iter().map(|f| f.id));
+                                } else {
+                                    retries += 1;
+                                    let delay =
+                                        Duration::from_secs_f64(rec.backoff_after(e.attempt));
+                                    delayed.push((Instant::now() + delay, e.task, next));
+                                }
                             }
                         }
                     }
+                    Some(MasterMsg::Returned { leader, task_id }) => {
+                        // Bounced off a dead leader: the copy never ran, so
+                        // re-dispatch at the same attempt, no penalty.
+                        let concluded = match in_flight.get_mut(&task_id) {
+                            Some(e) => {
+                                e.live -= 1;
+                                e.copies = e.copies.saturating_sub(1);
+                                e.holders.retain(|&l| l != leader);
+                                e.live == 0
+                            }
+                            None => false,
+                        };
+                        if concluded {
+                            let e = in_flight.remove(&task_id).expect("checked above");
+                            if !e.completed {
+                                ready.push((e.task, e.attempt));
+                            }
+                        }
+                    }
+                    Some(MasterMsg::Died { leader }) if !dead[leader] => {
+                        dead[leader] = true;
+                        leaders_died += 1;
+                        waiting.retain(|&l| l != leader);
+                    }
+                    Some(MasterMsg::Died { .. }) => {}
                     None => {}
                 }
-                // Serve parked leaders with duplicate copies of stragglers
-                // (the paper's "mark un-processed again" rule).
-                while let Some(&leader) = waiting.last() {
-                    let Some(straggler) = find_straggler(&in_flight, &completed, mean_acc)
-                    else {
-                        break;
-                    };
-                    waiting.pop();
-                    let entry = in_flight.get_mut(&straggler).expect("just found");
-                    entry.2 += 1;
-                    inflight_copies += 1;
-                    stats_ref.lock().1 += 1;
-                    master_senders[leader].send(Some(entry.0.clone())).ok();
+
+                // Promote delayed retries whose backoff has expired.
+                let now = Instant::now();
+                let mut i = 0;
+                while i < delayed.len() {
+                    if delayed[i].0 <= now {
+                        let (_, task, attempt) = delayed.swap_remove(i);
+                        ready.push((task, attempt));
+                    } else {
+                        i += 1;
+                    }
                 }
-                if drained || (inflight_copies == 0 && policy.remaining_fragments() == 0) {
-                    // Release everyone and stop.
+
+                // Feed idle leaders: retries first, then the policy pool.
+                while !waiting.is_empty() {
+                    let next = ready.pop().or_else(|| policy.next_task().map(|t| (t, 0)));
+                    let Some((task, attempt)) = next else { break };
+                    let leader = waiting.pop().expect("checked non-empty");
+                    in_flight.insert(
+                        task.id,
+                        InFlight {
+                            task: task.clone(),
+                            attempt,
+                            issued: Instant::now(),
+                            copies: 1,
+                            live: 1,
+                            holders: vec![leader],
+                            completed: false,
+                        },
+                    );
+                    master_senders[leader].send(Some(Assignment { task, attempt, copy: 0 })).ok();
+                }
+
+                // Serve still-idle leaders with duplicate copies of
+                // stragglers (the paper's "mark un-processed again" rule).
+                if let Some(factor) = rec.straggler_factor {
+                    if mean_acc.1 > 0 {
+                        let mean = mean_acc.0 / mean_acc.1 as f64;
+                        let mut w = 0;
+                        while w < waiting.len() {
+                            let leader = waiting[w];
+                            let candidate = in_flight.values_mut().find(|e| {
+                                !e.completed
+                                    && e.copies < 2
+                                    && !e.holders.contains(&leader)
+                                    && e.issued.elapsed().as_secs_f64() > factor * mean
+                            });
+                            let Some(e) = candidate else {
+                                w += 1;
+                                continue;
+                            };
+                            let copy = e.copies;
+                            e.copies += 1;
+                            e.live += 1;
+                            e.holders.push(leader);
+                            reissues += 1;
+                            master_senders[leader]
+                                .send(Some(Assignment {
+                                    task: e.task.clone(),
+                                    attempt: e.attempt,
+                                    copy,
+                                }))
+                                .ok();
+                            waiting.swap_remove(w);
+                        }
+                    }
+                }
+
+                // Termination: all work concluded, or every leader died.
+                let work_done = ready.is_empty()
+                    && delayed.is_empty()
+                    && policy.remaining_fragments() == 0
+                    && in_flight.values().all(|e| e.completed);
+                let all_dead = dead.iter().all(|&d| d);
+                if work_done || all_dead {
+                    unfinished = outstanding_fragments(
+                        &in_flight,
+                        &ready,
+                        &delayed,
+                        policy.remaining_fragments(),
+                    );
                     for s in &master_senders {
                         s.send(None).ok();
                     }
                     break;
                 }
             }
+            let mut out = out_ref.lock();
+            quarantined.sort_unstable();
+            out.retries = retries;
+            out.reissues = reissues;
+            out.leaders_died = leaders_died;
+            out.quarantined = quarantined;
+            out.unfinished = unfinished;
         });
 
         // ---------------- leaders ----------------
@@ -237,29 +429,45 @@ where
             let workload = &workload;
             let busy_slot = &busy[leader_id];
             let done_ref = &done_fragments;
-            let stats_ref = &stats;
+            let won_ref = &won_tasks;
+            let counters_ref = &counters;
+            let cfg_ref = &cfg;
             scope.spawn(move || {
+                let death_quota = cfg_ref.faults.death_after(leader_id);
+                let mut executed = 0usize;
+                let mut leader_dead = false;
+                let mut pending: Option<Assignment> = None;
                 to_master.send(MasterMsg::Available { leader: leader_id }).ok();
-                let mut pending: Option<Task> = None;
                 loop {
-                    let task = match pending.take() {
-                        Some(t) => t,
+                    let assignment = match pending.take() {
+                        Some(a) => a,
                         None => match task_rx.recv() {
-                            Ok(Some(t)) => t,
+                            Ok(Some(a)) => a,
                             _ => break,
                         },
                     };
+                    if leader_dead {
+                        to_master
+                            .send(MasterMsg::Returned {
+                                leader: leader_id,
+                                task_id: assignment.task.id,
+                            })
+                            .ok();
+                        continue;
+                    }
                     // Prefetch: ask for the next task before executing.
-                    if cfg.prefetch {
+                    if cfg_ref.prefetch {
                         to_master.send(MasterMsg::Available { leader: leader_id }).ok();
                     }
+                    let Assignment { task, attempt, copy } = assignment;
+                    let faults = &cfg_ref.faults;
                     let start = Instant::now();
                     // Partition each fragment's work across the leader's
                     // workers: fragments of the task are split statically.
                     let results: Vec<(u32, bool)> = std::thread::scope(|ws| {
                         let chunks: Vec<&[FragmentWorkItem]> = task
                             .fragments
-                            .chunks(task.fragments.len().div_ceil(cfg.workers_per_leader))
+                            .chunks(task.fragments.len().div_ceil(cfg_ref.workers_per_leader))
                             .collect();
                         let handles: Vec<_> = chunks
                             .into_iter()
@@ -267,34 +475,76 @@ where
                                 ws.spawn(move || {
                                     chunk
                                         .iter()
-                                        .map(|f| (f.id, workload(f)))
+                                        .map(|f| {
+                                            (
+                                                f.id,
+                                                workload(f)
+                                                    && !faults.fragment_fails(f.id, attempt),
+                                            )
+                                        })
                                         .collect::<Vec<_>>()
                                 })
                             })
                             .collect();
-                        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+                        handles
+                            .into_iter()
+                            .flat_map(|h| h.join().expect("worker panicked"))
+                            .collect()
                     });
+                    // Injected straggler latency: stretch this copy's
+                    // execution by the plan's multiplier.
+                    let stretch = faults.latency_multiplier(task.id, attempt, copy);
+                    if stretch > 1.0 {
+                        std::thread::sleep(start.elapsed().mul_f64(stretch - 1.0));
+                    }
                     let seconds = start.elapsed().as_secs_f64();
-                    *busy_slot.lock() += seconds;
+                    executed += 1;
                     let ok = results.iter().all(|&(_, s)| s);
                     if ok {
-                        {
-                            let mut done = done_ref.lock();
-                            for (id, _) in &results {
-                                done.insert(*id);
+                        // Exactly-once: only the first successful copy
+                        // credits busy time, tasks_executed and fragments.
+                        let first = won_ref.lock().insert(task.id);
+                        if first {
+                            *busy_slot.lock() += seconds;
+                            {
+                                let mut done = done_ref.lock();
+                                for f in &task.fragments {
+                                    done.insert(f.id);
+                                }
                             }
+                            counters_ref.lock().0 += 1;
+                        } else {
+                            counters_ref.lock().1 += 1;
                         }
-                        stats_ref.lock().0 += 1;
-                        let task_id = task.id;
-                        drop(task);
-                        to_master.send(MasterMsg::Completed { task_id, seconds }).ok();
+                        to_master
+                            .send(MasterMsg::Completed {
+                                leader: leader_id,
+                                task_id: task.id,
+                                seconds,
+                            })
+                            .ok();
                     } else {
-                        to_master.send(MasterMsg::Failed { task }).ok();
+                        to_master
+                            .send(MasterMsg::Failed { leader: leader_id, task_id: task.id })
+                            .ok();
                     }
-                    if !cfg.prefetch {
-                        to_master.send(MasterMsg::Available { leader: leader_id }).ok();
-                    } else if let Ok(Some(t)) = task_rx.try_recv() {
-                        pending = Some(t);
+                    if death_quota.is_some_and(|q| executed >= q) {
+                        leader_dead = true;
+                        to_master.send(MasterMsg::Died { leader: leader_id }).ok();
+                    }
+                    if !cfg_ref.prefetch {
+                        if !leader_dead {
+                            to_master.send(MasterMsg::Available { leader: leader_id }).ok();
+                        }
+                    } else {
+                        match task_rx.try_recv() {
+                            Ok(Some(a)) => pending = Some(a),
+                            // A `None` here is the master's shutdown
+                            // broadcast: honor it instead of silently
+                            // swallowing it and deadlocking in recv().
+                            Ok(None) => break,
+                            Err(_) => {}
+                        }
                     }
                 }
             });
@@ -303,15 +553,28 @@ where
     });
 
     let makespan = t0.elapsed().as_secs_f64();
-    let (tasks_executed, requeues) = *stats.lock();
+    let (tasks_executed, duplicates_suppressed) = *counters.lock();
     let fragments_done = done_fragments.lock().len();
-    RunReport {
+    let out = master_out.into_inner();
+    let report = RunReport {
         makespan,
         leader_busy: busy.iter().map(|b| *b.lock()).collect(),
         tasks_executed,
         fragments_done,
-        requeues,
-    }
+        retries: out.retries,
+        reissues: out.reissues,
+        duplicates_suppressed,
+        quarantined_fragments: out.quarantined,
+        unfinished_fragments: out.unfinished,
+        leaders_died: out.leaders_died,
+    };
+    assert_eq!(
+        report.fragments_done + report.quarantined_fragments.len() + report.unfinished_fragments,
+        initial_fragments,
+        "fragment conservation violated: every input fragment must be done, \
+         quarantined, or reported unfinished exactly once"
+    );
+    report
 }
 
 #[cfg(test)]
@@ -341,16 +604,24 @@ mod tests {
                 spin_for(f.cost() / 50.0);
                 true
             },
-            RuntimeConfig { n_leaders: 4, workers_per_leader: 2, prefetch: true, ..Default::default() },
+            RuntimeConfig {
+                n_leaders: 4,
+                workers_per_leader: 2,
+                prefetch: true,
+                ..RuntimeConfig::default()
+            },
         );
         assert_eq!(report.fragments_done, 200);
-        assert_eq!(report.requeues, 0);
+        assert_eq!(report.retries, 0);
+        assert!(report.quarantined_fragments.is_empty());
+        assert_eq!(report.unfinished_fragments, 0);
+        assert!(report.is_complete());
         assert!(report.tasks_executed > 0);
         assert!(report.makespan > 0.0);
     }
 
     #[test]
-    fn failure_injection_requeues_and_recovers() {
+    fn failure_injection_retries_and_recovers() {
         let frags = water_dimer_workload(60);
         let policy = SizeSensitivePolicy::with_defaults(frags);
         // Fragment 7 fails on its first attempt only.
@@ -363,10 +634,16 @@ mod tests {
                 }
                 true
             },
-            RuntimeConfig { n_leaders: 3, workers_per_leader: 1, prefetch: false, ..Default::default() },
+            RuntimeConfig {
+                n_leaders: 3,
+                workers_per_leader: 1,
+                prefetch: false,
+                ..RuntimeConfig::default()
+            },
         );
         assert_eq!(report.fragments_done, 60, "all fragments recover");
-        assert!(report.requeues >= 1, "the failure must trigger a requeue");
+        assert!(report.retries >= 1, "the failure must trigger a retry");
+        assert!(report.quarantined_fragments.is_empty());
     }
 
     #[test]
@@ -376,17 +653,24 @@ mod tests {
         let report = run_master_leader_worker(
             Box::new(policy),
             |_| true,
-            RuntimeConfig { n_leaders: 1, workers_per_leader: 1, prefetch: false, ..Default::default() },
+            RuntimeConfig {
+                n_leaders: 1,
+                workers_per_leader: 1,
+                prefetch: false,
+                ..RuntimeConfig::default()
+            },
         );
         assert_eq!(report.fragments_done, 10);
         assert_eq!(report.leader_busy.len(), 1);
     }
 
     #[test]
-    fn time_based_straggler_reissued_to_idle_leader() {
+    fn time_based_straggler_reissued_exactly_once() {
         // Fragment 0's first execution stalls; the other fragments finish
         // fast, the pool drains, and the idle leader receives a duplicate
-        // copy of the stalled task, which completes immediately.
+        // copy of the stalled task, which completes immediately. When the
+        // stalled original eventually finishes too, its completion is
+        // suppressed: every fragment is credited exactly once.
         let frags = water_dimer_workload(10);
         let first = AtomicUsize::new(0);
         let report = run_master_leader_worker(
@@ -401,19 +685,90 @@ mod tests {
                 n_leaders: 2,
                 workers_per_leader: 1,
                 prefetch: false,
-                straggler_factor: Some(5.0),
+                recovery: RecoveryPolicy {
+                    straggler_factor: Some(5.0),
+                    ..RecoveryPolicy::default()
+                },
+                faults: FaultPlan::none(),
             },
         );
         assert_eq!(report.fragments_done, 10);
+        assert!(report.reissues >= 1, "idle leader should have received a straggler copy");
         assert!(
-            report.requeues >= 1,
-            "idle leader should have received a straggler copy"
+            report.duplicates_suppressed >= 1,
+            "the slow original must be suppressed when it finally completes"
         );
-        assert!(
-            report.tasks_executed >= 11,
-            "the duplicate must actually execute: {}",
-            report.tasks_executed
+        assert_eq!(
+            report.tasks_executed, 10,
+            "exactly-once: duplicates must not inflate tasks_executed"
         );
+        assert_eq!(report.retries, 0, "a straggler re-issue is not a retry");
+    }
+
+    #[test]
+    fn permanent_failure_is_quarantined_without_hanging() {
+        let frags = water_dimer_workload(8);
+        let report = run_master_leader_worker(
+            Box::new(SortedSingletonPolicy::new(frags)),
+            |_| true,
+            RuntimeConfig {
+                n_leaders: 2,
+                workers_per_leader: 1,
+                prefetch: true,
+                recovery: RecoveryPolicy {
+                    max_attempts: 2,
+                    backoff_base: 1e-4,
+                    straggler_factor: None,
+                },
+                faults: FaultPlan::none().permanent([3]),
+            },
+        );
+        assert_eq!(report.fragments_done, 7);
+        assert_eq!(report.quarantined_fragments, vec![3]);
+        assert_eq!(report.retries, 1, "max_attempts=2 means exactly one retry before quarantine");
+        assert_eq!(report.unfinished_fragments, 0);
+        assert!(!report.is_complete());
+        assert_eq!(report.tasks_executed, 7);
+    }
+
+    #[test]
+    fn dead_leader_bounces_work_to_survivors() {
+        let frags = water_dimer_workload(12);
+        let report = run_master_leader_worker(
+            Box::new(SortedSingletonPolicy::new(frags)),
+            |_| true,
+            RuntimeConfig {
+                n_leaders: 2,
+                workers_per_leader: 1,
+                prefetch: true,
+                recovery: RecoveryPolicy::default(),
+                faults: FaultPlan::none().kill_leader_after(0, 1),
+            },
+        );
+        assert_eq!(report.fragments_done, 12, "the surviving leader must absorb the work");
+        assert_eq!(report.leaders_died, 1);
+        assert!(report.quarantined_fragments.is_empty());
+        assert_eq!(report.unfinished_fragments, 0);
+    }
+
+    #[test]
+    fn all_leaders_dead_returns_partial_instead_of_hanging() {
+        let frags = water_dimer_workload(6);
+        let report = run_master_leader_worker(
+            Box::new(SortedSingletonPolicy::new(frags)),
+            |_| true,
+            RuntimeConfig {
+                n_leaders: 1,
+                workers_per_leader: 1,
+                prefetch: false,
+                recovery: RecoveryPolicy::default(),
+                faults: FaultPlan::none().kill_leader_after(0, 2),
+            },
+        );
+        assert_eq!(report.leaders_died, 1);
+        assert_eq!(report.fragments_done, 2);
+        assert_eq!(report.unfinished_fragments, 4);
+        assert!(!report.is_complete());
     }
 
     #[test]
@@ -423,7 +778,12 @@ mod tests {
             leader_busy: vec![0.9, 1.0, 1.1],
             tasks_executed: 3,
             fragments_done: 3,
-            requeues: 0,
+            retries: 0,
+            reissues: 0,
+            duplicates_suppressed: 0,
+            quarantined_fragments: vec![],
+            unfinished_fragments: 0,
+            leaders_died: 0,
         };
         let (lo, hi) = report.busy_variation();
         assert!((lo + 0.1).abs() < 1e-12);
@@ -442,9 +802,15 @@ mod tests {
                 spin_for(f.cost() / 10.0);
                 true
             },
-            RuntimeConfig { n_leaders: 4, workers_per_leader: 1, prefetch: true, ..Default::default() },
+            RuntimeConfig {
+                n_leaders: 4,
+                workers_per_leader: 1,
+                prefetch: true,
+                ..RuntimeConfig::default()
+            },
         );
         assert_eq!(report.fragments_done, 400);
+        assert_eq!(report.retries, 0);
         // Wall-clock balance on a real machine is noisy (CI boxes run other
         // work); the *deterministic* balance property is asserted in the
         // simulator tests. Here we only require that no leader was starved

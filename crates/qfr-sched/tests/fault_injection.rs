@@ -1,0 +1,157 @@
+//! Deterministic fault-injection integration tests.
+//!
+//! The same seeded [`FaultPlan`] is run through the threaded runtime and
+//! the discrete-event simulator. Because injected failure decisions are
+//! pure functions of `(fragment, attempt)`, both executors must produce
+//! *identical* retry and quarantine counters — and both must match the
+//! pure [`FaultPlan::forecast`] computed from the task decomposition
+//! alone, regardless of thread interleaving or simulated timing.
+
+use qfr_sched::balancer::{Policy, SortedSingletonPolicy};
+use qfr_sched::fault::{FaultPlan, RecoveryPolicy};
+use qfr_sched::runtime::{run_master_leader_worker, RuntimeConfig};
+use qfr_sched::simulator::{simulate, SimConfig};
+use qfr_sched::task::{water_dimer_workload, FragmentWorkItem, Task};
+
+/// Drains a policy copy to learn the exact task decomposition.
+fn decompose(frags: Vec<FragmentWorkItem>) -> Vec<Task> {
+    let mut probe: Box<dyn Policy> = Box::new(SortedSingletonPolicy::new(frags));
+    let mut tasks = Vec::new();
+    while let Some(t) = probe.next_task() {
+        tasks.push(t);
+    }
+    tasks
+}
+
+#[test]
+fn runtime_and_simulator_match_the_forecast_exactly() {
+    let plan = FaultPlan::with_failure_rate(2024, 0.35).permanent([3, 17]);
+    let rec = RecoveryPolicy { max_attempts: 3, backoff_base: 1e-4, straggler_factor: Some(4.0) };
+    let frags = water_dimer_workload(30);
+    let n = frags.len();
+
+    let forecast = plan.forecast(&decompose(frags.clone()), &rec);
+    assert!(forecast.retries >= 2, "scenario should exercise retries: {}", forecast.retries);
+    assert!(forecast.quarantined_fragments.contains(&3));
+    assert!(forecast.quarantined_fragments.contains(&17));
+
+    // Threaded runtime, wall-clock scheduling.
+    let run = run_master_leader_worker(
+        Box::new(SortedSingletonPolicy::new(frags.clone())),
+        |_| true,
+        RuntimeConfig {
+            n_leaders: 3,
+            workers_per_leader: 1,
+            prefetch: true,
+            recovery: rec,
+            faults: plan.clone(),
+        },
+    );
+    // Discrete-event simulator, virtual-time scheduling.
+    let sim = simulate(
+        Box::new(SortedSingletonPolicy::new(frags)),
+        &SimConfig { n_leaders: 3, recovery: rec, faults: plan, ..Default::default() },
+    );
+
+    // Exact counter parity with the forecast in both executors.
+    assert_eq!(run.retries, forecast.retries, "runtime retries vs forecast");
+    assert_eq!(sim.retries, forecast.retries, "simulator retries vs forecast");
+    assert_eq!(run.quarantined_fragments, forecast.quarantined_fragments);
+    assert_eq!(sim.quarantined_fragments, forecast.quarantined_fragments);
+
+    // Exactly-once completion of every non-quarantined fragment.
+    let done = n - forecast.quarantined_fragments.len();
+    assert_eq!(run.fragments_done, done);
+    assert_eq!(sim.fragments, done);
+    assert_eq!(run.tasks_executed, done, "singleton tasks complete exactly once");
+    assert_eq!(sim.tasks_completed, done);
+    assert_eq!(run.unfinished_fragments, 0);
+    assert_eq!(sim.unfinished_fragments, 0);
+}
+
+#[test]
+fn retries_are_bounded_by_max_attempts() {
+    // A brutal failure rate: every task needs several attempts, many
+    // quarantine. The retry count must still respect the per-task cap.
+    let plan = FaultPlan::with_failure_rate(7, 0.8);
+    let rec = RecoveryPolicy { max_attempts: 2, backoff_base: 1e-4, straggler_factor: None };
+    let frags = water_dimer_workload(25);
+    let n = frags.len();
+    let forecast = plan.forecast(&decompose(frags.clone()), &rec);
+
+    let run = run_master_leader_worker(
+        Box::new(SortedSingletonPolicy::new(frags)),
+        |_| true,
+        RuntimeConfig {
+            n_leaders: 2,
+            workers_per_leader: 1,
+            prefetch: false,
+            recovery: rec,
+            faults: plan,
+        },
+    );
+    assert_eq!(run.retries, forecast.retries);
+    assert!(run.retries <= n * (rec.max_attempts as usize - 1), "retry cap violated");
+    assert_eq!(run.quarantined_fragments, forecast.quarantined_fragments);
+    assert!(
+        !run.quarantined_fragments.is_empty(),
+        "an 80% failure rate with 2 attempts should quarantine something"
+    );
+    // The run returned (no hang) with a partial result and full accounting.
+    assert_eq!(run.fragments_done + run.quarantined_fragments.len(), n);
+}
+
+#[test]
+fn quarantine_is_deterministic_across_repeated_runs() {
+    let plan = FaultPlan::with_failure_rate(99, 0.6);
+    let rec = RecoveryPolicy { max_attempts: 2, backoff_base: 1e-4, straggler_factor: Some(4.0) };
+    let frags = water_dimer_workload(20);
+    let reference = plan.forecast(&decompose(frags.clone()), &rec);
+    for trial in 0..3 {
+        let run = run_master_leader_worker(
+            Box::new(SortedSingletonPolicy::new(frags.clone())),
+            |_| true,
+            RuntimeConfig {
+                n_leaders: 4,
+                workers_per_leader: 1,
+                prefetch: true,
+                recovery: rec,
+                faults: plan.clone(),
+            },
+        );
+        assert_eq!(
+            run.quarantined_fragments, reference.quarantined_fragments,
+            "trial {trial}: quarantine set must not depend on interleaving"
+        );
+        assert_eq!(run.retries, reference.retries, "trial {trial}");
+    }
+}
+
+#[test]
+fn leader_death_and_failures_compose() {
+    // One leader dies early AND fragments fail intermittently: survivors
+    // absorb the bounced work and the retry counters still match the
+    // forecast (death re-dispatches at the same attempt, costing no retry).
+    let plan = FaultPlan::with_failure_rate(5, 0.25).kill_leader_after(0, 2);
+    let rec = RecoveryPolicy { max_attempts: 3, backoff_base: 1e-4, straggler_factor: Some(4.0) };
+    let frags = water_dimer_workload(24);
+    let n = frags.len();
+    let forecast = plan.forecast(&decompose(frags.clone()), &rec);
+
+    let run = run_master_leader_worker(
+        Box::new(SortedSingletonPolicy::new(frags)),
+        |_| true,
+        RuntimeConfig {
+            n_leaders: 3,
+            workers_per_leader: 1,
+            prefetch: true,
+            recovery: rec,
+            faults: plan,
+        },
+    );
+    assert_eq!(run.leaders_died, 1);
+    assert_eq!(run.retries, forecast.retries);
+    assert_eq!(run.quarantined_fragments, forecast.quarantined_fragments);
+    assert_eq!(run.fragments_done, n - forecast.quarantined_fragments.len());
+    assert_eq!(run.unfinished_fragments, 0, "two survivors must finish everything");
+}

@@ -2,7 +2,10 @@
 //! conservation laws, and runtime correctness under failure injection.
 
 use proptest::prelude::*;
-use qfr_sched::balancer::{Policy, RandomPolicy, RoundRobinPolicy, SizeSensitivePolicy};
+use qfr_sched::balancer::{
+    Policy, RandomPolicy, RoundRobinPolicy, SizeSensitivePolicy, SortedSingletonPolicy,
+};
+use qfr_sched::fault::{FaultPlan, RecoveryPolicy};
 use qfr_sched::runtime::{run_master_leader_worker, RuntimeConfig};
 use qfr_sched::simulator::{simulate, SimConfig};
 use qfr_sched::task::FragmentWorkItem;
@@ -83,9 +86,63 @@ proptest! {
             |f| {
                 !(f.id == victim_id && failures.fetch_add(1, Ordering::SeqCst) == 0)
             },
-            RuntimeConfig { n_leaders: leaders, workers_per_leader: 1, prefetch: true, ..Default::default() },
+            RuntimeConfig {
+                n_leaders: leaders,
+                workers_per_leader: 1,
+                prefetch: true,
+                // Stragglers off: a duplicate of the failing attempt could
+                // otherwise absorb the failure without a retry.
+                recovery: RecoveryPolicy { straggler_factor: None, ..Default::default() },
+                ..Default::default()
+            },
         );
         prop_assert_eq!(report.fragments_done, n, "lost fragments after failure");
-        prop_assert!(report.requeues >= 1);
+        prop_assert!(report.retries >= 1);
+    }
+
+    #[test]
+    fn generated_fault_plans_conserve_fragments_and_match_forecast(
+        sizes in prop::collection::vec(3u32..40, 2..50),
+        seed in 0u64..500,
+        rate_pct in 0u32..45,
+        n_permanent in 0u32..3,
+        max_attempts in 1u32..4,
+        leaders in 1usize..4,
+    ) {
+        // Generate a fault plan from the proptest inputs: a random failure
+        // rate plus a few permanently failing fragments.
+        let frags = workload(&sizes);
+        let n = frags.len();
+        let plan = FaultPlan::with_failure_rate(seed, rate_pct as f64 / 100.0)
+            .permanent((0..n_permanent.min(n as u32)).map(|i| i * (n as u32 / n_permanent.max(1)).max(1)));
+        let rec = RecoveryPolicy { max_attempts, backoff_base: 1e-4, ..Default::default() };
+
+        // The exact task decomposition, for the deterministic forecast.
+        let mut probe: Box<dyn Policy> = Box::new(SortedSingletonPolicy::new(frags.clone()));
+        let mut tasks = Vec::new();
+        while let Some(t) = probe.next_task() { tasks.push(t); }
+        let forecast = plan.forecast(&tasks, &rec);
+
+        let report = run_master_leader_worker(
+            Box::new(SortedSingletonPolicy::new(frags)),
+            |_| true,
+            RuntimeConfig {
+                n_leaders: leaders,
+                workers_per_leader: 1,
+                prefetch: true,
+                recovery: rec,
+                faults: plan,
+            },
+        );
+        // Counters are a pure function of the plan: they must match the
+        // forecast exactly, regardless of thread interleaving.
+        prop_assert_eq!(report.retries, forecast.retries);
+        prop_assert_eq!(&report.quarantined_fragments, &forecast.quarantined_fragments);
+        prop_assert_eq!(report.fragments_done, n - forecast.quarantined_fragments.len());
+        prop_assert_eq!(report.unfinished_fragments, 0);
+        // Exactly-once: singleton tasks, so completed tasks == fragments.
+        prop_assert_eq!(report.tasks_executed, report.fragments_done);
+        // Bounded retries: never more than max_attempts - 1 per task.
+        prop_assert!(report.retries <= n * (max_attempts as usize - 1));
     }
 }

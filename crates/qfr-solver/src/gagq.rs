@@ -209,9 +209,6 @@ mod tests {
         }
         let lz = lanczos(&a, &d, 14);
         let approx = averaged_quadrature(&lz).apply(g);
-        assert!(
-            (exact - approx).abs() < 2e-3 * exact.abs().max(1.0),
-            "{exact} vs {approx}"
-        );
+        assert!((exact - approx).abs() < 2e-3 * exact.abs().max(1.0), "{exact} vs {approx}");
     }
 }

@@ -53,12 +53,7 @@ impl PolarizedRaman {
     /// Depolarization ratio `ρ(ω) = I_⊥/I_∥` where the parallel intensity
     /// is above `threshold` (relative to its max); elsewhere 0.
     pub fn depolarization_ratio(&self, threshold: f64) -> SpectralDensity {
-        let max = self
-            .parallel
-            .intensities
-            .iter()
-            .cloned()
-            .fold(0.0_f64, f64::max);
+        let max = self.parallel.intensities.iter().cloned().fold(0.0_f64, f64::max);
         let cut = threshold * max;
         let mut out = self.parallel.clone();
         for (r, (&par, &perp)) in out
@@ -91,7 +86,12 @@ pub fn raman_polarized(
     let mult = [1.0, 1.0, 1.0, 2.0, 2.0, 2.0];
     let mut s_full = SpectralDensity::zeros(opts.grid_lo, opts.grid_hi, opts.grid_points);
     for (c, &m) in mult.iter().enumerate() {
-        s_full.accumulate_quadrature(&quad(h, &dalpha[c], opts), opts.sigma, m, opts.acoustic_floor);
+        s_full.accumulate_quadrature(
+            &quad(h, &dalpha[c], opts),
+            opts.sigma,
+            m,
+            opts.acoustic_floor,
+        );
     }
 
     let mut parallel = SpectralDensity::zeros(opts.grid_lo, opts.grid_hi, opts.grid_points);

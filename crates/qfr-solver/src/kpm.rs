@@ -214,13 +214,8 @@ mod tests {
         let (lo, hi) = (m.scale_b - m.scale_a, m.scale_b + m.scale_a);
         let steps = 4000;
         let dl = (hi - lo) / steps as f64;
-        let total: f64 = (0..steps)
-            .map(|s| kpm_density(&m, lo + (s as f64 + 0.5) * dl) * dl)
-            .sum();
-        assert!(
-            (total - norm2).abs() < 0.02 * norm2,
-            "mass {total} vs {norm2}"
-        );
+        let total: f64 = (0..steps).map(|s| kpm_density(&m, lo + (s as f64 + 0.5) * dl) * dl).sum();
+        assert!((total - norm2).abs() < 0.02 * norm2, "mass {total} vs {norm2}");
     }
 
     #[test]
@@ -266,10 +261,7 @@ mod tests {
         let (lo, hi) = (m.scale_b - m.scale_a, m.scale_b + m.scale_a);
         for s in 0..500 {
             let lambda = lo + (hi - lo) * (s as f64 + 0.5) / 500.0;
-            assert!(
-                kpm_density(&m, lambda) > -1e-9,
-                "negative density at {lambda}"
-            );
+            assert!(kpm_density(&m, lambda) > -1e-9, "negative density at {lambda}");
         }
     }
 }

@@ -118,11 +118,7 @@ pub fn raman_dense_reference(
             da_dq[c] = vecops::dot(&dalpha[c], &ep);
         }
         let iso = da_dq[0] + da_dq[1] + da_dq[2];
-        let aniso: f64 = da_dq
-            .iter()
-            .zip(&COMPONENT_MULTIPLICITY)
-            .map(|(d, m)| m * d * d)
-            .sum();
+        let aniso: f64 = da_dq.iter().zip(&COMPONENT_MULTIPLICITY).map(|(d, m)| m * d * d).sum();
         let intensity = 1.5 * iso * iso + 10.5 * aniso;
         let nu = crate::spectrum::node_to_wavenumber(eig.eigenvalues[p]);
         sticks.push((nu, intensity));
@@ -157,12 +153,8 @@ mod tests {
     #[test]
     fn lanczos_matches_dense_reference() {
         let (h, dalpha) = synthetic_problem(40, 1);
-        let opts = RamanOptions {
-            lanczos_steps: 40,
-            sigma: 40.0,
-            grid_points: 401,
-            ..Default::default()
-        };
+        let opts =
+            RamanOptions { lanczos_steps: 40, sigma: 40.0, grid_points: 401, ..Default::default() };
         let dense = raman_dense_reference(&h, &dalpha, &opts);
         let fast = raman_lanczos(&h, &dalpha, &opts);
         let sim = dense.cosine_similarity(&fast);
@@ -172,12 +164,8 @@ mod tests {
     #[test]
     fn truncated_lanczos_still_close() {
         let (h, dalpha) = synthetic_problem(60, 2);
-        let opts = RamanOptions {
-            lanczos_steps: 25,
-            sigma: 60.0,
-            grid_points: 401,
-            ..Default::default()
-        };
+        let opts =
+            RamanOptions { lanczos_steps: 25, sigma: 60.0, grid_points: 401, ..Default::default() };
         let dense = raman_dense_reference(&h, &dalpha, &opts);
         let fast = raman_lanczos(&h, &dalpha, &opts);
         let sim = dense.cosine_similarity(&fast);
@@ -187,21 +175,14 @@ mod tests {
     #[test]
     fn gagq_beats_plain_gauss_when_truncated() {
         let (h, dalpha) = synthetic_problem(80, 3);
-        let base = RamanOptions {
-            lanczos_steps: 12,
-            sigma: 80.0,
-            grid_points: 301,
-            ..Default::default()
-        };
+        let base =
+            RamanOptions { lanczos_steps: 12, sigma: 80.0, grid_points: 301, ..Default::default() };
         let dense = raman_dense_reference(&h, &dalpha, &base);
         let with_gagq = raman_lanczos(&h, &dalpha, &base);
         let without = raman_lanczos(&h, &dalpha, &RamanOptions { use_gagq: false, ..base });
         let sim_gagq = dense.cosine_similarity(&with_gagq);
         let sim_plain = dense.cosine_similarity(&without);
-        assert!(
-            sim_gagq >= sim_plain - 1e-6,
-            "GAGQ {sim_gagq} worse than Gauss {sim_plain}"
-        );
+        assert!(sim_gagq >= sim_plain - 1e-6, "GAGQ {sim_gagq} worse than Gauss {sim_plain}");
     }
 
     #[test]

@@ -106,11 +106,7 @@ impl SpectralDensity {
         let cut = threshold * max;
         let mut out = Vec::new();
         for i in 1..self.intensities.len() - 1 {
-            let (a, b, c) = (
-                self.intensities[i - 1],
-                self.intensities[i],
-                self.intensities[i + 1],
-            );
+            let (a, b, c) = (self.intensities[i - 1], self.intensities[i], self.intensities[i + 1]);
             if b >= cut && b >= a && b > c {
                 out.push(self.wavenumbers[i]);
             }
@@ -122,12 +118,7 @@ impl SpectralDensity {
     /// shape-match metric used by EXPERIMENTS.md.
     pub fn cosine_similarity(&self, other: &SpectralDensity) -> f64 {
         assert_eq!(self.wavenumbers.len(), other.wavenumbers.len(), "grid mismatch");
-        let dot: f64 = self
-            .intensities
-            .iter()
-            .zip(&other.intensities)
-            .map(|(a, b)| a * b)
-            .sum();
+        let dot: f64 = self.intensities.iter().zip(&other.intensities).map(|(a, b)| a * b).sum();
         let na: f64 = self.intensities.iter().map(|x| x * x).sum::<f64>().sqrt();
         let nb: f64 = other.intensities.iter().map(|x| x * x).sum::<f64>().sqrt();
         if na == 0.0 || nb == 0.0 {
@@ -192,9 +183,7 @@ mod tests {
         // Integrate numerically over a wide grid.
         let sigma = 5.0;
         let step = 0.1;
-        let total: f64 = (-2000..2000)
-            .map(|i| gaussian(i as f64 * step, sigma) * step)
-            .sum();
+        let total: f64 = (-2000..2000).map(|i| gaussian(i as f64 * step, sigma) * step).sum();
         assert!((total - 1.0).abs() < 1e-6);
         assert!(gaussian(0.0, sigma) > gaussian(1.0, sigma));
     }
@@ -253,13 +242,7 @@ mod tests {
 
     #[test]
     fn bose_factor_boosts_low_frequencies() {
-        let mut s = gaussian_broadening(
-            &[(100.0, 1.0), (3000.0, 1.0)],
-            0.0,
-            3500.0,
-            701,
-            15.0,
-        );
+        let mut s = gaussian_broadening(&[(100.0, 1.0), (3000.0, 1.0)], 0.0, 3500.0, 701, 15.0);
         let at = |spec: &SpectralDensity, nu: f64| {
             let i = spec.wavenumbers.iter().position(|&w| w >= nu).unwrap();
             spec.intensities[i]

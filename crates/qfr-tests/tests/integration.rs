@@ -36,31 +36,20 @@ fn monolithic_response(
 fn water_qf_expansion_is_exact() {
     let sys = WaterBoxBuilder::new(16).seed(3).build();
     let engine = ForceFieldEngine::new();
-    let params = DecompositionParams {
-        lambda: qfr_model::params::NONBONDED_CUTOFF,
-        ..Default::default()
-    };
+    let params =
+        DecompositionParams { lambda: qfr_model::params::NONBONDED_CUTOFF, ..Default::default() };
     let d = Decomposition::new(&sys, params);
-    let responses: Vec<FragmentResponse> = d
-        .jobs
-        .iter()
-        .map(|j| engine.compute(&j.structure(&sys)))
-        .collect();
+    let responses: Vec<FragmentResponse> =
+        d.jobs.iter().map(|j| engine.compute(&j.structure(&sys))).collect();
     let asm = assemble::assemble(&d.jobs, &responses, sys.n_atoms());
     let qf_dense = asm.hessian.to_dense();
 
     let mono = monolithic_response(&sys, &engine);
     let err = qf_dense.max_abs_diff(&mono.hessian);
-    assert!(
-        err < 1e-9,
-        "QF expansion must be exact for a two-body force field: err {err}"
-    );
+    assert!(err < 1e-9, "QF expansion must be exact for a two-body force field: err {err}");
     for c in 0..6 {
         for (i, &v) in asm.dalpha[c].iter().enumerate() {
-            assert!(
-                (v - mono.dalpha[(c, i)]).abs() < 1e-9,
-                "dalpha[{c}][{i}] diverged"
-            );
+            assert!((v - mono.dalpha[(c, i)]).abs() < 1e-9, "dalpha[{c}][{i}] diverged");
         }
     }
 }
@@ -71,11 +60,8 @@ fn assembled_hessian_is_symmetric_and_satisfies_asr() {
     let sys = SolvatedSystem::build(&protein, 4.0, 3.1, 2.4, 5);
     let engine = ForceFieldEngine::new();
     let d = Decomposition::new(&sys, DecompositionParams::default());
-    let responses: Vec<FragmentResponse> = d
-        .jobs
-        .iter()
-        .map(|j| engine.compute(&j.structure(&sys)))
-        .collect();
+    let responses: Vec<FragmentResponse> =
+        d.jobs.iter().map(|j| engine.compute(&j.structure(&sys))).collect();
     let asm = assemble::assemble(&d.jobs, &responses, sys.n_atoms());
     assert!(
         asm.hessian.max_asymmetry() < 1e-9,
@@ -90,10 +76,7 @@ fn assembled_hessian_is_symmetric_and_satisfies_asr() {
         let row = 3 * w0 + c;
         for q in 0..3 {
             let total: f64 = (0..sys.n_atoms()).map(|b| dense[(row, 3 * b + q)]).sum();
-            assert!(
-                total.abs() < 1e-9,
-                "water acoustic sum rule violated: {total}"
-            );
+            assert!(total.abs() < 1e-9, "water acoustic sum rule violated: {total}");
         }
     }
 }
@@ -123,10 +106,7 @@ fn gas_phase_protein_bands_match_fig12a() {
 
 #[test]
 fn solvation_obscures_protein_but_not_ch_region() {
-    let protein = ProteinBuilder::new(10)
-        .seed(8)
-        .sequence(vec![ResidueKind::Ala; 10])
-        .build();
+    let protein = ProteinBuilder::new(10).seed(8).sequence(vec![ResidueKind::Ala; 10]).build();
     let solvated = SolvatedSystem::build(&protein, 5.0, 3.1, 2.4, 9);
     let wet = RamanWorkflow::new(solvated).sigma(20.0).run().unwrap();
     let mut spec = wet.spectrum.clone();
@@ -143,10 +123,7 @@ fn solvation_obscures_protein_but_not_ch_region() {
     assert!(window_max(3200.0, 3650.0) > 0.1, "water stretch band missing");
     // ... but the C-H stretch remains discernible (nonzero local signal
     // in a window where water has none).
-    assert!(
-        window_max(2850.0, 3050.0) > 1e-4,
-        "C-H signal fully obscured, unlike Fig. 12(b)"
-    );
+    assert!(window_max(2850.0, 3050.0) > 1e-4, "C-H signal fully obscured, unlike Fig. 12(b)");
 }
 
 #[test]
@@ -173,7 +150,43 @@ fn runtime_executes_real_engine_workload() {
         RuntimeConfig { n_leaders: 3, workers_per_leader: 2, prefetch: true, ..Default::default() },
     );
     assert_eq!(report.fragments_done, n_items);
-    assert_eq!(report.requeues, 0);
+    assert_eq!(report.retries, 0);
+    assert!(report.is_complete(), "fault-free run must complete everything");
+}
+
+#[test]
+fn scheduled_workflow_survives_permanent_failure_with_partial_result() {
+    // End-to-end: the real engine workflow routed through the fault-tolerant
+    // scheduler, with one decomposition job failing permanently. The run
+    // must return a partial spectrum plus honest recovery accounting
+    // instead of hanging or panicking.
+    let sys = WaterBoxBuilder::new(16).seed(15).build();
+    let wf = RamanWorkflow::new(sys).sigma(20.0);
+    let result = wf
+        .run_scheduled(RuntimeConfig {
+            n_leaders: 2,
+            workers_per_leader: 2,
+            recovery: qfr_sched::RecoveryPolicy {
+                max_attempts: 2,
+                backoff_base: 1e-4,
+                ..Default::default()
+            },
+            faults: qfr_sched::FaultPlan::none().permanent([1]),
+            ..Default::default()
+        })
+        .unwrap();
+    let recovery = result.recovery.expect("scheduled run reports recovery");
+    assert!(recovery.quarantined_jobs >= 1, "job 1 must quarantine: {recovery:?}");
+    assert!(recovery.retries >= 1);
+    assert_eq!(recovery.unfinished_jobs, 0);
+    assert!(result.spectrum.peak().is_some(), "partial spectrum still has bands");
+
+    // The same workflow without faults completes and matches the plain run.
+    let clean = wf.run_scheduled(RuntimeConfig::default()).unwrap();
+    assert!(clean.recovery.unwrap().is_complete());
+    let plain = wf.run().unwrap();
+    let sim = plain.spectrum.cosine_similarity(&clean.spectrum);
+    assert!(sim > 0.999999, "scheduler changed the physics: {sim}");
 }
 
 #[test]
@@ -182,11 +195,7 @@ fn dfpt_and_forcefield_engines_agree_on_shapes() {
     // with coefficient +1.
     let sys = WaterBoxBuilder::new(2).seed(11).spacing(4.6).build();
     let d = Decomposition::new(&sys, DecompositionParams::default());
-    let monomer = d
-        .jobs
-        .iter()
-        .find(|j| matches!(j.kind, JobKind::WaterMonomer { .. }))
-        .unwrap();
+    let monomer = d.jobs.iter().find(|j| matches!(j.kind, JobKind::WaterMonomer { .. })).unwrap();
     let frag = monomer.structure(&sys);
     let ff = ForceFieldEngine::new().compute(&frag);
     let dfpt = qfr_dfpt::DfptEngine::new().compute(&frag);
@@ -203,11 +212,7 @@ fn dfpt_and_forcefield_engines_agree_on_shapes() {
 fn workflow_dfpt_engine_runs_on_pure_water() {
     // Tiny box so every fragment stays under the DFPT cap.
     let sys = WaterBoxBuilder::new(2).seed(12).spacing(4.8).build();
-    let result = RamanWorkflow::new(sys)
-        .engine(EngineKind::ModelDfpt)
-        .sigma(60.0)
-        .run()
-        .unwrap();
+    let result = RamanWorkflow::new(sys).engine(EngineKind::ModelDfpt).sigma(60.0).run().unwrap();
     assert_eq!(result.engine, "model-dfpt");
     assert!(result.spectrum.peak().is_some(), "DFPT spectrum must be nonzero");
 }
@@ -235,11 +240,8 @@ fn mass_weighting_moves_hydrogen_bands_up() {
     let sys = WaterBoxBuilder::new(4).seed(14).build();
     let engine = ForceFieldEngine::new();
     let d = Decomposition::new(&sys, DecompositionParams::default());
-    let responses: Vec<FragmentResponse> = d
-        .jobs
-        .iter()
-        .map(|j| engine.compute(&j.structure(&sys)))
-        .collect();
+    let responses: Vec<FragmentResponse> =
+        d.jobs.iter().map(|j| engine.compute(&j.structure(&sys))).collect();
     let asm = assemble::assemble(&d.jobs, &responses, sys.n_atoms());
     let true_mw = MassWeighted::new(&asm, &sys.masses());
     let heavy_mw = MassWeighted::new(&asm, &vec![12.011; sys.n_atoms()]);

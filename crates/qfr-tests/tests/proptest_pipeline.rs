@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use qfr_core::RamanWorkflow;
-use qfr_fragment::{assemble, Decomposition, DecompositionParams, FragmentEngine, FragmentResponse};
+use qfr_fragment::{
+    assemble, Decomposition, DecompositionParams, FragmentEngine, FragmentResponse,
+};
 use qfr_geom::{ProteinBuilder, WaterBoxBuilder};
 use qfr_model::ForceFieldEngine;
 

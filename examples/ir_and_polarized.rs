@@ -25,11 +25,7 @@ fn main() {
     // Assemble once, evaluate three observables from the same operators.
     let engine = ForceFieldEngine::new();
     let d = Decomposition::new(&system, DecompositionParams::default());
-    let responses: Vec<_> = d
-        .jobs
-        .iter()
-        .map(|j| engine.compute(&j.structure(&system)))
-        .collect();
+    let responses: Vec<_> = d.jobs.iter().map(|j| engine.compute(&j.structure(&system))).collect();
     let asm = assemble::assemble(&d.jobs, &responses, system.n_atoms());
     let mw = MassWeighted::new(&asm, &system.masses());
     let opts = RamanOptions { sigma: 20.0, lanczos_steps: 120, ..Default::default() };
@@ -48,11 +44,9 @@ fn main() {
     };
     println!("\nband comparison (normalized):");
     println!("  band            |  Raman |   IR   | depol. ratio");
-    for (label, nu) in [
-        ("libration  650", 650.0),
-        ("bend      1750", 1750.0),
-        ("stretch   3430", 3430.0),
-    ] {
+    for (label, nu) in
+        [("libration  650", 650.0), ("bend      1750", 1750.0), ("stretch   3430", 3430.0)]
+    {
         println!(
             "  {label:<15} | {:>6.3} | {:>6.3} | {:>6.3}",
             at(&raman, nu),

@@ -22,7 +22,9 @@ fn main() {
     // 3. Inspect the decomposition and the spectrum.
     println!("decomposition: {}", result.stats.summary());
     println!("run: {}", result.summary());
-    println!("\ncharacteristic bands (cm^-1): {:?}",
-        result.spectrum.peaks_above(0.10).iter().map(|p| p.round()).collect::<Vec<_>>());
+    println!(
+        "\ncharacteristic bands (cm^-1): {:?}",
+        result.spectrum.peaks_above(0.10).iter().map(|p| p.round()).collect::<Vec<_>>()
+    );
     println!("\nspectrum:\n{}", result.spectrum.ascii_plot(30, 60));
 }

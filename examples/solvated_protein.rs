@@ -15,26 +15,16 @@ use qfr_core::RamanWorkflow;
 use qfr_geom::{ProteinBuilder, SolvatedSystem};
 
 fn main() {
-    let n_residues: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(40);
+    let n_residues: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40);
 
     let protein = ProteinBuilder::new(n_residues).seed(11).build();
     println!("protein: {} atoms", protein.n_atoms());
 
     // Solvate with a 6 A padding shell of water.
     let solvated = SolvatedSystem::build(&protein, 6.0, 3.1, 2.4, 13);
-    println!(
-        "solvated: {} atoms total ({} waters)",
-        solvated.n_atoms(),
-        solvated.n_waters
-    );
+    println!("solvated: {} atoms total ({} waters)", solvated.n_atoms(), solvated.n_waters);
 
-    let gas = RamanWorkflow::new(protein)
-        .sigma(5.0)
-        .run()
-        .expect("gas-phase run failed");
+    let gas = RamanWorkflow::new(protein).sigma(5.0).run().expect("gas-phase run failed");
     let wet = RamanWorkflow::new(solvated)
         .sigma(20.0) // the paper's solvated smearing
         .run()
@@ -51,11 +41,8 @@ fn main() {
     // The Fig. 12(b) observation: water obscures the mid-range protein
     // bands but the C-H stretch remains visible next to the O-H stretch.
     let value_at = |spec: &qfr_solver::RamanSpectrum, nu: f64| -> f64 {
-        let idx = spec
-            .wavenumbers
-            .iter()
-            .position(|&w| w >= nu)
-            .unwrap_or(spec.wavenumbers.len() - 1);
+        let idx =
+            spec.wavenumbers.iter().position(|&w| w >= nu).unwrap_or(spec.wavenumbers.len() - 1);
         spec.intensities[idx]
     };
     println!("\nrelative intensity (normalized to each spectrum's max):");

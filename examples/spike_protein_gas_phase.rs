@@ -16,18 +16,11 @@ use qfr_core::RamanWorkflow;
 use qfr_geom::ProteinBuilder;
 
 fn main() {
-    let n_residues: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(300);
+    let n_residues: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
 
     println!("building a synthetic {n_residues}-residue protein...");
     let system = ProteinBuilder::new(n_residues).seed(7).build();
-    println!(
-        "protein: {} residues, {} atoms",
-        system.residues.len(),
-        system.n_atoms()
-    );
+    println!("protein: {} residues, {} atoms", system.residues.len(), system.n_atoms());
 
     let result = RamanWorkflow::new(system)
         .sigma(5.0) // the paper's gas-phase smearing
@@ -48,12 +41,8 @@ fn main() {
     let peaks = result.spectrum.peaks_above(0.02);
     println!("\nband assignment check:");
     for (name, lo, hi) in bands {
-        let found: Vec<f64> = peaks
-            .iter()
-            .cloned()
-            .filter(|p| (lo..hi).contains(p))
-            .map(|p| p.round())
-            .collect();
+        let found: Vec<f64> =
+            peaks.iter().cloned().filter(|p| (lo..hi).contains(p)).map(|p| p.round()).collect();
         let status = if found.is_empty() { "absent" } else { "present" };
         println!("  {name:<22} {lo:>6.0}-{hi:<6.0} cm-1: {status} {found:?}");
     }

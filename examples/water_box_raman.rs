@@ -23,10 +23,7 @@ fn main() {
     println!("size sweep (assembled path):");
     for n in [8usize, 64, 216] {
         let system = WaterBoxBuilder::new(n).seed(21).build();
-        let result = RamanWorkflow::new(system)
-            .sigma(20.0)
-            .run()
-            .expect("workflow failed");
+        let result = RamanWorkflow::new(system).sigma(20.0).run().expect("workflow failed");
         let mut spec = result.spectrum.clone();
         spec.normalize_max();
         // Fraction of spectral weight below 400 cm^-1.
@@ -54,11 +51,8 @@ fn main() {
     let engine = ForceFieldEngine::new();
 
     // dalpha still needs one engine pass; the Hessian is never stored.
-    let responses: Vec<_> = decomposition
-        .jobs
-        .iter()
-        .map(|j| engine.compute(&j.structure(&system)))
-        .collect();
+    let responses: Vec<_> =
+        decomposition.jobs.iter().map(|j| engine.compute(&j.structure(&system))).collect();
     let assembled =
         qfr_fragment::assemble::assemble(&decomposition.jobs, &responses, system.n_atoms());
     let mw = MassWeighted::new(&assembled, &system.masses());

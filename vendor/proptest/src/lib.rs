@@ -1,0 +1,607 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! Covers the subset this workspace uses: the `proptest!` macro with a
+//! `#![proptest_config(ProptestConfig::with_cases(N))]` header,
+//! `ident in strategy` arguments over integer/float ranges, tuples,
+//! `prop::collection::vec`, `prop_map`/`prop_flat_map` adapters, and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` assertions.
+//!
+//! Differences from upstream, by design:
+//!
+//! - Generation is **deterministic**: each case draws from a SplitMix64
+//!   stream seeded by the test name and case index, so every run explores
+//!   the same inputs. There is no shrinking; a failure reports the case
+//!   index and generated arguments, which reproduce exactly.
+//! - Committed `*.proptest-regressions` files are still honored. The
+//!   `# shrinks to name = value, ...` comment on each `cc` line is parsed
+//!   into name → value bindings; arguments named there replay those exact
+//!   values (parsed via [`strategy::Strategy::from_repr`]) for every
+//!   configured case, while unnamed arguments vary deterministically.
+//!   Upstream's opaque rng-seed replay cannot be reproduced without the
+//!   original generator, so value replay is the faithful substitute.
+
+/// Strategy abstraction and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value from the deterministic stream.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Rebuilds a value from its textual form in a regression file
+        /// (e.g. `"8"`). `None` when the strategy cannot replay reprs —
+        /// the runner then falls back to generation.
+        #[allow(clippy::wrong_self_convention)]
+        fn from_repr(&self, _repr: &str) -> Option<Self::Value> {
+            None
+        }
+
+        /// Maps generated values.
+        fn prop_map<R, F: Fn(Self::Value) -> R>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Chains into a dependent strategy.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, R, F: Fn(S::Value) -> R> Strategy for Map<S, F> {
+        type Value = R;
+        fn generate(&self, rng: &mut TestRng) -> R {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+                fn from_repr(&self, repr: &str) -> Option<$t> {
+                    repr.trim().parse::<$t>().ok().filter(|v| self.contains(v))
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+                fn from_repr(&self, repr: &str) -> Option<$t> {
+                    repr.trim().parse::<$t>().ok().filter(|v| self.contains(v))
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.next_unit_f64() as $t) * (self.end - self.start)
+                }
+                fn from_repr(&self, repr: &str) -> Option<$t> {
+                    repr.trim().parse::<$t>().ok()
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    lo + (rng.next_unit_f64() as $t) * (hi - lo)
+                }
+                fn from_repr(&self, repr: &str) -> Option<$t> {
+                    repr.trim().parse::<$t>().ok()
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident / $idx:tt),+)),*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy!((A / 0, B / 1), (A / 0, B / 1, C / 2), (A / 0, B / 1, C / 2, D / 3));
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Anything usable as the size argument of [`vec`].
+    pub trait IntoSizeRange {
+        /// Lower/upper bounds (inclusive).
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Generates `Vec`s whose length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min_len, max_len) = size.bounds();
+        VecStrategy { element, min_len, max_len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        min_len: usize,
+        max_len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.max_len - self.min_len) as u64 + 1;
+            let len = self.min_len + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        fn from_repr(&self, repr: &str) -> Option<Vec<S::Value>> {
+            let inner = repr.trim().strip_prefix('[')?.strip_suffix(']')?.trim();
+            if inner.is_empty() {
+                return Some(Vec::new());
+            }
+            inner.split(',').map(|item| self.element.from_repr(item)).collect()
+        }
+    }
+}
+
+/// Config, rng, and failure plumbing used by the generated test bodies.
+pub mod test_runner {
+    /// Run configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// Assertion failure — the property is violated.
+        Fail(String),
+        /// `prop_assume!` rejection — the case does not apply.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic per-case generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The stream for `(test name, case index)` — stable across runs
+        /// and platforms so failures reproduce from the printed index.
+        pub fn for_case(test_name: &str, case: u64) -> Self {
+            // FNV-1a over the name, offset by the case index.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            Self { state: h ^ case.wrapping_mul(0x9e3779b97f4a7c15) }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn next_unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Loading of committed `*.proptest-regressions` files.
+pub mod regression {
+    use std::collections::HashMap;
+    use std::path::{Path, PathBuf};
+
+    /// One `cc` line: argument name → recorded textual value.
+    pub type Entry = HashMap<String, String>;
+
+    /// Loads every regression entry for `source_file` (a `file!()` path),
+    /// looking next to the source under the crate's manifest dir. Missing
+    /// file means no regressions.
+    pub fn load(manifest_dir: &str, source_file: &str) -> Vec<Entry> {
+        let base = match Path::new(source_file).file_stem().and_then(|s| s.to_str()) {
+            Some(stem) => format!("{stem}.proptest-regressions"),
+            None => return Vec::new(),
+        };
+        let path = PathBuf::from(manifest_dir).join("tests").join(base);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let line = line.trim();
+                if !line.starts_with("cc ") {
+                    return None;
+                }
+                let bindings = line.split_once('#')?.1;
+                let bindings = bindings.trim().strip_prefix("shrinks to")?.trim();
+                Some(parse_bindings(bindings))
+            })
+            .collect()
+    }
+
+    /// Parses `n = 8, seed = 11, xs = [1, 2]` into a name → value map,
+    /// splitting only on commas outside brackets/parens.
+    fn parse_bindings(text: &str) -> Entry {
+        let mut out = Entry::new();
+        let mut depth = 0i32;
+        let mut start = 0usize;
+        let mut pieces = Vec::new();
+        for (i, c) in text.char_indices() {
+            match c {
+                '[' | '(' => depth += 1,
+                ']' | ')' => depth -= 1,
+                ',' if depth == 0 => {
+                    pieces.push(&text[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        pieces.push(&text[start..]);
+        for piece in pieces {
+            if let Some((name, value)) = piece.split_once('=') {
+                out.insert(name.trim().to_string(), value.trim().to_string());
+            }
+        }
+        out
+    }
+}
+
+/// Upstream-style module alias so `prop::collection::vec` resolves.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The glob-import surface used by the test files.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Fails the current case (optionally with a format message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case when the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Rejects (skips) the current case when the precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Defines deterministic property tests.
+///
+/// Each test body runs once per committed regression entry (named
+/// arguments pinned to the recorded values) and then `cases` times with
+/// deterministically generated arguments. A `Fail` panics with the case
+/// provenance; a `Reject` (from `prop_assume!`) skips the case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@tests ($cfg) $($rest)*);
+    };
+    (@tests ($cfg:expr)) => {};
+    (@tests ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::Config = $cfg;
+
+            // Replay committed regressions: pinned values for named args,
+            // deterministic generation for the rest (varied per case so a
+            // partially-named entry still sweeps its free arguments).
+            let entries = $crate::regression::load(env!("CARGO_MANIFEST_DIR"), file!());
+            for (e_idx, entry) in entries.iter().enumerate() {
+                for case in 0..u64::from(cfg.cases) {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name), "::regression"),
+                        case,
+                    );
+                    $(
+                        let $arg = {
+                            let strat = $strat;
+                            entry
+                                .get(stringify!($arg))
+                                .and_then(|repr| $crate::strategy::Strategy::from_repr(&strat, repr))
+                                .unwrap_or_else(|| $crate::strategy::Strategy::generate(&strat, &mut rng))
+                        };
+                    )+
+                    let provenance = format!(
+                        "{} regression entry {} case {}: {}",
+                        stringify!($name),
+                        e_idx,
+                        case,
+                        [$(format!(concat!(stringify!($arg), " = {:?}"), &$arg)),+].join(", ")
+                    );
+                    let outcome = (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) | Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("[proptest] {provenance}\n{msg}");
+                        }
+                    }
+                }
+            }
+
+            // Fresh deterministic cases.
+            for case in 0..u64::from(cfg.cases) {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                )+
+                let provenance = format!(
+                    "{} case {}: {}",
+                    stringify!($name),
+                    case,
+                    [$(format!(concat!(stringify!($arg), " = {:?}"), &$arg)),+].join(", ")
+                );
+                let outcome = (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) | Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("[proptest] {provenance}\n{msg}");
+                    }
+                }
+            }
+        }
+        $crate::proptest!(@tests ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@tests ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_generate_in_bounds_deterministically() {
+        let s = 4..30usize;
+        let mut a = TestRng::for_case("t", 0);
+        let mut b = TestRng::for_case("t", 0);
+        for _ in 0..100 {
+            let va = s.generate(&mut a);
+            assert!((4..30).contains(&va));
+            assert_eq!(va, s.generate(&mut b));
+        }
+        assert_eq!(s.from_repr("8"), Some(8));
+        assert_eq!(s.from_repr("99"), None, "out-of-range repr rejected");
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies_compose() {
+        let s = crate::collection::vec(3u32..80, 1..300).prop_map(|v| v.len());
+        let mut rng = TestRng::for_case("v", 1);
+        for _ in 0..50 {
+            let len = s.generate(&mut rng);
+            assert!((1..300).contains(&len));
+        }
+        let pair = (1..=5usize, -1.0..1.0f64);
+        let (n, x) = pair.generate(&mut rng);
+        assert!((1..=5).contains(&n));
+        assert!((-1.0..1.0).contains(&x));
+        assert_eq!(
+            crate::collection::vec(0u32..10, 0..5).from_repr("[1, 2, 3]"),
+            Some(vec![1, 2, 3])
+        );
+    }
+
+    #[test]
+    fn regression_binding_parser() {
+        // Exercised via the public loader on a temp file.
+        let dir = std::env::temp_dir().join("qfr_proptest_stub_test");
+        std::fs::create_dir_all(dir.join("tests")).unwrap();
+        std::fs::write(
+            dir.join("tests/sample.proptest-regressions"),
+            "# comment\ncc abc123 # shrinks to n = 8, seed = 11, xs = [1, 2]\n",
+        )
+        .unwrap();
+        let entries = crate::regression::load(dir.to_str().unwrap(), "crates/x/tests/sample.rs");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].get("n").map(String::as_str), Some("8"));
+        assert_eq!(entries[0].get("seed").map(String::as_str), Some("11"));
+        assert_eq!(entries[0].get("xs").map(String::as_str), Some("[1, 2]"));
+    }
+
+    // End-to-end through the macro itself.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_and_asserts(n in 1..50usize, x in 0.0..1.0f64) {
+            prop_assert!((1..50).contains(&n));
+            prop_assert!((0.0..1.0).contains(&x), "x = {x}");
+            prop_assert_eq!(n + 1, 1 + n);
+        }
+
+        #[test]
+        fn macro_assume_skips(n in 0..10usize) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0, "assume must have filtered n = {}", n);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Offline vendored stand-in for the `rayon` crate.
+//!
+//! Exposes the parallel-iterator API subset this workspace uses
+//! (`par_iter`, `par_iter_mut`, `par_chunks_mut`, `par_sort_unstable*`,
+//! `for_each_init`, `flat_map_iter`, rayon-style `fold`/`reduce`) with a
+//! **sequential** executor. Every adapter preserves rayon's semantics —
+//! `fold(identity, f).reduce(identity, merge)` still produces the same
+//! value, `for_each_init` still reuses one scratch state per "thread" —
+//! so swapping the real crate back in is a manifest-only change. On the
+//! single-core container this repository builds in, sequential execution
+//! is also the fastest schedule.
+
+/// Number of threads rayon would use (here: the machine's parallelism).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// A sequential stand-in for rayon's `ParallelIterator`.
+///
+/// Wraps a plain [`Iterator`] and mirrors the subset of the rayon adapter
+/// surface used in this workspace. It intentionally does NOT implement
+/// [`Iterator`] so rayon-divergent methods (`fold`, `reduce`) cannot
+/// collide with the std ones.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Maps each item.
+    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Filters items.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Pairs items with their index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Zips with another parallel iterator.
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+        ParIter(self.0.zip(other.0))
+    }
+
+    /// rayon's `flat_map_iter`: flat-maps through a *serial* iterator.
+    pub fn flat_map_iter<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FlatMap<I, U, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Hint for rayon's splitting granularity; a no-op here.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Consumes every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// rayon's `for_each_init`: one scratch state per worker thread —
+    /// here, a single state reused across all items.
+    pub fn for_each_init<T, INIT, F>(self, mut init: INIT, mut f: F)
+    where
+        INIT: FnMut() -> T,
+        F: FnMut(&mut T, I::Item),
+    {
+        let mut scratch = init();
+        for item in self.0 {
+            f(&mut scratch, item);
+        }
+    }
+
+    /// rayon's `fold`: produces per-thread partial accumulators (a single
+    /// one here). Chain with [`ParIter::reduce`] to combine.
+    pub fn fold<Acc, ID, F>(self, identity: ID, f: F) -> ParIter<std::option::IntoIter<Acc>>
+    where
+        ID: Fn() -> Acc,
+        F: FnMut(Acc, I::Item) -> Acc,
+    {
+        ParIter(Some(self.0.fold(identity(), f)).into_iter())
+    }
+
+    /// rayon's `reduce`: combines items pairwise, `identity()` when empty.
+    pub fn reduce<ID, F>(self, identity: ID, f: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.reduce(f).unwrap_or_else(identity)
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Counts the items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Collects into any `FromIterator` container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+}
+
+/// `.par_iter()` on slices (and, via deref, `Vec`s).
+pub trait IntoParallelRefIterator<'data> {
+    /// Element reference type.
+    type Item: 'data;
+    /// Underlying serial iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Borrowing "parallel" iterator.
+    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter(self.iter())
+    }
+}
+
+/// `.par_iter_mut()` on slices (and, via deref, `Vec`s).
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Element reference type.
+    type Item: 'data;
+    /// Underlying serial iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Mutably borrowing "parallel" iterator.
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, T: 'data + Send> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    type Iter = std::slice::IterMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter> {
+        ParIter(self.iter_mut())
+    }
+}
+
+/// `.into_par_iter()` on owned collections.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Underlying serial iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Consuming "parallel" iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = std::ops::Range<usize>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self)
+    }
+}
+
+/// Slice-level parallel helpers (`par_chunks_mut`, parallel sorts).
+pub trait ParallelSliceMut<T> {
+    /// Mutable chunk iterator.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    /// Unstable sort (sequential here).
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    /// Unstable sort with comparator (sequential here).
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk_size))
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
+        self.sort_unstable_by(compare);
+    }
+}
+
+/// The rayon prelude: traits needed for `.par_*` method syntax.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+#[allow(clippy::useless_vec)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_sum() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let s: i32 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 10);
+    }
+
+    #[test]
+    fn fold_reduce_matches_serial() {
+        let v: Vec<u64> = (1..=100).collect();
+        let total = v.par_iter().fold(|| 0u64, |acc, &x| acc + x).reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(total, 5050);
+        // Empty input hits the identity path.
+        let empty: Vec<u64> = vec![];
+        let zero = empty.par_iter().fold(|| 0u64, |acc, &x| acc + x).reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(zero, 0);
+    }
+
+    #[test]
+    fn for_each_init_reuses_scratch() {
+        let v = vec![1, 2, 3];
+        let mut inits = 0;
+        let mut seen = Vec::new();
+        v.par_iter().for_each_init(
+            || {
+                inits += 1;
+                Vec::<i32>::new()
+            },
+            |scratch, &x| {
+                scratch.push(x);
+                seen.push((scratch.len(), x));
+            },
+        );
+        assert_eq!(inits, 1);
+        assert_eq!(seen, vec![(1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn mutation_and_chunks() {
+        let mut v = vec![1, 2, 3, 4, 5];
+        v.par_iter_mut().for_each(|x| *x *= 10);
+        assert_eq!(v, vec![10, 20, 30, 40, 50]);
+        v.par_chunks_mut(2).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x += i as i32;
+            }
+        });
+        assert_eq!(v, vec![10, 20, 31, 41, 52]);
+    }
+
+    #[test]
+    fn sorts_and_flat_map() {
+        let mut v = vec![(3, 'c'), (1, 'a'), (2, 'b')];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![(1, 'a'), (2, 'b'), (3, 'c')]);
+        v.par_sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        assert_eq!(v[0].0, 3);
+        let flat: Vec<i32> = vec![1, 10].par_iter().flat_map_iter(|&x| [x, x + 1]).collect();
+        assert_eq!(flat, vec![1, 2, 10, 11]);
+    }
+}

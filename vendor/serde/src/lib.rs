@@ -1,0 +1,279 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! Serialization here is direct: [`Serialize::to_json_value`] converts a
+//! value into the in-memory [`json::Value`] tree, which `serde_json`
+//! renders to text. This skips upstream's serializer-visitor machinery —
+//! far less general, but exactly sufficient for the derive-on-structs +
+//! `serde_json::to_string_pretty` usage in this workspace, and the
+//! call-sites (`use serde::Serialize`, `#[derive(Serialize)]`) are
+//! source-compatible with the real crate.
+
+// Lets the `::serde::...` paths emitted by the derive resolve inside
+// this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// In-memory JSON document model (re-exported by `serde_json` as its
+/// `Value`).
+pub mod json {
+    /// A JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Integer number (no fractional part in the source text).
+        Int(i64),
+        /// Floating-point number.
+        Float(f64),
+        /// String.
+        String(String),
+        /// Array.
+        Array(Vec<Value>),
+        /// Object, preserving insertion order.
+        Object(Vec<(String, Value)>),
+    }
+
+    static NULL: Value = Value::Null;
+
+    impl Value {
+        /// Member lookup; `Value::Null` when absent or not an object.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The elements if this is an array.
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The text if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The value as `i64` if it is an integer.
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::Int(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The value as `u64` if it is a non-negative integer.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Int(n) if *n >= 0 => Some(*n as u64),
+                _ => None,
+            }
+        }
+
+        /// The value as `f64` if it is numeric.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Int(n) => Some(*n as f64),
+                Value::Float(f) => Some(*f),
+                _ => None,
+            }
+        }
+
+        /// Whether this is `null`.
+        pub fn is_null(&self) -> bool {
+            matches!(self, Value::Null)
+        }
+    }
+
+    impl std::ops::Index<&str> for Value {
+        type Output = Value;
+        fn index(&self, key: &str) -> &Value {
+            self.get(key).unwrap_or(&NULL)
+        }
+    }
+
+    impl std::ops::Index<usize> for Value {
+        type Output = Value;
+        fn index(&self, idx: usize) -> &Value {
+            match self {
+                Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+                _ => &NULL,
+            }
+        }
+    }
+
+    macro_rules! int_eq {
+        ($($t:ty),*) => {$(
+            impl PartialEq<$t> for Value {
+                fn eq(&self, other: &$t) -> bool {
+                    self.as_i64() == Some(*other as i64)
+                }
+            }
+            impl PartialEq<Value> for $t {
+                fn eq(&self, other: &Value) -> bool {
+                    other == self
+                }
+            }
+        )*};
+    }
+    int_eq!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl PartialEq<f64> for Value {
+        fn eq(&self, other: &f64) -> bool {
+            self.as_f64() == Some(*other)
+        }
+    }
+
+    impl PartialEq<bool> for Value {
+        fn eq(&self, other: &bool) -> bool {
+            matches!(self, Value::Bool(b) if b == other)
+        }
+    }
+
+    impl PartialEq<&str> for Value {
+        fn eq(&self, other: &&str) -> bool {
+            self.as_str() == Some(*other)
+        }
+    }
+
+    impl PartialEq<str> for Value {
+        fn eq(&self, other: &str) -> bool {
+            self.as_str() == Some(other)
+        }
+    }
+
+    impl PartialEq<String> for Value {
+        fn eq(&self, other: &String) -> bool {
+            self.as_str() == Some(other.as_str())
+        }
+    }
+}
+
+/// A value that can be rendered to JSON.
+pub trait Serialize {
+    /// Converts `self` into the JSON document model.
+    fn to_json_value(&self) -> json::Value;
+}
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+serialize_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> json::Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> json::Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl Serialize for json::Value {
+    fn to_json_value(&self) -> json::Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::Value;
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(7usize.to_json_value(), Value::Int(7));
+        assert_eq!((-3i32).to_json_value(), Value::Int(-3));
+        assert_eq!(0.5f64.to_json_value(), Value::Float(0.5));
+        assert_eq!(true.to_json_value(), Value::Bool(true));
+        assert_eq!("hi".to_json_value(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn derive_handles_lifetimes_and_nesting() {
+        #[derive(Serialize)]
+        struct Inner {
+            a: usize,
+        }
+        #[derive(Serialize)]
+        struct Outer<'a> {
+            name: &'a str,
+            inner: Inner,
+            xs: &'a [f64],
+        }
+        let v = Outer { name: "n", inner: Inner { a: 2 }, xs: &[1.0, 2.0] }.to_json_value();
+        assert_eq!(v["name"], "n");
+        assert_eq!(v["inner"]["a"], 2);
+        assert_eq!(v["xs"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn index_misses_are_null() {
+        let v = Value::Object(vec![("k".into(), Value::Int(1))]);
+        assert!(v["missing"].is_null());
+        assert!(Value::Null["anything"].is_null());
+    }
+}

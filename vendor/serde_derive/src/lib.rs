@@ -1,0 +1,156 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for structs with named fields — the
+//! only shape this workspace derives on. The macro is written against
+//! `proc_macro` alone (no `syn`/`quote`, which are unavailable offline):
+//! it walks the token stream by hand, skipping attributes and
+//! visibility, capturing the type name, its generics (lifetimes such as
+//! `<'a>` are supported; type parameters with bounds are not needed
+//! here), and the named fields. It emits an implementation of
+//! `serde::Serialize` whose `to_json_value` builds a
+//! `serde::json::Value::Object` in declaration order.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" => i += 1,
+        other => panic!("derive(Serialize) stub only supports structs, found {other}"),
+    }
+    let name = tokens[i].to_string();
+    i += 1;
+
+    // Capture generics verbatim. Rebuilding a TokenStream (rather than
+    // joining `to_string()`s with spaces) preserves joint spacing, so a
+    // lifetime round-trips as `'a` and not the unparseable `' a`.
+    let generics = if is_punct(tokens.get(i), '<') {
+        let start = i;
+        let mut depth = 0i32;
+        loop {
+            if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+            assert!(i < tokens.len(), "unbalanced generics on {name}");
+        }
+        TokenStream::from_iter(tokens[start..i].iter().cloned()).to_string()
+    } else {
+        String::new()
+    };
+
+    // The named-field body is the first brace group after the generics
+    // (skipping any `where` clause tokens, none of which are brace groups).
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("derive(Serialize) stub needs named fields on {name}"));
+
+    let fields = named_fields(body);
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "fields.push(({f:?}.to_string(), ::serde::Serialize::to_json_value(&self.{f})));\n"
+            )
+        })
+        .collect();
+
+    let output = format!(
+        "impl {generics} ::serde::Serialize for {name} {generics} {{\n\
+             fn to_json_value(&self) -> ::serde::json::Value {{\n\
+                 let mut fields: Vec<(String, ::serde::json::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::json::Value::Object(fields)\n\
+             }}\n\
+         }}\n"
+    );
+    output.parse().expect("generated Serialize impl must parse")
+}
+
+fn is_punct(t: Option<&TokenTree>, ch: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+/// Advances past any `#[...]` attribute pairs at `tokens[*i]`.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while is_punct(tokens.get(*i), '#') {
+        *i += 2; // '#' then the bracket group
+    }
+}
+
+/// Advances past `pub` / `pub(crate)` / `pub(in ...)` at `tokens[*i]`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Extracts field names from a named-field struct body. Types are skipped
+/// by scanning to the next top-level comma; commas nested in `<...>` are
+/// invisible to the split because the depth counter guards them, and
+/// commas inside `(...)`/`[...]` never appear at this level (groups are
+/// single atomic tokens).
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        i += 1;
+        assert!(is_punct(tokens.get(i), ':'), "expected ':' after field {name}");
+        i += 1;
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
