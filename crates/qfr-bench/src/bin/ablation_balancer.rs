@@ -7,7 +7,7 @@
 //! busy-time variation (the Fig. 8 ordinate), makespan, and master
 //! round-trips (task count).
 
-use qfr_bench::{header, pct, row, write_record};
+use qfr_bench::{header, pct, row, scaled, write_record};
 use qfr_sched::balancer::{
     Policy, RandomPolicy, RoundRobinPolicy, SizeSensitivePolicy, SortedSingletonPolicy,
 };
@@ -15,8 +15,8 @@ use qfr_sched::simulator::{simulate, SimConfig};
 use qfr_sched::task::protein_workload;
 
 fn main() {
-    let n_frag = 88_800;
-    let nodes = 3000;
+    let n_frag = scaled(88_800, 2_000);
+    let nodes = scaled(3000, 100);
     header(&format!("Balancer ablation — {n_frag} protein fragments on {nodes} nodes"));
     row(&["policy", "variation", "makespan", "tasks", "norm. makespan"], &[18, 18, 12, 10, 15]);
 

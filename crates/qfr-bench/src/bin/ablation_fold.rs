@@ -8,12 +8,12 @@
 //! count (11,394 concaps for 3,180 residues ≈ 3.6/residue) sits between
 //! the two, as a real tertiary structure mixes both motifs.
 
-use qfr_bench::{header, row, write_record};
+use qfr_bench::{header, row, scaled, write_record};
 use qfr_fragment::{Decomposition, DecompositionParams, JobKind};
 use qfr_geom::{FoldStyle, ProteinBuilder};
 
 fn main() {
-    let n_residues = 600;
+    let n_residues = scaled(600, 100);
     header(&format!("Fold ablation — {n_residues} residues, λ = 4 Å"));
     row(&["fold", "concaps", "per residue", "|i-j| in 3..=4", "|i-j| > 8"], &[12, 10, 12, 15, 10]);
 

@@ -10,14 +10,14 @@
 //! alternative for matrix spectral densities — runs on the same Hessian at
 //! matched matvec budgets as the external baseline.
 
-use qfr_bench::{header, row, write_record};
+use qfr_bench::{header, row, scaled, write_record};
 use qfr_core::RamanWorkflow;
 use qfr_geom::WaterBoxBuilder;
 use qfr_solver::RamanOptions;
-use std::time::Instant;
 
 fn main() {
-    let system = WaterBoxBuilder::new(40).seed(3).build();
+    let n_waters = scaled(40, 12);
+    let system = WaterBoxBuilder::new(n_waters).seed(3).build();
     println!("system: {} atoms ({} dof)", system.n_atoms(), system.dof());
 
     let base = RamanWorkflow::new(system).sigma(25.0);
@@ -26,19 +26,19 @@ fn main() {
     header("GAGQ ablation — accuracy vs Lanczos steps");
     row(&["k", "Gauss sim.", "GAGQ sim.", "Gauss t(s)", "GAGQ t(s)"], &[6, 12, 12, 12, 12]);
     let mut records = Vec::new();
-    for k in [5usize, 10, 20, 40, 80, 160] {
+    for k in scaled(vec![5usize, 10, 20, 40, 80, 160], vec![5usize, 10, 20]) {
         let opts = |gagq: bool| RamanOptions {
             lanczos_steps: k,
             sigma: 25.0,
             use_gagq: gagq,
             ..Default::default()
         };
-        let t0 = Instant::now();
-        let plain = base.clone().raman_options(opts(false)).run().expect("plain");
-        let t_plain = t0.elapsed().as_secs_f64();
-        let t0 = Instant::now();
-        let gagq = base.clone().raman_options(opts(true)).run().expect("gagq");
-        let t_gagq = t0.elapsed().as_secs_f64();
+        let (plain, t_plain) =
+            qfr_obs::timed("bench.gagq.plain", || base.clone().raman_options(opts(false)).run());
+        let plain = plain.expect("plain");
+        let (gagq, t_gagq) =
+            qfr_obs::timed("bench.gagq.gagq", || base.clone().raman_options(opts(true)).run());
+        let gagq = gagq.expect("gagq");
         let sim_plain = plain.spectrum.cosine_similarity(&dense.spectrum);
         let sim_gagq = gagq.spectrum.cosine_similarity(&dense.spectrum);
         row(
@@ -69,7 +69,7 @@ fn main() {
             assemble, Decomposition, DecompositionParams, FragmentEngine, MassWeighted,
         };
         use qfr_model::ForceFieldEngine;
-        let sys = qfr_geom::WaterBoxBuilder::new(40).seed(3).build();
+        let sys = qfr_geom::WaterBoxBuilder::new(n_waters).seed(3).build();
         let engine = ForceFieldEngine::new();
         let d = Decomposition::new(&sys, DecompositionParams::default());
         let responses: Vec<_> = d.jobs.iter().map(|j| engine.compute(&j.structure(&sys))).collect();
@@ -79,7 +79,7 @@ fn main() {
         let dense_ref =
             qfr_solver::raman_dense_reference(&mw.hessian.to_dense(), &mw.dalpha, &dense_opts);
         row(&["matvecs/vector", "Lanczos+GAGQ sim.", "KPM sim."], &[14, 18, 12]);
-        for budget in [32usize, 64, 128, 256] {
+        for budget in scaled(vec![32usize, 64, 128, 256], vec![16usize, 32]) {
             let lz_opts = RamanOptions { lanczos_steps: budget, sigma: 25.0, ..Default::default() };
             let lz = qfr_solver::raman_lanczos(&mw.hessian, &mw.dalpha, &lz_opts)
                 .cosine_similarity(&dense_ref);

@@ -7,7 +7,7 @@
 //! FLOPs on padding. Both real-CPU timing and the two machine models are
 //! reported.
 
-use qfr_bench::{header, row, write_record};
+use qfr_bench::{header, row, scaled, write_record};
 use qfr_dfpt::displacement::n1_phase_gemm_jobs;
 use qfr_dfpt::scf::{ScfConfig, ScfSolver};
 use qfr_fragment::{Decomposition, DecompositionParams, JobKind};
@@ -19,7 +19,7 @@ use qfr_sched::offload::{offload_comparison, CpuAccelerator, ModeledAccelerator}
 fn main() {
     // A mixed-size job stream: n(1) panels from three fragment sizes.
     let mut jobs = Vec::new();
-    for n_res in [3usize, 5, 7] {
+    for n_res in scaled(vec![3usize, 5, 7], vec![3usize]) {
         let sys = ProteinBuilder::new(n_res).seed(50 + n_res as u64).build();
         let d = Decomposition::new(&sys, DecompositionParams::default());
         let job = d

@@ -14,7 +14,7 @@
 //! The paper's water-dimer study deliberately disables prefetch "for the
 //! purpose of showcasing its effects"; we do the same.
 
-use qfr_bench::{header, pct, row, write_record};
+use qfr_bench::{fast_mode, header, pct, row, write_record};
 use qfr_sched::balancer::SizeSensitivePolicy;
 use qfr_sched::simulator::{simulate, SimConfig};
 use qfr_sched::task::{protein_workload, water_dimer_workload, FragmentWorkItem};
@@ -43,7 +43,7 @@ struct Study {
 fn main() {
     let mut records = Vec::new();
 
-    let studies = [
+    let mut studies = [
         Study {
             label: "ORISE / protein (prefetch on)",
             nodes: vec![750, 1500, 3000, 6000],
@@ -69,6 +69,16 @@ fn main() {
             kind: mixed_workload,
         },
     ];
+
+    if fast_mode() {
+        // Smoke version: first two node counts at 1/10 scale with a
+        // proportionally thinner workload.
+        for study in &mut studies {
+            study.nodes = study.nodes.iter().take(2).map(|&n| (n / 10).max(1)).collect();
+            study.paper_worst.truncate(2);
+            study.fragments_per_node = (study.fragments_per_node / 10).max(4);
+        }
+    }
 
     for study in &studies {
         header(&format!("Fig. 8 — {}", study.label));

@@ -14,7 +14,7 @@
 //! scattered GEMM stream against the modeled ORISE/Sunway accelerators
 //! (DESIGN.md substitution: no GPUs in this environment).
 
-use qfr_bench::{arg_value, header, row, write_record};
+use qfr_bench::{arg_value, header, row, scaled, write_record};
 use qfr_dfpt::displacement::{displacement_cycle, n1_phase_gemm_jobs, DisplacementConfig};
 use qfr_dfpt::response::ResponseConfig;
 use qfr_dfpt::scf::{ScfConfig, ScfSolver};
@@ -40,7 +40,7 @@ fn main() {
             .expect("dimer");
         fragments.push(("water dimer".to_string(), job.structure(&sys)));
     }
-    for n_res in [3usize, 5, 7] {
+    for n_res in scaled(vec![3usize, 5, 7], vec![3usize]) {
         let sys = ProteinBuilder::new(n_res).seed(n_res as u64).build();
         let d = Decomposition::new(&sys, DecompositionParams::default());
         let job = d

@@ -11,7 +11,7 @@
 //! system-size-sensitive balancer. A fixed total workload is re-scheduled
 //! at each node count.
 
-use qfr_bench::{header, row, write_record};
+use qfr_bench::{header, row, scaled, write_record};
 use qfr_sched::balancer::SizeSensitivePolicy;
 use qfr_sched::simulator::{parallel_efficiency, strong_scaling_sweep, SimConfig};
 use qfr_sched::task::{protein_workload, water_dimer_workload, FragmentWorkItem};
@@ -61,24 +61,31 @@ fn run_study(
 
 fn main() {
     let mut records = Vec::new();
+    // Fast mode shrinks workload and machine together (same ~4.5k
+    // fragments/node density), keeping the efficiency trend visible.
+    let wd_frags = scaled(3_343_536, 30_000);
+    let prot_frags = scaled(88_800, 8_000);
+    let mixed_frags = scaled(4_151_294, 40_000);
+    let orise_nodes = scaled(vec![750, 1500, 3000, 6000], vec![75, 150, 300]);
+    let sunway_nodes = scaled(vec![12_000, 24_000, 48_000, 96_000], vec![120, 240, 480]);
     run_study(
         "ORISE / water dimer",
-        || water_dimer_workload(3_343_536),
-        &[750, 1500, 3000, 6000],
+        || water_dimer_workload(wd_frags),
+        &orise_nodes,
         &[1.0, 0.991, 0.99, 0.99],
         &mut records,
     );
     run_study(
         "ORISE / protein",
-        || protein_workload(88_800, 3),
-        &[750, 1500, 3000, 6000],
+        || protein_workload(prot_frags, 3),
+        &orise_nodes,
         &[1.0, 0.967, 0.954, 0.911],
         &mut records,
     );
     run_study(
         "Sunway / mixed",
-        || mixed_workload(4_151_294),
-        &[12_000, 24_000, 48_000, 96_000],
+        || mixed_workload(mixed_frags),
+        &sunway_nodes,
         &[1.0, 0.999, 0.987, 0.962],
         &mut records,
     );

@@ -14,7 +14,7 @@
 //! throughput matches the paper's absolute number; every larger scale is
 //! then a genuine prediction of the balancer + simulator.
 
-use qfr_bench::{header, row, write_record};
+use qfr_bench::{fast_mode, header, row, write_record};
 use qfr_sched::balancer::SizeSensitivePolicy;
 use qfr_sched::simulator::{simulate, SimConfig};
 use qfr_sched::task::{protein_workload, water_dimer_workload, FragmentWorkItem};
@@ -38,7 +38,7 @@ fn mixed(n: usize, seed: u64) -> Vec<FragmentWorkItem> {
 }
 
 fn main() {
-    let studies = [
+    let mut studies = [
         Study {
             label: "ORISE / water dimer",
             nodes: vec![750, 1500, 3000, 6000],
@@ -61,6 +61,16 @@ fn main() {
             kind: mixed,
         },
     ];
+
+    if fast_mode() {
+        // Smoke version: first two scales at 1/100 workload, 1/10 nodes
+        // (weak scaling only needs the fragments/node ratio held fixed).
+        for study in &mut studies {
+            study.nodes = study.nodes.iter().take(2).map(|&n| (n / 10).max(1)).collect();
+            study.fragments = study.fragments.iter().take(2).map(|&f| (f / 100).max(10)).collect();
+            study.paper_throughput.truncate(2);
+        }
+    }
 
     let mut records = Vec::new();
     for study in &studies {

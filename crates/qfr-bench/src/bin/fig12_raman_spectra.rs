@@ -17,7 +17,7 @@
 //! need the paper's 96,000 nodes; our largest runs exercise the identical
 //! code path (see EXPERIMENTS.md).
 
-use qfr_bench::{arg_value, header, write_record};
+use qfr_bench::{arg_value, header, scaled, write_record};
 use qfr_core::RamanWorkflow;
 use qfr_geom::{ProteinBuilder, SolvatedSystem, WaterBoxBuilder};
 use qfr_solver::RamanSpectrum;
@@ -44,8 +44,11 @@ fn band_table(spec: &RamanSpectrum, bands: &[(&str, f64, f64)]) {
 }
 
 fn main() {
-    let n_residues: usize = arg_value("--residues").and_then(|v| v.parse().ok()).unwrap_or(200);
-    let n_waters: usize = arg_value("--waters").and_then(|v| v.parse().ok()).unwrap_or(3000);
+    let n_residues: usize =
+        arg_value("--residues").and_then(|v| v.parse().ok()).unwrap_or(scaled(200, 30));
+    let n_waters: usize =
+        arg_value("--waters").and_then(|v| v.parse().ok()).unwrap_or(scaled(3000, 200));
+    let lanczos = scaled(160, 60);
     let mut records = Vec::new();
 
     // ---------------------------------------------------------------
@@ -56,7 +59,7 @@ fn main() {
     println!("atoms: {}", protein.n_atoms());
     let gas = RamanWorkflow::new(protein.clone())
         .sigma(5.0)
-        .lanczos_steps(160)
+        .lanczos_steps(lanczos)
         .run()
         .expect("gas-phase run");
     println!("{}", gas.summary());
@@ -80,7 +83,7 @@ fn main() {
     let water = WaterBoxBuilder::new(n_waters).seed(9).build();
     println!("atoms: {}", water.n_atoms());
     let water_run =
-        RamanWorkflow::new(water).sigma(20.0).lanczos_steps(160).run().expect("water run");
+        RamanWorkflow::new(water).sigma(20.0).lanczos_steps(lanczos).run().expect("water run");
     println!("{}", water_run.summary());
     band_table(
         &water_run.spectrum,
@@ -104,8 +107,11 @@ fn main() {
         protein.n_atoms(),
         solvated.n_waters
     );
-    let wet =
-        RamanWorkflow::new(solvated).sigma(20.0).lanczos_steps(160).run().expect("solvated run");
+    let wet = RamanWorkflow::new(solvated)
+        .sigma(20.0)
+        .lanczos_steps(lanczos)
+        .run()
+        .expect("solvated run");
     println!("{}", wet.summary());
     band_table(
         &wet.spectrum,

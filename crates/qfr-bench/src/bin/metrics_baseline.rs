@@ -1,0 +1,147 @@
+//! CI counter-based performance-regression gate.
+//!
+//! Runs a set of **pinned deterministic workloads** — a scheduled Raman
+//! run with injected faults, one real DFPT displacement cycle, a modeled
+//! offload pricing pass, and a simulator fault run — then snapshots the
+//! deterministic counter registry (`qfr_obs::counter::deterministic_json`).
+//!
+//! - `--write FILE` stores the snapshot as the committed baseline;
+//! - `--check FILE` compares against the baseline and exits non-zero on
+//!   any drift, printing a per-counter diff;
+//! - no flag prints the snapshot.
+//!
+//! Because the gate compares *deterministic counters* (FLOPs, GEMM
+//! launches, Lanczos steps, task lifecycle counts) rather than wall-clock,
+//! it is immune to machine noise: a diff means an algorithmic change
+//! (different work performed), which is exactly what a perf gate should
+//! flag. Refresh procedure: DESIGN.md §8.
+
+use qfr_bench::arg_value;
+use qfr_core::RamanWorkflow;
+use qfr_dfpt::displacement::{displacement_cycle, n1_phase_gemm_jobs, DisplacementConfig};
+use qfr_dfpt::scf::{ScfConfig, ScfSolver};
+use qfr_fragment::{Decomposition, DecompositionParams};
+use qfr_geom::WaterBoxBuilder;
+use qfr_sched::balancer::SizeSensitivePolicy;
+use qfr_sched::fault::{FaultPlan, RecoveryPolicy};
+use qfr_sched::machine::MachineModel;
+use qfr_sched::offload::{CpuAccelerator, ModeledAccelerator};
+use qfr_sched::simulator::{simulate, SimConfig};
+use qfr_sched::task::protein_workload;
+
+/// The pinned workloads. Every input is a fixed seed or constant; every
+/// code path consulted is deterministic for fixed inputs, so the counter
+/// snapshot is a pure function of the source code.
+fn run_pinned_workloads() {
+    // 1. Scheduled Raman run with injected failures and a permanent
+    //    (quarantining) fragment: exercises the workflow stages, the
+    //    threaded master/leader runtime, the recovery path, and the
+    //    solver counters. Exactly-once slot locking in `run_scheduled`
+    //    keeps the engine-side counters independent of scheduling races.
+    let system = WaterBoxBuilder::new(20).seed(7).build();
+    let result = RamanWorkflow::new(system)
+        .sigma(25.0)
+        .run_scheduled(qfr_sched::RuntimeConfig {
+            n_leaders: 2,
+            workers_per_leader: 2,
+            recovery: RecoveryPolicy { max_attempts: 2, backoff_base: 1e-4, ..Default::default() },
+            faults: FaultPlan::with_failure_rate(2024, 0.05).permanent([3]),
+            ..Default::default()
+        })
+        .expect("scheduled run");
+    assert!(result.recovery.is_some(), "scheduled run must report recovery");
+
+    // 2. One real DFPT displacement cycle on a water monomer: exercises
+    //    SCF, Poisson/FFT, the four response phases, and the GEMM/FLOP
+    //    counters of the instrumented kernels.
+    let sys = WaterBoxBuilder::new(1).seed(1).build();
+    let d = Decomposition::new(&sys, DecompositionParams::default());
+    let frag = d.jobs[0].structure(&sys);
+    let scf = ScfSolver {
+        config: ScfConfig { max_grid_dim: 16, grid_spacing: 0.5, ..Default::default() },
+    }
+    .solve(&frag);
+    let cfg = DisplacementConfig::new(0, 2);
+    let (resp, _profile) = displacement_cycle(&scf, &frag, &cfg);
+
+    // 3. Modeled offload pricing over the cycle's real GEMM stream:
+    //    exercises the bytes-moved counter for both scattered and batched
+    //    execution.
+    let jobs = n1_phase_gemm_jobs(&scf, &resp.p1, 48);
+    let accel = ModeledAccelerator::from_machine(&MachineModel::orise());
+    let _ = accel.scattered_seconds(&jobs);
+    let _ = accel.batched_seconds(&jobs, 32);
+    let _ = CpuAccelerator.batched_seconds(&jobs, 32);
+
+    // 4. Simulator fault run with an MTBF-derived failure rate (an
+    //    800-hour ORISE campaign over 2,000 tasks ≈ 4.8% per attempt —
+    //    enough retries and quarantines to pin the recovery counters
+    //    without degenerating into all-fail): exercises the
+    //    discrete-event executor's (shared) lifecycle counters.
+    let n_frag = 2_000;
+    let plan = FaultPlan::from_machine(&MachineModel::orise(), 800.0, n_frag, 11);
+    let _report = simulate(
+        Box::new(SizeSensitivePolicy::with_defaults(protein_workload(n_frag, 1))),
+        &SimConfig {
+            n_leaders: 100,
+            faults: plan,
+            recovery: RecoveryPolicy { max_attempts: 3, backoff_base: 0.5, ..Default::default() },
+            ..Default::default()
+        },
+    );
+}
+
+/// Parses the compact `{"name":value,...}` object the counter registry
+/// emits. Hand-rolled on purpose: counter names contain no escapes.
+fn parse_counters(json: &str) -> Vec<(String, u64)> {
+    let inner = json.trim().trim_start_matches('{').trim_end_matches('}');
+    inner
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|pair| {
+            let (name, value) = pair.split_once(':').expect("malformed counter pair");
+            (name.trim().trim_matches('"').to_string(), value.trim().parse().expect("count"))
+        })
+        .collect()
+}
+
+fn main() {
+    qfr_obs::reset_all();
+    qfr_linalg::flops::reset();
+    run_pinned_workloads();
+    let snapshot = qfr_obs::counter::deterministic_json();
+
+    if let Some(path) = arg_value("--write") {
+        std::fs::write(&path, format!("{snapshot}\n")).expect("write baseline");
+        println!("baseline written to {path}");
+        return;
+    }
+    if let Some(path) = arg_value("--check") {
+        let baseline = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        if baseline.trim() == snapshot.trim() {
+            println!("metrics gate PASS: counters match {path}");
+            return;
+        }
+        eprintln!("metrics gate FAIL: deterministic counters drifted from {path}");
+        let old: std::collections::BTreeMap<_, _> = parse_counters(&baseline).into_iter().collect();
+        let new: std::collections::BTreeMap<_, _> = parse_counters(&snapshot).into_iter().collect();
+        for name in old.keys().chain(new.keys()).collect::<std::collections::BTreeSet<_>>() {
+            match (old.get(name), new.get(name)) {
+                (Some(a), Some(b)) if a == b => {}
+                (Some(a), Some(b)) => eprintln!("  {name}: baseline {a} -> current {b}"),
+                (Some(a), None) => eprintln!("  {name}: baseline {a} -> (missing)"),
+                (None, Some(b)) => eprintln!("  {name}: (new) -> current {b}"),
+                (None, None) => unreachable!(),
+            }
+        }
+        eprintln!(
+            "\nIf the change is intentional, refresh with:\n  \
+             cargo run --release -p qfr-bench --bin metrics_baseline -- --write {path}"
+        );
+        std::process::exit(1);
+    }
+    println!("{snapshot}");
+}

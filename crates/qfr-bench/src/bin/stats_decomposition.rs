@@ -10,12 +10,13 @@
 //! extrapolated to the paper's 33.75M-water box (the full enumeration needs
 //! the paper's 96,000 nodes, not one workstation — see DESIGN.md).
 
-use qfr_bench::{arg_value, header, write_record};
+use qfr_bench::{arg_value, header, scaled, write_record};
 use qfr_fragment::{Decomposition, DecompositionParams};
 use qfr_geom::{ProteinBuilder, SolvatedSystem, WaterBoxBuilder};
 
 fn main() {
-    let n_residues: usize = arg_value("--residues").and_then(|v| v.parse().ok()).unwrap_or(3180);
+    let n_residues: usize =
+        arg_value("--residues").and_then(|v| v.parse().ok()).unwrap_or(scaled(3180, 300));
 
     header(&format!("Section VI-A — protein decomposition ({n_residues} residues)"));
     let protein = ProteinBuilder::new(n_residues).seed(73).build();
@@ -53,7 +54,7 @@ fn main() {
     );
 
     header("Water–water pair density (bulk box sample)");
-    let n_waters = 8000;
+    let n_waters = scaled(8000, 1000);
     let bulk = WaterBoxBuilder::new(n_waters).seed(9).build();
     let db = Decomposition::new(&bulk, DecompositionParams::default());
     let per_water = db.stats.n_water_water_pairs as f64 / n_waters as f64;

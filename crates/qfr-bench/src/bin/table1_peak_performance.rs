@@ -17,7 +17,7 @@
 //! the paper's own extrapolation (`rate × accelerator count`), weighted by
 //! the S-protein fragment-size distribution.
 
-use qfr_bench::{arg_value, header, row, write_record};
+use qfr_bench::{arg_value, header, row, scaled, write_record};
 use qfr_dfpt::displacement::{displacement_cycle, DisplacementConfig};
 use qfr_dfpt::response::ResponseConfig;
 use qfr_dfpt::scf::{ScfConfig, ScfSolver};
@@ -89,7 +89,7 @@ fn main() {
             batch,
         });
     }
-    for n_res in [3usize, 5, 7] {
+    for n_res in scaled(vec![3usize, 5, 7], vec![3usize]) {
         let sys = ProteinBuilder::new(n_res).seed(100 + n_res as u64).build();
         let d = Decomposition::new(&sys, DecompositionParams::default());
         let job = d

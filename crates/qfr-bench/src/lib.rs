@@ -33,11 +33,28 @@ pub fn experiments_dir() -> PathBuf {
     dir
 }
 
-/// Writes a JSON record for an experiment.
+/// Writes a JSON record for an experiment as `BENCH_{name}.json` (the
+/// `BENCH_` prefix is what CI globs when uploading artifacts).
 pub fn write_record(name: &str, json: &str) {
-    let path = experiments_dir().join(format!("{name}.json"));
+    let path = experiments_dir().join(format!("BENCH_{name}.json"));
     fs::write(&path, json).expect("cannot write experiment record");
     println!("\n[record written to {}]", path.display());
+}
+
+/// True when the binary should run a scaled-down smoke version of its
+/// experiment: `--fast` on the command line or `QFR_BENCH_FAST=1` in the
+/// environment (how the CI bench-smoke job invokes every binary).
+pub fn fast_mode() -> bool {
+    has_flag("--fast") || std::env::var("QFR_BENCH_FAST").is_ok_and(|v| v == "1")
+}
+
+/// Picks the full-size or fast-mode value of an experiment parameter.
+pub fn scaled<T>(full: T, fast: T) -> T {
+    if fast_mode() {
+        fast
+    } else {
+        full
+    }
 }
 
 /// Formats a ratio as a percentage string.

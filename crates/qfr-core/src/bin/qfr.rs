@@ -32,7 +32,8 @@ fn usage() -> ! {
          qfr spectrum  (--protein N | --waters N) [--solvate PAD] [--sigma S]\n                \
          [--lambda L] [--lanczos K] [--seed SEED] [--temperature T]\n                \
          [--ir] [--json FILE] [--xyz FILE] [--dense | --stream]\n                \
-         [--sched LEADERS [--workers W]] [--checkpoint FILE]\n  \
+         [--sched LEADERS [--workers W]] [--checkpoint FILE]\n                \
+         [--trace FILE] [--metrics] [--metrics-out FILE]\n  \
          qfr decompose (--protein N | --waters N) [--lambda L] [--seed SEED]\n  \
          qfr info"
     );
@@ -55,6 +56,10 @@ fn build_system(args: &[String]) -> MolecularSystem {
 }
 
 fn cmd_spectrum(args: &[String]) {
+    let trace_path = arg_value(args, "--trace");
+    if trace_path.is_some() {
+        qfr_obs::trace::enable();
+    }
     let system = build_system(args);
     println!(
         "system: {} atoms ({} residues, {} waters)",
@@ -132,6 +137,25 @@ fn cmd_spectrum(args: &[String]) {
     if let Some(path) = arg_value(args, "--json") {
         std::fs::write(&path, result.to_json()).expect("write json");
         println!("record written to {path}");
+    }
+
+    // --metrics prints the full span/counter report, then the deterministic
+    // counter block between sentinel lines so CI (and `diff`) can extract
+    // and compare it byte-for-byte across same-seed runs.
+    if has(args, "--metrics") {
+        println!("\n{}", qfr_obs::report());
+        println!("-- deterministic counters --");
+        print!("{}", qfr_obs::counter::deterministic_report());
+        println!("-- end deterministic counters --");
+    }
+    if let Some(path) = arg_value(args, "--metrics-out") {
+        std::fs::write(&path, qfr_obs::counter::deterministic_report()).expect("write metrics");
+        println!("deterministic counters written to {path}");
+    }
+    if let Some(path) = trace_path {
+        qfr_obs::trace::save(std::path::Path::new(&path)).expect("write trace");
+        qfr_obs::trace::disable();
+        println!("chrome trace written to {path}");
     }
 }
 

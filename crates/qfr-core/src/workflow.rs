@@ -174,12 +174,12 @@ impl RamanWorkflow {
         checkpoint: &std::path::Path,
     ) -> Result<RamanResult, WorkflowError> {
         let mut timings = StageTimings::default();
-        let t = Instant::now();
-        let decomposition = self.decompose();
-        timings.decompose_s = t.elapsed().as_secs_f64();
+        let (decomposition, dt) = qfr_obs::timed("workflow.decompose", || self.decompose());
+        timings.decompose_s = dt;
         self.validate(&decomposition)?;
         let engine = self.make_engine();
 
+        let engine_span = qfr_obs::span("workflow.engine");
         let t = Instant::now();
         let responses = match crate::checkpoint::load_responses(
             checkpoint,
@@ -213,16 +213,21 @@ impl RamanWorkflow {
             }
         };
         timings.engine_s = t.elapsed().as_secs_f64();
+        drop(engine_span);
 
-        let t = Instant::now();
-        let assembled = assemble::assemble(&decomposition.jobs, &responses, self.system.n_atoms());
-        let mw = MassWeighted::new(&assembled, &self.system.masses());
-        timings.assemble_s = t.elapsed().as_secs_f64();
+        let (mw, dt) = qfr_obs::timed("workflow.assemble", || {
+            let assembled =
+                assemble::assemble(&decomposition.jobs, &responses, self.system.n_atoms());
+            MassWeighted::new(&assembled, &self.system.masses())
+        });
+        timings.assemble_s = dt;
 
-        let t = Instant::now();
-        let spectrum = raman_lanczos(&mw.hessian, &mw.dalpha, &self.raman);
-        let ir = ir_lanczos(&mw.hessian, &mw.dmu, &self.raman);
-        timings.solver_s = t.elapsed().as_secs_f64();
+        let ((spectrum, ir), dt) = qfr_obs::timed("workflow.solver", || {
+            let spectrum = raman_lanczos(&mw.hessian, &mw.dalpha, &self.raman);
+            let ir = ir_lanczos(&mw.hessian, &mw.dmu, &self.raman);
+            (spectrum, ir)
+        });
+        timings.solver_s = dt;
 
         Ok(RamanResult {
             spectrum,
@@ -263,12 +268,12 @@ impl RamanWorkflow {
         use std::sync::Mutex;
 
         let mut timings = StageTimings::default();
-        let t = Instant::now();
-        let decomposition = self.decompose();
-        timings.decompose_s = t.elapsed().as_secs_f64();
+        let (decomposition, dt) = qfr_obs::timed("workflow.decompose", || self.decompose());
+        timings.decompose_s = dt;
         self.validate(&decomposition)?;
         let engine = self.make_engine();
 
+        let engine_span = qfr_obs::span("workflow.engine");
         let t = Instant::now();
         let jobs = &decomposition.jobs;
         let items: Vec<FragmentWorkItem> = jobs
@@ -281,17 +286,28 @@ impl RamanWorkflow {
         let report = run_master_leader_worker(
             Box::new(SizeSensitivePolicy::with_defaults(items)),
             |item| {
-                let job = &jobs[item.id as usize];
-                let resp = engine.compute(&job.structure(&self.system));
-                *slots[item.id as usize].lock().expect("slot poisoned") = Some(resp);
+                // Exactly-once compute: the slot lock is held across the
+                // engine call, so a retry or straggler re-issue of an
+                // already-computed fragment blocks until the first copy
+                // fills the slot, then skips the recompute. This keeps the
+                // engine-level counters (fragments, SCF solves, FLOPs)
+                // deterministic under scheduling: each fragment is computed
+                // exactly once no matter how many copies were dispatched.
+                let mut slot = slots[item.id as usize].lock().expect("slot poisoned");
+                if slot.is_none() {
+                    let job = &jobs[item.id as usize];
+                    *slot = Some(engine.compute(&job.structure(&self.system)));
+                }
                 true
             },
             sched,
         );
         timings.engine_s = t.elapsed().as_secs_f64();
+        drop(engine_span);
 
         // Partial assembly: keep every job with a computed response whose
         // task was not quarantined.
+        let assemble_span = qfr_obs::span("workflow.assemble");
         let t = Instant::now();
         let quarantined: std::collections::HashSet<u32> =
             report.quarantined_fragments.iter().copied().collect();
@@ -309,11 +325,14 @@ impl RamanWorkflow {
         let assembled = assemble::assemble(&kept_jobs, &kept_responses, self.system.n_atoms());
         let mw = MassWeighted::new(&assembled, &self.system.masses());
         timings.assemble_s = t.elapsed().as_secs_f64();
+        drop(assemble_span);
 
-        let t = Instant::now();
-        let spectrum = raman_lanczos(&mw.hessian, &mw.dalpha, &self.raman);
-        let ir = ir_lanczos(&mw.hessian, &mw.dmu, &self.raman);
-        timings.solver_s = t.elapsed().as_secs_f64();
+        let ((spectrum, ir), dt) = qfr_obs::timed("workflow.solver", || {
+            let spectrum = raman_lanczos(&mw.hessian, &mw.dalpha, &self.raman);
+            let ir = ir_lanczos(&mw.hessian, &mw.dmu, &self.raman);
+            (spectrum, ir)
+        });
+        timings.solver_s = dt;
 
         Ok(RamanResult {
             spectrum,
@@ -344,14 +363,14 @@ impl RamanWorkflow {
     /// nodes; ours: recompute across rayon threads).
     pub fn run_streamed(&self) -> Result<RamanResult, WorkflowError> {
         let mut timings = StageTimings::default();
-        let t = Instant::now();
-        let decomposition = self.decompose();
-        timings.decompose_s = t.elapsed().as_secs_f64();
+        let (decomposition, dt) = qfr_obs::timed("workflow.decompose", || self.decompose());
+        timings.decompose_s = dt;
         self.validate(&decomposition)?;
         let engine = self.make_engine();
 
         // Single accumulation pass for the derivative vectors (no stored
         // per-fragment responses).
+        let engine_span = qfr_obs::span("workflow.engine");
         let t = Instant::now();
         let dof = self.system.dof();
         let inv_sqrt: Vec<f64> = self.system.masses().iter().map(|m| 1.0 / m.sqrt()).collect();
@@ -397,12 +416,16 @@ impl RamanWorkflow {
             decomposition.jobs.iter().fold(zero(), accumulate)
         };
         timings.engine_s = t.elapsed().as_secs_f64();
+        drop(engine_span);
 
-        let t = Instant::now();
-        let streamed = crate::StreamedHessian::new(&self.system, &decomposition, engine.as_ref());
-        let spectrum = raman_lanczos(&streamed, &dalpha_mw, &self.raman);
-        let ir = ir_lanczos(&streamed, &dmu_mw, &self.raman);
-        timings.solver_s = t.elapsed().as_secs_f64();
+        let ((spectrum, ir), dt) = qfr_obs::timed("workflow.solver", || {
+            let streamed =
+                crate::StreamedHessian::new(&self.system, &decomposition, engine.as_ref());
+            let spectrum = raman_lanczos(&streamed, &dalpha_mw, &self.raman);
+            let ir = ir_lanczos(&streamed, &dmu_mw, &self.raman);
+            (spectrum, ir)
+        });
+        timings.solver_s = dt;
 
         Ok(RamanResult {
             spectrum,
@@ -420,12 +443,12 @@ impl RamanWorkflow {
     fn run_inner(&self, dense: bool) -> Result<RamanResult, WorkflowError> {
         let mut timings = StageTimings::default();
 
-        let t = Instant::now();
-        let decomposition = self.decompose();
-        timings.decompose_s = t.elapsed().as_secs_f64();
+        let (decomposition, dt) = qfr_obs::timed("workflow.decompose", || self.decompose());
+        timings.decompose_s = dt;
         self.validate(&decomposition)?;
 
         let engine = self.make_engine();
+        let engine_span = qfr_obs::span("workflow.engine");
         let t = Instant::now();
         let responses: Vec<FragmentResponse> = if self.parallel {
             decomposition
@@ -441,20 +464,25 @@ impl RamanWorkflow {
                 .collect()
         };
         timings.engine_s = t.elapsed().as_secs_f64();
+        drop(engine_span);
 
-        let t = Instant::now();
-        let assembled = assemble::assemble(&decomposition.jobs, &responses, self.system.n_atoms());
-        let mw = MassWeighted::new(&assembled, &self.system.masses());
-        timings.assemble_s = t.elapsed().as_secs_f64();
+        let (mw, dt) = qfr_obs::timed("workflow.assemble", || {
+            let assembled =
+                assemble::assemble(&decomposition.jobs, &responses, self.system.n_atoms());
+            MassWeighted::new(&assembled, &self.system.masses())
+        });
+        timings.assemble_s = dt;
 
-        let t = Instant::now();
-        let spectrum = if dense {
-            raman_dense_reference(&mw.hessian.to_dense(), &mw.dalpha, &self.raman)
-        } else {
-            raman_lanczos(&mw.hessian, &mw.dalpha, &self.raman)
-        };
-        let ir = ir_lanczos(&mw.hessian, &mw.dmu, &self.raman);
-        timings.solver_s = t.elapsed().as_secs_f64();
+        let ((spectrum, ir), dt) = qfr_obs::timed("workflow.solver", || {
+            let spectrum = if dense {
+                raman_dense_reference(&mw.hessian.to_dense(), &mw.dalpha, &self.raman)
+            } else {
+                raman_lanczos(&mw.hessian, &mw.dalpha, &self.raman)
+            };
+            let ir = ir_lanczos(&mw.hessian, &mw.dmu, &self.raman);
+            (spectrum, ir)
+        });
+        timings.solver_s = dt;
 
         Ok(RamanResult {
             spectrum,

@@ -16,6 +16,9 @@ use crate::scf::{ScfConfig, ScfResult, ScfSolver};
 use qfr_fragment::{FragmentEngine, FragmentResponse, FragmentStructure};
 use qfr_linalg::DMatrix;
 
+static FRAGMENTS_COMPUTED: qfr_obs::Counter =
+    qfr_obs::Counter::deterministic("dfpt.engine.fragments");
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct DfptEngineConfig {
@@ -88,6 +91,7 @@ impl DfptEngine {
 
     /// Finite-difference Hessian of the frozen-density energy.
     pub fn hessian_fd(&self, frag: &FragmentStructure) -> DMatrix {
+        let _span = qfr_obs::span("dfpt.engine.hessian_fd");
         let reference = ScfSolver { config: self.config.scf }.solve(frag);
         let dof = frag.dof();
         let h = self.config.displacement;
@@ -129,6 +133,7 @@ impl DfptEngine {
     /// Polarizability derivatives by central differences of the DFPT
     /// polarizability over atomic displacements (`6 x 3m`).
     pub fn dalpha_fd(&self, frag: &FragmentStructure) -> DMatrix {
+        let _span = qfr_obs::span("dfpt.engine.dalpha_fd");
         let dof = frag.dof();
         let h = self.config.displacement;
         let mut out = DMatrix::zeros(6, dof);
@@ -203,6 +208,8 @@ fn apply_shift(frag: &mut FragmentStructure, coord: usize, amount: f64) {
 
 impl FragmentEngine for DfptEngine {
     fn compute(&self, frag: &FragmentStructure) -> FragmentResponse {
+        let _span = qfr_obs::span("dfpt.engine.compute");
+        FRAGMENTS_COMPUTED.incr();
         let resp = FragmentResponse {
             hessian: {
                 let mut m = self.hessian_fd(frag);

@@ -12,6 +12,8 @@ use qfr_fragment::FragmentStructure;
 use qfr_geom::Vec3;
 use qfr_linalg::fft::Grid3;
 
+static POISSON_SOLVES: qfr_obs::Counter = qfr_obs::Counter::deterministic("dfpt.poisson.solves");
+
 /// A uniform real-space grid.
 #[derive(Debug, Clone)]
 pub struct RealSpaceGrid {
@@ -103,6 +105,8 @@ impl RealSpaceGrid {
     /// density samples, returning the potential on the grid. The DC
     /// component is projected out (neutralizing background).
     pub fn solve_poisson(&self, density: &[f64]) -> Vec<f64> {
+        let _span = qfr_obs::span("dfpt.poisson");
+        POISSON_SOLVES.incr();
         assert_eq!(density.len(), self.len(), "density sample count mismatch");
         let (nx, ny, nz) = self.dims;
         let mut g = Grid3::from_real(nx, ny, nz, density);

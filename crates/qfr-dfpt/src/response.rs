@@ -105,8 +105,13 @@ pub struct ResponseResult {
     pub phases: CyclePhases,
 }
 
-/// Measures a closure, returning its value plus (seconds, flops).
-fn measured<T>(f: impl FnOnce() -> T) -> (T, f64, u64) {
+static RESPONSE_CYCLES: qfr_obs::Counter = qfr_obs::Counter::deterministic("dfpt.response.cycles");
+
+/// Measures a closure under an observability span, returning its value plus
+/// (seconds, flops). The span name feeds the shared per-phase report and, if
+/// tracing is armed, the Chrome trace.
+fn measured<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, f64, u64) {
+    let _span = qfr_obs::span(name);
     let scope = qfr_linalg::flops::FlopScope::start();
     let t0 = Instant::now();
     let out = f();
@@ -162,14 +167,15 @@ pub fn solve_response(scf: &ScfResult, h1_ext: &DMatrix, cfg: &ResponseConfig) -
     let mut v1 = vec![0.0; scf.grid.len()];
 
     for _cycle in 0..cfg.n_cycles {
+        RESPONSE_CYCLES.incr();
         // ---- Phase 1: response density matrix. -------------------------
-        let (p1_new, dt, fl) = measured(|| response_density_matrix(scf, &h1));
+        let (p1_new, dt, fl) = measured("dfpt.p1", || response_density_matrix(scf, &h1));
         p1 = p1_new;
         phases.p1_seconds += dt;
         phases.p1_flops += fl;
 
         // ---- Phase 2: n(1)(r) and ∇n(1)(r) on the grid. -----------------
-        let ((n1_new, grad_n1), dt, fl) = measured(|| {
+        let ((n1_new, grad_n1), dt, fl) = measured("dfpt.n1", || {
             response_density_on_grid(
                 &p1,
                 &batches,
@@ -183,7 +189,7 @@ pub fn solve_response(scf: &ScfResult, h1_ext: &DMatrix, cfg: &ResponseConfig) -
         phases.n1_flops += fl;
 
         // ---- Phase 3: Poisson + kernels. --------------------------------
-        let (v1_new, dt, fl) = measured(|| {
+        let (v1_new, dt, fl) = measured("dfpt.v1", || {
             let v_h1 = scf.grid.solve_poisson(&n1);
             qfr_linalg::flops::add(8 * n1.len() as u64);
             let mut v = Vec::with_capacity(n1.len());
@@ -203,7 +209,7 @@ pub fn solve_response(scf: &ScfResult, h1_ext: &DMatrix, cfg: &ResponseConfig) -
         phases.poisson_flops += fl;
 
         // ---- Phase 4: response Hamiltonian. ------------------------------
-        let (h1_grid, dt, fl) = measured(|| {
+        let (h1_grid, dt, fl) = measured("dfpt.h1", || {
             let mut m = DMatrix::zeros(n, n);
             for (b, x) in batches.iter().zip(&x_panels) {
                 let mut xw = x.clone();

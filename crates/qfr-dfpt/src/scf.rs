@@ -14,6 +14,9 @@ use qfr_linalg::eigen::symmetric_eigen;
 use qfr_linalg::gemm;
 use qfr_linalg::DMatrix;
 
+static SCF_SOLVES: qfr_obs::Counter = qfr_obs::Counter::deterministic("dfpt.scf.solves");
+static SCF_ITERATIONS: qfr_obs::Counter = qfr_obs::Counter::deterministic("dfpt.scf.iterations");
+
 /// LDA exchange constant `(3/π)^{1/3}`.
 pub const CX: f64 = 0.984745;
 
@@ -98,6 +101,8 @@ impl ScfSolver {
 
     /// Runs the SCF for a fragment.
     pub fn solve(&self, frag: &FragmentStructure) -> ScfResult {
+        let _span = qfr_obs::span("dfpt.scf");
+        SCF_SOLVES.incr();
         let cfg = &self.config;
         let basis = Basis::for_fragment(frag);
         let grid =
@@ -188,6 +193,7 @@ impl ScfSolver {
                 break;
             }
         }
+        SCF_ITERATIONS.add(iterations as u64);
 
         ScfResult {
             basis,

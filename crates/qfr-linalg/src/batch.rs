@@ -16,6 +16,14 @@ use crate::gemm;
 use crate::matrix::DMatrix;
 use rayon::prelude::*;
 
+static BATCH_JOBS: qfr_obs::Counter = qfr_obs::Counter::deterministic("linalg.batch.jobs");
+static BATCH_LAUNCHES: qfr_obs::Counter = qfr_obs::Counter::deterministic("linalg.batch.launches");
+/// Accelerator launches avoided by batching: one launch per size class
+/// instead of one per job — the quantity the Fig. 9 offload model converts
+/// into saved launch overhead.
+static BATCH_LAUNCHES_SAVED: qfr_obs::Counter =
+    qfr_obs::Counter::deterministic("linalg.batch.launches_saved");
+
 /// One `C = A * B` job destined for batching.
 #[derive(Debug, Clone)]
 pub struct GemmJob {
@@ -143,6 +151,9 @@ pub fn execute_batched(jobs: &[GemmJob], stride: usize) -> Vec<DMatrix> {
 
 /// Executes jobs under a pre-built plan (lets callers reuse/inspect plans).
 pub fn execute_planned(jobs: &[GemmJob], plan: &BatchGemmPlan) -> Vec<DMatrix> {
+    BATCH_JOBS.add(jobs.len() as u64);
+    BATCH_LAUNCHES.add(plan.launch_count() as u64);
+    BATCH_LAUNCHES_SAVED.add(jobs.len().saturating_sub(plan.launch_count()) as u64);
     let mut results: Vec<Option<DMatrix>> = vec![None; jobs.len()];
     for (class, indices) in plan.groups() {
         // Pad operands of the whole class, then run them as one launch.

@@ -108,12 +108,15 @@ pub fn ifft_in_place(x: &mut [Complex64]) {
     }
 }
 
+static FFT_TRANSFORMS: qfr_obs::Counter = qfr_obs::Counter::deterministic("linalg.fft.transforms");
+
 fn transform(x: &mut [Complex64], sign: f64) {
     let n = x.len();
     assert!(n.is_power_of_two(), "FFT length {n} must be a power of two");
     if n <= 1 {
         return;
     }
+    FFT_TRANSFORMS.incr();
     // ~5 N log2 N real FLOPs for a radix-2 complex FFT.
     crate::flops::add(5 * n as u64 * n.trailing_zeros() as u64);
 

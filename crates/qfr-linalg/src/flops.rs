@@ -16,10 +16,17 @@ use std::time::Instant;
 
 static FLOPS: AtomicU64 = AtomicU64::new(0);
 
+/// Mirror of the global FLOP total in the `qfr-obs` registry, so `--metrics`
+/// reports and the CI baseline see the same number [`total`] returns.
+/// The two are reset independently ([`reset`] here, `qfr_obs::counter::reset`
+/// there); measured sections reset both via `qfr_obs::reset_all` + [`reset`].
+static OBS_FLOPS: qfr_obs::Counter = qfr_obs::Counter::deterministic("linalg.flops");
+
 /// Adds `n` double-precision floating-point operations to the global counter.
 #[inline]
 pub fn add(n: u64) {
     FLOPS.fetch_add(n, Ordering::Relaxed);
+    OBS_FLOPS.add(n);
 }
 
 /// Current global FLOP counter value.

@@ -17,6 +17,12 @@
 use crate::matrix::DMatrix;
 use rayon::prelude::*;
 
+/// Every base kernel ([`gemm_naive`], [`gemm_blocked`], [`gemm_parallel`])
+/// counts exactly one call; wrappers ([`dgemm`], [`matmul`]) delegate to a
+/// base kernel, so nothing is double-counted.
+static GEMM_CALLS: qfr_obs::Counter = qfr_obs::Counter::deterministic("linalg.gemm.calls");
+static GEMV_CALLS: qfr_obs::Counter = qfr_obs::Counter::deterministic("linalg.gemv.calls");
+
 /// Transpose flag for [`dgemm`], mirroring BLAS `TRANSA`/`TRANSB`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Trans {
@@ -57,6 +63,7 @@ pub fn gemm_naive(c: &mut DMatrix, a: &DMatrix, b: &DMatrix, alpha: f64, beta: f
     check_dims(c, a, b);
     let (m, k) = a.shape();
     let n = b.cols();
+    GEMM_CALLS.incr();
     crate::flops::add(crate::flops::gemm_flops(m, n, k));
     for i in 0..m {
         let crow = c.row_mut(i);
@@ -87,6 +94,7 @@ pub fn gemm_blocked(c: &mut DMatrix, a: &DMatrix, b: &DMatrix, alpha: f64, beta:
     check_dims(c, a, b);
     let (m, k) = a.shape();
     let n = b.cols();
+    GEMM_CALLS.incr();
     crate::flops::add(crate::flops::gemm_flops(m, n, k));
     scale_rows(c, beta, 0, m);
     for i0 in (0..m).step_by(BLOCK) {
@@ -109,6 +117,7 @@ pub fn gemm_parallel(c: &mut DMatrix, a: &DMatrix, b: &DMatrix, alpha: f64, beta
     check_dims(c, a, b);
     let (m, k) = a.shape();
     let n = b.cols();
+    GEMM_CALLS.incr();
     crate::flops::add(crate::flops::gemm_flops(m, n, k));
     let c_data = c.as_mut_slice();
     c_data.par_chunks_mut(PAR_ROWS * n).enumerate().for_each(|(chunk_idx, c_chunk)| {
@@ -220,6 +229,7 @@ pub fn dgemm(
 pub fn gemv(alpha: f64, a: &DMatrix, x: &[f64], beta: f64, y: &mut [f64]) {
     assert_eq!(x.len(), a.cols(), "gemv: x length mismatch");
     assert_eq!(y.len(), a.rows(), "gemv: y length mismatch");
+    GEMV_CALLS.incr();
     crate::flops::add(2 * a.rows() as u64 * a.cols() as u64);
     for (i, yi) in y.iter_mut().enumerate() {
         let row = a.row(i);

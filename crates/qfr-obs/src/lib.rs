@@ -1,0 +1,73 @@
+//! # qfr-obs
+//!
+//! Deterministic observability for the QF-RAMAN workspace: hierarchical
+//! span timers, a global counter registry, and Chrome trace-event export.
+//! Zero dependencies (std only) so every crate in the workspace — down to
+//! `qfr-linalg` — can instrument its hot paths without widening the
+//! vendored dependency set.
+//!
+//! The layer has three parts, designed around one constraint: **CI must be
+//! able to assert on the numbers**. Wall-clock timings are noisy on shared
+//! runners, so the substrate separates what is repeatable from what is not:
+//!
+//! - [`counter`] — named global counters, each tagged [`Determinism`]:
+//!   *deterministic* counters (FLOPs, GEMM calls, Lanczos steps, tasks
+//!   retried, …) are pure functions of the workload and seed and are
+//!   byte-identically reproducible, so `baselines/metrics.json` can pin
+//!   them; *timing-sensitive* counters (straggler re-issues, suppressed
+//!   duplicates) depend on thread/event races and are reported but never
+//!   gated on.
+//! - [`span()`] — lightweight scoped timers (`let _s = qfr_obs::span("x")`)
+//!   with thread-safe aggregation into a per-phase report; nesting is
+//!   tracked per thread, so `dfpt.scf/dfpt.poisson` shows up as its own
+//!   row.
+//! - [`trace`] — an optional global event buffer exporting the Chrome
+//!   trace-event JSON format (`chrome://tracing`, <https://ui.perfetto.dev>);
+//!   spans emit begin/end pairs and subsystems can add instant events
+//!   (task lifecycle, retries, quarantines).
+//!
+//! Naming convention: dotted lowercase paths, `<crate area>.<unit>.<what>`
+//! — e.g. `linalg.gemm.calls`, `dfpt.scf.iterations`,
+//! `sched.tasks.retried`. See DESIGN.md §8 for the full catalogue.
+
+pub mod counter;
+pub mod span;
+pub mod trace;
+
+pub use counter::{Counter, Determinism};
+pub use span::{span, timed, SpanGuard};
+
+/// Resets counters, span aggregates, and the trace buffer in one call —
+/// the standard preamble of a measured section.
+pub fn reset_all() {
+    counter::reset();
+    span::reset();
+    trace::clear();
+}
+
+/// The combined plain-text report: span aggregation (wall clock,
+/// indicative) followed by the full counter listing.
+pub fn report() -> String {
+    let mut out = String::new();
+    out.push_str(&span::report());
+    out.push_str(&counter::report());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static T_A: Counter = Counter::deterministic("test.lib.a");
+
+    #[test]
+    fn combined_report_contains_both_sections() {
+        T_A.add(1);
+        {
+            let _s = span("test.lib.span");
+        }
+        let r = report();
+        assert!(r.contains("test.lib.a"));
+        assert!(r.contains("test.lib.span"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Hierarchical span timers with thread-safe aggregation.
+//!
+//! A span is a scoped wall-clock timer: [`span`] returns a guard that
+//! records elapsed time on drop. Nesting is tracked per thread — a span
+//! opened while another is active aggregates under the joined path
+//! (`parent/child`), so the per-phase report shows the call hierarchy
+//! without any global coordination on the hot path (one mutex acquisition
+//! per span *end*, nothing per iteration).
+//!
+//! When [`crate::trace`] is enabled, every span additionally emits a
+//! begin/end event pair into the Chrome trace buffer.
+
+use crate::trace;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanStat {
+    /// Number of completed executions.
+    pub count: u64,
+    /// Total wall-clock seconds across executions.
+    pub total_s: f64,
+    /// Longest single execution (seconds).
+    pub max_s: f64,
+}
+
+static AGG: Mutex<BTreeMap<String, SpanStat>> = Mutex::new(BTreeMap::new());
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Guard returned by [`span`]; records the elapsed time when dropped.
+#[must_use = "binding the guard keeps the span open for the scope"]
+pub struct SpanGuard {
+    path: String,
+    start: Instant,
+}
+
+/// Opens a span named `name` (dotted lowercase, e.g. `"dfpt.poisson"`).
+/// The returned guard closes it on drop:
+///
+/// ```
+/// {
+///     let _s = qfr_obs::span("doc.phase");
+///     // ... measured work ...
+/// } // span recorded here
+/// ```
+pub fn span(name: &'static str) -> SpanGuard {
+    let path = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.push(name);
+        s.join("/")
+    });
+    if trace::is_enabled() {
+        trace::begin(name);
+    }
+    SpanGuard { path, start: Instant::now() }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed().as_secs_f64();
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        if trace::is_enabled() {
+            trace::end(leaf(&self.path));
+        }
+        let mut agg = AGG.lock().expect("span aggregate poisoned");
+        let stat = agg.entry(std::mem::take(&mut self.path)).or_default();
+        stat.count += 1;
+        stat.total_s += elapsed;
+        stat.max_s = stat.max_s.max(elapsed);
+    }
+}
+
+fn leaf(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+/// Runs `f` under a span and returns its result with the elapsed seconds —
+/// the registry-integrated replacement for hand-rolled `Instant` timing in
+/// the bench binaries.
+pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, f64) {
+    let _guard = span(name);
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Snapshot of all span aggregates, keyed by path (sorted — `BTreeMap`).
+pub fn snapshot() -> BTreeMap<String, SpanStat> {
+    AGG.lock().expect("span aggregate poisoned").clone()
+}
+
+/// The aggregate for one exact path, if recorded.
+pub fn stat_of(path: &str) -> Option<SpanStat> {
+    AGG.lock().expect("span aggregate poisoned").get(path).copied()
+}
+
+/// Clears all span aggregates.
+pub fn reset() {
+    AGG.lock().expect("span aggregate poisoned").clear();
+}
+
+/// Plain-text per-phase report: path, execution count, total and mean
+/// milliseconds. Wall-clock values — indicative, never asserted on in CI.
+pub fn report() -> String {
+    let snap = snapshot();
+    let mut out = String::from("-- spans (wall clock, indicative) --\n");
+    if snap.is_empty() {
+        out.push_str("(no spans recorded)\n");
+        return out;
+    }
+    let width = snap.keys().map(|k| k.len()).max().unwrap_or(0).max(4);
+    out.push_str(&format!(
+        "{:<width$} {:>9} {:>12} {:>12}\n",
+        "span", "count", "total ms", "mean ms"
+    ));
+    for (path, stat) in &snap {
+        let mean_ms = if stat.count > 0 { stat.total_s * 1e3 / stat.count as f64 } else { 0.0 };
+        out.push_str(&format!(
+            "{:<width$} {:>9} {:>12.3} {:>12.4}\n",
+            path,
+            stat.count,
+            stat.total_s * 1e3,
+            mean_ms
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        {
+            let _s = span("test.span.outer");
+        }
+        let stat = stat_of("test.span.outer").expect("recorded");
+        assert!(stat.count >= 1);
+        assert!(stat.total_s >= 0.0);
+        assert!(stat.max_s <= stat.total_s + 1e-12);
+    }
+
+    #[test]
+    fn nested_spans_aggregate_under_joined_path() {
+        {
+            let _outer = span("test.span.parent");
+            {
+                let _inner = span("test.span.child");
+            }
+        }
+        assert!(stat_of("test.span.parent").is_some());
+        assert!(stat_of("test.span.parent/test.span.child").is_some());
+    }
+
+    #[test]
+    fn timed_returns_result_and_elapsed() {
+        let (value, secs) = timed("test.span.timed", || 41 + 1);
+        assert_eq!(value, 42);
+        assert!(secs >= 0.0);
+        assert!(stat_of("test.span.timed").is_some());
+    }
+
+    #[test]
+    fn report_lists_paths() {
+        {
+            let _s = span("test.span.report");
+        }
+        let r = report();
+        assert!(r.contains("test.span.report"));
+        assert!(r.contains("count"));
+    }
+
+    #[test]
+    fn spans_on_other_threads_do_not_nest_under_this_one() {
+        let _outer = span("test.span.main-thread");
+        std::thread::spawn(|| {
+            let _s = span("test.span.worker");
+        })
+        .join()
+        .expect("worker thread");
+        assert!(stat_of("test.span.worker").is_some(), "worker span is top-level on its thread");
+    }
+}

@@ -1,0 +1,243 @@
+//! Chrome trace-event JSON export.
+//!
+//! Disabled by default; [`enable`] arms a global event buffer that spans
+//! and subsystems append to. [`export_chrome_json`] renders the buffer in
+//! the Chrome trace-event format, loadable in `chrome://tracing` or
+//! <https://ui.perfetto.dev>. Three event kinds are emitted:
+//!
+//! - `"B"` / `"E"` — duration begin/end pairs (spans). Guards close in
+//!   LIFO order per thread, so pairs nest correctly per `tid`.
+//! - `"i"` — instant events (task lifecycle markers: retry, quarantine,
+//!   straggler re-issue, leader death), thread-scoped (`"s":"t"`).
+//!
+//! Timestamps are microseconds since the trace epoch, which is set by
+//! [`enable`]/[`clear`], so a fresh trace always starts near zero.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Begin,
+    End,
+    Instant,
+}
+
+#[derive(Debug, Clone)]
+struct TraceEvent {
+    name: String,
+    phase: Phase,
+    /// Microseconds since the trace epoch.
+    ts_us: u64,
+    tid: u64,
+    /// Pre-rendered JSON object for `"args"`, e.g. `{"task":3}`; empty = omitted.
+    args: String,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH: Mutex<Option<Instant>> = Mutex::new(None);
+static EVENTS: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+fn now_us() -> u64 {
+    let mut epoch = EPOCH.lock().expect("trace epoch poisoned");
+    let e = epoch.get_or_insert_with(Instant::now);
+    e.elapsed().as_micros() as u64
+}
+
+fn push(name: &str, phase: Phase, args: String) {
+    let ev =
+        TraceEvent { name: name.to_string(), phase, ts_us: now_us(), tid: TID.with(|t| *t), args };
+    EVENTS.lock().expect("trace buffer poisoned").push(ev);
+}
+
+/// Arms the trace buffer and resets the epoch. Events recorded before
+/// `enable` are kept only if `clear` was not called; call [`clear`] first
+/// for a fresh capture.
+pub fn enable() {
+    *EPOCH.lock().expect("trace epoch poisoned") = Some(Instant::now());
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Disarms the trace buffer; buffered events remain exportable.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Whether events are currently being recorded.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// Drops all buffered events and resets the epoch.
+pub fn clear() {
+    EVENTS.lock().expect("trace buffer poisoned").clear();
+    *EPOCH.lock().expect("trace epoch poisoned") = None;
+}
+
+/// Number of buffered events.
+pub fn len() -> usize {
+    EVENTS.lock().expect("trace buffer poisoned").len()
+}
+
+/// True when no events are buffered.
+pub fn is_empty() -> bool {
+    len() == 0
+}
+
+/// Records a duration-begin event (no-op when disabled). Pair with [`end`]
+/// on the same thread; [`crate::span()`] does this automatically.
+pub fn begin(name: &str) {
+    if is_enabled() {
+        push(name, Phase::Begin, String::new());
+    }
+}
+
+/// Records the duration-end event matching the innermost open [`begin`]
+/// with this name on this thread.
+pub fn end(name: &str) {
+    if is_enabled() {
+        push(name, Phase::End, String::new());
+    }
+}
+
+/// Records a thread-scoped instant event. `args` are rendered as a JSON
+/// object of string-keyed integers, e.g. `&[("task", 3), ("attempt", 1)]`.
+pub fn instant(name: &str, args: &[(&str, i64)]) {
+    if is_enabled() {
+        let mut rendered = String::new();
+        if !args.is_empty() {
+            rendered.push('{');
+            for (i, (k, v)) in args.iter().enumerate() {
+                if i > 0 {
+                    rendered.push(',');
+                }
+                rendered.push_str(&format!("\"{}\":{}", escape(k), v));
+            }
+            rendered.push('}');
+        }
+        push(name, Phase::Instant, rendered);
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the buffered events as Chrome trace-event JSON (the "JSON
+/// object format": `{"traceEvents":[...],"displayTimeUnit":"ms"}`).
+pub fn export_chrome_json() -> String {
+    let events = EVENTS.lock().expect("trace buffer poisoned");
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ph = match ev.phase {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Instant => "i",
+        };
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":{}",
+            escape(&ev.name),
+            ph,
+            ev.ts_us,
+            ev.tid
+        ));
+        if ev.phase == Phase::Instant {
+            out.push_str(",\"s\":\"t\"");
+        }
+        if !ev.args.is_empty() {
+            out.push_str(&format!(",\"args\":{}", ev.args));
+        }
+        out.push('}');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Writes [`export_chrome_json`] to `path`.
+pub fn save(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, export_chrome_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Trace state is process-global and the harness runs tests in
+    // parallel; serialize every test that toggles it.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_by_default_records_nothing() {
+        let _g = GUARD.lock().unwrap();
+        disable();
+        clear();
+        begin("test.trace.noop");
+        end("test.trace.noop");
+        instant("test.trace.noop", &[]);
+        assert!(is_empty());
+    }
+
+    #[test]
+    fn begin_end_pair_exports_in_order() {
+        let _g = GUARD.lock().unwrap();
+        clear();
+        enable();
+        begin("test.trace.pair");
+        end("test.trace.pair");
+        disable();
+        let json = export_chrome_json();
+        clear();
+        let b = json.find("\"ph\":\"B\"").expect("begin event");
+        let e = json.find("\"ph\":\"E\"").expect("end event");
+        assert!(b < e, "begin precedes end");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn instant_carries_args_and_scope() {
+        let _g = GUARD.lock().unwrap();
+        clear();
+        enable();
+        instant("test.trace.retry", &[("task", 7), ("attempt", 2)]);
+        disable();
+        let json = export_chrome_json();
+        clear();
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"s\":\"t\""));
+        assert!(json.contains("\"args\":{\"task\":7,\"attempt\":2}"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let _g = GUARD.lock().unwrap();
+        clear();
+        enable();
+        instant("quote\"back\\slash", &[]);
+        disable();
+        let json = export_chrome_json();
+        clear();
+        assert!(json.contains("quote\\\"back\\\\slash"));
+    }
+}

@@ -27,8 +27,9 @@ pub trait Policy: Send {
 pub struct SizeSensitiveConfig {
     /// Minimum task cost that amortizes one master round-trip. Fragments at
     /// or above it ship alone (the "large" phase); smaller ones are packed
-    /// until a task reaches it (the "medium" phase). In [`cost_model`]
-    /// units, 1000 ≈ a 28-atom fragment.
+    /// until a task reaches it (the "medium" phase). In
+    /// [`cost_model`](crate::task::cost_model) units, 1000 ≈ a 28-atom
+    /// fragment.
     pub min_task_cost: f64,
     /// The shrinking-granularity tail starts when this fraction of
     /// fragments remains.

@@ -84,6 +84,25 @@ impl FaultPlan {
         Self { seed, failure_rate, ..Self::none() }
     }
 
+    /// Plan whose per-attempt fragment failure probability is derived from
+    /// a machine's MTBF: the expected number of node failures over a run of
+    /// `run_hours` is spread uniformly over the `n_tasks` task attempts, so
+    /// `failure_rate = nodes * node_failure_probability(run_hours) /
+    /// n_tasks`, clamped to `[0, 1]`. This is how the fault ablations tie
+    /// injected failures to the paper's machines instead of hand-picked
+    /// rates.
+    pub fn from_machine(
+        machine: &crate::machine::MachineModel,
+        run_hours: f64,
+        n_tasks: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(n_tasks > 0, "cannot spread failures over zero tasks");
+        let expected_failures = machine.nodes as f64 * machine.node_failure_probability(run_hours);
+        let rate = (expected_failures / n_tasks as f64).clamp(0.0, 1.0);
+        Self::with_failure_rate(seed, rate)
+    }
+
     /// Plan with only straggler latency injection.
     pub fn with_stragglers(seed: u64, rate: f64, multiplier: f64) -> Self {
         Self { seed, straggler_rate: rate, straggler_multiplier: multiplier, ..Self::none() }
@@ -330,6 +349,24 @@ mod tests {
         assert_eq!(r.backoff_after(0), 0.5);
         assert_eq!(r.backoff_after(1), 1.0);
         assert_eq!(r.backoff_after(2), 2.0);
+    }
+
+    #[test]
+    fn from_machine_pins_mtbf_conversion() {
+        // ORISE: 6_000 nodes, MTBF 50_000 h. Over a 2 h run with 10_000
+        // tasks the rate must equal
+        // nodes * (1 - exp(-h/mtbf)) / n_tasks exactly.
+        let m = crate::machine::MachineModel::orise();
+        let p = FaultPlan::from_machine(&m, 2.0, 10_000, 42);
+        let expect = 6_000.0 * (1.0 - (-2.0_f64 / 50_000.0).exp()) / 10_000.0;
+        assert_eq!(p.failure_rate, expect);
+        assert_eq!(p.seed, 42);
+        assert!(p.is_active());
+        // Sanity on magnitude: ~0.0024% per task attempt.
+        assert!((expect - 2.4e-5).abs() < 1e-6, "rate {expect}");
+        // A pathological run length cannot push the rate above 1.
+        let extreme = FaultPlan::from_machine(&m, 1e9, 1, 0);
+        assert!(extreme.failure_rate <= 1.0);
     }
 
     #[test]

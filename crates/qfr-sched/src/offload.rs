@@ -16,7 +16,11 @@
 
 use crate::machine::MachineModel;
 use qfr_linalg::batch::{self, BatchGemmPlan, GemmJob};
-use std::time::Instant;
+
+/// Modeled host↔device traffic (operand + result bytes priced by the
+/// accelerator cost model). Whole bytes, so the counter stays integral.
+static OFFLOAD_BYTES_MOVED: qfr_obs::Counter =
+    qfr_obs::Counter::deterministic("sched.offload.bytes_moved");
 
 /// Report of one scattered-vs-batched comparison.
 #[derive(Debug, Clone, Copy)]
@@ -51,18 +55,18 @@ pub struct CpuAccelerator;
 impl CpuAccelerator {
     /// Executes jobs one at a time (scattered); returns wall seconds.
     pub fn scattered_seconds(&self, jobs: &[GemmJob]) -> f64 {
-        let t0 = Instant::now();
-        let out = batch::execute_scattered(jobs);
-        std::hint::black_box(&out);
-        t0.elapsed().as_secs_f64()
+        let (_, seconds) = qfr_obs::timed("sched.offload.cpu_scattered", || {
+            std::hint::black_box(batch::execute_scattered(jobs))
+        });
+        seconds
     }
 
     /// Executes jobs batched by size class; returns wall seconds.
     pub fn batched_seconds(&self, jobs: &[GemmJob], stride: usize) -> f64 {
-        let t0 = Instant::now();
-        let out = batch::execute_batched(jobs, stride);
-        std::hint::black_box(&out);
-        t0.elapsed().as_secs_f64()
+        let (_, seconds) = qfr_obs::timed("sched.offload.cpu_batched", || {
+            std::hint::black_box(batch::execute_batched(jobs, stride))
+        });
+        seconds
     }
 }
 
@@ -138,6 +142,8 @@ impl ModeledAccelerator {
     /// Modeled time for scattered execution: one launch per job, each at
     /// the rate its own size can achieve.
     pub fn scattered_seconds(&self, jobs: &[GemmJob]) -> f64 {
+        let bytes: f64 = jobs.iter().map(Self::job_bytes).sum();
+        OFFLOAD_BYTES_MOVED.add(bytes as u64);
         jobs.iter()
             .map(|job| {
                 let (m, n) = job.out_shape();
@@ -163,6 +169,7 @@ impl ModeledAccelerator {
             // Effective dimension of the fused batch.
             let dim = batch_flops.cbrt() / 2.0_f64.cbrt();
             let bytes: f64 = indices.iter().map(|&i| Self::job_bytes(&jobs[i])).sum();
+            OFFLOAD_BYTES_MOVED.add(bytes as u64);
             let compute = batch_flops / (self.achieved_tflops(dim) * 1e12);
             // Aggregated transfer (Section V-F): one DMA setup per launch
             // instead of one per operand block.

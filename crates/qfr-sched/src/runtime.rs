@@ -40,8 +40,29 @@ use crate::fault::{FaultPlan, RecoveryPolicy};
 use crate::task::{FragmentWorkItem, Task};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use qfr_obs::trace;
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
+
+// Task lifecycle counters, shared with the simulator so either executor
+// feeds the same `--metrics` report. Enqueues, completions, retries and
+// quarantines are pure functions of the workload and the `FaultPlan` seed
+// (failure is decided per (fragment, attempt)); straggler re-issues,
+// suppressed duplicates and leader deaths depend on wall-clock races and
+// are therefore reported but never baselined.
+pub(crate) static TASKS_ENQUEUED: qfr_obs::Counter =
+    qfr_obs::Counter::deterministic("sched.tasks.enqueued");
+pub(crate) static TASKS_COMPLETED: qfr_obs::Counter =
+    qfr_obs::Counter::deterministic("sched.tasks.completed");
+pub(crate) static TASKS_RETRIED: qfr_obs::Counter =
+    qfr_obs::Counter::deterministic("sched.tasks.retried");
+pub(crate) static TASKS_QUARANTINED: qfr_obs::Counter =
+    qfr_obs::Counter::deterministic("sched.tasks.quarantined");
+pub(crate) static REISSUES: qfr_obs::Counter = qfr_obs::Counter::timing_sensitive("sched.reissues");
+pub(crate) static DUPLICATES_SUPPRESSED: qfr_obs::Counter =
+    qfr_obs::Counter::timing_sensitive("sched.duplicates_suppressed");
+pub(crate) static LEADERS_DIED: qfr_obs::Counter =
+    qfr_obs::Counter::timing_sensitive("sched.leaders_died");
 
 /// Runtime shape and fault/recovery configuration.
 #[derive(Debug, Clone)]
@@ -114,6 +135,25 @@ impl RunReport {
     /// abandoned).
     pub fn is_complete(&self) -> bool {
         self.quarantined_fragments.is_empty() && self.unfinished_fragments == 0
+    }
+
+    /// Plain-text run summary followed by the shared observability report
+    /// (span aggregates + counter registry).
+    pub fn text_report(&self) -> String {
+        let (lo, hi) = self.busy_variation();
+        let mut out = String::from("-- run report --\n");
+        out.push_str(&format!("makespan_s         = {:.6}\n", self.makespan));
+        out.push_str(&format!("tasks_executed     = {}\n", self.tasks_executed));
+        out.push_str(&format!("fragments_done     = {}\n", self.fragments_done));
+        out.push_str(&format!("retries            = {}\n", self.retries));
+        out.push_str(&format!("reissues           = {}\n", self.reissues));
+        out.push_str(&format!("duplicates_suppressed = {}\n", self.duplicates_suppressed));
+        out.push_str(&format!("quarantined        = {}\n", self.quarantined_fragments.len()));
+        out.push_str(&format!("unfinished         = {}\n", self.unfinished_fragments));
+        out.push_str(&format!("leaders_died       = {}\n", self.leaders_died));
+        out.push_str(&format!("busy_variation     = {lo:+.3}..{hi:+.3}\n"));
+        out.push_str(&qfr_obs::report());
+        out
     }
 }
 
@@ -289,9 +329,22 @@ where
                                 // Every copy of this attempt failed.
                                 let next = e.attempt + 1;
                                 if next >= rec.max_attempts {
+                                    TASKS_QUARANTINED.incr();
+                                    trace::instant(
+                                        "task.quarantine",
+                                        &[("task", i64::from(task_id))],
+                                    );
                                     quarantined.extend(e.task.fragments.iter().map(|f| f.id));
                                 } else {
                                     retries += 1;
+                                    TASKS_RETRIED.incr();
+                                    trace::instant(
+                                        "task.retry",
+                                        &[
+                                            ("task", i64::from(task_id)),
+                                            ("attempt", i64::from(next)),
+                                        ],
+                                    );
                                     let delay =
                                         Duration::from_secs_f64(rec.backoff_after(e.attempt));
                                     delayed.push((Instant::now() + delay, e.task, next));
@@ -321,6 +374,8 @@ where
                     Some(MasterMsg::Died { leader }) if !dead[leader] => {
                         dead[leader] = true;
                         leaders_died += 1;
+                        LEADERS_DIED.incr();
+                        trace::instant("leader.death", &[("leader", leader as i64)]);
                         waiting.retain(|&l| l != leader);
                     }
                     Some(MasterMsg::Died { .. }) => {}
@@ -341,9 +396,22 @@ where
 
                 // Feed idle leaders: retries first, then the policy pool.
                 while !waiting.is_empty() {
-                    let next = ready.pop().or_else(|| policy.next_task().map(|t| (t, 0)));
+                    let next = ready.pop().or_else(|| {
+                        policy.next_task().map(|t| {
+                            TASKS_ENQUEUED.incr();
+                            (t, 0)
+                        })
+                    });
                     let Some((task, attempt)) = next else { break };
                     let leader = waiting.pop().expect("checked non-empty");
+                    trace::instant(
+                        "task.enqueue",
+                        &[
+                            ("task", i64::from(task.id)),
+                            ("attempt", i64::from(attempt)),
+                            ("leader", leader as i64),
+                        ],
+                    );
                     in_flight.insert(
                         task.id,
                         InFlight {
@@ -382,6 +450,15 @@ where
                             e.live += 1;
                             e.holders.push(leader);
                             reissues += 1;
+                            REISSUES.incr();
+                            trace::instant(
+                                "task.reissue",
+                                &[
+                                    ("task", i64::from(e.task.id)),
+                                    ("copy", i64::from(copy)),
+                                    ("leader", leader as i64),
+                                ],
+                            );
                             master_senders[leader]
                                 .send(Some(Assignment {
                                     task: e.task.clone(),
@@ -457,10 +534,12 @@ where
                     }
                     // Prefetch: ask for the next task before executing.
                     if cfg_ref.prefetch {
+                        trace::instant("task.prefetch", &[("leader", leader_id as i64)]);
                         to_master.send(MasterMsg::Available { leader: leader_id }).ok();
                     }
                     let Assignment { task, attempt, copy } = assignment;
                     let faults = &cfg_ref.faults;
+                    let exec_span = qfr_obs::span("sched.task.execute");
                     let start = Instant::now();
                     // Partition each fragment's work across the leader's
                     // workers: fragments of the task are split statically.
@@ -498,6 +577,7 @@ where
                         std::thread::sleep(start.elapsed().mul_f64(stretch - 1.0));
                     }
                     let seconds = start.elapsed().as_secs_f64();
+                    drop(exec_span);
                     executed += 1;
                     let ok = results.iter().all(|&(_, s)| s);
                     if ok {
@@ -513,8 +593,14 @@ where
                                 }
                             }
                             counters_ref.lock().0 += 1;
+                            TASKS_COMPLETED.incr();
+                            trace::instant(
+                                "task.complete",
+                                &[("task", i64::from(task.id)), ("leader", leader_id as i64)],
+                            );
                         } else {
                             counters_ref.lock().1 += 1;
+                            DUPLICATES_SUPPRESSED.incr();
                         }
                         to_master
                             .send(MasterMsg::Completed {
@@ -524,6 +610,10 @@ where
                             })
                             .ok();
                     } else {
+                        trace::instant(
+                            "task.fail",
+                            &[("task", i64::from(task.id)), ("leader", leader_id as i64)],
+                        );
                         to_master
                             .send(MasterMsg::Failed { leader: leader_id, task_id: task.id })
                             .ok();

@@ -7,8 +7,8 @@
 //! averaged rule nearly doubles the degree of exactness by augmenting `T_k`
 //! with its own reversal, coupled through the residual norm β_k, producing
 //! a `(2k−1)`-node rule at the cost of one tridiagonal eigensolve — the
-//! technique the paper adopts from Shao et al. [35] and
-//! Reichel–Spalević–Tang [36].
+//! technique the paper adopts from Shao et al. \[35\] and
+//! Reichel–Spalević–Tang \[36\].
 
 use crate::lanczos::LanczosResult;
 use qfr_linalg::tridiag::gauss_quadrature_nodes;
@@ -40,8 +40,11 @@ impl Quadrature {
     }
 }
 
+static GAGQ_RULES: qfr_obs::Counter = qfr_obs::Counter::deterministic("solver.gagq.rules");
+
 /// The plain k-node Gauss rule from a Lanczos result.
 pub fn gauss_quadrature(lz: &LanczosResult) -> Quadrature {
+    GAGQ_RULES.incr();
     let (nodes, mut weights) = gauss_quadrature_nodes(&lz.alpha, &lz.beta);
     let scale = lz.start_norm * lz.start_norm;
     for w in &mut weights {
@@ -78,6 +81,7 @@ pub fn averaged_quadrature(lz: &LanczosResult) -> Quadrature {
     }
     debug_assert_eq!(diag.len(), size);
     debug_assert_eq!(sub.len(), size - 1);
+    GAGQ_RULES.incr();
     let (nodes, mut weights) = gauss_quadrature_nodes(&diag, &sub);
     let scale = lz.start_norm * lz.start_norm;
     for w in &mut weights {

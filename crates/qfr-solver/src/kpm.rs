@@ -51,8 +51,11 @@ pub fn spectral_bounds(h: &dyn MatVec, probes: usize, margin: f64) -> (f64, f64)
 ///
 /// # Panics
 /// Panics if `d.len() != h.dim()` or `n_moments == 0`.
+static KPM_MOMENTS: qfr_obs::Counter = qfr_obs::Counter::deterministic("solver.kpm.moments");
+
 pub fn chebyshev_moments(h: &dyn MatVec, d: &[f64], n_moments: usize) -> ChebyshevMoments {
     assert!(n_moments > 0, "need at least one moment");
+    KPM_MOMENTS.add(n_moments as u64);
     let n = h.dim();
     assert_eq!(d.len(), n, "starting vector length mismatch");
     let (lo, hi) = spectral_bounds(h, 24, 0.02);

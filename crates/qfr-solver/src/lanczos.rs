@@ -10,6 +10,9 @@
 use qfr_linalg::sparse::MatVec;
 use qfr_linalg::vecops;
 
+static LANCZOS_RUNS: qfr_obs::Counter = qfr_obs::Counter::deterministic("solver.lanczos.runs");
+static LANCZOS_STEPS: qfr_obs::Counter = qfr_obs::Counter::deterministic("solver.lanczos.steps");
+
 /// Output of a Lanczos run.
 #[derive(Debug, Clone)]
 pub struct LanczosResult {
@@ -91,6 +94,8 @@ pub fn lanczos(h: &dyn MatVec, d: &[f64], k: usize) -> LanczosResult {
         q.push(qn);
     }
 
+    LANCZOS_RUNS.incr();
+    LANCZOS_STEPS.add(alpha.len() as u64);
     LanczosResult { alpha, beta, beta_last, start_norm }
 }
 

@@ -1,0 +1,178 @@
+//! Integration tests for the observability layer (`qfr-obs`).
+//!
+//! These run in one test binary, and the trace/counter stores are process
+//! globals, so every test takes `GUARD` and resets the stores inside the
+//! critical section — exact-count assertions are safe here in a way they
+//! are not in the library unit tests.
+
+use qfr_sched::{
+    run_master_leader_worker, FaultPlan, FragmentWorkItem, RecoveryPolicy, RuntimeConfig,
+    SortedSingletonPolicy, Task,
+};
+use std::sync::Mutex;
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Walks the Chrome trace events and checks begin/end nesting per thread
+/// (the invariant the span guards are supposed to guarantee): every "E"
+/// closes the most recent open "B" of its tid, and no tid ends with an
+/// open span.
+fn check_nesting(events: &[serde_json::Value]) {
+    let mut stacks: std::collections::BTreeMap<i64, Vec<String>> = Default::default();
+    for e in events {
+        let tid = e["tid"].as_i64().expect("tid");
+        let name = e["name"].as_str().expect("name").to_string();
+        match e["ph"].as_str().expect("ph") {
+            "B" => stacks.entry(tid).or_default().push(name),
+            "E" => {
+                let top = stacks.entry(tid).or_default().pop();
+                assert_eq!(top.as_deref(), Some(name.as_str()), "mismatched end on tid {tid}");
+            }
+            "i" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "tid {tid} left spans open: {stack:?}");
+    }
+}
+
+#[test]
+fn chrome_trace_is_wellformed_and_nested() {
+    let _g = lock();
+    qfr_obs::reset_all();
+    qfr_obs::trace::enable();
+
+    // A scheduled end-to-end run: main-thread workflow spans, leader-thread
+    // execute spans, and master-loop lifecycle instants all interleave.
+    let system = qfr_geom::WaterBoxBuilder::new(6).seed(7).build();
+    qfr_core::RamanWorkflow::new(system)
+        .sigma(25.0)
+        .lanczos_steps(40)
+        .run_scheduled(RuntimeConfig { n_leaders: 2, workers_per_leader: 2, ..Default::default() })
+        .expect("scheduled run");
+
+    let json = qfr_obs::trace::export_chrome_json();
+    qfr_obs::trace::disable();
+    qfr_obs::reset_all();
+
+    let doc = serde_json::from_str(&json).expect("trace must be valid JSON");
+    assert_eq!(doc["displayTimeUnit"].as_str(), Some("ms"));
+    let events = doc["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty(), "an instrumented run must emit events");
+    for e in events {
+        assert!(e["ts"].as_i64().is_some(), "every event carries a timestamp: {e:?}");
+        assert_eq!(e["pid"].as_i64(), Some(1));
+    }
+    check_nesting(events);
+    let names: std::collections::BTreeSet<&str> =
+        events.iter().filter_map(|e| e["name"].as_str()).collect();
+    for expected in ["workflow.decompose", "workflow.engine", "workflow.solver", "task.enqueue"] {
+        assert!(names.contains(expected), "missing {expected} in {names:?}");
+    }
+}
+
+#[test]
+fn injected_fault_events_match_forecast() {
+    let _g = lock();
+    qfr_obs::reset_all();
+    qfr_obs::trace::enable();
+
+    let items: Vec<FragmentWorkItem> =
+        (0..12).map(|i| FragmentWorkItem { id: i, atoms: 6 }).collect();
+    let plan = FaultPlan::with_failure_rate(9, 0.4).permanent([5]);
+    let recovery = RecoveryPolicy { max_attempts: 3, backoff_base: 1e-4, ..Default::default() };
+
+    // Singleton tasks mirror what SortedSingletonPolicy will emit (task
+    // ids differ, but the forecast depends only on the fragment ids).
+    let tasks: Vec<Task> = items.iter().map(|f| Task { id: f.id, fragments: vec![*f] }).collect();
+    let forecast = plan.forecast(&tasks, &recovery);
+    assert!(forecast.retries > 0, "seed 9 at 40% must produce retries");
+    assert!(
+        forecast.quarantined_fragments.contains(&5),
+        "permanent failure must be forecast as quarantined"
+    );
+
+    let report = run_master_leader_worker(
+        Box::new(SortedSingletonPolicy::new(items)),
+        |_item| true,
+        RuntimeConfig {
+            n_leaders: 3,
+            workers_per_leader: 1,
+            recovery,
+            faults: plan,
+            ..Default::default()
+        },
+    );
+
+    let json = qfr_obs::trace::export_chrome_json();
+    qfr_obs::trace::disable();
+    let retried = qfr_obs::counter::value_of("sched.tasks.retried").unwrap_or(0);
+    let quarantined = qfr_obs::counter::value_of("sched.tasks.quarantined").unwrap_or(0);
+    qfr_obs::reset_all();
+
+    // The executor's report, the counters, and the trace events must all
+    // agree with the pure-function forecast.
+    assert_eq!(report.retries, forecast.retries, "report retries vs forecast");
+    assert_eq!(
+        report.quarantined_fragments, forecast.quarantined_fragments,
+        "report quarantine vs forecast"
+    );
+    assert_eq!(retried, forecast.retries as u64, "counter retries vs forecast");
+    assert_eq!(
+        quarantined,
+        forecast.quarantined_fragments.len() as u64,
+        "counter quarantine vs forecast"
+    );
+
+    let doc = serde_json::from_str(&json).expect("valid trace JSON");
+    let events = doc["traceEvents"].as_array().expect("traceEvents");
+    let count = |name: &str| events.iter().filter(|e| e["name"].as_str() == Some(name)).count();
+    assert_eq!(count("task.retry"), forecast.retries, "trace retry events vs forecast");
+    assert_eq!(
+        count("task.quarantine"),
+        forecast.quarantined_fragments.len(),
+        "trace quarantine events vs forecast"
+    );
+    check_nesting(events);
+}
+
+#[test]
+fn deterministic_report_excludes_timing_sensitive_counters() {
+    let _g = lock();
+    qfr_obs::reset_all();
+
+    let items: Vec<FragmentWorkItem> =
+        (0..8).map(|i| FragmentWorkItem { id: i, atoms: 6 }).collect();
+    run_master_leader_worker(
+        Box::new(SortedSingletonPolicy::new(items)),
+        |_item| true,
+        RuntimeConfig { n_leaders: 2, workers_per_leader: 1, ..Default::default() },
+    );
+
+    let det = qfr_obs::counter::deterministic_report();
+    let snap = qfr_obs::counter::snapshot();
+    qfr_obs::reset_all();
+
+    assert!(det.contains("sched.tasks.enqueued = 8"), "deterministic block:\n{det}");
+    assert!(det.contains("sched.tasks.completed = 8"), "deterministic block:\n{det}");
+    // Every registered counter must land on the right side of the
+    // determinism contract: deterministic ones in the CI-gated block,
+    // timing-sensitive ones excluded from it.
+    let gated: std::collections::BTreeSet<&str> =
+        det.lines().filter_map(|l| l.split(" = ").next()).collect();
+    for c in &snap {
+        match c.determinism {
+            qfr_obs::counter::Determinism::Deterministic => {
+                assert!(gated.contains(c.name), "{} missing from gated block:\n{det}", c.name)
+            }
+            qfr_obs::counter::Determinism::TimingSensitive => {
+                assert!(!gated.contains(c.name), "{} leaked into gated block:\n{det}", c.name)
+            }
+        }
+    }
+}

@@ -171,7 +171,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Anything usable as the size argument of [`vec`].
+    /// Anything usable as the size argument of [`vec()`].
     pub trait IntoSizeRange {
         /// Lower/upper bounds (inclusive).
         fn bounds(&self) -> (usize, usize);
@@ -202,7 +202,7 @@ pub mod collection {
         VecStrategy { element, min_len, max_len }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         min_len: usize,
