@@ -126,5 +126,66 @@ fn main() {
         "{{\"study\":\"straggler\",\"work_done_on\":{},\"work_done_off\":{},\"gain\":{gain}}}",
         with.work_complete_time, without.work_complete_time
     ));
+
+    // Checkpoint/restart sweep through the *real* workflow: kill a
+    // checkpointed scheduled run at increasing completion fractions
+    // (simulated by thinning the final checkpoint) and measure how much of
+    // the engine stage the restart skips. The restarted spectrum is
+    // asserted bit-identical to the uninterrupted one — restart is a pure
+    // scheduling change, never a numerical one.
+    header("Checkpoint/restart — engine work skipped vs kill point (water box, scheduled)");
+    use qfr_core::{RamanWorkflow, ScheduledConfig};
+    use qfr_geom::WaterBoxBuilder;
+    let ckpt = std::env::temp_dir().join("qfr_ablation_restart.qfrc");
+    std::fs::remove_file(&ckpt).ok();
+    let wf = RamanWorkflow::new(WaterBoxBuilder::new(scaled(40, 10)).seed(11).build())
+        .sigma(25.0)
+        .lanczos_steps(60);
+    let sched = || ScheduledConfig {
+        runtime: qfr_sched::RuntimeConfig {
+            n_leaders: 4,
+            workers_per_leader: 2,
+            ..Default::default()
+        },
+        checkpoint: Some(ckpt.clone()),
+        checkpoint_interval: 8,
+    };
+    let reference = wf.run_scheduled_with(sched()).expect("reference run");
+    let d = wf.decompose();
+    let n_atoms = wf.system().n_atoms();
+    let full = qfr_core::checkpoint::load_partial(&ckpt, &d, n_atoms).expect("load checkpoint");
+    let n_jobs = full.len();
+    row(&["kill at", "resumed", "recomputed", "engine s", "vs cold"], &[10, 9, 11, 10, 9]);
+    let cold_engine = reference.timings.engine_s;
+    for keep_pct in [0usize, 25, 50, 75, 90] {
+        let keep = n_jobs * keep_pct / 100;
+        let slots: Vec<_> =
+            full.iter().enumerate().map(|(i, s)| if i < keep { s.clone() } else { None }).collect();
+        qfr_core::checkpoint::save_partial(&ckpt, &d, n_atoms, &slots).expect("partial checkpoint");
+        let restarted = wf.run_scheduled_with(sched()).expect("restarted run");
+        assert_eq!(
+            restarted.spectrum.intensities, reference.spectrum.intensities,
+            "restart must be bit-identical"
+        );
+        let rec = restarted.recovery.as_ref().expect("recovery block");
+        row(
+            &[
+                &pct(keep_pct as f64 / 100.0),
+                &rec.resumed_jobs.to_string(),
+                &(n_jobs - rec.resumed_jobs).to_string(),
+                &format!("{:.3}", restarted.timings.engine_s),
+                &pct(restarted.timings.engine_s / cold_engine - 1.0),
+            ],
+            &[10, 9, 11, 10, 9],
+        );
+        records.push(format!(
+            "{{\"study\":\"restart\",\"keep_pct\":{keep_pct},\"resumed\":{},\"recomputed\":{},\"engine_s\":{}}}",
+            rec.resumed_jobs,
+            n_jobs - rec.resumed_jobs,
+            restarted.timings.engine_s,
+        ));
+    }
+    std::fs::remove_file(&ckpt).ok();
+
     write_record("ablation_faults", &format!("[{}]", records.join(",")));
 }

@@ -89,6 +89,43 @@ fn run_pinned_workloads() {
             ..Default::default()
         },
     );
+
+    // 5. Checkpoint/restart cycle: a checkpointed scheduled run, a
+    //    simulated kill (every third job survives in the checkpoint), and
+    //    a same-seed restart. Pins `core.checkpoint.saves`,
+    //    `core.checkpoint.jobs_resumed`, and — through the exactly-once
+    //    slot locking — that the restart recomputes only the missing jobs
+    //    (`model.engine.fragments`).
+    let ckpt = std::env::temp_dir().join("qfr_metrics_baseline.qfrc");
+    std::fs::remove_file(&ckpt).ok();
+    let wf =
+        RamanWorkflow::new(WaterBoxBuilder::new(10).seed(11).build()).sigma(25.0).lanczos_steps(40);
+    let sched = || qfr_core::ScheduledConfig {
+        runtime: qfr_sched::RuntimeConfig {
+            n_leaders: 2,
+            workers_per_leader: 2,
+            ..Default::default()
+        },
+        checkpoint: Some(ckpt.clone()),
+        checkpoint_interval: 4,
+    };
+    wf.run_scheduled_with(sched()).expect("checkpointed run");
+    let d = wf.decompose();
+    let n_atoms = wf.system().n_atoms();
+    let mut slots =
+        qfr_core::checkpoint::load_partial(&ckpt, &d, n_atoms).expect("load checkpoint");
+    for (i, slot) in slots.iter_mut().enumerate() {
+        if i % 3 != 0 {
+            *slot = None;
+        }
+    }
+    qfr_core::checkpoint::save_partial(&ckpt, &d, n_atoms, &slots).expect("partial checkpoint");
+    let restarted = wf.run_scheduled_with(sched()).expect("restarted run");
+    assert!(
+        restarted.recovery.as_ref().is_some_and(|r| r.resumed_jobs > 0),
+        "restart must resume from the checkpoint"
+    );
+    std::fs::remove_file(&ckpt).ok();
 }
 
 /// Parses the compact `{"name":value,...}` object the counter registry

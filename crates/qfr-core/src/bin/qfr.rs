@@ -32,7 +32,8 @@ fn usage() -> ! {
          qfr spectrum  (--protein N | --waters N) [--solvate PAD] [--sigma S]\n                \
          [--lambda L] [--lanczos K] [--seed SEED] [--temperature T]\n                \
          [--ir] [--json FILE] [--xyz FILE] [--dense | --stream]\n                \
-         [--sched LEADERS [--workers W]] [--checkpoint FILE]\n                \
+         [--sched LEADERS [--workers W] [--checkpoint FILE\n                 \
+         [--checkpoint-interval N]]] [--checkpoint FILE]\n                \
          [--trace FILE] [--metrics] [--metrics-out FILE]\n  \
          qfr decompose (--protein N | --waters N) [--lambda L] [--seed SEED]\n  \
          qfr info"
@@ -86,10 +87,17 @@ fn cmd_spectrum(args: &[String]) {
             eprintln!("error: --sched takes a positive leader count, got '{leaders}'");
             std::process::exit(2);
         });
-        workflow.run_scheduled(qfr_sched::RuntimeConfig {
+        let runtime = qfr_sched::RuntimeConfig {
             n_leaders,
             workers_per_leader: parse(args, "--workers", 2),
             ..Default::default()
+        };
+        // --sched --checkpoint FILE: incremental checkpoint/restart of the
+        // scheduled engine stage (resumes from FILE when it exists).
+        workflow.run_scheduled_with(qfr_core::ScheduledConfig {
+            runtime,
+            checkpoint: arg_value(args, "--checkpoint").map(std::path::PathBuf::from),
+            checkpoint_interval: parse(args, "--checkpoint-interval", 64),
         })
     } else if let Some(ckpt) = arg_value(args, "--checkpoint") {
         workflow.run_with_checkpoint(std::path::Path::new(&ckpt))
@@ -111,9 +119,11 @@ fn cmd_spectrum(args: &[String]) {
     println!("run: {}", result.summary());
     if let Some(rec) = &result.recovery {
         println!(
-            "recovery: {} retries, {} re-issues, {} duplicates suppressed, \
-             {} quarantined, {} unfinished, {} leaders died",
+            "recovery: {} retries ({} eager), {} resumed, {} re-issues, \
+             {} duplicates suppressed, {} quarantined, {} unfinished, {} leaders died",
             rec.retries,
+            rec.eager_retries,
+            rec.resumed_jobs,
             rec.reissues,
             rec.duplicates_suppressed,
             rec.quarantined_jobs,

@@ -6,18 +6,31 @@
 //! in a compact binary format keyed by a fingerprint of the decomposition,
 //! so a re-run with the same system and λ resumes directly at assembly.
 //!
-//! Format (little-endian): magic `QFRC`, version u32, fingerprint u64,
-//! job count u64, then per job: `m` (u32, atoms incl. link H) followed by
-//! the `3m×3m` Hessian, `6×3m` ∂α/∂ξ and `3×3m` ∂μ/∂ξ as f64 arrays.
+//! Format v2 (little-endian): magic `QFRC`, version u32 (= 2), fingerprint
+//! u64, total job count u64, present-job count u64, then a presence bitmap
+//! of `ceil(total/8)` bytes (bit `j` of byte `j / 8` = job `j` present),
+//! followed by one block per *present* job in ascending job order: `m`
+//! (u32, atoms incl. link H), the `3m×3m` Hessian, `6×3m` ∂α/∂ξ and
+//! `3×3m` ∂μ/∂ξ as f64 arrays. A *partial* save simply flips fewer bitmap
+//! bits and appends fewer blocks — the header and bitmap sizes depend only
+//! on the decomposition, so successive saves of a filling run grow the file
+//! monotonically (append-friendly), while each save stays an atomic
+//! temp-file + rename. Version 1 files (no bitmap, every job present) are
+//! still read.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use qfr_fragment::{Decomposition, FragmentResponse};
 use qfr_linalg::DMatrix;
 use std::io::{Read, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const MAGIC: &[u8; 4] = b"QFRC";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+/// Per-process temp-file sequence number: together with the pid it makes
+/// concurrent savers targeting the same checkpoint path collision-free.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Errors from checkpoint I/O.
 #[derive(Debug)]
@@ -92,7 +105,87 @@ fn get_matrix(buf: &mut Bytes, rows: usize, cols: usize) -> Result<DMatrix, Chec
     Ok(DMatrix::from_vec(rows, cols, data))
 }
 
-/// Saves responses to `path`, atomically (write to a temp file + rename).
+/// Checks every matrix of a response against the shapes implied by the
+/// job size `m`: `3m×3m` Hessian, `6×3m` ∂α/∂ξ, `3×3m` ∂μ/∂ξ. A malformed
+/// response must be rejected *before* serialization — the reader trusts
+/// these shapes, so a bad block would misparse every block after it.
+fn validate_response(m: usize, resp: &FragmentResponse) -> Result<(), CheckpointError> {
+    let checks = [
+        ("hessian", resp.hessian.shape(), (3 * m, 3 * m)),
+        ("dalpha", resp.dalpha.shape(), (6, 3 * m)),
+        ("dmu", resp.dmu.shape(), (3, 3 * m)),
+    ];
+    for (name, got, want) in checks {
+        if got != want {
+            return Err(CheckpointError::Format(format!(
+                "response {name} shape {got:?} does not match job size {m} (want {want:?})"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Atomically replaces `path` with `contents`: write to a per-process
+/// unique temp file in the same directory, fsync, rename. The pid+sequence
+/// temp name means concurrent runs sharing a checkpoint path cannot clobber
+/// each other mid-write — the last rename wins, and both renames are of
+/// complete files.
+fn atomic_write(path: &Path, contents: &[u8]) -> Result<(), CheckpointError> {
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("checkpoint");
+    let tmp = path.with_file_name(format!(".{name}.{}.{seq}.tmp", std::process::id()));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e.into());
+    }
+    Ok(())
+}
+
+/// Saves a *partial* result set: `slots[j]` is `Some` iff job `j` has
+/// completed. Writes the full v2 header + presence bitmap and one block per
+/// present job, atomically. Call repeatedly as a run fills in — each save
+/// is a superset rewrite, so a crash between saves loses at most the work
+/// since the previous save.
+pub fn save_partial(
+    path: &Path,
+    decomposition: &Decomposition,
+    n_atoms: usize,
+    slots: &[Option<FragmentResponse>],
+) -> Result<(), CheckpointError> {
+    assert_eq!(decomposition.jobs.len(), slots.len(), "one slot per job");
+    let total = slots.len();
+    let present = slots.iter().filter(|s| s.is_some()).count();
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(fingerprint(decomposition, n_atoms));
+    buf.put_u64_le(total as u64);
+    buf.put_u64_le(present as u64);
+    let mut bitmap = vec![0u8; total.div_ceil(8)];
+    for (j, slot) in slots.iter().enumerate() {
+        if slot.is_some() {
+            bitmap[j / 8] |= 1 << (j % 8);
+        }
+    }
+    buf.put_slice(&bitmap);
+    for (job, slot) in decomposition.jobs.iter().zip(slots) {
+        let Some(resp) = slot else { continue };
+        let m = job.size();
+        validate_response(m, resp)?;
+        buf.put_u32_le(m as u32);
+        put_matrix(&mut buf, &resp.hessian);
+        put_matrix(&mut buf, &resp.dalpha);
+        put_matrix(&mut buf, &resp.dmu);
+    }
+    atomic_write(path, &buf)
+}
+
+/// Saves a complete response set (every job present); see [`save_partial`].
 pub fn save_responses(
     path: &Path,
     decomposition: &Decomposition,
@@ -100,40 +193,18 @@ pub fn save_responses(
     responses: &[FragmentResponse],
 ) -> Result<(), CheckpointError> {
     assert_eq!(decomposition.jobs.len(), responses.len(), "one response per job");
-    let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u64_le(fingerprint(decomposition, n_atoms));
-    buf.put_u64_le(responses.len() as u64);
-    for (job, resp) in decomposition.jobs.iter().zip(responses) {
-        let m = job.size();
-        resp.hessian
-            .shape()
-            .eq(&(3 * m, 3 * m))
-            .then_some(())
-            .ok_or_else(|| CheckpointError::Format("response shape mismatch".into()))?;
-        buf.put_u32_le(m as u32);
-        put_matrix(&mut buf, &resp.hessian);
-        put_matrix(&mut buf, &resp.dalpha);
-        put_matrix(&mut buf, &resp.dmu);
-    }
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(&buf)?;
-        f.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)?;
-    Ok(())
+    let slots: Vec<Option<FragmentResponse>> = responses.iter().cloned().map(Some).collect();
+    save_partial(path, decomposition, n_atoms, &slots)
 }
 
-/// Loads responses from `path`, verifying the fingerprint against the
-/// current decomposition.
-pub fn load_responses(
+/// Loads a (possibly partial) checkpoint: `slots[j]` is `Some` iff the file
+/// holds job `j`'s response. Verifies the fingerprint against the current
+/// decomposition; reads both v2 (bitmap) and v1 (all jobs present) files.
+pub fn load_partial(
     path: &Path,
     decomposition: &Decomposition,
     n_atoms: usize,
-) -> Result<Vec<FragmentResponse>, CheckpointError> {
+) -> Result<Vec<Option<FragmentResponse>>, CheckpointError> {
     let mut raw = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut raw)?;
     let mut buf = Bytes::from(raw);
@@ -146,7 +217,7 @@ pub fn load_responses(
         return Err(CheckpointError::Format("bad magic".into()));
     }
     let version = buf.get_u32_le();
-    if version != VERSION {
+    if version != 1 && version != 2 {
         return Err(CheckpointError::Format(format!("unsupported version {version}")));
     }
     let found = buf.get_u64_le();
@@ -154,15 +225,40 @@ pub fn load_responses(
     if found != expected {
         return Err(CheckpointError::FingerprintMismatch { found, expected });
     }
-    let count = buf.get_u64_le() as usize;
-    if count != decomposition.jobs.len() {
+    let total = buf.get_u64_le() as usize;
+    if total != decomposition.jobs.len() {
         return Err(CheckpointError::Format(format!(
-            "job count {count} does not match decomposition {}",
+            "job count {total} does not match decomposition {}",
             decomposition.jobs.len()
         )));
     }
-    let mut out = Vec::with_capacity(count);
-    for job in &decomposition.jobs {
+    let present: Vec<bool> = if version == 2 {
+        if buf.remaining() < 8 {
+            return Err(CheckpointError::Format("truncated v2 header".into()));
+        }
+        let present_count = buf.get_u64_le() as usize;
+        let bitmap_len = total.div_ceil(8);
+        if buf.remaining() < bitmap_len {
+            return Err(CheckpointError::Format("truncated presence bitmap".into()));
+        }
+        let mut bitmap = vec![0u8; bitmap_len];
+        buf.copy_to_slice(&mut bitmap);
+        let present: Vec<bool> = (0..total).map(|j| bitmap[j / 8] & (1 << (j % 8)) != 0).collect();
+        if present.iter().filter(|&&p| p).count() != present_count {
+            return Err(CheckpointError::Format(
+                "presence bitmap disagrees with present-job count".into(),
+            ));
+        }
+        present
+    } else {
+        vec![true; total]
+    };
+    let mut out = Vec::with_capacity(total);
+    for (job, &is_present) in decomposition.jobs.iter().zip(&present) {
+        if !is_present {
+            out.push(None);
+            continue;
+        }
         if buf.remaining() < 4 {
             return Err(CheckpointError::Format("truncated job header".into()));
         }
@@ -173,13 +269,30 @@ pub fn load_responses(
                 job.size()
             )));
         }
-        out.push(FragmentResponse {
+        out.push(Some(FragmentResponse {
             hessian: get_matrix(&mut buf, 3 * m, 3 * m)?,
             dalpha: get_matrix(&mut buf, 6, 3 * m)?,
             dmu: get_matrix(&mut buf, 3, 3 * m)?,
-        });
+        }));
     }
     Ok(out)
+}
+
+/// Loads a checkpoint that must be complete; errors if any job is missing.
+pub fn load_responses(
+    path: &Path,
+    decomposition: &Decomposition,
+    n_atoms: usize,
+) -> Result<Vec<FragmentResponse>, CheckpointError> {
+    let slots = load_partial(path, decomposition, n_atoms)?;
+    let missing = slots.iter().filter(|s| s.is_none()).count();
+    if missing > 0 {
+        return Err(CheckpointError::Format(format!(
+            "checkpoint is partial: {missing} of {} jobs missing",
+            slots.len()
+        )));
+    }
+    Ok(slots.into_iter().map(|s| s.expect("checked complete")).collect())
 }
 
 #[cfg(test)]
@@ -262,5 +375,105 @@ mod tests {
         let f2 = fingerprint(&d, sys.n_atoms());
         assert_eq!(f1, f2);
         assert_ne!(f1, fingerprint(&d, sys.n_atoms() + 1));
+    }
+
+    #[test]
+    fn partial_round_trip_preserves_presence() {
+        let (sys, d, responses) = setup();
+        let dir = std::env::temp_dir().join("qfr_ckpt_test_partial");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("partial.qfrc");
+        // Every other job present.
+        let slots: Vec<Option<FragmentResponse>> =
+            responses.iter().enumerate().map(|(j, r)| (j % 2 == 0).then(|| r.clone())).collect();
+        save_partial(&path, &d, sys.n_atoms(), &slots).unwrap();
+        let loaded = load_partial(&path, &d, sys.n_atoms()).unwrap();
+        assert_eq!(loaded.len(), slots.len());
+        for (j, (a, b)) in loaded.iter().zip(&slots).enumerate() {
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.hessian.max_abs_diff(&b.hessian), 0.0, "job {j}");
+                    assert_eq!(a.dalpha.max_abs_diff(&b.dalpha), 0.0, "job {j}");
+                    assert_eq!(a.dmu.max_abs_diff(&b.dmu), 0.0, "job {j}");
+                }
+                (None, None) => {}
+                _ => panic!("presence mismatch at job {j}"),
+            }
+        }
+        // A partial file must refuse to load as a complete one.
+        let err = load_responses(&path, &d, sys.n_atoms()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_file_still_loads() {
+        let (sys, d, responses) = setup();
+        // Hand-roll a version-1 file: no present count, no bitmap.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(1);
+        buf.put_u64_le(fingerprint(&d, sys.n_atoms()));
+        buf.put_u64_le(responses.len() as u64);
+        for (job, resp) in d.jobs.iter().zip(&responses) {
+            buf.put_u32_le(job.size() as u32);
+            put_matrix(&mut buf, &resp.hessian);
+            put_matrix(&mut buf, &resp.dalpha);
+            put_matrix(&mut buf, &resp.dmu);
+        }
+        let dir = std::env::temp_dir().join("qfr_ckpt_test_v1");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v1.qfrc");
+        std::fs::write(&path, &buf[..]).unwrap();
+        let loaded = load_responses(&path, &d, sys.n_atoms()).unwrap();
+        assert_eq!(loaded.len(), responses.len());
+        for (a, b) in loaded.iter().zip(&responses) {
+            assert_eq!(a.hessian.max_abs_diff(&b.hessian), 0.0);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_response_shapes_rejected_before_write() {
+        let (sys, d, mut responses) = setup();
+        let dir = std::env::temp_dir().join("qfr_ckpt_test_shape");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.qfrc");
+        // Corrupt dalpha: the old writer validated only the hessian, wrote
+        // the file, and the reader misparsed every later block.
+        responses[0].dalpha = DMatrix::zeros(5, 5);
+        let err = save_responses(&path, &d, sys.n_atoms(), &responses).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)), "{err}");
+        assert!(!path.exists(), "a rejected save must not leave a file behind");
+        // Same for dmu.
+        let (_, _, mut responses) = setup();
+        responses[1].dmu = DMatrix::zeros(1, 1);
+        let err = save_responses(&path, &d, sys.n_atoms(), &responses).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn temp_names_are_unique_per_write() {
+        // The fixed `.tmp` suffix let two concurrent runs clobber each
+        // other's half-written temp file; the pid+sequence name may never
+        // repeat within a process either.
+        let a = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let b = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        assert_ne!(a, b);
+        // And a successful save leaves no temp droppings in the directory.
+        let (sys, d, responses) = setup();
+        let dir = std::env::temp_dir().join("qfr_ckpt_test_tmpname");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clean.qfrc");
+        save_responses(&path, &d, sys.n_atoms(), &responses).unwrap();
+        save_responses(&path, &d, sys.n_atoms(), &responses).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must be renamed away: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

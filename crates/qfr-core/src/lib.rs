@@ -38,4 +38,4 @@ pub mod workflow;
 pub use modes::{normal_modes, NormalModes};
 pub use report::{RamanResult, RecoverySummary, StageTimings};
 pub use streamed::StreamedHessian;
-pub use workflow::{EngineKind, RamanWorkflow, WorkflowError};
+pub use workflow::{EngineKind, RamanWorkflow, ScheduledConfig, WorkflowError};

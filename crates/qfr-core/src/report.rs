@@ -32,6 +32,12 @@ impl StageTimings {
 pub struct RecoverySummary {
     /// Failure-triggered re-queues during the engine stage.
     pub retries: usize,
+    /// Retries scheduled eagerly at the *first* failed copy of an attempt
+    /// (equals `retries` under the always-eager protocol).
+    pub eager_retries: usize,
+    /// Jobs restored from the checkpoint instead of recomputed (0 for
+    /// uncheckpointed runs).
+    pub resumed_jobs: usize,
     /// Straggler duplicates issued to idle leaders.
     pub reissues: usize,
     /// Completions discarded because another copy already won.
@@ -176,6 +182,8 @@ mod tests {
         let mut r = sample_result();
         r.recovery = Some(RecoverySummary {
             retries: 2,
+            eager_retries: 2,
+            resumed_jobs: 3,
             reissues: 1,
             duplicates_suppressed: 1,
             quarantined_jobs: 1,
@@ -185,6 +193,8 @@ mod tests {
         assert!(!r.recovery.as_ref().unwrap().is_complete());
         let v: serde_json::Value = serde_json::from_str(&r.to_json()).unwrap();
         assert_eq!(v["recovery"]["retries"], 2);
+        assert_eq!(v["recovery"]["eager_retries"], 2);
+        assert_eq!(v["recovery"]["resumed_jobs"], 3);
         assert_eq!(v["recovery"]["quarantined_jobs"], 1);
         assert!(RecoverySummary::default().is_complete());
     }

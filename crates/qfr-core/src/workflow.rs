@@ -10,6 +10,44 @@ use qfr_solver::{ir_lanczos, raman_dense_reference, raman_lanczos, RamanOptions}
 use rayon::prelude::*;
 use std::time::Instant;
 
+// Checkpoint lifecycle counters. Save counts trigger on the exact number of
+// first-time slot fills (each job fills its slot exactly once, whatever the
+// scheduling), and resume counts are a pure function of the checkpoint
+// contents — both are deterministic and CI-gated.
+static CHECKPOINT_SAVES: qfr_obs::Counter =
+    qfr_obs::Counter::deterministic("core.checkpoint.saves");
+static CHECKPOINT_JOBS_RESUMED: qfr_obs::Counter =
+    qfr_obs::Counter::deterministic("core.checkpoint.jobs_resumed");
+
+/// Configuration of a fault-tolerant scheduled run
+/// ([`RamanWorkflow::run_scheduled_with`]): the scheduler shape plus the
+/// optional incremental checkpoint.
+#[derive(Debug, Clone)]
+pub struct ScheduledConfig {
+    /// Scheduler shape and fault/recovery policy.
+    pub runtime: qfr_sched::RuntimeConfig,
+    /// When set, completed per-job responses are persisted here
+    /// periodically (format v2, partial saves) and on completion; on the
+    /// next run with the same system/λ, only jobs missing from the
+    /// checkpoint — plus any that were quarantined, whose responses are
+    /// excluded from the final save — are re-enqueued.
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// Persist after every `checkpoint_interval` newly completed jobs
+    /// (0 disables periodic saves; the final save still happens).
+    pub checkpoint_interval: usize,
+}
+
+impl Default for ScheduledConfig {
+    /// Default runtime shape, no checkpoint, save every 64 completions.
+    fn default() -> Self {
+        Self {
+            runtime: qfr_sched::RuntimeConfig::default(),
+            checkpoint: None,
+            checkpoint_interval: 64,
+        }
+    }
+}
+
 /// Which per-fragment engine to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineKind {
@@ -264,7 +302,20 @@ impl RamanWorkflow {
         &self,
         sched: qfr_sched::RuntimeConfig,
     ) -> Result<RamanResult, WorkflowError> {
+        self.run_scheduled_with(ScheduledConfig { runtime: sched, ..ScheduledConfig::default() })
+    }
+
+    /// [`run_scheduled`](Self::run_scheduled) with incremental
+    /// checkpointing: when [`ScheduledConfig::checkpoint`] is set, a valid
+    /// checkpoint for this system/λ pre-fills the per-job result slots and
+    /// only the *missing* jobs are enqueued into the scheduler; completed
+    /// responses are persisted every `checkpoint_interval` first-time
+    /// completions and once more at the end. The final save is
+    /// **quarantine-aware**: a quarantined job's salvaged response is
+    /// excluded, so the next run re-attempts it instead of trusting it.
+    pub fn run_scheduled_with(&self, cfg: ScheduledConfig) -> Result<RamanResult, WorkflowError> {
         use qfr_sched::{run_master_leader_worker, FragmentWorkItem, SizeSensitivePolicy};
+        use std::sync::atomic::{AtomicUsize, Ordering};
         use std::sync::Mutex;
 
         let mut timings = StageTimings::default();
@@ -272,17 +323,53 @@ impl RamanWorkflow {
         timings.decompose_s = dt;
         self.validate(&decomposition)?;
         let engine = self.make_engine();
+        let n_atoms = self.system.n_atoms();
 
         let engine_span = qfr_obs::span("workflow.engine");
         let t = Instant::now();
         let jobs = &decomposition.jobs;
+
+        // Resume: a loadable checkpoint pre-fills slots; an absent,
+        // mismatched or corrupt file simply means a cold start.
+        let resumed: Vec<Option<FragmentResponse>> = match &cfg.checkpoint {
+            Some(path) => crate::checkpoint::load_partial(path, &decomposition, n_atoms)
+                .unwrap_or_else(|_| vec![None; jobs.len()]),
+            None => vec![None; jobs.len()],
+        };
+        let resumed_jobs = resumed.iter().filter(|s| s.is_some()).count();
+        if resumed_jobs > 0 {
+            CHECKPOINT_JOBS_RESUMED.add(resumed_jobs as u64);
+            qfr_obs::trace::instant("checkpoint.resume", &[("jobs", resumed_jobs as i64)]);
+        }
+        let slots: Vec<Mutex<Option<FragmentResponse>>> =
+            resumed.into_iter().map(Mutex::new).collect();
+
+        // Only jobs without a checkpointed response enter the scheduler;
+        // item ids stay the job indices.
         let items: Vec<FragmentWorkItem> = jobs
             .iter()
             .enumerate()
+            .filter(|(i, _)| slots[*i].lock().expect("slot poisoned").is_none())
             .map(|(i, job)| FragmentWorkItem { id: i as u32, atoms: job.size() as u32 })
             .collect();
-        let slots: Vec<Mutex<Option<FragmentResponse>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
+
+        let filled = AtomicUsize::new(0);
+        let save_snapshot = |reason: &str| {
+            let Some(path) = cfg.checkpoint.as_deref() else { return };
+            CHECKPOINT_SAVES.incr();
+            qfr_obs::trace::instant("checkpoint.save", &[]);
+            // try_lock: a slot whose engine call is still running is simply
+            // absent from this snapshot — the save *count* stays a pure
+            // function of the completion count either way.
+            let snapshot: Vec<Option<FragmentResponse>> =
+                slots.iter().map(|s| s.try_lock().ok().and_then(|g| g.clone())).collect();
+            if let Err(e) =
+                crate::checkpoint::save_partial(path, &decomposition, n_atoms, &snapshot)
+            {
+                // A failed save must not fail the run.
+                eprintln!("warning: {reason} checkpoint save failed: {e}");
+            }
+        };
         let report = run_master_leader_worker(
             Box::new(SizeSensitivePolicy::with_defaults(items)),
             |item| {
@@ -297,10 +384,18 @@ impl RamanWorkflow {
                 if slot.is_none() {
                     let job = &jobs[item.id as usize];
                     *slot = Some(engine.compute(&job.structure(&self.system)));
+                    drop(slot);
+                    // fetch_add hands every first fill a unique count, so
+                    // the set of counts hitting the interval — and hence
+                    // the number of periodic saves — is deterministic.
+                    let count = filled.fetch_add(1, Ordering::SeqCst) + 1;
+                    if cfg.checkpoint_interval > 0 && count % cfg.checkpoint_interval == 0 {
+                        save_snapshot("periodic");
+                    }
                 }
                 true
             },
-            sched,
+            cfg.runtime,
         );
         timings.engine_s = t.elapsed().as_secs_f64();
         drop(engine_span);
@@ -311,18 +406,36 @@ impl RamanWorkflow {
         let t = Instant::now();
         let quarantined: std::collections::HashSet<u32> =
             report.quarantined_fragments.iter().copied().collect();
+        let final_slots: Vec<Option<FragmentResponse>> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                if quarantined.contains(&(i as u32)) {
+                    None // salvaged but untrusted: recompute on restart
+                } else {
+                    slot.into_inner().expect("slot poisoned")
+                }
+            })
+            .collect();
+        if cfg.checkpoint.is_some() {
+            let Some(path) = cfg.checkpoint.as_deref() else { unreachable!() };
+            CHECKPOINT_SAVES.incr();
+            qfr_obs::trace::instant("checkpoint.save", &[]);
+            if let Err(e) =
+                crate::checkpoint::save_partial(path, &decomposition, n_atoms, &final_slots)
+            {
+                eprintln!("warning: final checkpoint save failed: {e}");
+            }
+        }
         let mut kept_jobs = Vec::new();
         let mut kept_responses = Vec::new();
-        for (i, (job, slot)) in jobs.iter().zip(slots).enumerate() {
-            if quarantined.contains(&(i as u32)) {
-                continue;
-            }
-            if let Some(resp) = slot.into_inner().expect("slot poisoned") {
+        for (job, slot) in jobs.iter().zip(final_slots) {
+            if let Some(resp) = slot {
                 kept_jobs.push(job.clone());
                 kept_responses.push(resp);
             }
         }
-        let assembled = assemble::assemble(&kept_jobs, &kept_responses, self.system.n_atoms());
+        let assembled = assemble::assemble(&kept_jobs, &kept_responses, n_atoms);
         let mw = MassWeighted::new(&assembled, &self.system.masses());
         timings.assemble_s = t.elapsed().as_secs_f64();
         drop(assemble_span);
@@ -338,13 +451,15 @@ impl RamanWorkflow {
             spectrum,
             ir,
             stats: decomposition.stats,
-            n_atoms: self.system.n_atoms(),
+            n_atoms,
             dof: self.system.dof(),
             hessian_nnz: mw.hessian.nnz(),
             engine: engine.name().to_string(),
             timings,
             recovery: Some(RecoverySummary {
                 retries: report.retries,
+                eager_retries: report.eager_retries,
+                resumed_jobs,
                 reissues: report.reissues,
                 duplicates_suppressed: report.duplicates_suppressed,
                 quarantined_jobs: report.quarantined_fragments.len(),

@@ -1,0 +1,188 @@
+//! Checkpoint/restart integration tests for the scheduled runtime.
+//!
+//! These exercise the v2 partial-checkpoint format end to end: a run is
+//! "killed" after a partial save (simulated by blanking slots of a saved
+//! checkpoint — byte-wise exactly what a periodic mid-run save writes),
+//! then rerun with the same seed. The deterministic engine counter
+//! (`model.engine.fragments`) proves that *only* the missing and
+//! quarantined jobs re-execute, and the final spectrum must be
+//! bit-identical to an uninterrupted run.
+//!
+//! Counter stores are process globals, so every test takes `GUARD` and
+//! resets them inside the critical section (same pattern as the
+//! observability suite) — exact-count assertions are safe here.
+
+use qfr_core::checkpoint::{load_partial, save_partial};
+use qfr_core::{RamanWorkflow, ScheduledConfig};
+use qfr_geom::WaterBoxBuilder;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn workflow() -> RamanWorkflow {
+    let system = WaterBoxBuilder::new(10).seed(11).build();
+    RamanWorkflow::new(system).sigma(25.0).lanczos_steps(40)
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("qfr_restart_tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+fn engine_fragments() -> u64 {
+    qfr_obs::counter::value_of("model.engine.fragments").unwrap_or(0)
+}
+
+fn sched_cfg(checkpoint: PathBuf) -> ScheduledConfig {
+    ScheduledConfig {
+        runtime: qfr_sched::RuntimeConfig {
+            n_leaders: 2,
+            workers_per_leader: 2,
+            ..Default::default()
+        },
+        checkpoint: Some(checkpoint),
+        checkpoint_interval: 4,
+    }
+}
+
+#[test]
+fn restart_recomputes_only_missing_jobs_and_reproduces_the_spectrum() {
+    let _g = lock();
+    qfr_obs::reset_all();
+    let path = temp_path("partial_resume.qfrc");
+    std::fs::remove_file(&path).ok();
+
+    // Uninterrupted checkpointed run: the reference spectrum, and every
+    // job computed exactly once.
+    let wf = workflow();
+    let n_jobs = wf.decompose().jobs.len();
+    let reference = wf.run_scheduled_with(sched_cfg(path.clone())).expect("reference run");
+    assert_eq!(engine_fragments(), n_jobs as u64, "each job computed exactly once");
+    assert_eq!(reference.recovery.as_ref().unwrap().resumed_jobs, 0, "cold start resumes nothing");
+
+    // "Kill" the run after a partial save: blank every other job from the
+    // complete checkpoint — byte-wise the same file a periodic save writes
+    // when half the jobs are still outstanding.
+    let wf = workflow();
+    let d = wf.decompose();
+    let n_atoms = wf.system().n_atoms();
+    let mut slots = load_partial(&path, &d, n_atoms).expect("load complete checkpoint");
+    for (i, slot) in slots.iter_mut().enumerate() {
+        if i % 2 == 0 {
+            *slot = None;
+        }
+    }
+    let missing = slots.iter().filter(|s| s.is_none()).count();
+    let present = n_jobs - missing;
+    assert!(missing > 0 && present > 0, "partial scenario must have both kinds");
+    save_partial(&path, &d, n_atoms, &slots).expect("write partial checkpoint");
+
+    // Same-seed rerun: only the missing jobs may reach the engine.
+    let before = engine_fragments();
+    let restarted = wf.run_scheduled_with(sched_cfg(path.clone())).expect("restarted run");
+    let recomputed = engine_fragments() - before;
+    assert_eq!(recomputed, missing as u64, "exactly the missing jobs re-execute");
+    let rec = restarted.recovery.as_ref().unwrap();
+    assert_eq!(rec.resumed_jobs, present);
+    assert!(rec.is_complete());
+
+    // The spectrum from resumed + recomputed responses is bit-identical.
+    assert_eq!(restarted.spectrum.wavenumbers, reference.spectrum.wavenumbers);
+    assert_eq!(restarted.spectrum.intensities, reference.spectrum.intensities);
+    assert_eq!(restarted.ir.intensities, reference.ir.intensities);
+    assert_eq!(restarted.hessian_nnz, reference.hessian_nnz);
+
+    std::fs::remove_file(&path).ok();
+    qfr_obs::reset_all();
+}
+
+#[test]
+fn restart_reattempts_quarantined_jobs() {
+    let _g = lock();
+    qfr_obs::reset_all();
+    let path = temp_path("quarantine_resume.qfrc");
+    std::fs::remove_file(&path).ok();
+
+    // Fault-free reference spectrum (no checkpoint involved).
+    let reference = workflow()
+        .run_scheduled(qfr_sched::RuntimeConfig {
+            n_leaders: 2,
+            workers_per_leader: 2,
+            ..Default::default()
+        })
+        .expect("reference run");
+    let n_jobs = reference.stats.n_jobs;
+
+    // Checkpointed run with a permanently failing fragment: its task
+    // quarantines, and the final save must *exclude* the quarantined
+    // jobs' salvaged responses so a restart re-attempts them.
+    let mut cfg = sched_cfg(path.clone());
+    cfg.runtime.faults = qfr_sched::FaultPlan::none().permanent([0]);
+    cfg.runtime.recovery = qfr_sched::RecoveryPolicy {
+        max_attempts: 2,
+        backoff_base: 1e-4,
+        straggler_factor: Some(4.0),
+    };
+    let faulty = workflow().run_scheduled_with(cfg).expect("faulty run");
+    let quarantined = faulty.recovery.as_ref().unwrap().quarantined_jobs;
+    assert!(quarantined > 0, "the permanent failure must quarantine its task");
+    assert!(!faulty.recovery.as_ref().unwrap().is_complete());
+
+    // Fault-free same-seed restart: only the quarantined jobs re-execute
+    // and the run completes with the reference spectrum, bit for bit.
+    let before = engine_fragments();
+    let restarted = workflow().run_scheduled_with(sched_cfg(path.clone())).expect("restarted run");
+    let recomputed = engine_fragments() - before;
+    assert_eq!(recomputed, quarantined as u64, "exactly the quarantined jobs re-execute");
+    let rec = restarted.recovery.as_ref().unwrap();
+    assert_eq!(rec.resumed_jobs, n_jobs - quarantined);
+    assert!(rec.is_complete());
+    assert_eq!(restarted.spectrum.wavenumbers, reference.spectrum.wavenumbers);
+    assert_eq!(restarted.spectrum.intensities, reference.spectrum.intensities);
+
+    std::fs::remove_file(&path).ok();
+    qfr_obs::reset_all();
+}
+
+#[test]
+fn same_seed_restart_sequences_emit_identical_counter_reports() {
+    let _g = lock();
+    let path = temp_path("determinism_resume.qfrc");
+
+    // One full "kill and resume" sequence, returning the deterministic
+    // counter report it produced.
+    let sequence = || {
+        qfr_obs::reset_all();
+        std::fs::remove_file(&path).ok();
+        let wf = workflow();
+        wf.run_scheduled_with(sched_cfg(path.clone())).expect("first run");
+        let d = wf.decompose();
+        let n_atoms = wf.system().n_atoms();
+        let mut slots = load_partial(&path, &d, n_atoms).expect("load checkpoint");
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if i % 3 != 0 {
+                *slot = None;
+            }
+        }
+        save_partial(&path, &d, n_atoms, &slots).expect("write partial checkpoint");
+        wf.run_scheduled_with(sched_cfg(path.clone())).expect("restarted run");
+        (qfr_obs::counter::deterministic_report(), qfr_obs::counter::deterministic_json())
+    };
+
+    let (report_a, json_a) = sequence();
+    let (report_b, json_b) = sequence();
+    assert_eq!(report_a, report_b, "deterministic counter report must be byte-identical");
+    assert_eq!(json_a, json_b);
+    assert!(report_a.contains("core.checkpoint.saves"), "saves counter missing:\n{report_a}");
+    assert!(report_a.contains("core.checkpoint.jobs_resumed"));
+    assert!(report_a.contains("model.engine.fragments"));
+
+    std::fs::remove_file(&path).ok();
+    qfr_obs::reset_all();
+}

@@ -6,6 +6,12 @@ use crate::params::ForceFieldParams;
 use crate::polarizability::dalpha;
 use qfr_fragment::{FragmentEngine, FragmentResponse, FragmentStructure};
 
+/// Fragments actually computed by this engine. Deterministic under
+/// scheduling and checkpointing: a restarted run increments it only for the
+/// jobs that were missing from the checkpoint.
+static ENGINE_FRAGMENTS: qfr_obs::Counter =
+    qfr_obs::Counter::deterministic("model.engine.fragments");
+
 /// Analytic engine producing Hessian + polarizability derivatives from the
 /// calibrated harmonic force field and bond-polarizability model. Fast
 /// enough to drive 10⁶-atom assemblies on a laptop; the DFPT mini-engine in
@@ -30,6 +36,7 @@ impl ForceFieldEngine {
 
 impl FragmentEngine for ForceFieldEngine {
     fn compute(&self, frag: &FragmentStructure) -> FragmentResponse {
+        ENGINE_FRAGMENTS.incr();
         let terms = build_terms(frag, &self.params);
         let resp = FragmentResponse {
             hessian: hessian(frag, &terms),

@@ -17,9 +17,14 @@
 //! - **Attempts**: execution attempt `a` of a task fails iff any of its
 //!   fragments fails at attempt `a` ([`FaultPlan::fragment_fails`]) or the
 //!   user workload reports failure. Attempts are numbered from 0 per task.
-//! - **Retry with backoff**: a failed attempt `a` re-queues the task with
-//!   attempt `a + 1` after a delay of `backoff_base * 2^a`, unless
-//!   `a + 1 == max_attempts`.
+//! - **Eager retry with backoff**: a failed attempt `a` re-queues the task
+//!   with attempt `a + 1` after a delay of `backoff_base * 2^a`, unless
+//!   `a + 1 == max_attempts`. The retry is scheduled at the *first* failed
+//!   copy of the attempt: failure is pure in `(fragment, attempt)`, so
+//!   every other copy of the attempt is doomed and waiting for it would
+//!   only delay recovery. Acknowledgements carry an `(attempt, copy)` tag,
+//!   and the master drops any whose attempt no longer matches the in-flight
+//!   entry (a stale straggler copy of a concluded attempt).
 //! - **Quarantine**: a task whose `max_attempts` attempts all failed is
 //!   quarantined — its fragments are reported in the run report instead of
 //!   being retried forever (or hanging the run).
@@ -207,7 +212,7 @@ impl FaultPlan {
             }
         }
         quarantined.sort_unstable();
-        FaultForecast { retries, quarantined_fragments: quarantined }
+        FaultForecast { retries, eager_retries: retries, quarantined_fragments: quarantined }
     }
 }
 
@@ -216,6 +221,12 @@ impl FaultPlan {
 pub struct FaultForecast {
     /// Total failure-triggered re-queues across all tasks.
     pub retries: usize,
+    /// Retries scheduled at the first failed copy of an attempt. The
+    /// executors always retry eagerly, so this equals
+    /// [`FaultForecast::retries`]; it is forecast separately so a future
+    /// opt-out (retry only after every copy reports) can diverge them
+    /// without changing the executors' report shape.
+    pub eager_retries: usize,
     /// Fragment ids that end up quarantined (sorted).
     pub quarantined_fragments: Vec<u32>,
 }
@@ -267,6 +278,7 @@ mod tests {
         assert_eq!(p.death_after(3), None);
         let f = p.forecast(&singleton_tasks(10), &RecoveryPolicy::default());
         assert_eq!(f.retries, 0);
+        assert_eq!(f.eager_retries, 0);
         assert!(f.quarantined_fragments.is_empty());
     }
 
@@ -329,6 +341,7 @@ mod tests {
             }
         }
         assert_eq!(f.retries, retries);
+        assert_eq!(f.eager_retries, retries, "every retry is eager under the protocol");
         assert_eq!(f.quarantined_fragments, quarantined);
         assert!(f.quarantined_fragments.contains(&2), "permanent failure must quarantine");
     }

@@ -31,9 +31,13 @@
 //! Both executors implement the same recovery contract (defined in detail
 //! in [`fault`]):
 //!
-//! 1. **Retry with exponential backoff** — a failed attempt `a` of a task
-//!    re-queues it at attempt `a + 1` after `backoff_base * 2^a`, held in
-//!    a master-side delay queue (never through [`Policy::requeue`]).
+//! 1. **Eager retry with exponential backoff** — a failed attempt `a` of a
+//!    task re-queues it at attempt `a + 1` after `backoff_base * 2^a`, held
+//!    in a master-side delay queue (never through [`Policy::requeue`]). The
+//!    retry is scheduled at the *first* failed copy of the attempt; every
+//!    acknowledgement carries an `(attempt, copy)` tag, and stale acks of a
+//!    concluded attempt are dropped (`stale_dropped` in the reports)
+//!    instead of corrupting the current attempt's bookkeeping.
 //! 2. **Quarantine** — after [`RecoveryPolicy::max_attempts`] failed
 //!    attempts the task's fragments are reported as
 //!    `quarantined_fragments` in the run report; the run completes with a
@@ -49,7 +53,7 @@
 //!    fragments`.
 //!
 //! Because injected failures are pure functions of `(fragment, attempt)`,
-//! the retry/quarantine counters of both executors match
+//! the retry/eager-retry/quarantine counters of both executors match
 //! [`FaultPlan::forecast`] exactly for the same plan and decomposition.
 
 pub mod balancer;

@@ -13,12 +13,22 @@
 //!
 //! The master implements the contract documented in [`crate::fault`]:
 //!
-//! - A failed attempt is **retried with exponential backoff** (the task
-//!   waits `backoff_base * 2^attempt` in a master-held delay queue — it
-//!   does *not* go back through [`Policy::requeue`]) until
-//!   [`RecoveryPolicy::max_attempts`] attempts have failed, after which the
-//!   task is **quarantined** and its fragments reported in
-//!   [`RunReport::quarantined_fragments`] instead of hanging the run.
+//! - A failed attempt is **retried eagerly with exponential backoff**: the
+//!   retry is scheduled at the *first* failed copy of the attempt (failure
+//!   is pure in `(fragment, attempt)`, so every copy of a failed attempt is
+//!   doomed — waiting for a straggler duplicate to also fail would only
+//!   delay recovery). The task waits `backoff_base * 2^attempt` in a
+//!   master-held delay queue — it does *not* go back through
+//!   [`Policy::requeue`] — until [`RecoveryPolicy::max_attempts`] attempts
+//!   have failed, after which the task is **quarantined** and its fragments
+//!   reported in [`RunReport::quarantined_fragments`] instead of hanging
+//!   the run.
+//! - Every `Completed`/`Failed`/`Returned` acknowledgement is **tagged
+//!   with `(attempt, copy)`**; the master drops messages whose attempt no
+//!   longer matches the in-flight entry (a straggler copy of an already
+//!   concluded attempt), counting them in [`RunReport::stale_dropped`].
+//!   Without the tag a stale copy of attempt *n* could corrupt the
+//!   bookkeeping of the in-flight attempt *n+1* of the same task.
 //! - **Straggler re-issue** (the paper's "processed for a long time but not
 //!   yet completed" rule, on by default): an idle leader receives a
 //!   duplicate copy of an in-flight task older than `straggler_factor x`
@@ -63,6 +73,11 @@ pub(crate) static DUPLICATES_SUPPRESSED: qfr_obs::Counter =
     qfr_obs::Counter::timing_sensitive("sched.duplicates_suppressed");
 pub(crate) static LEADERS_DIED: qfr_obs::Counter =
     qfr_obs::Counter::timing_sensitive("sched.leaders_died");
+// Stale acknowledgements (a copy of an attempt that already concluded)
+// exist only when a straggler duplicate raced an eager retry, so the count
+// is timing-sensitive in the threaded runtime.
+pub(crate) static STALE_DROPPED: qfr_obs::Counter =
+    qfr_obs::Counter::timing_sensitive("sched.stale_dropped");
 
 /// Runtime shape and fault/recovery configuration.
 #[derive(Debug, Clone)]
@@ -106,6 +121,15 @@ pub struct RunReport {
     pub fragments_done: usize,
     /// Failure-triggered re-queues (retry attempts scheduled).
     pub retries: usize,
+    /// Retries scheduled eagerly at the *first* failed copy of an attempt.
+    /// Under the eager protocol every retry is eager, so this equals
+    /// [`RunReport::retries`] and matches `FaultForecast::eager_retries`;
+    /// the field exists so a future opt-out can diverge them.
+    pub eager_retries: usize,
+    /// Acknowledgements dropped because their `(attempt, copy)` tag no
+    /// longer matched the in-flight entry (straggler copies of an attempt
+    /// that an eager retry already concluded). Timing-sensitive.
+    pub stale_dropped: usize,
     /// Straggler duplicates issued to idle leaders.
     pub reissues: usize,
     /// Completions discarded because another copy already won.
@@ -146,6 +170,8 @@ impl RunReport {
         out.push_str(&format!("tasks_executed     = {}\n", self.tasks_executed));
         out.push_str(&format!("fragments_done     = {}\n", self.fragments_done));
         out.push_str(&format!("retries            = {}\n", self.retries));
+        out.push_str(&format!("eager_retries      = {}\n", self.eager_retries));
+        out.push_str(&format!("stale_dropped      = {}\n", self.stale_dropped));
         out.push_str(&format!("reissues           = {}\n", self.reissues));
         out.push_str(&format!("duplicates_suppressed = {}\n", self.duplicates_suppressed));
         out.push_str(&format!("quarantined        = {}\n", self.quarantined_fragments.len()));
@@ -169,11 +195,15 @@ struct Assignment {
 /// A leader's task mailbox (`None` = shut down).
 type TaskChannel = (Sender<Option<Assignment>>, Receiver<Option<Assignment>>);
 
+// Completion, failure and bounce acknowledgements carry the `(attempt,
+// copy)` tag of the assignment they answer: the master matches the attempt
+// against the in-flight entry and drops stale copies of attempts that an
+// eager retry already concluded (the tag is what makes eager retry safe).
 enum MasterMsg {
     Available { leader: usize },
-    Completed { leader: usize, task_id: u32, seconds: f64 },
-    Failed { leader: usize, task_id: u32 },
-    Returned { leader: usize, task_id: u32 },
+    Completed { leader: usize, task_id: u32, attempt: u32, copy: u32, seconds: f64 },
+    Failed { leader: usize, task_id: u32, attempt: u32, copy: u32 },
+    Returned { leader: usize, task_id: u32, attempt: u32 },
     Died { leader: usize },
 }
 
@@ -193,6 +223,8 @@ struct InFlight {
 #[derive(Default)]
 struct MasterOut {
     retries: usize,
+    eager_retries: usize,
+    stale_dropped: usize,
     reissues: usize,
     leaders_died: usize,
     quarantined: Vec<u32>,
@@ -257,6 +289,8 @@ where
             let mut dead = vec![false; cfg_ref.n_leaders];
             let mut mean_acc = (0.0f64, 0usize); // (sum seconds, count)
             let mut retries = 0usize;
+            let mut eager_retries = 0usize;
+            let mut stale_dropped = 0usize;
             let mut reissues = 0usize;
             let mut leaders_died = 0usize;
             let mut quarantined: Vec<u32> = Vec::new();
@@ -300,74 +334,126 @@ where
                         waiting.push(leader);
                     }
                     Some(MasterMsg::Available { .. }) => {}
-                    Some(MasterMsg::Completed { leader, task_id, seconds }) => {
-                        if let Some(e) = in_flight.get_mut(&task_id) {
-                            e.live -= 1;
-                            e.holders.retain(|&l| l != leader);
-                            if !e.completed {
-                                e.completed = true;
-                                mean_acc.0 += seconds;
-                                mean_acc.1 += 1;
-                            }
-                            if e.live == 0 {
-                                in_flight.remove(&task_id);
-                            }
-                        }
-                    }
-                    Some(MasterMsg::Failed { leader, task_id }) => {
-                        let concluded = match in_flight.get_mut(&task_id) {
-                            Some(e) => {
+                    Some(MasterMsg::Completed { leader, task_id, attempt, copy, seconds }) => {
+                        match in_flight.get_mut(&task_id) {
+                            Some(e) if e.attempt == attempt => {
                                 e.live -= 1;
                                 e.holders.retain(|&l| l != leader);
-                                e.live == 0
-                            }
-                            None => false,
-                        };
-                        if concluded {
-                            let e = in_flight.remove(&task_id).expect("checked above");
-                            if !e.completed {
-                                // Every copy of this attempt failed.
-                                let next = e.attempt + 1;
-                                if next >= rec.max_attempts {
-                                    TASKS_QUARANTINED.incr();
-                                    trace::instant(
-                                        "task.quarantine",
-                                        &[("task", i64::from(task_id))],
-                                    );
-                                    quarantined.extend(e.task.fragments.iter().map(|f| f.id));
-                                } else {
-                                    retries += 1;
-                                    TASKS_RETRIED.incr();
-                                    trace::instant(
-                                        "task.retry",
-                                        &[
-                                            ("task", i64::from(task_id)),
-                                            ("attempt", i64::from(next)),
-                                        ],
-                                    );
-                                    let delay =
-                                        Duration::from_secs_f64(rec.backoff_after(e.attempt));
-                                    delayed.push((Instant::now() + delay, e.task, next));
+                                if !e.completed {
+                                    e.completed = true;
+                                    mean_acc.0 += seconds;
+                                    mean_acc.1 += 1;
                                 }
+                                if e.live == 0 {
+                                    in_flight.remove(&task_id);
+                                }
+                            }
+                            // A copy of an attempt that already concluded
+                            // (an eager retry removed or replaced the
+                            // entry): drop it — acting on it would corrupt
+                            // the current attempt's bookkeeping.
+                            _ => {
+                                stale_dropped += 1;
+                                STALE_DROPPED.incr();
+                                trace::instant(
+                                    "task.stale_drop",
+                                    &[
+                                        ("task", i64::from(task_id)),
+                                        ("attempt", i64::from(attempt)),
+                                        ("copy", i64::from(copy)),
+                                    ],
+                                );
                             }
                         }
                     }
-                    Some(MasterMsg::Returned { leader, task_id }) => {
+                    Some(MasterMsg::Failed { leader, task_id, attempt, copy }) => {
+                        match in_flight.get_mut(&task_id) {
+                            Some(e) if e.attempt == attempt => {
+                                if e.completed {
+                                    // Another copy of this attempt already
+                                    // won (impure workload): just retire
+                                    // this copy.
+                                    e.live -= 1;
+                                    e.holders.retain(|&l| l != leader);
+                                    if e.live == 0 {
+                                        in_flight.remove(&task_id);
+                                    }
+                                } else {
+                                    // Eager retry: failure is pure in
+                                    // (fragment, attempt), so the first
+                                    // failed copy dooms every other copy of
+                                    // this attempt — conclude now instead
+                                    // of waiting for stragglers; their
+                                    // acks will stale-drop.
+                                    let e = in_flight.remove(&task_id).expect("matched above");
+                                    let next = e.attempt + 1;
+                                    if next >= rec.max_attempts {
+                                        TASKS_QUARANTINED.incr();
+                                        trace::instant(
+                                            "task.quarantine",
+                                            &[("task", i64::from(task_id))],
+                                        );
+                                        quarantined.extend(e.task.fragment_ids());
+                                    } else {
+                                        retries += 1;
+                                        // Every retry is scheduled at the
+                                        // first failed copy, so the eager
+                                        // count equals the retry count and
+                                        // stays forecast-exact.
+                                        eager_retries += 1;
+                                        TASKS_RETRIED.incr();
+                                        trace::instant(
+                                            "task.retry",
+                                            &[
+                                                ("task", i64::from(task_id)),
+                                                ("attempt", i64::from(next)),
+                                            ],
+                                        );
+                                        let delay =
+                                            Duration::from_secs_f64(rec.backoff_after(e.attempt));
+                                        delayed.push((Instant::now() + delay, e.task, next));
+                                    }
+                                }
+                            }
+                            _ => {
+                                stale_dropped += 1;
+                                STALE_DROPPED.incr();
+                                trace::instant(
+                                    "task.stale_drop",
+                                    &[
+                                        ("task", i64::from(task_id)),
+                                        ("attempt", i64::from(attempt)),
+                                        ("copy", i64::from(copy)),
+                                    ],
+                                );
+                            }
+                        }
+                    }
+                    Some(MasterMsg::Returned { leader, task_id, attempt }) => {
                         // Bounced off a dead leader: the copy never ran, so
                         // re-dispatch at the same attempt, no penalty.
-                        let concluded = match in_flight.get_mut(&task_id) {
-                            Some(e) => {
+                        match in_flight.get_mut(&task_id) {
+                            Some(e) if e.attempt == attempt => {
                                 e.live -= 1;
                                 e.copies = e.copies.saturating_sub(1);
                                 e.holders.retain(|&l| l != leader);
-                                e.live == 0
+                                if e.live == 0 {
+                                    let e = in_flight.remove(&task_id).expect("matched above");
+                                    if !e.completed {
+                                        ready.push((e.task, e.attempt));
+                                    }
+                                }
                             }
-                            None => false,
-                        };
-                        if concluded {
-                            let e = in_flight.remove(&task_id).expect("checked above");
-                            if !e.completed {
-                                ready.push((e.task, e.attempt));
+                            _ => {
+                                stale_dropped += 1;
+                                STALE_DROPPED.incr();
+                                trace::instant(
+                                    "task.stale_drop",
+                                    &[
+                                        ("task", i64::from(task_id)),
+                                        ("attempt", i64::from(attempt)),
+                                    ],
+                                );
                             }
                         }
                     }
@@ -493,6 +579,8 @@ where
             let mut out = out_ref.lock();
             quarantined.sort_unstable();
             out.retries = retries;
+            out.eager_retries = eager_retries;
+            out.stale_dropped = stale_dropped;
             out.reissues = reissues;
             out.leaders_died = leaders_died;
             out.quarantined = quarantined;
@@ -528,6 +616,7 @@ where
                             .send(MasterMsg::Returned {
                                 leader: leader_id,
                                 task_id: assignment.task.id,
+                                attempt: assignment.attempt,
                             })
                             .ok();
                         continue;
@@ -596,7 +685,11 @@ where
                             TASKS_COMPLETED.incr();
                             trace::instant(
                                 "task.complete",
-                                &[("task", i64::from(task.id)), ("leader", leader_id as i64)],
+                                &[
+                                    ("task", i64::from(task.id)),
+                                    ("attempt", i64::from(attempt)),
+                                    ("leader", leader_id as i64),
+                                ],
                             );
                         } else {
                             counters_ref.lock().1 += 1;
@@ -606,16 +699,28 @@ where
                             .send(MasterMsg::Completed {
                                 leader: leader_id,
                                 task_id: task.id,
+                                attempt,
+                                copy,
                                 seconds,
                             })
                             .ok();
                     } else {
                         trace::instant(
                             "task.fail",
-                            &[("task", i64::from(task.id)), ("leader", leader_id as i64)],
+                            &[
+                                ("task", i64::from(task.id)),
+                                ("attempt", i64::from(attempt)),
+                                ("copy", i64::from(copy)),
+                                ("leader", leader_id as i64),
+                            ],
                         );
                         to_master
-                            .send(MasterMsg::Failed { leader: leader_id, task_id: task.id })
+                            .send(MasterMsg::Failed {
+                                leader: leader_id,
+                                task_id: task.id,
+                                attempt,
+                                copy,
+                            })
                             .ok();
                     }
                     if death_quota.is_some_and(|q| executed >= q) {
@@ -644,14 +749,24 @@ where
 
     let makespan = t0.elapsed().as_secs_f64();
     let (tasks_executed, duplicates_suppressed) = *counters.lock();
-    let fragments_done = done_fragments.lock().len();
-    let out = master_out.into_inner();
+    let done = done_fragments.into_inner();
+    let fragments_done = done.len();
+    let mut out = master_out.into_inner();
+    // Salvage reconciliation: under an *impure* workload a straggler copy of
+    // an earlier attempt can succeed (and credit its fragments) after the
+    // master eagerly quarantined the task — the stale ack is dropped, but
+    // the result is real. Keep the credit and un-quarantine those
+    // fragments; under a pure FaultPlan this is a no-op, so the forecast
+    // parity guarantees are untouched.
+    out.quarantined.retain(|f| !done.contains(f));
     let report = RunReport {
         makespan,
         leader_busy: busy.iter().map(|b| *b.lock()).collect(),
         tasks_executed,
         fragments_done,
         retries: out.retries,
+        eager_retries: out.eager_retries,
+        stale_dropped: out.stale_dropped,
         reissues: out.reissues,
         duplicates_suppressed,
         quarantined_fragments: out.quarantined,
@@ -714,7 +829,11 @@ mod tests {
     fn failure_injection_retries_and_recovers() {
         let frags = water_dimer_workload(60);
         let policy = SizeSensitivePolicy::with_defaults(frags);
-        // Fragment 7 fails on its first attempt only.
+        // Fragment 7 fails on its first *execution* only — impure on
+        // purpose, to exercise the workload-reported failure path. Straggler
+        // re-issue is disabled: a duplicate copy would be the second
+        // execution and could succeed before the original's failure ack
+        // lands, legitimately completing the task with zero retries.
         let failures = AtomicUsize::new(0);
         let report = run_master_leader_worker(
             Box::new(policy),
@@ -728,6 +847,7 @@ mod tests {
                 n_leaders: 3,
                 workers_per_leader: 1,
                 prefetch: false,
+                recovery: RecoveryPolicy { straggler_factor: None, ..RecoveryPolicy::default() },
                 ..RuntimeConfig::default()
             },
         );
@@ -869,6 +989,8 @@ mod tests {
             tasks_executed: 3,
             fragments_done: 3,
             retries: 0,
+            eager_retries: 0,
+            stale_dropped: 0,
             reissues: 0,
             duplicates_suppressed: 0,
             quarantined_fragments: vec![],

@@ -62,6 +62,11 @@ impl Task {
     pub fn is_empty(&self) -> bool {
         self.fragments.is_empty()
     }
+
+    /// Ids of the packed fragments, in task order (quarantine reporting).
+    pub fn fragment_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.fragments.iter().map(|f| f.id)
+    }
 }
 
 /// Builds the water-dimer benchmark workload: `n` uniform 6-atom fragments

@@ -127,6 +127,89 @@ fn quarantine_is_deterministic_across_repeated_runs() {
     }
 }
 
+/// A straggler copy of attempt *n* that reports after the eager retry has
+/// already issued attempt *n+1* must be dropped as stale: the in-flight
+/// entry for attempt *n+1* and every forecastable counter stay untouched.
+///
+/// Construction: one oversized fragment (dispatched first by the sorted
+/// policy) fails permanently and sleeps long enough that the idle second
+/// leader gets a duplicate copy. Both copies of attempt 0 are doomed
+/// (failure is pure in `(fragment, attempt)`); the first to report
+/// concludes the attempt eagerly, so the second — which started strictly
+/// later and sleeps just as long — always lands stale.
+#[test]
+fn stale_straggler_ack_leaves_counters_untouched_runtime() {
+    const SLOW: u32 = 0;
+    let mut frags = vec![FragmentWorkItem { id: SLOW, atoms: 500 }];
+    frags.extend((1..13).map(|i| FragmentWorkItem { id: i, atoms: 6 }));
+    let n = frags.len();
+
+    let plan = FaultPlan::none().permanent([SLOW]);
+    let rec = RecoveryPolicy { max_attempts: 2, backoff_base: 1e-4, straggler_factor: Some(2.0) };
+    let forecast = plan.forecast(&decompose(frags.clone()), &rec);
+    assert_eq!(forecast.retries, 1, "one eager retry before quarantine");
+    assert_eq!(forecast.eager_retries, 1);
+    assert_eq!(forecast.quarantined_fragments, vec![SLOW]);
+
+    let run = run_master_leader_worker(
+        Box::new(SortedSingletonPolicy::new(frags)),
+        |item| {
+            if item.id == SLOW {
+                std::thread::sleep(std::time::Duration::from_millis(150));
+            }
+            true
+        },
+        RuntimeConfig {
+            n_leaders: 2,
+            workers_per_leader: 1,
+            prefetch: false,
+            recovery: rec,
+            faults: plan,
+        },
+    );
+
+    // The stale copy was observed and dropped...
+    assert!(run.reissues >= 1, "slow task must be re-issued: {}", run.reissues);
+    assert!(run.stale_dropped >= 1, "straggler ack must be dropped as stale");
+    // ...without disturbing any forecastable counter or the quarantine set.
+    assert_eq!(run.retries, forecast.retries);
+    assert_eq!(run.eager_retries, forecast.eager_retries);
+    assert_eq!(run.quarantined_fragments, forecast.quarantined_fragments);
+    assert_eq!(run.fragments_done, n - 1);
+    assert_eq!(run.unfinished_fragments, 0);
+}
+
+/// Simulator twin of the stale-straggler scenario: virtual time makes the
+/// whole trajectory deterministic, so the stale drop reproduces exactly.
+/// Injected copy latency stretches some first copies; the clean re-issued
+/// copy of a doomed attempt then fails first, the eager retry issues
+/// attempt n+1, and the stretched copy's Done event lands stale. Counter
+/// parity with the forecast must hold for *every* seed, stale drops or not.
+#[test]
+fn stale_straggler_ack_leaves_counters_untouched_simulator() {
+    let rec = RecoveryPolicy { max_attempts: 3, backoff_base: 1e-4, straggler_factor: Some(2.0) };
+    let frags = water_dimer_workload(40);
+    let tasks = decompose(frags.clone());
+    let mut saw_stale = false;
+    for seed in 0..60u64 {
+        let plan = FaultPlan::with_failure_rate(seed, 0.3).stragglers(0.3, 30.0);
+        let forecast = plan.forecast(&tasks, &rec);
+        let sim = simulate(
+            Box::new(SortedSingletonPolicy::new(frags.clone())),
+            &SimConfig { n_leaders: 3, recovery: rec, faults: plan, ..Default::default() },
+        );
+        assert_eq!(sim.retries, forecast.retries, "seed {seed}");
+        assert_eq!(sim.eager_retries, forecast.eager_retries, "seed {seed}");
+        assert_eq!(sim.quarantined_fragments, forecast.quarantined_fragments, "seed {seed}");
+        if sim.stale_dropped > 0 {
+            assert!(sim.reissues > 0, "seed {seed}: a stale ack implies a duplicate copy");
+            saw_stale = true;
+            break;
+        }
+    }
+    assert!(saw_stale, "no seed in 0..60 produced a stale straggler ack");
+}
+
 #[test]
 fn leader_death_and_failures_compose() {
     // One leader dies early AND fragments fail intermittently: survivors
