@@ -148,6 +148,14 @@ fn main() {
     run_pinned_workloads();
     let snapshot = qfr_obs::counter::deterministic_json();
 
+    // The pinned workloads traverse the DFPT hot path, so the symmetry
+    // strength reduction must have fired: a zero here means the symmetric
+    // call sites regressed to the general GEMM.
+    let saved = qfr_obs::counter::value_of("linalg.gemm.flops_saved_symmetry").unwrap_or(0);
+    assert!(saved > 0, "linalg.gemm.flops_saved_symmetry must be > 0 on the pinned workload");
+    let syrk_calls = qfr_obs::counter::value_of("linalg.syrk.calls").unwrap_or(0);
+    assert!(syrk_calls > 0, "linalg.syrk.calls must be > 0 on the pinned workload");
+
     if let Some(path) = arg_value("--write") {
         std::fs::write(&path, format!("{snapshot}\n")).expect("write baseline");
         println!("baseline written to {path}");

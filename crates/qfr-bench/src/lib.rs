@@ -18,6 +18,7 @@
 //! | `ablation_gagq` | GAGQ vs plain Gauss vs dense accuracy + KPM baseline |
 //! | `ablation_fold` | chain fold vs concap statistics |
 //! | `ablation_faults` | failure-rate sweep + straggler re-issue study |
+//! | `ablation_symmetry` | Section V-D strength reduction: syrk kernels + merged displaced-SCF sweep |
 //!
 //! Every binary prints a human-readable table comparing measured values to
 //! the paper's reported ones and writes a JSON record under

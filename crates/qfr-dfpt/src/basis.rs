@@ -315,7 +315,7 @@ mod tests {
         let b = Basis::for_fragment(&frag);
         let grid = crate::grid::RealSpaceGrid::for_fragment(&frag, 0.22, 5.0, 64);
         let x = b.evaluate(&grid.points);
-        let mut s_num = qfr_linalg::gemm::matmul(&x.transpose(), &x);
+        let mut s_num = qfr_linalg::blas::gram(&x);
         s_num.scale_mut(grid.dv);
         let s = b.overlap();
         assert!(s_num.max_abs_diff(&s) < 0.02, "numeric overlap error {}", s_num.max_abs_diff(&s));

@@ -15,9 +15,15 @@ use crate::response::{polarizability, ResponseConfig};
 use crate::scf::{ScfConfig, ScfResult, ScfSolver};
 use qfr_fragment::{FragmentEngine, FragmentResponse, FragmentStructure};
 use qfr_linalg::DMatrix;
+use rayon::prelude::*;
 
 static FRAGMENTS_COMPUTED: qfr_obs::Counter =
     qfr_obs::Counter::deterministic("dfpt.engine.fragments");
+/// Displaced-geometry SCF solves issued by the finite-difference engine.
+static SCF_SOLVES: qfr_obs::Counter = qfr_obs::Counter::deterministic("dfpt.engine.scf_solves");
+/// Derivative evaluations served from an already-solved displaced SCF
+/// instead of a fresh solve (the merged-sweep saving).
+static SCF_REUSED: qfr_obs::Counter = qfr_obs::Counter::deterministic("dfpt.engine.scf_reused");
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -105,26 +111,34 @@ impl DfptEngine {
         };
 
         let mut hess = DMatrix::zeros(dof, dof);
-        // Diagonal: central second difference.
-        let singles: Vec<(f64, f64)> =
-            (0..dof).map(|i| (displaced(i, 1.0, i, 0.0), displaced(i, -1.0, i, 0.0))).collect();
+        // Diagonal: central second difference. The displaced energies are
+        // independent, so evaluate them in parallel; collecting into an
+        // index-ordered Vec keeps every downstream combination (and thus the
+        // result) bit-identical to the serial loop.
+        let singles: Vec<(f64, f64)> = (0..dof)
+            .into_par_iter()
+            .map(|i| (displaced(i, 1.0, i, 0.0), displaced(i, -1.0, i, 0.0)))
+            .collect();
         for i in 0..dof {
             hess[(i, i)] = (singles[i].0 + singles[i].1 - 2.0 * e0) / (h * h);
         }
-        // Off-diagonal: mixed difference using the cached singles.
-        for i in 0..dof {
-            for j in (i + 1)..dof {
+        // Off-diagonal: mixed difference using the cached singles. The pair
+        // list is flattened so rayon can balance the triangular workload;
+        // results come back in pair order and are written serially.
+        let pairs: Vec<(usize, usize)> =
+            (0..dof).flat_map(|i| ((i + 1)..dof).map(move |j| (i, j))).collect();
+        let mixed: Vec<f64> = pairs
+            .par_iter()
+            .map(|&(i, j)| {
                 let epp = displaced(i, 1.0, j, 1.0);
                 let emm = displaced(i, -1.0, j, -1.0);
-                let v = (epp + emm + 2.0 * e0
-                    - singles[i].0
-                    - singles[i].1
-                    - singles[j].0
-                    - singles[j].1)
-                    / (2.0 * h * h);
-                hess[(i, j)] = v;
-                hess[(j, i)] = v;
-            }
+                (epp + emm + 2.0 * e0 - singles[i].0 - singles[i].1 - singles[j].0 - singles[j].1)
+                    / (2.0 * h * h)
+            })
+            .collect();
+        for (&(i, j), &v) in pairs.iter().zip(&mixed) {
+            hess[(i, j)] = v;
+            hess[(j, i)] = v;
         }
         hess.scale_mut(self.config.energy_scale);
         hess
@@ -132,27 +146,108 @@ impl DfptEngine {
 
     /// Polarizability derivatives by central differences of the DFPT
     /// polarizability over atomic displacements (`6 x 3m`).
+    ///
+    /// This is the *scattered* reference path: it re-solves SCF at every
+    /// displaced geometry even though [`DfptEngine::dmu_fd`] visits the same
+    /// geometries. Production code goes through
+    /// [`DfptEngine::displaced_sweep`], which shares the solves.
     pub fn dalpha_fd(&self, frag: &FragmentStructure) -> DMatrix {
         let _span = qfr_obs::span("dfpt.engine.dalpha_fd");
         let dof = frag.dof();
         let h = self.config.displacement;
+        let comps = alpha_components();
+        // Independent displacements: solve in parallel, collect in index
+        // order so the assembled matrix is bit-identical to a serial sweep.
+        let cols: Vec<[f64; 6]> = (0..dof)
+            .into_par_iter()
+            .map(|i| {
+                let alpha_at = |s: f64| {
+                    let mut f = frag.clone();
+                    apply_shift(&mut f, i, s * h);
+                    SCF_SOLVES.incr();
+                    let scf = ScfSolver { config: self.config.scf }.solve(&f);
+                    polarizability(&scf, &self.config.response).0
+                };
+                let ap = alpha_at(1.0);
+                let am = alpha_at(-1.0);
+                let mut col = [0.0; 6];
+                for (ci, &(p, q)) in comps.iter().enumerate() {
+                    col[ci] = (ap[(p, q)] - am[(p, q)]) / (2.0 * h);
+                }
+                col
+            })
+            .collect();
         let mut out = DMatrix::zeros(6, dof);
-        let comps = [(0, 0), (1, 1), (2, 2), (0, 1), (0, 2), (1, 2)];
-        for i in 0..dof {
-            let alpha_at = |s: f64| {
-                let mut f = frag.clone();
-                apply_shift(&mut f, i, s * h);
-                let scf = ScfSolver { config: self.config.scf }.solve(&f);
-                polarizability(&scf, &self.config.response).0
-            };
-            let ap = alpha_at(1.0);
-            let am = alpha_at(-1.0);
-            for (ci, &(p, q)) in comps.iter().enumerate() {
-                out[(ci, i)] = (ap[(p, q)] - am[(p, q)]) / (2.0 * h);
+        for (i, col) in cols.iter().enumerate() {
+            for (ci, &v) in col.iter().enumerate() {
+                out[(ci, i)] = v;
             }
         }
         out
     }
+
+    /// One displaced-SCF sweep computing *both* derivative blocks: for every
+    /// degree of freedom the `±h` geometries are solved exactly once and the
+    /// polarizability **and** dipole are derived from the shared
+    /// [`ScfResult`] — half the SCF solves of running [`DfptEngine::dalpha_fd`]
+    /// followed by [`DfptEngine::dmu_fd`] (2·dof instead of 4·dof).
+    ///
+    /// Returns `(dalpha 6 x dof, dmu 3 x dof)`. The per-entry arithmetic is
+    /// the exact expressions of the scattered paths, and displacements are
+    /// reduced in index order, so both blocks are bit-identical to the
+    /// scattered results. Counters: each solve bumps
+    /// `dfpt.engine.scf_solves`; each derivative block served from an
+    /// already-solved geometry bumps `dfpt.engine.scf_reused`.
+    pub fn displaced_sweep(&self, frag: &FragmentStructure) -> (DMatrix, DMatrix) {
+        let _span = qfr_obs::span("dfpt.engine.displaced_sweep");
+        let dof = frag.dof();
+        let h = self.config.displacement;
+        let comps = alpha_components();
+        let cols: Vec<([f64; 6], [f64; 3])> = (0..dof)
+            .into_par_iter()
+            .map(|i| {
+                // One SCF per displaced geometry; alpha and mu share it.
+                let at = |s: f64| {
+                    let mut f = frag.clone();
+                    apply_shift(&mut f, i, s * h);
+                    SCF_SOLVES.incr();
+                    let scf = ScfSolver { config: self.config.scf }.solve(&f);
+                    let alpha = polarizability(&scf, &self.config.response).0;
+                    SCF_REUSED.incr();
+                    let mu = Self::scf_dipole(&scf);
+                    (alpha, mu)
+                };
+                let (ap, mp) = at(1.0);
+                let (am, mm) = at(-1.0);
+                let mut acol = [0.0; 6];
+                for (ci, &(p, q)) in comps.iter().enumerate() {
+                    acol[ci] = (ap[(p, q)] - am[(p, q)]) / (2.0 * h);
+                }
+                let mut mcol = [0.0; 3];
+                for p in 0..3 {
+                    mcol[p] = (mp[p] - mm[p]) / (2.0 * h);
+                }
+                (acol, mcol)
+            })
+            .collect();
+        let mut dalpha = DMatrix::zeros(6, dof);
+        let mut dmu = DMatrix::zeros(3, dof);
+        for (i, (acol, mcol)) in cols.iter().enumerate() {
+            for (ci, &v) in acol.iter().enumerate() {
+                dalpha[(ci, i)] = v;
+            }
+            for (p, &v) in mcol.iter().enumerate() {
+                dmu[(p, i)] = v;
+            }
+        }
+        (dalpha, dmu)
+    }
+}
+
+/// The six independent components of the symmetric polarizability tensor,
+/// in the fixed `(xx, yy, zz, xy, xz, yz)` order used across the pipeline.
+fn alpha_components() -> [(usize, usize); 6] {
+    [(0, 0), (1, 1), (2, 2), (0, 1), (0, 2), (1, 2)]
 }
 
 impl DfptEngine {
@@ -176,21 +271,37 @@ impl DfptEngine {
 
     /// Dipole derivatives by central differences of the SCF dipole
     /// (`3 x 3m`).
+    ///
+    /// Scattered reference path — re-solves the same displaced geometries as
+    /// [`DfptEngine::dalpha_fd`]; production goes through
+    /// [`DfptEngine::displaced_sweep`].
     pub fn dmu_fd(&self, frag: &FragmentStructure) -> DMatrix {
+        let _span = qfr_obs::span("dfpt.engine.dmu_fd");
         let dof = frag.dof();
         let h = self.config.displacement;
+        let cols: Vec<[f64; 3]> = (0..dof)
+            .into_par_iter()
+            .map(|i| {
+                let mu_at = |s: f64| {
+                    let mut f = frag.clone();
+                    apply_shift(&mut f, i, s * h);
+                    SCF_SOLVES.incr();
+                    let scf = ScfSolver { config: self.config.scf }.solve(&f);
+                    Self::scf_dipole(&scf)
+                };
+                let mp = mu_at(1.0);
+                let mm = mu_at(-1.0);
+                let mut col = [0.0; 3];
+                for p in 0..3 {
+                    col[p] = (mp[p] - mm[p]) / (2.0 * h);
+                }
+                col
+            })
+            .collect();
         let mut out = DMatrix::zeros(3, dof);
-        for i in 0..dof {
-            let mu_at = |s: f64| {
-                let mut f = frag.clone();
-                apply_shift(&mut f, i, s * h);
-                let scf = ScfSolver { config: self.config.scf }.solve(&f);
-                Self::scf_dipole(&scf)
-            };
-            let mp = mu_at(1.0);
-            let mm = mu_at(-1.0);
-            for p in 0..3 {
-                out[(p, i)] = (mp[p] - mm[p]) / (2.0 * h);
+        for (i, col) in cols.iter().enumerate() {
+            for (p, &v) in col.iter().enumerate() {
+                out[(p, i)] = v;
             }
         }
         out
@@ -210,14 +321,17 @@ impl FragmentEngine for DfptEngine {
     fn compute(&self, frag: &FragmentStructure) -> FragmentResponse {
         let _span = qfr_obs::span("dfpt.engine.compute");
         FRAGMENTS_COMPUTED.incr();
+        // One merged sweep: each displaced geometry is solved once and both
+        // derivative blocks are derived from the shared SCF result.
+        let (dalpha, dmu) = self.displaced_sweep(frag);
         let resp = FragmentResponse {
             hessian: {
                 let mut m = self.hessian_fd(frag);
                 m.symmetrize_mut();
                 m
             },
-            dalpha: self.dalpha_fd(frag),
-            dmu: self.dmu_fd(frag),
+            dalpha,
+            dmu,
         };
         resp.check_shape(frag);
         resp

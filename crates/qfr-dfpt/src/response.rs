@@ -18,7 +18,7 @@
 //! which Table I and Fig. 9 read out.
 
 use crate::scf::{ScfResult, CX};
-use qfr_linalg::gemm::{self, Trans};
+use qfr_linalg::gemm;
 use qfr_linalg::DMatrix;
 use std::time::Instant;
 
@@ -220,9 +220,9 @@ pub fn solve_response(scf: &ScfResult, h1_ext: &DMatrix, cfg: &ResponseConfig) -
                         *v *= w;
                     }
                 }
-                gemm::dgemm(Trans::Yes, Trans::No, 1.0, &xw, x, 1.0, &mut m);
+                // X^T diag(w) X is symmetric; half-FLOP triangle kernel.
+                qfr_linalg::syrk::symmetric_product(1.0, &xw, x, 1.0, &mut m);
             }
-            m.symmetrize_mut();
             m
         });
         phases.h1_seconds += dt;
@@ -243,8 +243,9 @@ pub fn solve_response(scf: &ScfResult, h1_ext: &DMatrix, cfg: &ResponseConfig) -
 /// H1_ia / (ε_i − ε_a)`, computed in the MO basis with two GEMM pairs.
 fn response_density_matrix(scf: &ScfResult, h1: &DMatrix) -> DMatrix {
     let n = scf.basis.len();
-    let tmp = gemm::matmul(&scf.c.transpose(), h1);
-    let h1_mo = gemm::matmul(&tmp, &scf.c);
+    // H1 is symmetric, so Cᵀ H1 C is a congruence of a symmetric matrix —
+    // the triangle-only kernel halves the second product's FLOPs.
+    let h1_mo = qfr_linalg::syrk::congruence_transform(&scf.c, h1);
     let mut m = DMatrix::zeros(n, n);
     qfr_linalg::flops::add((n * n * 4) as u64);
     for i in 0..n {
@@ -261,10 +262,9 @@ fn response_density_matrix(scf: &ScfResult, h1: &DMatrix) -> DMatrix {
             m[(a, i)] = w;
         }
     }
-    let cm = gemm::matmul(&scf.c, &m);
-    let mut p1 = gemm::matmul(&cm, &scf.c.transpose());
-    p1.symmetrize_mut();
-    p1
+    // m is symmetric by construction, so P1 = C m Cᵀ is a similarity
+    // transform — triangle-only second product, exactly symmetric output.
+    qfr_linalg::syrk::similarity_transform(&scf.c, &m)
 }
 
 /// Phase 2 kernel: response density and its gradient per batch.

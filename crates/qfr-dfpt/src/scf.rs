@@ -159,9 +159,10 @@ impl ScfSolver {
                         *v *= w;
                     }
                 }
-                gemm::dgemm(gemm::Trans::Yes, gemm::Trans::No, 1.0, &xw, x, 1.0, &mut v_mat);
+                // X^T diag(w) X is symmetric by construction, so the
+                // symmetric-product kernel does half the GEMM work.
+                qfr_linalg::syrk::symmetric_product(1.0, &xw, x, 1.0, &mut v_mat);
             }
-            v_mat.symmetrize_mut();
             fock = &h_core + &v_mat;
 
             // Löwdin-orthogonalized eigenproblem.
@@ -214,12 +215,10 @@ impl ScfSolver {
     }
 }
 
-/// `L⁻¹ M L⁻ᵀ`.
+/// `L⁻¹ M L⁻ᵀ` for symmetric `M`, via the triangle-only similarity kernel
+/// (neither transpose is materialized; result exactly symmetric by mirror).
 pub(crate) fn sandwich_linv(l_inv: &DMatrix, m: &DMatrix) -> DMatrix {
-    let tmp = gemm::matmul(l_inv, m);
-    let mut out = gemm::matmul(&tmp, &l_inv.transpose());
-    out.symmetrize_mut();
-    out
+    qfr_linalg::syrk::similarity_transform(l_inv, m)
 }
 
 /// Aufbau occupations: 2 electrons per orbital, one possibly fractional.
@@ -247,8 +246,8 @@ pub(crate) fn density_matrix(c: &DMatrix, occ: &[f64]) -> DMatrix {
             c_occ[(i, j)] *= f;
         }
     }
-    let mut p = gemm::matmul(&c_occ, &c_occ.transpose());
-    p.symmetrize_mut();
+    let mut p = DMatrix::zeros(n, n);
+    qfr_linalg::syrk::syrk(gemm::Trans::No, 1.0, &c_occ, 0.0, &mut p);
     p
 }
 

@@ -1,0 +1,64 @@
+//! Pins the merged displaced-SCF sweep against the scattered reference
+//! paths: bit-identical `dalpha`/`dmu` and the predicted drop in
+//! displaced-geometry SCF solves.
+//!
+//! This lives in its own integration-test binary (one `#[test]`) because it
+//! reads process-global deterministic counters; sharing a process with other
+//! counter-bumping tests would race the deltas.
+
+use qfr_dfpt::engine::DfptEngine;
+use qfr_fragment::{FragmentJob, FragmentStructure, JobKind};
+use qfr_geom::WaterBoxBuilder;
+
+fn water_fragment() -> FragmentStructure {
+    let sys = WaterBoxBuilder::new(1).seed(1).build();
+    FragmentJob {
+        kind: JobKind::WaterMonomer { w: 0 },
+        coefficient: 1.0,
+        atoms: vec![0, 1, 2],
+        link_hydrogens: vec![],
+    }
+    .structure(&sys)
+}
+
+#[test]
+fn merged_sweep_is_bit_identical_and_halves_scf_solves() {
+    let engine = DfptEngine::new();
+    let frag = water_fragment();
+    let dof = frag.dof();
+    let solves = || qfr_obs::counter::value_of("dfpt.engine.scf_solves").unwrap_or(0);
+    let reused = || qfr_obs::counter::value_of("dfpt.engine.scf_reused").unwrap_or(0);
+
+    // Scattered reference: dalpha and dmu each re-solve all 2·dof displaced
+    // geometries independently — 4·dof solves total.
+    let before = solves();
+    let da_ref = engine.dalpha_fd(&frag);
+    let dm_ref = engine.dmu_fd(&frag);
+    let scattered_solves = solves() - before;
+    assert_eq!(scattered_solves, 4 * dof as u64, "scattered path solve count");
+
+    // Merged sweep: each displaced geometry solved exactly once, dipole
+    // served from the shared ScfResult.
+    let (before_s, before_r) = (solves(), reused());
+    let (da, dm) = engine.displaced_sweep(&frag);
+    let merged_solves = solves() - before_s;
+    let merged_reused = reused() - before_r;
+    assert_eq!(merged_solves, 2 * dof as u64, "merged sweep must solve each geometry once");
+    assert_eq!(merged_reused, 2 * dof as u64, "every solve must also serve the dipole");
+    assert!(
+        scattered_solves >= 2 * merged_solves,
+        "merged sweep must at least halve SCF solves: {scattered_solves} vs {merged_solves}"
+    );
+
+    // Same solve path, same per-entry arithmetic, index-ordered reduction:
+    // the merged blocks are bit-identical to the scattered ones.
+    assert_eq!(da.shape(), da_ref.shape());
+    assert_eq!(dm.shape(), dm_ref.shape());
+    assert_eq!(da.as_slice(), da_ref.as_slice(), "dalpha must be bit-identical");
+    assert_eq!(dm.as_slice(), dm_ref.as_slice(), "dmu must be bit-identical");
+
+    // Determinism under rayon: a second merged sweep reproduces every bit.
+    let (da2, dm2) = engine.displaced_sweep(&frag);
+    assert_eq!(da.as_slice(), da2.as_slice());
+    assert_eq!(dm.as_slice(), dm2.as_slice());
+}

@@ -156,20 +156,18 @@ pub fn execute_planned(jobs: &[GemmJob], plan: &BatchGemmPlan) -> Vec<DMatrix> {
     BATCH_LAUNCHES_SAVED.add(jobs.len().saturating_sub(plan.launch_count()) as u64);
     let mut results: Vec<Option<DMatrix>> = vec![None; jobs.len()];
     for (class, indices) in plan.groups() {
-        // Pad operands of the whole class, then run them as one launch.
-        let padded: Vec<(usize, DMatrix, DMatrix)> = indices
-            .iter()
+        // One parallel "launch" per class; each worker pads its own operands
+        // so no serial pre-pass (or intermediate padded-operand Vec) is
+        // needed before the launch.
+        let outputs: Vec<(usize, DMatrix)> = indices
+            .par_iter()
             .map(|&i| {
                 let job = &jobs[i];
-                (i, job.a.zero_padded(class.m, class.k), job.b.zero_padded(class.k, class.n))
-            })
-            .collect();
-        let outputs: Vec<(usize, DMatrix)> = padded
-            .par_iter()
-            .map(|(i, a, b)| {
+                let a = job.a.zero_padded(class.m, class.k);
+                let b = job.b.zero_padded(class.k, class.n);
                 let mut c = DMatrix::zeros(class.m, class.n);
-                gemm::gemm_blocked(&mut c, a, b, 1.0, 0.0);
-                (*i, c)
+                gemm::gemm_blocked(&mut c, &a, &b, 1.0, 0.0);
+                (i, c)
             })
             .collect();
         for (i, c) in outputs {

@@ -94,22 +94,14 @@ pub fn symmetric_sandwich(x: &DMatrix, p: &DMatrix, g: &DMatrix) -> DMatrix {
     plus_transpose(&m)
 }
 
-/// Symmetric rank-k update `C = A^T A` (the Gram matrix), computing only the
-/// upper triangle and mirroring — half the multiply count of a full GEMM.
+/// Symmetric rank-k update `C = A^T A` (the Gram matrix), computing only one
+/// triangle and mirroring — half the multiply count of a full GEMM.
+/// Delegates to the [`crate::syrk`] kernel so the call and the saved FLOPs
+/// land in the `linalg.syrk.*` counters.
 pub fn gram(a: &DMatrix) -> DMatrix {
-    let (m, n) = a.shape();
-    crate::flops::add((n as u64 * (n as u64 + 1) / 2) * 2 * m as u64);
+    let n = a.cols();
     let mut c = DMatrix::zeros(n, n);
-    for i in 0..n {
-        for j in i..n {
-            let mut acc = 0.0;
-            for p in 0..m {
-                acc += a[(p, i)] * a[(p, j)];
-            }
-            c[(i, j)] = acc;
-            c[(j, i)] = acc;
-        }
-    }
+    crate::syrk::syrk(Trans::Yes, 1.0, a, 0.0, &mut c);
     c
 }
 

@@ -41,8 +41,9 @@ const BLOCK: usize = 64;
 /// rows of `C`, so tasks never alias output memory.
 const PAR_ROWS: usize = 32;
 
-/// Minimum `m * n * k` before [`matmul`] picks the parallel kernel.
-const PAR_WORK_THRESHOLD: usize = 64 * 64 * 64 * 8;
+/// Minimum multiply-add count before the auto-dispatching entry points
+/// ([`matmul`], [`dgemm`], and the `syrk` family) pick the parallel kernel.
+pub(crate) const PAR_WORK_THRESHOLD: usize = 64 * 64 * 64 * 8;
 
 fn check_dims(c: &DMatrix, a: &DMatrix, b: &DMatrix) {
     assert_eq!(
@@ -63,6 +64,9 @@ pub fn gemm_naive(c: &mut DMatrix, a: &DMatrix, b: &DMatrix, alpha: f64, beta: f
     check_dims(c, a, b);
     let (m, k) = a.shape();
     let n = b.cols();
+    if m == 0 || n == 0 {
+        return; // no output entries; nothing to scale or accumulate
+    }
     GEMM_CALLS.incr();
     crate::flops::add(crate::flops::gemm_flops(m, n, k));
     for i in 0..m {
@@ -94,6 +98,9 @@ pub fn gemm_blocked(c: &mut DMatrix, a: &DMatrix, b: &DMatrix, alpha: f64, beta:
     check_dims(c, a, b);
     let (m, k) = a.shape();
     let n = b.cols();
+    if m == 0 || n == 0 {
+        return;
+    }
     GEMM_CALLS.incr();
     crate::flops::add(crate::flops::gemm_flops(m, n, k));
     scale_rows(c, beta, 0, m);
@@ -117,6 +124,11 @@ pub fn gemm_parallel(c: &mut DMatrix, a: &DMatrix, b: &DMatrix, alpha: f64, beta
     check_dims(c, a, b);
     let (m, k) = a.shape();
     let n = b.cols();
+    if m == 0 || n == 0 {
+        // Guard in particular against `n == 0`: `par_chunks_mut` panics on a
+        // zero chunk size.
+        return;
+    }
     GEMM_CALLS.incr();
     crate::flops::add(crate::flops::gemm_flops(m, n, k));
     let c_data = c.as_mut_slice();
@@ -193,7 +205,9 @@ fn tile_kernel(
 /// `C <- alpha * op(A) * op(B) + beta * C` where `op(X)` is `X` or `X^T`.
 ///
 /// Transposed operands are materialized once; for the fragment-sized matrices
-/// of the DFPT cycle this costs far less than strided inner loops.
+/// of the DFPT cycle this costs far less than strided inner loops. Kernel
+/// selection follows the same `PAR_WORK_THRESHOLD` dispatch as [`matmul`],
+/// so large transposed products use the parallel kernel too.
 pub fn dgemm(
     ta: Trans,
     tb: Trans,
@@ -219,7 +233,19 @@ pub fn dgemm(
             &bt
         }
     };
-    gemm_blocked(c, aa, bb, alpha, beta);
+    gemm_auto(c, aa, bb, alpha, beta);
+}
+
+/// Work-based kernel dispatch shared by [`matmul`] and [`dgemm`]: the
+/// rayon-parallel kernel past `PAR_WORK_THRESHOLD` multiply-adds, the
+/// cache-blocked kernel below it.
+pub fn gemm_auto(c: &mut DMatrix, a: &DMatrix, b: &DMatrix, alpha: f64, beta: f64) {
+    let work = a.rows() * a.cols() * b.cols();
+    if work >= PAR_WORK_THRESHOLD {
+        gemm_parallel(c, a, b, alpha, beta);
+    } else {
+        gemm_blocked(c, a, b, alpha, beta);
+    }
 }
 
 /// `y <- alpha * A x + beta * y`.
@@ -242,12 +268,7 @@ pub fn gemv(alpha: f64, a: &DMatrix, x: &[f64], beta: f64, y: &mut [f64]) {
 /// large problems, blocked otherwise.
 pub fn matmul(a: &DMatrix, b: &DMatrix) -> DMatrix {
     let mut c = DMatrix::zeros(a.rows(), b.cols());
-    let work = a.rows() * a.cols() * b.cols();
-    if work >= PAR_WORK_THRESHOLD {
-        gemm_parallel(&mut c, a, b, 1.0, 0.0);
-    } else {
-        gemm_blocked(&mut c, a, b, 1.0, 0.0);
-    }
+    gemm_auto(&mut c, a, b, 1.0, 0.0);
     c
 }
 
@@ -370,6 +391,31 @@ mod tests {
         let mut cref = DMatrix::zeros(160, 160);
         gemm_naive(&mut cref, &a, &b, 1.0, 0.0);
         assert!(matmul(&a, &b).max_abs_diff(&cref) < 1e-10);
+    }
+
+    #[test]
+    fn empty_dimensions_do_not_panic() {
+        // Regression: `gemm_parallel` used to panic on `n == 0` because
+        // `par_chunks_mut(PAR_ROWS * n)` was handed a zero chunk size.
+        for (m, k, n) in [(0usize, 3usize, 4usize), (3, 3, 0), (0, 0, 0), (4, 0, 0)] {
+            let a = DMatrix::zeros(m, k);
+            let b = DMatrix::zeros(k, n);
+            let mut c1 = DMatrix::zeros(m, n);
+            let mut c2 = DMatrix::zeros(m, n);
+            let mut c3 = DMatrix::zeros(m, n);
+            gemm_naive(&mut c1, &a, &b, 1.0, 0.5);
+            gemm_blocked(&mut c2, &a, &b, 1.0, 0.5);
+            gemm_parallel(&mut c3, &a, &b, 1.0, 0.5);
+            assert_eq!(c1.shape(), (m, n));
+        }
+        // k == 0 with non-empty output still applies the beta scaling.
+        let a = DMatrix::zeros(2, 0);
+        let b = DMatrix::zeros(0, 3);
+        let mut c = DMatrix::from_fn(2, 3, |_, _| 2.0);
+        gemm_parallel(&mut c, &a, &b, 1.0, 0.5);
+        assert!(c.max_abs_diff(&DMatrix::from_fn(2, 3, |_, _| 1.0)) < 1e-15);
+        let empty = matmul(&DMatrix::zeros(5, 4), &DMatrix::zeros(4, 0));
+        assert_eq!(empty.shape(), (5, 0));
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //!   rayon-parallel variants, all FLOP-instrumented;
 //! - [`batch`] — *batched* GEMM with stride-32 size-class padding, the
 //!   building block of the paper's elastic workload offloading (Section V-C);
+//! - [`syrk`] — the symmetric rank-k family (`syrk`, `syr2k`,
+//!   `symmetric_product`, similarity/congruence transforms) behind the
+//!   Section V-D strength reduction: triangle-only compute at half the GEMM
+//!   FLOPs, with the savings pinned in a deterministic counter;
 //! - [`eigen`] — Householder tridiagonalization + implicit-shift QL symmetric
 //!   eigensolver (and a tridiagonal fast path used by the Lanczos/GAGQ
 //!   solver);
@@ -41,6 +45,7 @@ pub mod gemm;
 pub mod lu;
 pub mod matrix;
 pub mod sparse;
+pub mod syrk;
 pub mod tridiag;
 pub mod vecops;
 

@@ -6,8 +6,10 @@ use qfr_linalg::cholesky::Cholesky;
 use qfr_linalg::eigen::symmetric_eigen;
 use qfr_linalg::fft::{fft_in_place, ifft_in_place, Complex64};
 use qfr_linalg::gemm;
+use qfr_linalg::gemm::Trans;
 use qfr_linalg::lu::Lu;
 use qfr_linalg::sparse::TripletBuilder;
+use qfr_linalg::syrk;
 use qfr_linalg::tridiag::{gauss_quadrature_nodes, tridiagonal_eigen};
 use qfr_linalg::DMatrix;
 
@@ -203,5 +205,91 @@ proptest! {
         p.symmetrize_mut();
         prop_assert!(blas::cross_term_naive(&x, &g).max_abs_diff(&blas::symmetric_cross_term(&x, &g)) < 1e-9);
         prop_assert!(blas::sandwich_naive(&x, &p, &g).max_abs_diff(&blas::symmetric_sandwich(&x, &p, &g)) < 1e-9);
+    }
+
+    #[test]
+    fn syrk_matches_gemm_naive(a in matrix_strategy(24), alpha in -3.0..3.0f64, beta in -2.0..2.0f64, seed in 0u64..500) {
+        // C = alpha A A^T + beta C against the naive reference, with a random
+        // symmetric C (the syrk contract only references one triangle).
+        let n = a.rows();
+        let mut state = seed | 1;
+        let mut c0 = DMatrix::from_fn(n, n, |_, _| {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        });
+        c0.symmetrize_mut();
+        let mut reference = c0.clone();
+        gemm::gemm_naive(&mut reference, &a, &a.transpose(), alpha, beta);
+        let mut fast = c0.clone();
+        syrk::syrk(Trans::No, alpha, &a, beta, &mut fast);
+        prop_assert!(fast.max_abs_diff(&reference) < 1e-9);
+        prop_assert!(fast.is_symmetric(0.0));
+
+        // And the A^T A orientation (output cols(a) x cols(a)).
+        let m = a.cols();
+        let mut ct = DMatrix::zeros(m, m);
+        syrk::syrk(Trans::Yes, alpha, &a, 0.0, &mut ct);
+        let mut ref_t = DMatrix::zeros(m, m);
+        gemm::gemm_naive(&mut ref_t, &a.transpose(), &a, alpha, 0.0);
+        prop_assert!(ct.max_abs_diff(&ref_t) < 1e-9);
+    }
+
+    #[test]
+    fn syr2k_matches_gemm_naive(a in matrix_strategy(20), alpha in -3.0..3.0f64, seed in 0u64..500) {
+        let (n, k) = a.shape();
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(7);
+        let mut gen = move || {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let b = DMatrix::from_fn(n, k, |_, _| gen());
+        // C = alpha (A B^T + B A^T): reference via two naive GEMMs.
+        let mut reference = DMatrix::zeros(n, n);
+        gemm::gemm_naive(&mut reference, &a, &b.transpose(), alpha, 0.0);
+        gemm::gemm_naive(&mut reference, &b, &a.transpose(), alpha, 1.0);
+        let mut fast = DMatrix::zeros(n, n);
+        syrk::syr2k(Trans::No, alpha, &a, &b, 0.0, &mut fast);
+        prop_assert!(fast.max_abs_diff(&reference) < 1e-9);
+        prop_assert!(fast.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn similarity_transform_matches_gemm_naive(a in matrix_strategy(16), seed in 0u64..500) {
+        // A M A^T with symmetric M (rows(a) x rows(a) output, M is cols x cols).
+        let k = a.cols();
+        let mut state = seed | 3;
+        let mut m = DMatrix::from_fn(k, k, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        });
+        m.symmetrize_mut();
+        let n = a.rows();
+        let mut am = DMatrix::zeros(n, k);
+        gemm::gemm_naive(&mut am, &a, &m, 1.0, 0.0);
+        let mut reference = DMatrix::zeros(n, n);
+        gemm::gemm_naive(&mut reference, &am, &a.transpose(), 1.0, 0.0);
+        let fast = syrk::similarity_transform(&a, &m);
+        prop_assert!(fast.max_abs_diff(&reference) < 1e-9);
+        prop_assert!(fast.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn symmetric_product_matches_gemm_naive(k in 2..20usize, n in 2..12usize, alpha in -2.0..2.0f64, seed in 0u64..500) {
+        // Canonical symmetric-by-construction pair: A = diag(w) B, so that
+        // A^T B = B^T diag(w) B is symmetric (the Fock-build shape).
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(5);
+        let mut gen = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let b = DMatrix::from_fn(k, n, |_, _| gen());
+        let w: Vec<f64> = (0..k).map(|_| gen()).collect();
+        let a = DMatrix::from_fn(k, n, |i, j| w[i] * b[(i, j)]);
+        let mut reference = DMatrix::zeros(n, n);
+        gemm::gemm_naive(&mut reference, &a.transpose(), &b, alpha, 0.0);
+        let mut fast = DMatrix::zeros(n, n);
+        syrk::symmetric_product(alpha, &a, &b, 0.0, &mut fast);
+        prop_assert!(fast.max_abs_diff(&reference) < 1e-9);
+        prop_assert!(fast.is_symmetric(0.0));
     }
 }

@@ -184,7 +184,7 @@ mod tests {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         });
-        let mut h = qfr_linalg::gemm::matmul(&b.transpose(), &b);
+        let mut h = qfr_linalg::blas::gram(&b);
         h.scale_mut(scale / n as f64);
         h
     }

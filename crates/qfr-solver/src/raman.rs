@@ -143,7 +143,7 @@ mod tests {
         // Random PSD matrix with spectrum spread over eigenvalue units
         // corresponding to 0..~3600 cm-1 (lambda in 0..7.6).
         let b = DMatrix::from_fn(n, n, |_, _| rnd());
-        let mut h = qfr_linalg::gemm::matmul(&b.transpose(), &b);
+        let mut h = qfr_linalg::blas::gram(&b);
         let scale = 7.6 / h.trace().max(1.0) * n as f64 / 4.0;
         h.scale_mut(scale);
         let dalpha: [Vec<f64>; 6] = std::array::from_fn(|_| (0..n).map(|_| rnd()).collect());
