@@ -11,8 +11,9 @@
 //! Argument parsing is hand-rolled (no CLI dependency); every flag has a
 //! sensible paper-matching default.
 
-use qfr_core::RamanWorkflow;
+use qfr_core::{EngineKind, RamanWorkflow};
 use qfr_geom::{io, MolecularSystem, ProteinBuilder, SolvatedSystem, WaterBoxBuilder};
+use qfr_linalg::batch::OffloadMode;
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
@@ -32,6 +33,7 @@ fn usage() -> ! {
          qfr spectrum  (--protein N | --waters N) [--solvate PAD] [--sigma S]\n                \
          [--lambda L] [--lanczos K] [--seed SEED] [--temperature T]\n                \
          [--ir] [--json FILE] [--xyz FILE] [--dense | --stream]\n                \
+         [--dfpt] [--offload batched|scattered]\n                \
          [--sched LEADERS [--workers W] [--checkpoint FILE\n                 \
          [--checkpoint-interval N]]] [--checkpoint FILE]\n                \
          [--trace FILE] [--metrics] [--metrics-out FILE]\n  \
@@ -74,10 +76,24 @@ fn cmd_spectrum(args: &[String]) {
     }
 
     let sigma = parse(args, "--sigma", if system.n_waters > 0 { 20.0 } else { 5.0 });
-    let workflow = RamanWorkflow::new(system)
+    // --offload selects how the DFPT engine executes its gathered job
+    // streams; spectra are bit-identical in both modes (ablation knob).
+    let offload = match arg_value(args, "--offload").as_deref() {
+        None | Some("batched") => OffloadMode::default(),
+        Some("scattered") => OffloadMode::Scattered,
+        Some(other) => {
+            eprintln!("error: --offload takes 'batched' or 'scattered', got '{other}'");
+            std::process::exit(2);
+        }
+    };
+    let mut workflow = RamanWorkflow::new(system)
         .sigma(sigma)
         .lambda(parse(args, "--lambda", 4.0))
-        .lanczos_steps(parse(args, "--lanczos", 140));
+        .lanczos_steps(parse(args, "--lanczos", 140))
+        .offload(offload);
+    if has(args, "--dfpt") {
+        workflow = workflow.engine(EngineKind::ModelDfpt);
+    }
     let mut result = if has(args, "--dense") {
         workflow.run_dense_reference()
     } else if has(args, "--stream") {

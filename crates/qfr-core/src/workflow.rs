@@ -102,6 +102,9 @@ pub struct RamanWorkflow {
     parallel: bool,
     /// Cap on fragment size when the DFPT engine is selected.
     dfpt_fragment_cap: usize,
+    /// How the DFPT engine executes its gathered dense-algebra job
+    /// streams (ignored by the force-field engine).
+    offload: qfr_linalg::batch::OffloadMode,
 }
 
 impl RamanWorkflow {
@@ -115,6 +118,7 @@ impl RamanWorkflow {
             raman: RamanOptions::default(),
             parallel: true,
             dfpt_fragment_cap: 12,
+            offload: qfr_linalg::batch::OffloadMode::default(),
         }
     }
 
@@ -161,6 +165,15 @@ impl RamanWorkflow {
         self
     }
 
+    /// Selects how the model-DFPT engine executes its gathered
+    /// dense-algebra job streams (batched size-class launches by default;
+    /// scattered per-job execution for ablations). Results are
+    /// bit-identical in both modes.
+    pub fn offload(mut self, mode: qfr_linalg::batch::OffloadMode) -> Self {
+        self.offload = mode;
+        self
+    }
+
     /// Read access to the system.
     pub fn system(&self) -> &MolecularSystem {
         &self.system
@@ -174,7 +187,12 @@ impl RamanWorkflow {
     fn make_engine(&self) -> Box<dyn FragmentEngine> {
         match self.engine {
             EngineKind::ForceField => Box::new(ForceFieldEngine::new()),
-            EngineKind::ModelDfpt => Box::new(qfr_dfpt::DfptEngine::new()),
+            EngineKind::ModelDfpt => {
+                let mut config = qfr_dfpt::DfptEngineConfig::default();
+                config.scf.offload = self.offload;
+                config.response.offload = self.offload;
+                Box::new(qfr_dfpt::DfptEngine { config })
+            }
         }
     }
 

@@ -11,7 +11,7 @@
 //! DESIGN.md). A single global `energy_scale` calibrates the model energy
 //! units to mdyn/Å so both engines feed the same downstream pipeline.
 
-use crate::response::{polarizability, ResponseConfig};
+use crate::response::{alpha_from, polarizability, solve_responses, ResponseConfig, ResponseTask};
 use crate::scf::{ScfConfig, ScfResult, ScfSolver};
 use qfr_fragment::{FragmentEngine, FragmentResponse, FragmentStructure};
 use qfr_linalg::DMatrix;
@@ -198,46 +198,67 @@ impl DfptEngine {
     /// scattered results. Counters: each solve bumps
     /// `dfpt.engine.scf_solves`; each derivative block served from an
     /// already-solved geometry bumps `dfpt.engine.scf_reused`.
+    ///
+    /// This is the cross-fragment gather point of the response phase: the
+    /// `2·dof` geometries are solved first (stage 1), then *all* `6·dof`
+    /// field-response tasks go through one [`solve_responses`] set so the
+    /// batched accelerator sees the whole sweep's job stream at once
+    /// (stage 2). Each task's result is independent of its batch
+    /// companions, so both blocks stay bit-identical to the scattered
+    /// per-geometry path.
     pub fn displaced_sweep(&self, frag: &FragmentStructure) -> (DMatrix, DMatrix) {
         let _span = qfr_obs::span("dfpt.engine.displaced_sweep");
         let dof = frag.dof();
         let h = self.config.displacement;
         let comps = alpha_components();
-        let cols: Vec<([f64; 6], [f64; 3])> = (0..dof)
+        // Stage 1: one SCF per displaced geometry (g = 2i for +h, 2i+1 for
+        // -h), solved in parallel and collected in index order.
+        let scfs: Vec<ScfResult> = (0..2 * dof)
             .into_par_iter()
-            .map(|i| {
-                // One SCF per displaced geometry; alpha and mu share it.
-                let at = |s: f64| {
-                    let mut f = frag.clone();
-                    apply_shift(&mut f, i, s * h);
-                    SCF_SOLVES.incr();
-                    let scf = ScfSolver { config: self.config.scf }.solve(&f);
-                    let alpha = polarizability(&scf, &self.config.response).0;
-                    SCF_REUSED.incr();
-                    let mu = Self::scf_dipole(&scf);
-                    (alpha, mu)
-                };
-                let (ap, mp) = at(1.0);
-                let (am, mm) = at(-1.0);
+            .map(|g| {
+                let i = g / 2;
+                let s = if g % 2 == 0 { 1.0 } else { -1.0 };
+                let mut f = frag.clone();
+                apply_shift(&mut f, i, s * h);
+                SCF_SOLVES.incr();
+                ScfSolver { config: self.config.scf }.solve(&f)
+            })
+            .collect();
+        // Stage 2: gather all 6·dof field responses into one lockstep set.
+        let tasks: Vec<ResponseTask<'_>> = scfs
+            .iter()
+            .flat_map(|scf| {
+                let dipole = scf.basis.dipole();
+                dipole.into_iter().map(move |d| ResponseTask { scf, h1_ext: d.scaled(-1.0) })
+            })
+            .collect();
+        let (results, _phases) = solve_responses(&tasks, &self.config.response);
+        let per_geometry: Vec<([f64; 6], [f64; 3])> = (0..2 * dof)
+            .map(|g| {
+                let scf = &scfs[g];
+                let alpha = alpha_from(
+                    scf,
+                    [&results[3 * g].p1, &results[3 * g + 1].p1, &results[3 * g + 2].p1],
+                );
+                SCF_REUSED.incr();
+                let mu = Self::scf_dipole(scf);
                 let mut acol = [0.0; 6];
                 for (ci, &(p, q)) in comps.iter().enumerate() {
-                    acol[ci] = (ap[(p, q)] - am[(p, q)]) / (2.0 * h);
+                    acol[ci] = alpha[(p, q)];
                 }
-                let mut mcol = [0.0; 3];
-                for p in 0..3 {
-                    mcol[p] = (mp[p] - mm[p]) / (2.0 * h);
-                }
-                (acol, mcol)
+                (acol, [mu[0], mu[1], mu[2]])
             })
             .collect();
         let mut dalpha = DMatrix::zeros(6, dof);
         let mut dmu = DMatrix::zeros(3, dof);
-        for (i, (acol, mcol)) in cols.iter().enumerate() {
-            for (ci, &v) in acol.iter().enumerate() {
-                dalpha[(ci, i)] = v;
+        for i in 0..dof {
+            let (ap, mp) = &per_geometry[2 * i];
+            let (am, mm) = &per_geometry[2 * i + 1];
+            for ci in 0..6 {
+                dalpha[(ci, i)] = (ap[ci] - am[ci]) / (2.0 * h);
             }
-            for (p, &v) in mcol.iter().enumerate() {
-                dmu[(p, i)] = v;
+            for p in 0..3 {
+                dmu[(p, i)] = (mp[p] - mm[p]) / (2.0 * h);
             }
         }
         (dalpha, dmu)

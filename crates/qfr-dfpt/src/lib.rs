@@ -26,8 +26,18 @@
 //! applies the paper's strength reduction (Section V-D). Both produce
 //! identical results (tested) and both account FLOPs, which is how the
 //! Fig. 9 speedups and Table I rates are regenerated.
+//!
+//! Since PR 6 the dense hot loops (SCF density/Fock builds, the response
+//! phases 1/2/4) no longer call kernels directly: they *gather*
+//! kernel-tagged [`qfr_linalg::batch::BatchJob`] streams and dispatch them
+//! through `qfr_sched::CpuAccelerator` — the paper's elastic workload
+//! offloading executed for real (Section V-C, DESIGN.md §11). The
+//! [`response::solve_responses`] set driver additionally gathers jobs
+//! *across* response tasks (field directions × displaced geometries) in
+//! deterministic lockstep.
 
 pub mod basis;
+pub mod dispatch;
 pub mod displacement;
 pub mod engine;
 pub mod grid;
@@ -38,5 +48,5 @@ pub use basis::Basis;
 pub use displacement::{displacement_cycle, CycleProfile, DisplacementConfig};
 pub use engine::{DfptEngine, DfptEngineConfig};
 pub use grid::RealSpaceGrid;
-pub use response::{polarizability, ResponseConfig, ResponseResult};
+pub use response::{polarizability, solve_responses, ResponseConfig, ResponseResult, ResponseTask};
 pub use scf::{ScfConfig, ScfResult, ScfSolver};

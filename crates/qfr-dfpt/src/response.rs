@@ -16,10 +16,21 @@
 //!
 //! Wall time and FLOPs are accumulated per phase into [`CyclePhases`],
 //! which Table I and Fig. 9 read out.
+//!
+//! Execution model (PR 6, DESIGN.md §11): the GEMM/SYRK work of phases 1,
+//! 2 and 4 is *gathered* into kernel-tagged job streams and dispatched
+//! through [`crate::dispatch::dispatch_jobs`] — one batched launch family
+//! per phase instead of one kernel call per matrix. [`solve_responses`]
+//! runs a whole *set* of response tasks (field directions × displaced
+//! geometries) in deterministic lockstep, so jobs gather across tasks;
+//! [`solve_response`] is the single-task wrapper.
 
+use crate::dispatch::dispatch_jobs;
 use crate::scf::{ScfResult, CX};
+use qfr_linalg::batch::BatchJob;
 use qfr_linalg::gemm;
 use qfr_linalg::DMatrix;
+use rayon::prelude::*;
 use std::time::Instant;
 
 /// Strength of the model gradient-kernel term (consumes ∇n(1); kept small
@@ -37,11 +48,21 @@ pub struct ResponseConfig {
     pub batch_size: usize,
     /// Use the symmetry-aware strength reduction of Section V-D.
     pub use_symmetry_reduction: bool,
+    /// How gathered dense-algebra jobs are executed (Section V-C). Both
+    /// modes produce identical values; `Batched` packs size classes into
+    /// single launches.
+    pub offload: qfr_linalg::batch::OffloadMode,
 }
 
 impl Default for ResponseConfig {
     fn default() -> Self {
-        Self { n_cycles: 4, mixing: 0.6, batch_size: 512, use_symmetry_reduction: true }
+        Self {
+            n_cycles: 4,
+            mixing: 0.6,
+            batch_size: 512,
+            use_symmetry_reduction: true,
+            offload: qfr_linalg::batch::OffloadMode::default(),
+        }
     }
 }
 
@@ -130,11 +151,38 @@ pub fn field_response(scf: &ScfResult, c: usize, cfg: &ResponseConfig) -> Respon
 
 /// Runs the DFPT self-consistency loop for an arbitrary bare perturbation
 /// `h1_ext` (fixed basis; used by both the field driver and the
-/// displacement-cycle workload of `crate::displacement`).
+/// displacement-cycle workload of `crate::displacement`). Single-task
+/// wrapper around [`solve_responses`]; the returned `phases` are the set
+/// totals (identical, for one task).
 pub fn solve_response(scf: &ScfResult, h1_ext: &DMatrix, cfg: &ResponseConfig) -> ResponseResult {
-    let n = scf.basis.len();
-    let batches = scf.grid.batches(cfg.batch_size);
-    // Pre-evaluated panels: values and Cartesian gradients.
+    let tasks = [ResponseTask { scf, h1_ext: h1_ext.clone() }];
+    let (mut results, phases) = solve_responses(&tasks, cfg);
+    let mut out = results.pop().expect("one task in, one result out");
+    out.phases = phases;
+    out
+}
+
+/// One `(SCF state, bare perturbation)` entry of a gathered response set.
+#[derive(Debug)]
+pub struct ResponseTask<'a> {
+    /// The converged ground state the response is computed against.
+    pub scf: &'a ScfResult,
+    /// The bare perturbation matrix (symmetric).
+    pub h1_ext: DMatrix,
+}
+
+/// Per-`ScfResult` precomputation shared by every task on that state:
+/// grid batches, basis value/gradient panels, and the ground-state density
+/// gradient for the model gradient kernel.
+struct ScfPanels {
+    batches: Vec<std::ops::Range<usize>>,
+    x_panels: Vec<DMatrix>,
+    g_panels: Vec<[DMatrix; 3]>,
+    grad_n: [Vec<f64>; 3],
+}
+
+fn build_panels(scf: &ScfResult, batch_size: usize) -> ScfPanels {
+    let batches = scf.grid.batches(batch_size);
     let x_panels: Vec<DMatrix> =
         batches.iter().map(|b| scf.basis.evaluate(&scf.grid.points[b.clone()])).collect();
     let g_panels: Vec<[DMatrix; 3]> = batches
@@ -147,11 +195,12 @@ pub fn solve_response(scf: &ScfResult, h1_ext: &DMatrix, cfg: &ResponseConfig) -
             ]
         })
         .collect();
-    // Ground-state density gradient (for the model gradient kernel).
+    // Ground-state density gradient (for the model gradient kernel). The
+    // X·P products are shared across the three directions.
+    let xps: Vec<DMatrix> = x_panels.iter().map(|x| gemm::matmul(x, &scf.p)).collect();
     let grad_n: [Vec<f64>; 3] = std::array::from_fn(|dir| {
         let mut out = Vec::with_capacity(scf.grid.len());
-        for (x, g) in x_panels.iter().zip(&g_panels) {
-            let xp = gemm::matmul(x, &scf.p);
+        for ((x, g), xp) in x_panels.iter().zip(&g_panels).zip(&xps) {
             for row in 0..x.rows() {
                 let v: f64 = xp.row(row).iter().zip(g[dir].row(row)).map(|(a, b)| a * b).sum();
                 out.push(2.0 * v);
@@ -159,163 +208,272 @@ pub fn solve_response(scf: &ScfResult, h1_ext: &DMatrix, cfg: &ResponseConfig) -
         }
         out
     });
+    ScfPanels { batches, x_panels, g_panels, grad_n }
+}
 
-    let mut h1 = h1_ext.clone();
+/// Runs a whole set of response tasks in deterministic lockstep: each
+/// four-phase cycle gathers the dense-algebra jobs of *all* tasks into one
+/// kernel-tagged stream, dispatches them through the shared CPU
+/// accelerator ([`crate::dispatch::dispatch_jobs`]), and scatters results
+/// back in task/batch index order.
+///
+/// Determinism and independence: every job is computed over its own
+/// operands regardless of batch companions, and scatter-back is indexed,
+/// so each task's result is bit-identical whether it is solved alone, in
+/// this set, or in a different set — and identical in both offload modes.
+/// Panel precomputation is deduplicated across tasks sharing an
+/// [`ScfResult`] (the three field directions of a polarizability).
+///
+/// Returns the per-task results (their `phases` fields are zero) plus the
+/// set-level [`CyclePhases`] totals.
+pub fn solve_responses(
+    tasks: &[ResponseTask<'_>],
+    cfg: &ResponseConfig,
+) -> (Vec<ResponseResult>, CyclePhases) {
+    let t_count = tasks.len();
+    if t_count == 0 {
+        return (Vec::new(), CyclePhases::default());
+    }
+    // Deduplicate panel builds by ScfResult identity.
+    let mut uniq: Vec<&ScfResult> = Vec::new();
+    let panel_of: Vec<usize> = tasks
+        .iter()
+        .map(|t| match uniq.iter().position(|u| std::ptr::eq(*u, t.scf)) {
+            Some(i) => i,
+            None => {
+                uniq.push(t.scf);
+                uniq.len() - 1
+            }
+        })
+        .collect();
+    let panels: Vec<ScfPanels> =
+        uniq.par_iter().map(|scf| build_panels(scf, cfg.batch_size)).collect();
+
     let mut phases = CyclePhases::default();
-    let mut p1 = DMatrix::zeros(n, n);
-    let mut n1 = vec![0.0; scf.grid.len()];
-    let mut v1 = vec![0.0; scf.grid.len()];
+    let mut h1s: Vec<DMatrix> = tasks.iter().map(|t| t.h1_ext.clone()).collect();
+    let mut p1s: Vec<DMatrix> =
+        tasks.iter().map(|t| DMatrix::zeros(t.scf.basis.len(), t.scf.basis.len())).collect();
+    let mut n1s: Vec<Vec<f64>> = tasks.iter().map(|t| vec![0.0; t.scf.grid.len()]).collect();
+    let mut v1s: Vec<Vec<f64>> = n1s.clone();
 
     for _cycle in 0..cfg.n_cycles {
-        RESPONSE_CYCLES.incr();
-        // ---- Phase 1: response density matrix. -------------------------
-        let (p1_new, dt, fl) = measured("dfpt.p1", || response_density_matrix(scf, &h1));
-        p1 = p1_new;
+        RESPONSE_CYCLES.add(t_count as u64);
+
+        // ---- Phase 1: response density matrices. ------------------------
+        // Sum-over-states `P(1) = Σ_{i occ, a virt} occ_i (c_i c_aᵀ +
+        // c_a c_iᵀ) H1_ia / (ε_i − ε_a)` in the MO basis. H1 is symmetric,
+        // so Cᵀ H1 C is a congruence and P1 = C m Cᵀ a similarity — both
+        // triangle-only batched jobs.
+        let (new_p1s, dt, fl) = measured("dfpt.p1", || {
+            let cong: Vec<BatchJob> = tasks
+                .iter()
+                .zip(&h1s)
+                .map(|(t, h1)| BatchJob::congruence(t.scf.c.clone(), h1.clone()))
+                .collect();
+            let h1_mos = dispatch_jobs(&cong, cfg.offload);
+            let sims: Vec<BatchJob> = tasks
+                .iter()
+                .zip(&h1_mos)
+                .map(|(t, h1_mo)| {
+                    let scf = t.scf;
+                    let n = scf.basis.len();
+                    let mut m = DMatrix::zeros(n, n);
+                    qfr_linalg::flops::add((n * n * 4) as u64);
+                    for i in 0..n {
+                        if scf.occ[i] <= 0.0 {
+                            continue;
+                        }
+                        for a in 0..n {
+                            let gap = scf.eps[i] - scf.eps[a];
+                            if scf.occ[a] > 0.0 || gap.abs() < 1e-8 {
+                                continue;
+                            }
+                            let w = scf.occ[i] * h1_mo[(i, a)] / gap;
+                            m[(i, a)] = w;
+                            m[(a, i)] = w;
+                        }
+                    }
+                    BatchJob::similarity(scf.c.clone(), m)
+                })
+                .collect();
+            dispatch_jobs(&sims, cfg.offload)
+        });
+        p1s = new_p1s;
         phases.p1_seconds += dt;
         phases.p1_flops += fl;
 
         // ---- Phase 2: n(1)(r) and ∇n(1)(r) on the grid. -----------------
-        let ((n1_new, grad_n1), dt, fl) = measured("dfpt.n1", || {
-            response_density_on_grid(
-                &p1,
-                &batches,
-                &x_panels,
-                &g_panels,
-                cfg.use_symmetry_reduction,
-            )
+        // Naive path (Fig. 6(b) before reduction): `∇n1 = rowdot(X P1, G)
+        // + rowdot(G P1, X)` — two GEMMs plus two reductions per direction.
+        // Reduced path: since `P1 = P1ᵀ` the halves are equal, so `∇n1 =
+        // 2·rowdot(X P1, G)` — the GEMM is shared with the n(1) evaluation.
+        let jobs_per_batch = if cfg.use_symmetry_reduction { 1 } else { 4 };
+        let ((new_n1s, grads), dt, fl) = measured("dfpt.n1", || {
+            let mut jobs: Vec<BatchJob> = Vec::new();
+            let mut base = Vec::with_capacity(t_count);
+            for (t_idx, _) in tasks.iter().enumerate() {
+                let pan = &panels[panel_of[t_idx]];
+                base.push(jobs.len());
+                for (bi, x) in pan.x_panels.iter().enumerate() {
+                    jobs.push(BatchJob::gemm(x.clone(), p1s[t_idx].clone()));
+                    if !cfg.use_symmetry_reduction {
+                        for dir in 0..3 {
+                            jobs.push(BatchJob::gemm(
+                                pan.g_panels[bi][dir].clone(),
+                                p1s[t_idx].clone(),
+                            ));
+                        }
+                    }
+                }
+            }
+            let products = dispatch_jobs(&jobs, cfg.offload);
+            let mut n1_out = Vec::with_capacity(t_count);
+            let mut grads_out: Vec<[Vec<f64>; 3]> = Vec::with_capacity(t_count);
+            for (t_idx, task) in tasks.iter().enumerate() {
+                let pan = &panels[panel_of[t_idx]];
+                let npts = task.scf.grid.len();
+                let mut n1 = Vec::with_capacity(npts);
+                let mut grad: [Vec<f64>; 3] = std::array::from_fn(|_| Vec::with_capacity(npts));
+                for (bi, x) in pan.x_panels.iter().enumerate() {
+                    let rows = x.rows();
+                    let xp = &products[base[t_idx] + bi * jobs_per_batch];
+                    qfr_linalg::flops::add((2 * rows * x.cols()) as u64);
+                    for row in 0..rows {
+                        let v: f64 = xp.row(row).iter().zip(x.row(row)).map(|(a, b)| a * b).sum();
+                        n1.push(v);
+                    }
+                    if cfg.use_symmetry_reduction {
+                        for (dir, gvec) in grad.iter_mut().enumerate() {
+                            let g = &pan.g_panels[bi][dir];
+                            qfr_linalg::flops::add((2 * rows * x.cols()) as u64);
+                            for row in 0..rows {
+                                let v: f64 =
+                                    xp.row(row).iter().zip(g.row(row)).map(|(a, b)| a * b).sum();
+                                gvec.push(2.0 * v);
+                            }
+                        }
+                    } else {
+                        for (dir, gvec) in grad.iter_mut().enumerate() {
+                            let g = &pan.g_panels[bi][dir];
+                            let gp = &products[base[t_idx] + bi * jobs_per_batch + 1 + dir];
+                            qfr_linalg::flops::add((4 * rows * x.cols()) as u64);
+                            for row in 0..rows {
+                                let a: f64 =
+                                    xp.row(row).iter().zip(g.row(row)).map(|(u, v)| u * v).sum();
+                                let b: f64 =
+                                    gp.row(row).iter().zip(x.row(row)).map(|(u, v)| u * v).sum();
+                                gvec.push(a + b);
+                            }
+                        }
+                    }
+                }
+                n1_out.push(n1);
+                grads_out.push(grad);
+            }
+            (n1_out, grads_out)
         });
-        n1 = n1_new;
+        n1s = new_n1s;
         phases.n1_seconds += dt;
         phases.n1_flops += fl;
 
         // ---- Phase 3: Poisson + kernels. --------------------------------
-        let (v1_new, dt, fl) = measured("dfpt.v1", || {
-            let v_h1 = scf.grid.solve_poisson(&n1);
-            qfr_linalg::flops::add(8 * n1.len() as u64);
-            let mut v = Vec::with_capacity(n1.len());
-            for i in 0..n1.len() {
-                let nd = scf.density[i].max(1e-10);
-                // LDA kernel: f_xc = d v_x / d n = -(1/3) Cx n^{-2/3}.
-                let lda = -(CX / 3.0) * nd.powf(-2.0 / 3.0) * n1[i];
-                // Model gradient kernel: couples ∇n and ∇n(1).
-                let grad_term: f64 =
-                    (0..3).map(|d| grad_n[d][i] * grad_n1[d][i]).sum::<f64>() / (nd * nd);
-                v.push(v_h1[i] + lda + GRADIENT_KERNEL * grad_term);
-            }
-            v
+        // Tasks are independent; FLOPs land in the process-global counter
+        // the surrounding FlopScope reads, so parallelism keeps the phase
+        // totals (and all values) deterministic.
+        let (new_v1s, dt, fl) = measured("dfpt.v1", || {
+            (0..t_count)
+                .into_par_iter()
+                .map(|t_idx| {
+                    let scf = tasks[t_idx].scf;
+                    let pan = &panels[panel_of[t_idx]];
+                    let n1 = &n1s[t_idx];
+                    let grad_n1 = &grads[t_idx];
+                    let v_h1 = scf.grid.solve_poisson(n1);
+                    qfr_linalg::flops::add(8 * n1.len() as u64);
+                    let mut v = Vec::with_capacity(n1.len());
+                    for i in 0..n1.len() {
+                        let nd = scf.density[i].max(1e-10);
+                        // LDA kernel: f_xc = d v_x / d n = -(1/3) Cx n^{-2/3}.
+                        let lda = -(CX / 3.0) * nd.powf(-2.0 / 3.0) * n1[i];
+                        // Model gradient kernel: couples ∇n and ∇n(1).
+                        let grad_term: f64 =
+                            (0..3).map(|d| pan.grad_n[d][i] * grad_n1[d][i]).sum::<f64>()
+                                / (nd * nd);
+                        v.push(v_h1[i] + lda + GRADIENT_KERNEL * grad_term);
+                    }
+                    v
+                })
+                .collect::<Vec<_>>()
         });
-        v1 = v1_new;
+        v1s = new_v1s;
         phases.poisson_seconds += dt;
         phases.poisson_flops += fl;
 
-        // ---- Phase 4: response Hamiltonian. ------------------------------
-        let (h1_grid, dt, fl) = measured("dfpt.h1", || {
-            let mut m = DMatrix::zeros(n, n);
-            for (b, x) in batches.iter().zip(&x_panels) {
-                let mut xw = x.clone();
-                qfr_linalg::flops::add((x.rows() * n) as u64);
-                for (row, gi) in b.clone().enumerate() {
-                    let w = v1[gi] * scf.grid.dv;
-                    for v in xw.row_mut(row) {
-                        *v *= w;
+        // ---- Phase 4: response Hamiltonians. -----------------------------
+        // X^T diag(w) X is symmetric; per-batch triangle jobs, accumulated
+        // in batch order (IEEE addition is commutative, so the indexed sum
+        // equals the former in-place β=1 accumulation).
+        let (h1_grids, dt, fl) = measured("dfpt.h1", || {
+            let mut jobs: Vec<BatchJob> = Vec::new();
+            let mut base = Vec::with_capacity(t_count);
+            for (t_idx, task) in tasks.iter().enumerate() {
+                let pan = &panels[panel_of[t_idx]];
+                let n = task.scf.basis.len();
+                base.push(jobs.len());
+                for (b, x) in pan.batches.iter().zip(&pan.x_panels) {
+                    let mut xw = x.clone();
+                    qfr_linalg::flops::add((x.rows() * n) as u64);
+                    for (row, gi) in b.clone().enumerate() {
+                        let w = v1s[t_idx][gi] * task.scf.grid.dv;
+                        for v in xw.row_mut(row) {
+                            *v *= w;
+                        }
                     }
+                    jobs.push(BatchJob::symmetric_product(xw, x.clone()));
                 }
-                // X^T diag(w) X is symmetric; half-FLOP triangle kernel.
-                qfr_linalg::syrk::symmetric_product(1.0, &xw, x, 1.0, &mut m);
             }
-            m
+            let outs = dispatch_jobs(&jobs, cfg.offload);
+            let mut grids = Vec::with_capacity(t_count);
+            for (t_idx, task) in tasks.iter().enumerate() {
+                let pan = &panels[panel_of[t_idx]];
+                let n = task.scf.basis.len();
+                let mut m = DMatrix::zeros(n, n);
+                for bi in 0..pan.x_panels.len() {
+                    m += &outs[base[t_idx] + bi];
+                }
+                grids.push(m);
+            }
+            grids
         });
         phases.h1_seconds += dt;
         phases.h1_flops += fl;
 
-        // Damped update of the total perturbation.
-        let target = h1_ext + &h1_grid;
-        qfr_linalg::flops::add((3 * n * n) as u64);
-        h1 = DMatrix::from_fn(n, n, |i, j| {
-            (1.0 - cfg.mixing) * h1[(i, j)] + cfg.mixing * target[(i, j)]
-        });
-    }
-
-    ResponseResult { p1, n1, v1, h1, phases }
-}
-
-/// Sum-over-states `P(1) = Σ_{i occ, a virt} occ_i (c_i c_aᵀ + c_a c_iᵀ)
-/// H1_ia / (ε_i − ε_a)`, computed in the MO basis with two GEMM pairs.
-fn response_density_matrix(scf: &ScfResult, h1: &DMatrix) -> DMatrix {
-    let n = scf.basis.len();
-    // H1 is symmetric, so Cᵀ H1 C is a congruence of a symmetric matrix —
-    // the triangle-only kernel halves the second product's FLOPs.
-    let h1_mo = qfr_linalg::syrk::congruence_transform(&scf.c, h1);
-    let mut m = DMatrix::zeros(n, n);
-    qfr_linalg::flops::add((n * n * 4) as u64);
-    for i in 0..n {
-        if scf.occ[i] <= 0.0 {
-            continue;
-        }
-        for a in 0..n {
-            let gap = scf.eps[i] - scf.eps[a];
-            if scf.occ[a] > 0.0 || gap.abs() < 1e-8 {
-                continue;
-            }
-            let w = scf.occ[i] * h1_mo[(i, a)] / gap;
-            m[(i, a)] = w;
-            m[(a, i)] = w;
+        // Damped update of each task's total perturbation.
+        for (t_idx, task) in tasks.iter().enumerate() {
+            let n = task.scf.basis.len();
+            let target = &task.h1_ext + &h1_grids[t_idx];
+            qfr_linalg::flops::add((3 * n * n) as u64);
+            let next = DMatrix::from_fn(n, n, |i, j| {
+                (1.0 - cfg.mixing) * h1s[t_idx][(i, j)] + cfg.mixing * target[(i, j)]
+            });
+            h1s[t_idx] = next;
         }
     }
-    // m is symmetric by construction, so P1 = C m Cᵀ is a similarity
-    // transform — triangle-only second product, exactly symmetric output.
-    qfr_linalg::syrk::similarity_transform(&scf.c, &m)
-}
 
-/// Phase 2 kernel: response density and its gradient per batch.
-///
-/// Naive path (Fig. 6(b) before reduction): `∇n1 = rowdot(X P1, G) +
-/// rowdot(G P1, X)` — two GEMMs plus two GEMV-style row reductions per
-/// direction. Reduced path: since `P1 = P1ᵀ`, the halves are equal, so
-/// `∇n1 = 2·rowdot(X P1, G)` — one GEMM (shared with the n(1) evaluation)
-/// plus one reduction.
-#[allow(clippy::type_complexity)]
-fn response_density_on_grid(
-    p1: &DMatrix,
-    batches: &[std::ops::Range<usize>],
-    x_panels: &[DMatrix],
-    g_panels: &[[DMatrix; 3]],
-    reduced: bool,
-) -> (Vec<f64>, [Vec<f64>; 3]) {
-    let npts = batches.last().map_or(0, |b| b.end);
-    let mut n1 = Vec::with_capacity(npts);
-    let mut grad: [Vec<f64>; 3] = std::array::from_fn(|_| Vec::with_capacity(npts));
-    for (x, g3) in x_panels.iter().zip(g_panels) {
-        let rows = x.rows();
-        let xp = gemm::matmul(x, p1);
-        qfr_linalg::flops::add((2 * rows * x.cols()) as u64);
-        for row in 0..rows {
-            let v: f64 = xp.row(row).iter().zip(x.row(row)).map(|(a, b)| a * b).sum();
-            n1.push(v);
-        }
-        if reduced {
-            for (dir, gvec) in grad.iter_mut().enumerate() {
-                let g = &g3[dir];
-                qfr_linalg::flops::add((2 * rows * x.cols()) as u64);
-                for row in 0..rows {
-                    let v: f64 = xp.row(row).iter().zip(g.row(row)).map(|(a, b)| a * b).sum();
-                    gvec.push(2.0 * v);
-                }
-            }
-        } else {
-            for (dir, gvec) in grad.iter_mut().enumerate() {
-                let g = &g3[dir];
-                let gp = gemm::matmul(g, p1);
-                qfr_linalg::flops::add((4 * rows * x.cols()) as u64);
-                for row in 0..rows {
-                    let a: f64 = xp.row(row).iter().zip(g.row(row)).map(|(u, v)| u * v).sum();
-                    let b: f64 = gp.row(row).iter().zip(x.row(row)).map(|(u, v)| u * v).sum();
-                    gvec.push(a + b);
-                }
-            }
-        }
-    }
-    (n1, grad)
+    let results = p1s
+        .into_iter()
+        .zip(n1s)
+        .zip(v1s)
+        .zip(h1s)
+        .map(|(((p1, n1), v1), h1)| ResponseResult {
+            p1,
+            n1,
+            v1,
+            h1,
+            phases: CyclePhases::default(),
+        })
+        .collect();
+    (results, phases)
 }
 
 /// Static polarizability tensor from three field responses:
@@ -324,17 +482,26 @@ fn response_density_on_grid(
 /// out-of-plane response vanishes, so α is positive *semi*-definite.
 pub fn polarizability(scf: &ScfResult, cfg: &ResponseConfig) -> (DMatrix, CyclePhases) {
     let dipole = scf.basis.dipole();
+    let tasks: Vec<ResponseTask<'_>> =
+        (0..3).map(|c| ResponseTask { scf, h1_ext: dipole[c].scaled(-1.0) }).collect();
+    let (results, phases) = solve_responses(&tasks, cfg);
+    let alpha = alpha_from(scf, [&results[0].p1, &results[1].p1, &results[2].p1]);
+    (alpha, phases)
+}
+
+/// Assembles the symmetrized polarizability tensor from the three field
+/// response density matrices (shared with the merged displaced-SCF sweep
+/// in `crate::engine`).
+pub(crate) fn alpha_from(scf: &ScfResult, p1s: [&DMatrix; 3]) -> DMatrix {
+    let dipole = scf.basis.dipole();
     let mut alpha = DMatrix::zeros(3, 3);
-    let mut phases = CyclePhases::default();
-    for c in 0..3 {
-        let resp = field_response(scf, c, cfg);
-        phases.merge(&resp.phases);
+    for (c, p1) in p1s.iter().enumerate() {
         for (cp, d) in dipole.iter().enumerate() {
-            alpha[(c, cp)] = crate::scf::trace_product(&resp.p1, d);
+            alpha[(c, cp)] = crate::scf::trace_product(p1, d);
         }
     }
     alpha.symmetrize_mut();
-    (alpha, phases)
+    alpha
 }
 
 #[cfg(test)]

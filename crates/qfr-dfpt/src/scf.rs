@@ -7,8 +7,10 @@
 //! fixed mixing.
 
 use crate::basis::Basis;
+use crate::dispatch::dispatch_jobs;
 use crate::grid::RealSpaceGrid;
 use qfr_fragment::FragmentStructure;
+use qfr_linalg::batch::{BatchJob, OffloadMode};
 use qfr_linalg::cholesky::Cholesky;
 use qfr_linalg::eigen::symmetric_eigen;
 use qfr_linalg::gemm;
@@ -37,6 +39,8 @@ pub struct ScfConfig {
     pub mixing: f64,
     /// Convergence threshold on `max|ΔP|`.
     pub convergence: f64,
+    /// How the gathered density/Fock job streams are executed.
+    pub offload: OffloadMode,
 }
 
 impl Default for ScfConfig {
@@ -49,6 +53,7 @@ impl Default for ScfConfig {
             max_iterations: 60,
             mixing: 0.35,
             convergence: 1e-8,
+            offload: OffloadMode::default(),
         }
     }
 }
@@ -133,10 +138,14 @@ impl ScfSolver {
 
         for it in 0..cfg.max_iterations {
             iterations = it + 1;
-            // Density on the grid: n_i = x_i^T P x_i per batch.
+            // Density on the grid: n_i = x_i^T P x_i per batch. The X·P
+            // products are gathered into one job stream and dispatched
+            // through the shared accelerator.
             density.clear();
-            for (b, x) in batches.iter().zip(&x_panels) {
-                let xp = gemm::matmul(x, &p);
+            let density_jobs: Vec<BatchJob> =
+                x_panels.iter().map(|x| BatchJob::gemm(x.clone(), p.clone())).collect();
+            let xps = dispatch_jobs(&density_jobs, cfg.offload);
+            for ((b, x), xp) in batches.iter().zip(&x_panels).zip(&xps) {
                 qfr_linalg::flops::add((2 * x.rows() * n) as u64);
                 for row in 0..x.rows() {
                     let v: f64 = xp.row(row).iter().zip(x.row(row)).map(|(a, b)| a * b).sum();
@@ -148,20 +157,29 @@ impl ScfSolver {
             let v_h = grid.solve_poisson(&density);
             let v_eff: Vec<f64> =
                 density.iter().zip(&v_h).map(|(&nd, &vh)| vh - CX * nd.powf(1.0 / 3.0)).collect();
-            // V_eff matrix: sum over batches of X^T diag(v dv) X.
-            let mut v_mat = DMatrix::zeros(n, n);
-            for (b, x) in batches.iter().zip(&x_panels) {
-                let mut xw = x.clone();
-                qfr_linalg::flops::add((x.rows() * n) as u64);
-                for (row, gi) in b.clone().enumerate() {
-                    let w = v_eff[gi] * grid.dv;
-                    for v in xw.row_mut(row) {
-                        *v *= w;
+            // V_eff matrix: sum over batches of X^T diag(v dv) X. Each
+            // batch is a symmetric-product job (half the GEMM work);
+            // results are accumulated in batch order, which is bitwise
+            // equal to the former in-place β=1 accumulation because IEEE
+            // addition is commutative.
+            let fock_jobs: Vec<BatchJob> = batches
+                .iter()
+                .zip(&x_panels)
+                .map(|(b, x)| {
+                    let mut xw = x.clone();
+                    qfr_linalg::flops::add((x.rows() * n) as u64);
+                    for (row, gi) in b.clone().enumerate() {
+                        let w = v_eff[gi] * grid.dv;
+                        for v in xw.row_mut(row) {
+                            *v *= w;
+                        }
                     }
-                }
-                // X^T diag(w) X is symmetric by construction, so the
-                // symmetric-product kernel does half the GEMM work.
-                qfr_linalg::syrk::symmetric_product(1.0, &xw, x, 1.0, &mut v_mat);
+                    BatchJob::symmetric_product(xw, x.clone())
+                })
+                .collect();
+            let mut v_mat = DMatrix::zeros(n, n);
+            for out in dispatch_jobs(&fock_jobs, cfg.offload) {
+                v_mat += &out;
             }
             fock = &h_core + &v_mat;
 

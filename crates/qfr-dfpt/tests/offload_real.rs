@@ -1,0 +1,87 @@
+//! Pins the real offload execution path: batched size-class dispatch must
+//! reproduce the scattered per-job path bit-for-bit on the full response
+//! pipeline, and the offload counters must actually advance.
+//!
+//! Lives in its own integration-test binary because it reads
+//! process-global deterministic counters; sharing a process with other
+//! counter-bumping tests would race the deltas.
+
+use qfr_dfpt::response::{polarizability, solve_response, solve_responses, ResponseTask};
+use qfr_dfpt::{ResponseConfig, ScfConfig, ScfSolver};
+use qfr_fragment::{FragmentJob, FragmentStructure, JobKind};
+use qfr_geom::WaterBoxBuilder;
+use qfr_linalg::batch::OffloadMode;
+
+fn water_fragment() -> FragmentStructure {
+    let sys = WaterBoxBuilder::new(1).seed(1).build();
+    FragmentJob {
+        kind: JobKind::WaterMonomer { w: 0 },
+        coefficient: 1.0,
+        atoms: vec![0, 1, 2],
+        link_hydrogens: vec![],
+    }
+    .structure(&sys)
+}
+
+fn fast_scf(offload: OffloadMode) -> ScfSolver {
+    ScfSolver {
+        config: ScfConfig { max_grid_dim: 16, grid_spacing: 0.5, offload, ..Default::default() },
+    }
+}
+
+#[test]
+fn batched_offload_is_bit_identical_and_counted() {
+    let frag = water_fragment();
+    let counter = |name: &str| qfr_obs::counter::value_of(name).unwrap_or(0);
+
+    // --- SCF: scattered vs batched ground states agree bitwise. ---------
+    let scf_scattered = fast_scf(OffloadMode::Scattered).solve(&frag);
+    let before_exec = counter("sched.offload.executed_jobs");
+    let before_syrk = counter("linalg.batch.syrk_jobs");
+    let before_bytes = counter("linalg.batch.packed_bytes");
+    let scf_batched = fast_scf(OffloadMode::default()).solve(&frag);
+    assert_eq!(scf_scattered.p.as_slice(), scf_batched.p.as_slice(), "SCF density matrix");
+    assert_eq!(scf_scattered.fock.as_slice(), scf_batched.fock.as_slice(), "Fock matrix");
+    assert_eq!(scf_scattered.energy, scf_batched.energy, "SCF energy");
+    assert!(
+        counter("sched.offload.executed_jobs") > before_exec,
+        "the batched SCF must dispatch through the accelerator"
+    );
+
+    // --- Response: polarizability identical in both modes. --------------
+    let scattered_cfg = ResponseConfig { offload: OffloadMode::Scattered, ..Default::default() };
+    let batched_cfg = ResponseConfig::default();
+    let (alpha_s, phases_s) = polarizability(&scf_scattered, &scattered_cfg);
+    let (alpha_b, phases_b) = polarizability(&scf_batched, &batched_cfg);
+    assert_eq!(alpha_s.as_slice(), alpha_b.as_slice(), "polarizability must be bit-identical");
+    assert!(phases_s.total_flops() > 0 && phases_b.total_flops() > 0);
+    assert!(
+        counter("linalg.batch.syrk_jobs") > before_syrk,
+        "response triangle jobs must be counted"
+    );
+    assert!(
+        counter("linalg.batch.packed_bytes") > before_bytes,
+        "packed staging bytes must be counted"
+    );
+
+    // --- Set solve: a task's result is independent of its companions. ---
+    let dipole = scf_batched.basis.dipole();
+    let tasks: Vec<ResponseTask<'_>> = (0..3)
+        .map(|c| ResponseTask { scf: &scf_batched, h1_ext: dipole[c].scaled(-1.0) })
+        .collect();
+    let (set_results, _) = solve_responses(&tasks, &batched_cfg);
+    for (c, result) in set_results.iter().enumerate() {
+        let solo = solve_response(&scf_batched, &tasks[c].h1_ext, &batched_cfg);
+        assert_eq!(
+            result.p1.as_slice(),
+            solo.p1.as_slice(),
+            "task {c}: set result must equal the solo solve"
+        );
+        assert_eq!(result.h1.as_slice(), solo.h1.as_slice());
+        assert_eq!(result.n1, solo.n1);
+    }
+
+    // --- Determinism: a repeat run reproduces every bit. -----------------
+    let (alpha_b2, _) = polarizability(&scf_batched, &batched_cfg);
+    assert_eq!(alpha_b.as_slice(), alpha_b2.as_slice());
+}

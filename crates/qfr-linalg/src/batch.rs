@@ -11,6 +11,20 @@
 //! reference path [`execute_scattered`] runs jobs one at a time, which is
 //! what the Fig. 9 speedup bench compares against (combined with the
 //! launch-overhead model in `qfr-sched::offload`).
+//!
+//! Beyond the plain-GEMM job type, [`BatchJob`] tags each job with a
+//! [`BatchKernel`], so one batch can carry general GEMMs *and* the
+//! triangle-only SYRK/congruence/similarity jobs of the Section V-D
+//! strength reduction — the composition the paper credits for the
+//! 3.7× → 8.2× average speedup. [`execute_jobs_packed`] runs a single
+//! launch per size class: row-major operands are read in place, panels
+//! that must be materialized (transform intermediates, transposed views)
+//! are staged in one contiguous padded slab per class, and every worker
+//! computes only its job's *real* dimensions in an outer-product order
+//! whose per-entry accumulation is bitwise identical to the scattered
+//! reference kernels — so padding burns memory, never FLOPs, and results
+//! match value for value. See DESIGN.md §11 for the gather points and the
+//! determinism argument.
 
 use crate::gemm;
 use crate::matrix::DMatrix;
@@ -23,6 +37,52 @@ static BATCH_LAUNCHES: qfr_obs::Counter = qfr_obs::Counter::deterministic("linal
 /// into saved launch overhead.
 static BATCH_LAUNCHES_SAVED: qfr_obs::Counter =
     qfr_obs::Counter::deterministic("linalg.batch.launches_saved");
+/// Triangle-family ([`BatchKernel::SymmetricProduct`] / `Congruence` /
+/// `Similarity`) jobs carried by batched launches — pins that strength
+/// reduction and offloading compose.
+static BATCH_SYRK_JOBS: qfr_obs::Counter =
+    qfr_obs::Counter::deterministic("linalg.batch.syrk_jobs");
+/// Bytes moved by packed launches: padded operand panels staged into the
+/// class buffer plus the dense results written back — the real-execution
+/// analogue of `sched.offload.bytes_moved`.
+static BATCH_PACKED_BYTES: qfr_obs::Counter =
+    qfr_obs::Counter::deterministic("linalg.batch.packed_bytes");
+
+thread_local! {
+    /// Reused staging buffer for the packed execution path (grown, never
+    /// shrunk): response cycles dispatch thousands of small classes, and
+    /// re-allocating multi-MB buffers each time costs more than the
+    /// kernels themselves on small fragments.
+    static PACKED_SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Rayon pool width, sampled once per process: `current_num_threads` goes
+/// through the global-registry lookup on every call (measured ~10 µs on
+/// some hosts), which would dwarf a small class launch. The width only
+/// picks the dispatch granularity — serial and parallel execution are
+/// bitwise identical — so a cached value is always safe.
+fn pool_threads() -> usize {
+    static POOL_THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *POOL_THREADS.get_or_init(rayon::current_num_threads)
+}
+
+/// How gathered job streams are executed on the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffloadMode {
+    /// One reference-kernel call per job, serially (the pre-offload path).
+    Scattered,
+    /// Size-class packed batching with the given padding stride.
+    Batched {
+        /// Padding stride (the paper uses 32).
+        stride: usize,
+    },
+}
+
+impl Default for OffloadMode {
+    fn default() -> Self {
+        OffloadMode::Batched { stride: 32 }
+    }
+}
 
 /// One `C = A * B` job destined for batching.
 #[derive(Debug, Clone)]
@@ -158,13 +218,14 @@ pub fn execute_planned(jobs: &[GemmJob], plan: &BatchGemmPlan) -> Vec<DMatrix> {
     for (class, indices) in plan.groups() {
         // One parallel "launch" per class; each worker pads its own operands
         // so no serial pre-pass (or intermediate padded-operand Vec) is
-        // needed before the launch.
+        // needed before the launch. Operands already matching their class
+        // shape (stride-1 plans, exact multiples) are borrowed as-is.
         let outputs: Vec<(usize, DMatrix)> = indices
             .par_iter()
             .map(|&i| {
                 let job = &jobs[i];
-                let a = job.a.zero_padded(class.m, class.k);
-                let b = job.b.zero_padded(class.k, class.n);
+                let a = pad_to(&job.a, class.m, class.k);
+                let b = pad_to(&job.b, class.k, class.n);
                 let mut c = DMatrix::zeros(class.m, class.n);
                 gemm::gemm_blocked(&mut c, &a, &b, 1.0, 0.0);
                 (i, c)
@@ -172,10 +233,494 @@ pub fn execute_planned(jobs: &[GemmJob], plan: &BatchGemmPlan) -> Vec<DMatrix> {
             .collect();
         for (i, c) in outputs {
             let (m, n) = jobs[i].out_shape();
-            results[i] = Some(c.block(0, 0, m, n));
+            // The padded output *is* the result when nothing was padded.
+            results[i] = Some(if (m, n) == (class.m, class.n) { c } else { c.block(0, 0, m, n) });
         }
     }
     results.into_iter().map(|r| r.expect("every job belongs to exactly one size class")).collect()
+}
+
+/// Zero-pads `m` to `rows x cols`, or borrows it unchanged when it already
+/// has exactly that shape (the `execute_planned` copy-skip).
+fn pad_to(m: &DMatrix, rows: usize, cols: usize) -> std::borrow::Cow<'_, DMatrix> {
+    if m.shape() == (rows, cols) {
+        std::borrow::Cow::Borrowed(m)
+    } else {
+        std::borrow::Cow::Owned(m.zero_padded(rows, cols))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-tagged jobs: GEMM + the triangle family in one batch.
+// ---------------------------------------------------------------------------
+
+/// Dense kernel variant a batched job executes. The triangle-family
+/// variants mirror the `crate::syrk` reference kernels exactly (same
+/// ascending-inner-index accumulation, same reduced FLOP accounting), so
+/// strength reduction and elastic offloading compose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BatchKernel {
+    /// `C = A B` (general GEMM, `A` is `m x k`, `B` is `k x n`).
+    Gemm,
+    /// `C = Aᵀ B` for operand pairs whose product is symmetric by
+    /// construction (`A`/`B` are `k x n`; see
+    /// [`crate::syrk::symmetric_product`]).
+    SymmetricProduct,
+    /// `C = Aᵀ M A` for symmetric `M` (`A` is `k x n`, `M` is `k x k`).
+    Congruence,
+    /// `C = A M Aᵀ` for symmetric `M` (`A` is `n x k`, `M` is `k x k`).
+    Similarity,
+}
+
+/// One kernel-tagged job destined for batching.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Kernel to execute.
+    pub kernel: BatchKernel,
+    /// Left / row operand (`A`).
+    pub a: DMatrix,
+    /// Right operand (`B`, or the symmetric `M` of the transforms).
+    pub b: DMatrix,
+}
+
+impl BatchJob {
+    /// General GEMM job `C = A B`.
+    pub fn gemm(a: DMatrix, b: DMatrix) -> Self {
+        assert_eq!(a.cols(), b.rows(), "BatchJob::gemm: inner dimensions differ");
+        Self { kernel: BatchKernel::Gemm, a, b }
+    }
+
+    /// Symmetric-product job `C = Aᵀ B` (caller guarantees `Aᵀ B = Bᵀ A`,
+    /// e.g. `A = diag(w) B`).
+    pub fn symmetric_product(a: DMatrix, b: DMatrix) -> Self {
+        assert_eq!(a.shape(), b.shape(), "BatchJob::symmetric_product: A and B shapes differ");
+        Self { kernel: BatchKernel::SymmetricProduct, a, b }
+    }
+
+    /// Congruence job `C = Aᵀ M A` for symmetric `M`.
+    pub fn congruence(a: DMatrix, m: DMatrix) -> Self {
+        assert!(m.is_square(), "BatchJob::congruence: M must be square");
+        assert_eq!(a.rows(), m.rows(), "BatchJob::congruence: A/M mismatch");
+        Self { kernel: BatchKernel::Congruence, a, b: m }
+    }
+
+    /// Similarity job `C = A M Aᵀ` for symmetric `M`.
+    pub fn similarity(a: DMatrix, m: DMatrix) -> Self {
+        assert!(m.is_square(), "BatchJob::similarity: M must be square");
+        assert_eq!(a.cols(), m.rows(), "BatchJob::similarity: A/M mismatch");
+        Self { kernel: BatchKernel::Similarity, a, b: m }
+    }
+
+    /// Real (unpadded) `(m, n, k)` of the job: output `m x n`, inner
+    /// dimension `k`. Triangle-family jobs have `m == n`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        match self.kernel {
+            BatchKernel::Gemm => (self.a.rows(), self.b.cols(), self.a.cols()),
+            BatchKernel::SymmetricProduct | BatchKernel::Congruence => {
+                (self.a.cols(), self.a.cols(), self.a.rows())
+            }
+            BatchKernel::Similarity => (self.a.rows(), self.a.rows(), self.a.cols()),
+        }
+    }
+
+    /// Unpadded output shape `(m, n)`.
+    pub fn out_shape(&self) -> (usize, usize) {
+        let (m, n, _) = self.dims();
+        (m, n)
+    }
+
+    /// FLOPs this job costs at the *reduced* count the kernels account
+    /// (triangle-only compute for the symmetric family).
+    pub fn flops(&self) -> u64 {
+        let (m, n, k) = self.dims();
+        let triangle = |n: u64, k: u64| n * (n + 1) * k;
+        match self.kernel {
+            BatchKernel::Gemm => crate::flops::gemm_flops(m, n, k),
+            BatchKernel::SymmetricProduct => triangle(n as u64, k as u64),
+            BatchKernel::Congruence | BatchKernel::Similarity => {
+                crate::flops::gemm_flops(n, k, k) + triangle(n as u64, k as u64)
+            }
+        }
+    }
+
+    /// Classifies the job under the given padding stride.
+    pub fn class(&self, stride: usize) -> BatchClass {
+        assert!(stride > 0, "stride must be positive");
+        let round = |d: usize| d.div_ceil(stride) * stride;
+        let (m, n, k) = self.dims();
+        BatchClass { kernel: self.kernel, m: round(m), n: round(n), k: round(k) }
+    }
+}
+
+/// Padded `(kernel, m, n, k)` equivalence class of [`BatchJob`]s. Jobs
+/// sharing a class are dispatched in one packed launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BatchClass {
+    /// Kernel variant (classes never mix kernels).
+    pub kernel: BatchKernel,
+    /// Padded output rows.
+    pub m: usize,
+    /// Padded output cols.
+    pub n: usize,
+    /// Padded inner dimension.
+    pub k: usize,
+}
+
+impl BatchClass {
+    /// Padded panel lengths `(a, b, c)` in `f64`s per job slot — the data
+    /// footprint one launch slot presents to an accelerator's DMA (operand
+    /// panels in the kernel's row view, plus the padded output). Feeds the
+    /// `linalg.batch.packed_bytes` accounting.
+    fn panel_lens(&self) -> (usize, usize, usize) {
+        match self.kernel {
+            BatchKernel::Gemm => (self.m * self.k, self.k * self.n, self.m * self.n),
+            BatchKernel::SymmetricProduct => (self.n * self.k, self.n * self.k, self.n * self.n),
+            BatchKernel::Congruence | BatchKernel::Similarity => {
+                (self.n * self.k, self.k * self.k, self.n * self.n)
+            }
+        }
+    }
+
+    /// Scratch `f64`s one job slot stages in the per-class packed buffer.
+    /// Row-view operands are read in place (the copy-skip of
+    /// `execute_planned`, taken to its logical end), so only panels that
+    /// must be *materialized* are staged: the transposed `Aᵀ` view of
+    /// [`BatchKernel::Similarity`] and the transform intermediate
+    /// `T = Aᵀ M` (stored transposed so the triangle pass reads contiguous
+    /// rows).
+    fn staging_elems(&self) -> usize {
+        match self.kernel {
+            BatchKernel::Gemm | BatchKernel::SymmetricProduct => 0,
+            BatchKernel::Congruence => self.k * self.n,
+            BatchKernel::Similarity => 2 * self.k * self.n,
+        }
+    }
+}
+
+/// Grouping of kernel-tagged job indices into [`BatchClass`]es, ordered by
+/// class (BTreeMap) so launch order is deterministic.
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    stride: usize,
+    classes: Vec<(BatchClass, Vec<usize>)>,
+}
+
+impl BatchPlan {
+    /// Builds the plan for `jobs` under the given padding stride.
+    pub fn build(jobs: &[BatchJob], stride: usize) -> Self {
+        let mut map: std::collections::BTreeMap<BatchClass, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (i, job) in jobs.iter().enumerate() {
+            map.entry(job.class(stride)).or_default().push(i);
+        }
+        Self { stride, classes: map.into_iter().collect() }
+    }
+
+    /// The padding stride this plan was built with.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of packed launches (= number of distinct classes).
+    pub fn launch_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Iterates `(class, indices)` groups.
+    pub fn groups(&self) -> impl Iterator<Item = (&BatchClass, &[usize])> {
+        self.classes.iter().map(|(c, idx)| (c, idx.as_slice()))
+    }
+}
+
+/// Executes kernel-tagged jobs under the given mode: the scattered
+/// reference path or the packed batch path. Both return results in job
+/// order and agree value for value.
+pub fn execute_jobs(jobs: &[BatchJob], mode: OffloadMode) -> Vec<DMatrix> {
+    match mode {
+        OffloadMode::Scattered => execute_jobs_scattered(jobs),
+        OffloadMode::Batched { stride } => execute_jobs_packed(jobs, stride),
+    }
+}
+
+/// Executes kernel-tagged jobs one at a time with the reference kernels
+/// ([`gemm::matmul`] and the `crate::syrk` family) — the scattered path the
+/// hot loops used before gathering.
+pub fn execute_jobs_scattered(jobs: &[BatchJob]) -> Vec<DMatrix> {
+    jobs.iter()
+        .map(|job| match job.kernel {
+            BatchKernel::Gemm => gemm::matmul(&job.a, &job.b),
+            BatchKernel::SymmetricProduct => {
+                let n = job.a.cols();
+                let mut c = DMatrix::zeros(n, n);
+                crate::syrk::symmetric_product(1.0, &job.a, &job.b, 0.0, &mut c);
+                c
+            }
+            BatchKernel::Congruence => crate::syrk::congruence_transform(&job.a, &job.b),
+            BatchKernel::Similarity => crate::syrk::similarity_transform(&job.a, &job.b),
+        })
+        .collect()
+}
+
+/// Executes kernel-tagged jobs batched by size class, one launch per
+/// class: row-major operands are read in place, panels that must be
+/// materialized are staged into one contiguous padded buffer (uniform
+/// slot strides, `BatchClass::staging_elems`), and results are written
+/// directly into their final storage and placed back in job-index order.
+///
+/// Padding exists only in the *layout*: every worker computes its job's
+/// real dimensions, so values match [`execute_jobs_scattered`] exactly and
+/// the stride never inflates FLOPs. FLOPs and the symmetry-savings counter
+/// are accounted identically to the scattered kernels.
+pub fn execute_jobs_packed(jobs: &[BatchJob], stride: usize) -> Vec<DMatrix> {
+    let plan = BatchPlan::build(jobs, stride);
+    execute_jobs_planned(jobs, &plan)
+}
+
+/// Packed execution under a pre-built [`BatchPlan`].
+pub fn execute_jobs_planned(jobs: &[BatchJob], plan: &BatchPlan) -> Vec<DMatrix> {
+    BATCH_JOBS.add(jobs.len() as u64);
+    BATCH_LAUNCHES.add(plan.launch_count() as u64);
+    BATCH_LAUNCHES_SAVED.add(jobs.len().saturating_sub(plan.launch_count()) as u64);
+    BATCH_SYRK_JOBS.add(jobs.iter().filter(|j| j.kernel != BatchKernel::Gemm).count() as u64);
+    let mut results: Vec<Option<DMatrix>> = vec![None; jobs.len()];
+    for (class, indices) in plan.groups() {
+        let (la, lb, _lc) = class.panel_lens();
+        // FLOPs accounted on the dispatching thread so a FlopScope around
+        // the phase sees them regardless of rayon scheduling.
+        let mut out_elems = 0usize;
+        for &i in indices {
+            account_job(&jobs[i]);
+            let (m, n) = jobs[i].out_shape();
+            out_elems += m * n;
+        }
+        BATCH_PACKED_BYTES.add(8 * ((la + lb) * indices.len() + out_elems) as u64);
+        // One launch per class. Row-view operands are read in place (the
+        // copy-skip of `execute_planned`, taken to its logical end); only
+        // panels that must be *materialized* — the transform intermediates
+        // and Similarity's transposed A view — are staged, one contiguous
+        // padded slot per job, in a reused thread-local scratch so hot
+        // response cycles do not pay mmap/page-fault churn per dispatch.
+        // Each worker writes its result straight into the output's backing
+        // storage (real row stride), so results never take a second
+        // staging pass. `with_min_len` keeps tasks coarse so the launch
+        // overhead amortizes over many panels.
+        let staging = class.staging_elems();
+        let min_len = indices.len().div_ceil(4 * pool_threads()).max(1);
+        let run_slot = |slot: usize, wslot: &mut [f64]| -> DMatrix {
+            let job = &jobs[indices[slot]];
+            let (m, n) = job.out_shape();
+            let mut out = vec![0.0f64; m * n];
+            compute_job(job, wslot, &mut out);
+            DMatrix::from_vec(m, n, out)
+        };
+        // Each slot is value-independent, so serial vs parallel execution
+        // is bitwise-identical; with a single pool thread the rayon
+        // handoff (and its post-launch spin) only costs, so run inline.
+        let parallel = pool_threads() > 1 && indices.len() > 1;
+        let outs: Vec<DMatrix> = if staging == 0 {
+            if parallel {
+                (0..indices.len())
+                    .into_par_iter()
+                    .with_min_len(min_len)
+                    .map(|slot| run_slot(slot, &mut []))
+                    .collect()
+            } else {
+                (0..indices.len()).map(|slot| run_slot(slot, &mut [])).collect()
+            }
+        } else {
+            PACKED_SCRATCH.with(|cell| {
+                let mut scratch = cell.borrow_mut();
+                let total = staging * indices.len();
+                if scratch.len() < total {
+                    scratch.resize(total, 0.0);
+                }
+                let buf = &mut scratch[..total];
+                if parallel {
+                    buf.par_chunks_mut(staging)
+                        .enumerate()
+                        .with_min_len(min_len)
+                        .map(|(slot, wslot)| run_slot(slot, wslot))
+                        .collect()
+                } else {
+                    buf.chunks_mut(staging)
+                        .enumerate()
+                        .map(|(slot, wslot)| run_slot(slot, wslot))
+                        .collect()
+                }
+            })
+        };
+        // Results already carry their final layout; place them back in
+        // job-index order.
+        for (slot, out) in outs.into_iter().enumerate() {
+            results[indices[slot]] = Some(out);
+        }
+    }
+    results.into_iter().map(|r| r.expect("every job belongs to exactly one class")).collect()
+}
+
+/// Mirrors the scattered kernels' FLOP/counter accounting for one job:
+/// GEMM FLOPs for [`BatchKernel::Gemm`] (plus the first product of the
+/// transforms), reduced triangle FLOPs + `linalg.gemm.flops_saved_symmetry`
+/// + `linalg.syrk.calls` for the triangle family.
+fn account_job(job: &BatchJob) {
+    let (m, n, k) = job.dims();
+    if m == 0 || n == 0 {
+        return;
+    }
+    match job.kernel {
+        BatchKernel::Gemm => crate::flops::add(crate::flops::gemm_flops(m, n, k)),
+        BatchKernel::SymmetricProduct => crate::syrk::account_triangle(n, k),
+        BatchKernel::Congruence | BatchKernel::Similarity => {
+            crate::flops::add(crate::flops::gemm_flops(n, k, k));
+            crate::syrk::account_triangle(n, k);
+        }
+    }
+}
+
+/// One packed-worker computation over the job's *real* dimensions, reading
+/// the row-major operands **in place** and writing straight into `cout` —
+/// the job's zero-initialized `m x n` output storage at real row stride.
+///
+/// The kernels run in *outer-product* order: for each shared index `p`
+/// (ascending) a row update `C[i][i..] += lhs[p,i] * rhs_row_p[i..]` is
+/// applied. Per output entry this accumulates exactly the reference
+/// kernels' ascending-index dot fold (`f64` multiply is bitwise
+/// commutative, and skipping vs adding a `±0.0` product never changes a
+/// non-NaN accumulation started from `+0.0`), so results are
+/// interchangeable with the scattered path — while the innermost loop
+/// writes independent entries and therefore vectorizes without any FP
+/// reassociation.
+///
+/// `wslot` is the job's staging slot ([`BatchClass::staging_elems`] `f64`s):
+/// empty for `Gemm`/`SymmetricProduct`, the transposed transform
+/// intermediate `T' = (A'M)ᵀ` for `Congruence`, and `Aᵀ` plus that
+/// intermediate for `Similarity`.
+fn compute_job(job: &BatchJob, wslot: &mut [f64], cout: &mut [f64]) {
+    let (m, n, k) = job.dims();
+    match job.kernel {
+        BatchKernel::Gemm => {
+            // C = A·B, the gemm_blocked ikj order with its zero-skip.
+            let a = job.a.as_slice();
+            let b = job.b.as_slice();
+            for i in 0..m {
+                let crow = &mut cout[i * n..(i + 1) * n];
+                for p in 0..k {
+                    let aip = a[i * k + p];
+                    if aip == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (cv, bv) in crow.iter_mut().zip(brow) {
+                        *cv += aip * bv;
+                    }
+                }
+            }
+        }
+        BatchKernel::SymmetricProduct => {
+            // C = AᵀB upper triangle: rank-1 row updates over p, operands
+            // read as contiguous k×n rows with no staging at all.
+            let a = job.a.as_slice();
+            let b = job.b.as_slice();
+            for p in 0..k {
+                let arow = &a[p * n..(p + 1) * n];
+                let brow = &b[p * n..(p + 1) * n];
+                for i in 0..n {
+                    let aip = arow[i];
+                    let crow = &mut cout[i * n + i..(i + 1) * n];
+                    for (cv, bv) in crow.iter_mut().zip(&brow[i..]) {
+                        *cv += aip * bv;
+                    }
+                }
+            }
+            mirror_lower(cout, n);
+        }
+        BatchKernel::Congruence => {
+            // C = AᵀMA with A k×n, M k×k. Stage T' (k×n) = (AᵀM)ᵀ, i.e.
+            // T'[p][i] = Σ_q M[q,p]·A[q,i] (ascending q, zero-skip on the
+            // M element — the zero-add lemma covers the reference's skip
+            // on A instead), then triangle C[i][j] = Σ_p T'[p,i]·A[p,j].
+            let a = job.a.as_slice();
+            let mmat = job.b.as_slice();
+            let tpanel = &mut wslot[..k * n];
+            tpanel.fill(0.0);
+            for q in 0..k {
+                let arow = &a[q * n..(q + 1) * n];
+                let mrow = &mmat[q * k..(q + 1) * k];
+                for (p, &mqp) in mrow.iter().enumerate() {
+                    if mqp == 0.0 {
+                        continue;
+                    }
+                    let trow = &mut tpanel[p * n..(p + 1) * n];
+                    for (tv, av) in trow.iter_mut().zip(arow) {
+                        *tv += mqp * av;
+                    }
+                }
+            }
+            for p in 0..k {
+                let trow = &tpanel[p * n..(p + 1) * n];
+                let arow = &a[p * n..(p + 1) * n];
+                for i in 0..n {
+                    let tip = trow[i];
+                    let crow = &mut cout[i * n + i..(i + 1) * n];
+                    for (cv, av) in crow.iter_mut().zip(&arow[i..]) {
+                        *cv += tip * av;
+                    }
+                }
+            }
+            mirror_lower(cout, n);
+        }
+        BatchKernel::Similarity => {
+            // C = AMAᵀ with A n×k, M k×k: same as Congruence after staging
+            // V = Aᵀ (k×n), so both passes stream contiguous rows.
+            let a = job.a.as_slice();
+            let mmat = job.b.as_slice();
+            let (vpanel, tpanel) = wslot.split_at_mut(k * n);
+            let vpanel = &mut vpanel[..k * n];
+            for (q, vrow) in vpanel.chunks_exact_mut(n).enumerate() {
+                for (i, vv) in vrow.iter_mut().enumerate() {
+                    *vv = a[i * k + q];
+                }
+            }
+            let tpanel = &mut tpanel[..k * n];
+            tpanel.fill(0.0);
+            for q in 0..k {
+                let vrow = &vpanel[q * n..(q + 1) * n];
+                let mrow = &mmat[q * k..(q + 1) * k];
+                for (p, &mqp) in mrow.iter().enumerate() {
+                    if mqp == 0.0 {
+                        continue;
+                    }
+                    let trow = &mut tpanel[p * n..(p + 1) * n];
+                    for (tv, vv) in trow.iter_mut().zip(vrow) {
+                        *tv += mqp * vv;
+                    }
+                }
+            }
+            for p in 0..k {
+                let trow = &tpanel[p * n..(p + 1) * n];
+                let vrow = &vpanel[p * n..(p + 1) * n];
+                for i in 0..n {
+                    let tip = trow[i];
+                    let crow = &mut cout[i * n + i..(i + 1) * n];
+                    for (cv, vv) in crow.iter_mut().zip(&vrow[i..]) {
+                        *cv += tip * vv;
+                    }
+                }
+            }
+            mirror_lower(cout, n);
+        }
+    }
+}
+
+/// Copies the strict upper triangle of the row-major `n x n` slice `c`
+/// into the lower triangle, exactly like the scattered kernels' mirror
+/// pass.
+fn mirror_lower(c: &mut [f64], n: usize) {
+    for i in 0..n {
+        for j in (i + 1)..n {
+            c[j * n + i] = c[i * n + j];
+        }
+    }
 }
 
 #[cfg(test)]
@@ -302,5 +847,159 @@ mod tests {
         for (i, c) in out.iter().enumerate() {
             assert_eq!(c[(0, 0)], (i as f64 + 1.0) * 10.0);
         }
+    }
+
+    fn sym_sample(n: usize, seed: u64) -> DMatrix {
+        let mut m = sample(n, n, seed);
+        m.symmetrize_mut();
+        m
+    }
+
+    fn weighted(b: &DMatrix, seed: u64) -> DMatrix {
+        let w = sample(b.rows(), 1, seed);
+        DMatrix::from_fn(b.rows(), b.cols(), |i, j| w[(i, 0)] * b[(i, j)])
+    }
+
+    fn tagged_mixed() -> Vec<BatchJob> {
+        let b1 = sample(19, 7, 20);
+        let b2 = sample(40, 12, 23);
+        vec![
+            BatchJob::gemm(sample(5, 7, 21), sample(7, 9, 22)),
+            BatchJob::symmetric_product(weighted(&b1, 30), b1.clone()),
+            BatchJob::congruence(sample(10, 6, 24), sym_sample(10, 25)),
+            BatchJob::similarity(sample(7, 10, 26), sym_sample(10, 27)),
+            BatchJob::gemm(sample(33, 40, 28), sample(40, 20, 29)),
+            BatchJob::symmetric_product(weighted(&b2, 31), b2.clone()),
+            BatchJob::gemm(sample(5, 7, 32), sample(7, 9, 33)),
+        ]
+    }
+
+    #[test]
+    fn tagged_dims_and_shapes() {
+        let jobs = tagged_mixed();
+        assert_eq!(jobs[0].dims(), (5, 9, 7));
+        assert_eq!(jobs[1].dims(), (7, 7, 19));
+        assert_eq!(jobs[2].dims(), (6, 6, 10));
+        assert_eq!(jobs[3].dims(), (7, 7, 10));
+        assert_eq!(jobs[1].out_shape(), (7, 7));
+    }
+
+    #[test]
+    fn packed_matches_scattered_values() {
+        let jobs = tagged_mixed();
+        let scattered = execute_jobs_scattered(&jobs);
+        for stride in [1, 8, 32] {
+            let packed = execute_jobs_packed(&jobs, stride);
+            assert_eq!(packed.len(), scattered.len());
+            for (p, s) in packed.iter().zip(&scattered) {
+                assert_eq!(p.shape(), s.shape());
+                assert_eq!(p.as_slice(), s.as_slice(), "stride {stride}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_triangle_results_exactly_symmetric() {
+        let jobs = tagged_mixed();
+        for (job, out) in jobs.iter().zip(execute_jobs_packed(&jobs, 32)) {
+            if job.kernel != BatchKernel::Gemm {
+                assert!(out.is_symmetric(0.0), "mirror must be exact");
+            }
+        }
+    }
+
+    #[test]
+    fn tagged_plan_groups_by_kernel_and_class() {
+        let jobs = tagged_mixed();
+        let plan = BatchPlan::build(&jobs, 32);
+        // Two small gemms share a class; the symmetric products differ in k
+        // after padding (19 -> 32, 40 -> 64) so they do not merge.
+        assert!(plan.launch_count() < jobs.len());
+        let total: usize = plan.groups().map(|(_, idx)| idx.len()).sum();
+        assert_eq!(total, jobs.len());
+        for (class, indices) in plan.groups() {
+            for &i in indices {
+                assert_eq!(jobs[i].class(32), *class);
+            }
+        }
+    }
+
+    #[test]
+    fn tagged_result_order_preserved() {
+        let jobs: Vec<BatchJob> = (1..=6)
+            .map(|v| {
+                BatchJob::gemm(
+                    DMatrix::from_vec(1, 1, vec![v as f64]),
+                    DMatrix::from_vec(1, 1, vec![10.0]),
+                )
+            })
+            .collect();
+        let out = execute_jobs_packed(&jobs, 32);
+        for (i, c) in out.iter().enumerate() {
+            assert_eq!(c[(0, 0)], (i as f64 + 1.0) * 10.0);
+        }
+    }
+
+    #[test]
+    fn packed_flops_match_scattered_and_count_savings() {
+        let jobs = tagged_mixed();
+        let scope = crate::flops::FlopScope::start();
+        let _ = execute_jobs_scattered(&jobs);
+        let scattered_flops = scope.finish().flops;
+        let saved_before = crate::syrk::flops_saved_symmetry();
+        let scope = crate::flops::FlopScope::start();
+        let _ = execute_jobs_packed(&jobs, 32);
+        let packed_flops = scope.finish().flops;
+        assert_eq!(packed_flops, scattered_flops, "padding must not inflate FLOPs");
+        assert!(
+            crate::syrk::flops_saved_symmetry() > saved_before,
+            "batched triangle jobs must credit the symmetry counter"
+        );
+    }
+
+    #[test]
+    fn syrk_and_packed_bytes_counters_advance() {
+        let jobs = tagged_mixed();
+        let syrk_before = BATCH_SYRK_JOBS.get();
+        let bytes_before = BATCH_PACKED_BYTES.get();
+        let _ = execute_jobs_packed(&jobs, 32);
+        assert_eq!(
+            BATCH_SYRK_JOBS.get() - syrk_before,
+            4,
+            "four triangle-family jobs in the mixed set"
+        );
+        assert!(BATCH_PACKED_BYTES.get() > bytes_before);
+    }
+
+    #[test]
+    fn degenerate_tagged_jobs_fall_back() {
+        let jobs = vec![
+            BatchJob::gemm(DMatrix::zeros(0, 4), DMatrix::zeros(4, 3)),
+            BatchJob::gemm(sample(3, 0, 40), sample(0, 2, 41)),
+            BatchJob::symmetric_product(DMatrix::zeros(5, 0), DMatrix::zeros(5, 0)),
+            BatchJob::gemm(sample(2, 3, 42), sample(3, 2, 43)),
+        ];
+        let scattered = execute_jobs_scattered(&jobs);
+        let packed = execute_jobs_packed(&jobs, 32);
+        for (p, s) in packed.iter().zip(&scattered) {
+            assert_eq!(p.shape(), s.shape());
+            assert_eq!(p.as_slice(), s.as_slice());
+        }
+    }
+
+    #[test]
+    fn execute_jobs_mode_dispatch() {
+        let jobs = tagged_mixed();
+        let a = execute_jobs(&jobs, OffloadMode::Scattered);
+        let b = execute_jobs(&jobs, OffloadMode::default());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.as_slice(), y.as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "A/M mismatch")]
+    fn tagged_congruence_mismatch_panics() {
+        let _ = BatchJob::congruence(DMatrix::zeros(3, 4), DMatrix::zeros(4, 4));
     }
 }

@@ -11,8 +11,10 @@
 //!   constructors, views and norms;
 //! - [`gemm`] — general matrix multiply in naive, cache-blocked and
 //!   rayon-parallel variants, all FLOP-instrumented;
-//! - [`batch`] — *batched* GEMM with stride-32 size-class padding, the
-//!   building block of the paper's elastic workload offloading (Section V-C);
+//! - [`batch`] — *batched* dense algebra with stride-32 size-class padding:
+//!   plain GEMM jobs plus kernel-tagged SYRK/congruence jobs packed into
+//!   contiguous per-class buffers, the building block of the paper's elastic
+//!   workload offloading (Section V-C);
 //! - [`syrk`] — the symmetric rank-k family (`syrk`, `syr2k`,
 //!   `symmetric_product`, similarity/congruence transforms) behind the
 //!   Section V-D strength reduction: triangle-only compute at half the GEMM
@@ -49,7 +51,9 @@ pub mod syrk;
 pub mod tridiag;
 pub mod vecops;
 
-pub use batch::{BatchGemmPlan, GemmJob, SizeClass};
+pub use batch::{
+    BatchClass, BatchGemmPlan, BatchJob, BatchKernel, BatchPlan, GemmJob, OffloadMode, SizeClass,
+};
 pub use eigen::SymmetricEigen;
 pub use fft::Complex64;
 pub use matrix::DMatrix;

@@ -133,6 +133,24 @@ pub fn congruence_transform(a: &DMatrix, m: &DMatrix) -> DMatrix {
     similarity_transform(&at, m)
 }
 
+/// Counter/FLOP accounting for one single-dot triangle product (`n x n`
+/// output, inner dimension `k`): bumps `linalg.syrk.calls`, adds the
+/// *reduced* FLOP count, and credits `linalg.gemm.flops_saved_symmetry`.
+/// Shared with `crate::batch`'s packed executor so batched triangle jobs
+/// account identically to the scattered kernels.
+pub(crate) fn account_triangle(n: usize, k: usize) {
+    account_triangle_dots(n, k, 1);
+}
+
+fn account_triangle_dots(n: usize, k: usize, dots_per_entry: u64) {
+    SYRK_CALLS.incr();
+    let entries = (n as u64 * (n as u64 + 1)) / 2;
+    let reduced = entries * dots_per_entry * 2 * k as u64;
+    let full = dots_per_entry * crate::flops::gemm_flops(n, n, k);
+    crate::flops::add(reduced);
+    FLOPS_SAVED.add(full - reduced);
+}
+
 /// Whether an entry is one dot product ([`syrk`]/[`symmetric_product`]) or
 /// the rank-2 pair of dots ([`syr2k`]).
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -168,16 +186,11 @@ fn triangle_product_rows(
     if n == 0 {
         return;
     }
-    SYRK_CALLS.incr();
-    let entries = (n as u64 * (n as u64 + 1)) / 2;
     let dots_per_entry = match kind {
         PairKind::Single => 1,
         PairKind::Rank2 => 2,
     };
-    let reduced = entries * dots_per_entry * 2 * k as u64;
-    let full = dots_per_entry * crate::flops::gemm_flops(n, n, k);
-    crate::flops::add(reduced);
-    FLOPS_SAVED.add(full - reduced);
+    account_triangle_dots(n, k, dots_per_entry);
 
     let entry = |i: usize, j: usize, old: f64| -> f64 {
         let mut acc = dot(ra.row(i), rb.row(j));

@@ -1,6 +1,7 @@
 //! Property-based tests for the linear-algebra substrate.
 
 use proptest::prelude::*;
+use qfr_linalg::batch;
 use qfr_linalg::blas;
 use qfr_linalg::cholesky::Cholesky;
 use qfr_linalg::eigen::symmetric_eigen;
@@ -291,5 +292,57 @@ proptest! {
         syrk::symmetric_product(alpha, &a, &b, 0.0, &mut fast);
         prop_assert!(fast.max_abs_diff(&reference) < 1e-9);
         prop_assert!(fast.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn batched_tagged_jobs_match_gemm_naive(
+        m in 1..20usize, n in 1..14usize, k in 1..20usize,
+        stride in 1..48usize, seed in 0u64..500,
+    ) {
+        // One job per kernel variant at random shapes, executed packed at a
+        // random padding stride, pinned against gemm_naive references and
+        // exact-equal to the scattered reference path.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(11);
+        let mut gen = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let ga = DMatrix::from_fn(m, k, |_, _| gen());
+        let gb = DMatrix::from_fn(k, n, |_, _| gen());
+        let sb = DMatrix::from_fn(k, n, |_, _| gen());
+        let w: Vec<f64> = (0..k).map(|_| gen()).collect();
+        let sa = DMatrix::from_fn(k, n, |i, j| w[i] * sb[(i, j)]);
+        let ca = DMatrix::from_fn(k, n, |_, _| gen());
+        let mut mk = DMatrix::from_fn(k, k, |_, _| gen());
+        mk.symmetrize_mut();
+        let ya = DMatrix::from_fn(n, k, |_, _| gen());
+        let jobs = vec![
+            batch::BatchJob::gemm(ga.clone(), gb.clone()),
+            batch::BatchJob::symmetric_product(sa.clone(), sb.clone()),
+            batch::BatchJob::congruence(ca.clone(), mk.clone()),
+            batch::BatchJob::similarity(ya.clone(), mk.clone()),
+        ];
+        let packed = batch::execute_jobs_packed(&jobs, stride);
+
+        let mut r0 = DMatrix::zeros(m, n);
+        gemm::gemm_naive(&mut r0, &ga, &gb, 1.0, 0.0);
+        let mut r1 = DMatrix::zeros(n, n);
+        gemm::gemm_naive(&mut r1, &sa.transpose(), &sb, 1.0, 0.0);
+        let mut t2 = DMatrix::zeros(n, k);
+        gemm::gemm_naive(&mut t2, &ca.transpose(), &mk, 1.0, 0.0);
+        let mut r2 = DMatrix::zeros(n, n);
+        gemm::gemm_naive(&mut r2, &t2, &ca, 1.0, 0.0);
+        let mut t3 = DMatrix::zeros(n, k);
+        gemm::gemm_naive(&mut t3, &ya, &mk, 1.0, 0.0);
+        let mut r3 = DMatrix::zeros(n, n);
+        gemm::gemm_naive(&mut r3, &t3, &ya.transpose(), 1.0, 0.0);
+        for (out, reference) in packed.iter().zip([&r0, &r1, &r2, &r3]) {
+            prop_assert!(out.max_abs_diff(reference) < 1e-9);
+        }
+
+        let scattered = batch::execute_jobs_scattered(&jobs);
+        for (p, s) in packed.iter().zip(&scattered) {
+            prop_assert_eq!(p.as_slice(), s.as_slice());
+        }
     }
 }

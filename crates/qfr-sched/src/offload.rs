@@ -6,7 +6,10 @@
 //! This module evaluates both execution strategies:
 //!
 //! - [`CpuAccelerator`] executes jobs for real (rayon pool) and reports
-//!   measured wall time — the scattered-host baseline;
+//!   measured wall time — the scattered-host baseline. Since PR 6 it is
+//!   also the *production* dispatch point: the DFPT response hot path
+//!   gathers kernel-tagged [`BatchJob`] streams and runs them through
+//!   [`CpuAccelerator::execute_jobs`] (DESIGN.md §11);
 //! - [`ModeledAccelerator`] prices executions against an accelerator cost
 //!   model (launch overhead + FLOPs/rate + transfer bytes/bandwidth) built
 //!   from a [`crate::machine::MachineModel`] — the substitution for the
@@ -15,12 +18,19 @@
 //!   the Fig. 9 elastic-offloading bars and the stride ablation.
 
 use crate::machine::MachineModel;
-use qfr_linalg::batch::{self, BatchGemmPlan, GemmJob};
+use qfr_linalg::batch::{self, BatchGemmPlan, BatchJob, GemmJob, OffloadMode};
+use qfr_linalg::DMatrix;
 
 /// Modeled host↔device traffic (operand + result bytes priced by the
 /// accelerator cost model). Whole bytes, so the counter stays integral.
 static OFFLOAD_BYTES_MOVED: qfr_obs::Counter =
     qfr_obs::Counter::deterministic("sched.offload.bytes_moved");
+
+/// Kernel-tagged jobs actually *executed* through the offload dispatch
+/// point (both modes) — the metrics gate pins this above zero so the real
+/// offload path cannot silently fall out of the workload.
+static OFFLOAD_EXECUTED_JOBS: qfr_obs::Counter =
+    qfr_obs::Counter::deterministic("sched.offload.executed_jobs");
 
 /// Report of one scattered-vs-batched comparison.
 #[derive(Debug, Clone, Copy)]
@@ -53,20 +63,42 @@ impl OffloadReport {
 pub struct CpuAccelerator;
 
 impl CpuAccelerator {
+    /// Executes GEMM jobs one at a time (scattered); returns results in
+    /// job order plus wall seconds.
+    pub fn execute_scattered(&self, jobs: &[GemmJob]) -> (Vec<DMatrix>, f64) {
+        qfr_obs::timed("sched.offload.cpu_scattered", || batch::execute_scattered(jobs))
+    }
+
+    /// Executes GEMM jobs batched by size class; returns results in job
+    /// order plus wall seconds.
+    pub fn execute_batched(&self, jobs: &[GemmJob], stride: usize) -> (Vec<DMatrix>, f64) {
+        qfr_obs::timed("sched.offload.cpu_batched", || batch::execute_batched(jobs, stride))
+    }
+
     /// Executes jobs one at a time (scattered); returns wall seconds.
     pub fn scattered_seconds(&self, jobs: &[GemmJob]) -> f64 {
-        let (_, seconds) = qfr_obs::timed("sched.offload.cpu_scattered", || {
-            std::hint::black_box(batch::execute_scattered(jobs))
-        });
-        seconds
+        self.execute_scattered(jobs).1
     }
 
     /// Executes jobs batched by size class; returns wall seconds.
     pub fn batched_seconds(&self, jobs: &[GemmJob], stride: usize) -> f64 {
-        let (_, seconds) = qfr_obs::timed("sched.offload.cpu_batched", || {
-            std::hint::black_box(batch::execute_batched(jobs, stride))
-        });
-        seconds
+        self.execute_batched(jobs, stride).1
+    }
+
+    /// Executes kernel-tagged jobs (GEMM + the SYRK/congruence family)
+    /// under the given [`OffloadMode`]: the production dispatch point the
+    /// DFPT response cycle routes through. Results come back in job-index
+    /// order; both modes agree value for value.
+    pub fn execute_jobs(&self, jobs: &[BatchJob], mode: OffloadMode) -> (Vec<DMatrix>, f64) {
+        OFFLOAD_EXECUTED_JOBS.add(jobs.len() as u64);
+        match mode {
+            OffloadMode::Scattered => qfr_obs::timed("sched.offload.cpu_scattered", || {
+                batch::execute_jobs_scattered(jobs)
+            }),
+            OffloadMode::Batched { stride } => qfr_obs::timed("sched.offload.cpu_batched", || {
+                batch::execute_jobs_packed(jobs, stride)
+            }),
+        }
     }
 }
 
@@ -248,6 +280,40 @@ mod tests {
         let s = cpu.scattered_seconds(&jobs);
         let b = cpu.batched_seconds(&jobs, 32);
         assert!(s > 0.0 && b > 0.0);
+    }
+
+    #[test]
+    fn cpu_accelerator_execute_variants_return_results() {
+        let jobs = scattered_jobs(8, 12);
+        let cpu = CpuAccelerator;
+        let (rs, s) = cpu.execute_scattered(&jobs);
+        let (rb, b) = cpu.execute_batched(&jobs, 32);
+        assert!(s > 0.0 && b > 0.0);
+        assert_eq!(rs.len(), jobs.len());
+        for (a, b) in rs.iter().zip(&rb) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn cpu_accelerator_executes_tagged_jobs_both_modes() {
+        let cpu = CpuAccelerator;
+        let jobs = vec![
+            BatchJob::gemm(sample(5, 7, 1), sample(7, 9, 2)),
+            BatchJob::symmetric_product(sample(12, 6, 3), sample(12, 6, 3)),
+            BatchJob::similarity(sample(6, 9, 4), {
+                let mut m = sample(9, 9, 5);
+                m.symmetrize_mut();
+                m
+            }),
+        ];
+        let before = OFFLOAD_EXECUTED_JOBS.get();
+        let (scattered, _) = cpu.execute_jobs(&jobs, OffloadMode::Scattered);
+        let (batched, _) = cpu.execute_jobs(&jobs, OffloadMode::Batched { stride: 32 });
+        assert_eq!(OFFLOAD_EXECUTED_JOBS.get() - before, 2 * jobs.len() as u64);
+        for (a, b) in scattered.iter().zip(&batched) {
+            assert_eq!(a.as_slice(), b.as_slice(), "modes must agree bitwise");
+        }
     }
 
     #[test]
