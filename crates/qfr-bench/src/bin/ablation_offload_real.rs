@@ -25,15 +25,19 @@ use qfr_sched::offload::{offload_comparison, CpuAccelerator, ModeledAccelerator}
 /// GEMMs, phase-4 symmetric products.
 fn response_cycle_jobs(scf: &ScfResult, batch_size: usize) -> Vec<BatchJob> {
     let mut jobs = Vec::new();
+    // Shared operands, as on the production path: one C/P per state, one X
+    // per batch, referenced by every job that reads them.
+    let c = std::sync::Arc::new(scf.c.clone());
+    let p = std::sync::Arc::new(scf.p.clone());
     let dipole = scf.basis.dipole();
     for d in &dipole {
-        jobs.push(BatchJob::congruence(scf.c.clone(), d.scaled(-1.0)));
-        jobs.push(BatchJob::similarity(scf.c.clone(), d.scaled(-1.0)));
+        jobs.push(BatchJob::congruence(c.clone(), d.scaled(-1.0)));
+        jobs.push(BatchJob::similarity(c.clone(), d.scaled(-1.0)));
     }
     for b in scf.grid.batches(batch_size) {
-        let x = scf.basis.evaluate(&scf.grid.points[b.clone()]);
-        jobs.push(BatchJob::gemm(x.clone(), scf.p.clone()));
-        let mut xw = x.clone();
+        let x = std::sync::Arc::new(scf.basis.evaluate(&scf.grid.points[b.clone()]));
+        jobs.push(BatchJob::gemm(x.clone(), p.clone()));
+        let mut xw = (*x).clone();
         for (row, gi) in b.enumerate() {
             let w = scf.density[gi] * scf.grid.dv;
             for v in xw.row_mut(row) {

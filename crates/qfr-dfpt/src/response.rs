@@ -31,6 +31,7 @@ use qfr_linalg::batch::BatchJob;
 use qfr_linalg::gemm;
 use qfr_linalg::DMatrix;
 use rayon::prelude::*;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Strength of the model gradient-kernel term (consumes ∇n(1); kept small
@@ -172,26 +173,29 @@ pub struct ResponseTask<'a> {
 }
 
 /// Per-`ScfResult` precomputation shared by every task on that state:
-/// grid batches, basis value/gradient panels, and the ground-state density
-/// gradient for the model gradient kernel.
+/// grid batches, basis value/gradient panels, the MO coefficients, and the
+/// ground-state density gradient for the model gradient kernel. Panels and
+/// `C` are `Arc`-shared so the gathered job streams reference one copy
+/// across every batch/task/cycle instead of cloning per job.
 struct ScfPanels {
     batches: Vec<std::ops::Range<usize>>,
-    x_panels: Vec<DMatrix>,
-    g_panels: Vec<[DMatrix; 3]>,
+    x_panels: Vec<Arc<DMatrix>>,
+    g_panels: Vec<[Arc<DMatrix>; 3]>,
+    c: Arc<DMatrix>,
     grad_n: [Vec<f64>; 3],
 }
 
 fn build_panels(scf: &ScfResult, batch_size: usize) -> ScfPanels {
     let batches = scf.grid.batches(batch_size);
-    let x_panels: Vec<DMatrix> =
-        batches.iter().map(|b| scf.basis.evaluate(&scf.grid.points[b.clone()])).collect();
-    let g_panels: Vec<[DMatrix; 3]> = batches
+    let x_panels: Vec<Arc<DMatrix>> =
+        batches.iter().map(|b| Arc::new(scf.basis.evaluate(&scf.grid.points[b.clone()]))).collect();
+    let g_panels: Vec<[Arc<DMatrix>; 3]> = batches
         .iter()
         .map(|b| {
             [
-                scf.basis.evaluate_gradient(&scf.grid.points[b.clone()], 0),
-                scf.basis.evaluate_gradient(&scf.grid.points[b.clone()], 1),
-                scf.basis.evaluate_gradient(&scf.grid.points[b.clone()], 2),
+                Arc::new(scf.basis.evaluate_gradient(&scf.grid.points[b.clone()], 0)),
+                Arc::new(scf.basis.evaluate_gradient(&scf.grid.points[b.clone()], 1)),
+                Arc::new(scf.basis.evaluate_gradient(&scf.grid.points[b.clone()], 2)),
             ]
         })
         .collect();
@@ -208,7 +212,7 @@ fn build_panels(scf: &ScfResult, batch_size: usize) -> ScfPanels {
         }
         out
     });
-    ScfPanels { batches, x_panels, g_panels, grad_n }
+    ScfPanels { batches, x_panels, g_panels, c: Arc::new(scf.c.clone()), grad_n }
 }
 
 /// Runs a whole set of response tasks in deterministic lockstep: each
@@ -250,9 +254,13 @@ pub fn solve_responses(
         uniq.par_iter().map(|scf| build_panels(scf, cfg.batch_size)).collect();
 
     let mut phases = CyclePhases::default();
-    let mut h1s: Vec<DMatrix> = tasks.iter().map(|t| t.h1_ext.clone()).collect();
-    let mut p1s: Vec<DMatrix> =
-        tasks.iter().map(|t| DMatrix::zeros(t.scf.basis.len(), t.scf.basis.len())).collect();
+    // Arc-held so each cycle's job stream shares one H1/P1 per task across
+    // all of its batches.
+    let mut h1s: Vec<Arc<DMatrix>> = tasks.iter().map(|t| Arc::new(t.h1_ext.clone())).collect();
+    let mut p1s: Vec<Arc<DMatrix>> = tasks
+        .iter()
+        .map(|t| Arc::new(DMatrix::zeros(t.scf.basis.len(), t.scf.basis.len())))
+        .collect();
     let mut n1s: Vec<Vec<f64>> = tasks.iter().map(|t| vec![0.0; t.scf.grid.len()]).collect();
     let mut v1s: Vec<Vec<f64>> = n1s.clone();
 
@@ -265,16 +273,19 @@ pub fn solve_responses(
         // so Cᵀ H1 C is a congruence and P1 = C m Cᵀ a similarity — both
         // triangle-only batched jobs.
         let (new_p1s, dt, fl) = measured("dfpt.p1", || {
-            let cong: Vec<BatchJob> = tasks
+            let cong: Vec<BatchJob> = h1s
                 .iter()
-                .zip(&h1s)
-                .map(|(t, h1)| BatchJob::congruence(t.scf.c.clone(), h1.clone()))
+                .enumerate()
+                .map(|(t_idx, h1)| {
+                    BatchJob::congruence(panels[panel_of[t_idx]].c.clone(), h1.clone())
+                })
                 .collect();
             let h1_mos = dispatch_jobs(&cong, cfg.offload);
             let sims: Vec<BatchJob> = tasks
                 .iter()
+                .enumerate()
                 .zip(&h1_mos)
-                .map(|(t, h1_mo)| {
+                .map(|((t_idx, t), h1_mo)| {
                     let scf = t.scf;
                     let n = scf.basis.len();
                     let mut m = DMatrix::zeros(n, n);
@@ -293,12 +304,12 @@ pub fn solve_responses(
                             m[(a, i)] = w;
                         }
                     }
-                    BatchJob::similarity(scf.c.clone(), m)
+                    BatchJob::similarity(panels[panel_of[t_idx]].c.clone(), m)
                 })
                 .collect();
             dispatch_jobs(&sims, cfg.offload)
         });
-        p1s = new_p1s;
+        p1s = new_p1s.into_iter().map(Arc::new).collect();
         phases.p1_seconds += dt;
         phases.p1_flops += fl;
 
@@ -421,7 +432,9 @@ pub fn solve_responses(
                 let n = task.scf.basis.len();
                 base.push(jobs.len());
                 for (b, x) in pan.batches.iter().zip(&pan.x_panels) {
-                    let mut xw = x.clone();
+                    // The weighted copy is per-job by necessity; the plain
+                    // X operand is shared.
+                    let mut xw = (**x).clone();
                     qfr_linalg::flops::add((x.rows() * n) as u64);
                     for (row, gi) in b.clone().enumerate() {
                         let w = v1s[t_idx][gi] * task.scf.grid.dv;
@@ -456,20 +469,23 @@ pub fn solve_responses(
             let next = DMatrix::from_fn(n, n, |i, j| {
                 (1.0 - cfg.mixing) * h1s[t_idx][(i, j)] + cfg.mixing * target[(i, j)]
             });
-            h1s[t_idx] = next;
+            h1s[t_idx] = Arc::new(next);
         }
     }
 
+    // The cycle's jobs are gone, so the Arcs are unique and unwrap without
+    // copying.
+    let unwrap = |m: Arc<DMatrix>| Arc::try_unwrap(m).unwrap_or_else(|shared| (*shared).clone());
     let results = p1s
         .into_iter()
         .zip(n1s)
         .zip(v1s)
         .zip(h1s)
         .map(|(((p1, n1), v1), h1)| ResponseResult {
-            p1,
+            p1: unwrap(p1),
             n1,
             v1,
-            h1,
+            h1: unwrap(h1),
             phases: CyclePhases::default(),
         })
         .collect();

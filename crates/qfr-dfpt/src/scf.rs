@@ -122,11 +122,16 @@ impl ScfSolver {
         let h_core = &t + &v_ext;
 
         // Pre-evaluate basis panels per batch (reused every iteration).
+        // Panels and the density matrix live behind `Arc` so the gathered
+        // job streams below *reference* them instead of cloning one copy
+        // per batch job.
         let batches = grid.batches(cfg.batch_size);
-        let x_panels: Vec<DMatrix> =
-            batches.iter().map(|b| basis.evaluate(&grid.points[b.clone()])).collect();
+        let x_panels: Vec<std::sync::Arc<DMatrix>> = batches
+            .iter()
+            .map(|b| std::sync::Arc::new(basis.evaluate(&grid.points[b.clone()])))
+            .collect();
 
-        let mut p = initial_density_matrix(&h_core, &l_inv, &basis);
+        let mut p = std::sync::Arc::new(initial_density_matrix(&h_core, &l_inv, &basis));
         let mut fock = h_core.clone();
         let mut c = DMatrix::zeros(n, n);
         let mut eps = vec![0.0; n];
@@ -143,7 +148,7 @@ impl ScfSolver {
             // through the shared accelerator.
             density.clear();
             let density_jobs: Vec<BatchJob> =
-                x_panels.iter().map(|x| BatchJob::gemm(x.clone(), p.clone())).collect();
+                x_panels.iter().map(|x| BatchJob::gemm(x.clone(), p.clone())).collect(); // Arc clones
             let xps = dispatch_jobs(&density_jobs, cfg.offload);
             for ((b, x), xp) in batches.iter().zip(&x_panels).zip(&xps) {
                 qfr_linalg::flops::add((2 * x.rows() * n) as u64);
@@ -166,7 +171,9 @@ impl ScfSolver {
                 .iter()
                 .zip(&x_panels)
                 .map(|(b, x)| {
-                    let mut xw = x.clone();
+                    // The weighted copy is per-job by necessity; the plain
+                    // X operand is shared.
+                    let mut xw = (**x).clone();
                     qfr_linalg::flops::add((x.rows() * n) as u64);
                     for (row, gi) in b.clone().enumerate() {
                         let w = v_eff[gi] * grid.dv;
@@ -197,7 +204,7 @@ impl ScfSolver {
             let mut p_next = p.scaled(1.0 - cfg.mixing);
             let scaled_new = p_new.scaled(cfg.mixing);
             p_next += &scaled_new;
-            p = p_next;
+            p = std::sync::Arc::new(p_next);
 
             // Energy: tr(P H_core) + 0.5 ∫ n v_H + E_x.
             let e_core = trace_product(&p, &h_core);
@@ -224,7 +231,9 @@ impl ScfSolver {
             c,
             eps,
             occ,
-            p,
+            // The last iteration's jobs are gone, so the Arc is unique and
+            // this unwraps without copying.
+            p: std::sync::Arc::try_unwrap(p).unwrap_or_else(|shared| (*shared).clone()),
             density,
             energy,
             iterations,

@@ -56,14 +56,28 @@ thread_local! {
     static PACKED_SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
 }
 
-/// Rayon pool width, sampled once per process: `current_num_threads` goes
+/// Rayon pool width, cached per *thread*: `current_num_threads` goes
 /// through the global-registry lookup on every call (measured ~10 µs on
-/// some hosts), which would dwarf a small class launch. The width only
-/// picks the dispatch granularity — serial and parallel execution are
-/// bitwise identical — so a cached value is always safe.
+/// some hosts), which would dwarf a small class launch. The answer is
+/// per-registry, so a process-wide cache first sampled inside a
+/// custom-sized `ThreadPool::install` (or a 1-thread test pool) would be
+/// wrong everywhere else; per-thread caching is exact because a rayon
+/// worker belongs to one registry for its whole life and a non-worker
+/// thread always resolves to the global registry. The width only picks
+/// the dispatch granularity — serial and parallel execution are bitwise
+/// identical — so even a stale value would be safe, just slow.
 fn pool_threads() -> usize {
-    static POOL_THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *POOL_THREADS.get_or_init(rayon::current_num_threads)
+    thread_local! {
+        static POOL_THREADS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+    }
+    POOL_THREADS.with(|cached| match cached.get() {
+        0 => {
+            let width = rayon::current_num_threads();
+            cached.set(width);
+            width
+        }
+        width => width,
+    })
 }
 
 /// How gathered job streams are executed on the host.
@@ -273,39 +287,63 @@ pub enum BatchKernel {
 }
 
 /// One kernel-tagged job destined for batching.
+///
+/// Operands are `Arc`-shared: a gathered stream routinely pairs many
+/// left-hand panels with *one* right-hand matrix (every grid batch of a
+/// response cycle multiplies the same `P1`; every Fock batch reuses its
+/// `X` panel), so jobs hold references to that operand instead of each
+/// owning a copy. Constructors accept owned matrices too (`DMatrix`
+/// converts via `Into<Arc<DMatrix>>`), so one-off jobs read the same as
+/// before.
 #[derive(Debug, Clone)]
 pub struct BatchJob {
     /// Kernel to execute.
     pub kernel: BatchKernel,
     /// Left / row operand (`A`).
-    pub a: DMatrix,
+    pub a: std::sync::Arc<DMatrix>,
     /// Right operand (`B`, or the symmetric `M` of the transforms).
-    pub b: DMatrix,
+    pub b: std::sync::Arc<DMatrix>,
 }
 
 impl BatchJob {
     /// General GEMM job `C = A B`.
-    pub fn gemm(a: DMatrix, b: DMatrix) -> Self {
+    pub fn gemm(
+        a: impl Into<std::sync::Arc<DMatrix>>,
+        b: impl Into<std::sync::Arc<DMatrix>>,
+    ) -> Self {
+        let (a, b) = (a.into(), b.into());
         assert_eq!(a.cols(), b.rows(), "BatchJob::gemm: inner dimensions differ");
         Self { kernel: BatchKernel::Gemm, a, b }
     }
 
     /// Symmetric-product job `C = Aᵀ B` (caller guarantees `Aᵀ B = Bᵀ A`,
     /// e.g. `A = diag(w) B`).
-    pub fn symmetric_product(a: DMatrix, b: DMatrix) -> Self {
+    pub fn symmetric_product(
+        a: impl Into<std::sync::Arc<DMatrix>>,
+        b: impl Into<std::sync::Arc<DMatrix>>,
+    ) -> Self {
+        let (a, b) = (a.into(), b.into());
         assert_eq!(a.shape(), b.shape(), "BatchJob::symmetric_product: A and B shapes differ");
         Self { kernel: BatchKernel::SymmetricProduct, a, b }
     }
 
     /// Congruence job `C = Aᵀ M A` for symmetric `M`.
-    pub fn congruence(a: DMatrix, m: DMatrix) -> Self {
+    pub fn congruence(
+        a: impl Into<std::sync::Arc<DMatrix>>,
+        m: impl Into<std::sync::Arc<DMatrix>>,
+    ) -> Self {
+        let (a, m) = (a.into(), m.into());
         assert!(m.is_square(), "BatchJob::congruence: M must be square");
         assert_eq!(a.rows(), m.rows(), "BatchJob::congruence: A/M mismatch");
         Self { kernel: BatchKernel::Congruence, a, b: m }
     }
 
     /// Similarity job `C = A M Aᵀ` for symmetric `M`.
-    pub fn similarity(a: DMatrix, m: DMatrix) -> Self {
+    pub fn similarity(
+        a: impl Into<std::sync::Arc<DMatrix>>,
+        m: impl Into<std::sync::Arc<DMatrix>>,
+    ) -> Self {
+        let (a, m) = (a.into(), m.into());
         assert!(m.is_square(), "BatchJob::similarity: M must be square");
         assert_eq!(a.cols(), m.rows(), "BatchJob::similarity: A/M mismatch");
         Self { kernel: BatchKernel::Similarity, a, b: m }
@@ -528,26 +566,40 @@ pub fn execute_jobs_planned(jobs: &[BatchJob], plan: &BatchPlan) -> Vec<DMatrix>
                 (0..indices.len()).map(|slot| run_slot(slot, &mut [])).collect()
             }
         } else {
+            // Take the scratch *out* of the thread-local instead of holding
+            // its RefCell borrow across the parallel launch: this code runs
+            // on rayon worker threads (the fragment-level par_iter), and
+            // while the inner collect blocks, work-stealing can start
+            // *another* packed execution on this very thread — a held
+            // borrow would panic with BorrowMutError. With the buffer
+            // owned, a stolen re-entrant call simply takes the (now empty)
+            // cell and allocates fresh; put-back keeps the largest buffer
+            // so steady-state reuse is unchanged.
+            let mut scratch = PACKED_SCRATCH.with(|cell| std::mem::take(&mut *cell.borrow_mut()));
+            let total = staging * indices.len();
+            if scratch.len() < total {
+                scratch.resize(total, 0.0);
+            }
+            let buf = &mut scratch[..total];
+            let outs: Vec<DMatrix> = if parallel {
+                buf.par_chunks_mut(staging)
+                    .enumerate()
+                    .with_min_len(min_len)
+                    .map(|(slot, wslot)| run_slot(slot, wslot))
+                    .collect()
+            } else {
+                buf.chunks_mut(staging)
+                    .enumerate()
+                    .map(|(slot, wslot)| run_slot(slot, wslot))
+                    .collect()
+            };
             PACKED_SCRATCH.with(|cell| {
-                let mut scratch = cell.borrow_mut();
-                let total = staging * indices.len();
-                if scratch.len() < total {
-                    scratch.resize(total, 0.0);
+                let mut cur = cell.borrow_mut();
+                if scratch.len() > cur.len() {
+                    *cur = scratch;
                 }
-                let buf = &mut scratch[..total];
-                if parallel {
-                    buf.par_chunks_mut(staging)
-                        .enumerate()
-                        .with_min_len(min_len)
-                        .map(|(slot, wslot)| run_slot(slot, wslot))
-                        .collect()
-                } else {
-                    buf.chunks_mut(staging)
-                        .enumerate()
-                        .map(|(slot, wslot)| run_slot(slot, wslot))
-                        .collect()
-                }
-            })
+            });
+            outs
         };
         // Results already carry their final layout; place them back in
         // job-index order.
@@ -895,6 +947,49 @@ mod tests {
                 assert_eq!(p.shape(), s.shape());
                 assert_eq!(p.as_slice(), s.as_slice(), "stride {stride}");
             }
+        }
+    }
+
+    #[test]
+    fn packed_reentrant_under_work_stealing() {
+        // The engine dispatches packed launches from inside a fragment-level
+        // par_iter: while one launch blocks in its inner collect, rayon
+        // work-stealing can begin *another* packed execution on the same
+        // worker thread. Staging (Similarity jobs) must survive that
+        // re-entrancy — the old code held a RefCell borrow on the
+        // thread-local scratch across the launch and panicked
+        // intermittently. Values must still match the scattered reference.
+        let make_jobs = |i: usize| -> Vec<BatchJob> {
+            (0..8)
+                .map(|j| {
+                    let seed = (i * 8 + j) as u64;
+                    BatchJob::similarity(sample(7, 10, seed), sym_sample(10, 1000 + seed))
+                })
+                .collect()
+        };
+        let packed: Vec<Vec<DMatrix>> =
+            (0..32).into_par_iter().map(|i| execute_jobs_packed(&make_jobs(i), 32)).collect();
+        for (i, outs) in packed.iter().enumerate() {
+            let reference = execute_jobs_scattered(&make_jobs(i));
+            for (p, s) in outs.iter().zip(&reference) {
+                assert_eq!(p.as_slice(), s.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn shared_arc_operands_supported() {
+        // Gathered streams share right-hand operands across jobs; results
+        // must match per-job owned operands.
+        let p1 = std::sync::Arc::new(sym_sample(9, 70));
+        let shared: Vec<BatchJob> =
+            (0..5).map(|j| BatchJob::gemm(sample(6, 9, 71 + j), p1.clone())).collect();
+        let owned: Vec<BatchJob> =
+            (0..5).map(|j| BatchJob::gemm(sample(6, 9, 71 + j), (*p1).clone())).collect();
+        let a = execute_jobs_packed(&shared, 32);
+        let b = execute_jobs_packed(&owned, 32);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.as_slice(), y.as_slice());
         }
     }
 
