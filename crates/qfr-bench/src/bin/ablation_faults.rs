@@ -152,8 +152,7 @@ fn main() {
     };
     let reference = wf.run_scheduled_with(sched()).expect("reference run");
     let d = wf.decompose();
-    let n_atoms = wf.system().n_atoms();
-    let full = qfr_core::checkpoint::load_partial(&ckpt, &d, n_atoms).expect("load checkpoint");
+    let full = qfr_core::checkpoint::load_partial(&ckpt, &d, wf.system()).expect("load checkpoint");
     let n_jobs = full.len();
     row(&["kill at", "resumed", "recomputed", "engine s", "vs cold"], &[10, 9, 11, 10, 9]);
     let cold_engine = reference.timings.engine_s;
@@ -161,7 +160,8 @@ fn main() {
         let keep = n_jobs * keep_pct / 100;
         let slots: Vec<_> =
             full.iter().enumerate().map(|(i, s)| if i < keep { s.clone() } else { None }).collect();
-        qfr_core::checkpoint::save_partial(&ckpt, &d, n_atoms, &slots).expect("partial checkpoint");
+        qfr_core::checkpoint::save_partial(&ckpt, &d, wf.system(), &slots)
+            .expect("partial checkpoint");
         let restarted = wf.run_scheduled_with(sched()).expect("restarted run");
         assert_eq!(
             restarted.spectrum.intensities, reference.spectrum.intensities,

@@ -111,21 +111,38 @@ fn run_pinned_workloads() {
     };
     wf.run_scheduled_with(sched()).expect("checkpointed run");
     let d = wf.decompose();
-    let n_atoms = wf.system().n_atoms();
     let mut slots =
-        qfr_core::checkpoint::load_partial(&ckpt, &d, n_atoms).expect("load checkpoint");
+        qfr_core::checkpoint::load_partial(&ckpt, &d, wf.system()).expect("load checkpoint");
     for (i, slot) in slots.iter_mut().enumerate() {
         if i % 3 != 0 {
             *slot = None;
         }
     }
-    qfr_core::checkpoint::save_partial(&ckpt, &d, n_atoms, &slots).expect("partial checkpoint");
+    qfr_core::checkpoint::save_partial(&ckpt, &d, wf.system(), &slots).expect("partial checkpoint");
     let restarted = wf.run_scheduled_with(sched()).expect("restarted run");
     assert!(
         restarted.recovery.as_ref().is_some_and(|r| r.resumed_jobs > 0),
         "restart must resume from the checkpoint"
     );
     std::fs::remove_file(&ckpt).ok();
+
+    // 6. Content-addressed cache cycle: a cold + warm cached run. Misses
+    //    equal the distinct fragment keys of the cold run, warm-run hits
+    //    equal the job count, and `cache.bytes` the resident payload —
+    //    all deterministic because the working set fits capacity and
+    //    near mode is off. Pins `cache.hits` / `cache.misses` /
+    //    `cache.bytes` in the gate (and the gate asserts hits > 0 below).
+    let cache = std::sync::Arc::new(qfr_cache::FragmentCache::new(Default::default()));
+    let wf = RamanWorkflow::new(WaterBoxBuilder::new(12).seed(13).build())
+        .sigma(25.0)
+        .lanczos_steps(40)
+        .with_cache(cache);
+    let cold = wf.run().expect("cold cached run");
+    let warm = wf.run().expect("warm cached run");
+    assert_eq!(
+        warm.spectrum.intensities, cold.spectrum.intensities,
+        "cache must preserve bit-identity"
+    );
 }
 
 /// Parses the compact `{"name":value,...}` object the counter registry
@@ -159,6 +176,11 @@ fn main() {
     // zero here means the gather points regressed to direct kernel calls.
     let offloaded = qfr_obs::counter::value_of("sched.offload.executed_jobs").unwrap_or(0);
     assert!(offloaded > 0, "sched.offload.executed_jobs must be > 0 on the pinned workload");
+    // The cached workload's warm run must actually be served from the
+    // cache: a zero here means the workflow stopped routing fragment
+    // computes through it.
+    let cache_hits = qfr_obs::counter::value_of("cache.hits").unwrap_or(0);
+    assert!(cache_hits > 0, "cache.hits must be > 0 on the pinned workload");
 
     if let Some(path) = arg_value("--write") {
         std::fs::write(&path, format!("{snapshot}\n")).expect("write baseline");

@@ -1,0 +1,689 @@
+//! # qfr-cache
+//!
+//! Content-addressed fragment result cache. The paper's workloads are
+//! dominated by millions of near-identical fragments (§VI-A: ~33M water
+//! monomers and 128M water–water pairs in the 101M-atom box); this crate
+//! lets one response be computed once and substituted for every equivalent
+//! fragment, within a run (shared across scheduler workers and concurrent
+//! spectrum requests) and across runs (checkpoints pre-warm a cache slice).
+//!
+//! ## Keys and substitution guarantees
+//!
+//! Entries are stored under the fragment's **exact key**
+//! ([`qfr_fragment::exact_key`]): element kinds, link-hydrogen flags,
+//! bonds, and the raw position bits in local order. Two fragments with the
+//! same exact key get bit-identical responses from any deterministic
+//! engine, so an exact hit substitutes without any tolerance argument —
+//! cached spectra are bit-identical to uncached ones.
+//!
+//! With [`CacheConfig::near_hits`] enabled, a miss falls back to the
+//! **canonical key** ([`qfr_fragment::canonical_key`]): fragments equal up
+//! to rigid motion, relabeling, and sub-tolerance noise share it. The
+//! stored response is transported into the requesting frame (rotation +
+//! canonical-rank permutation, see [`transport`]) — numerically covariant
+//! but *not* bit-identical, so near mode is opt-in and off by default.
+//!
+//! ## Single-compute semantics and counter determinism
+//!
+//! A miss installs a *pending* slot before computing; concurrent requests
+//! for the same key block on it and count as hits once it resolves. Misses
+//! are therefore exactly the number of distinct exact keys computed, and
+//! `cache.hits`/`cache.misses`/`cache.bytes` are pure functions of the
+//! workload — safe for the CI metrics gate — provided the working set fits
+//! in `max_bytes` (evictions re-introduce misses in arrival order, which
+//! is timing-dependent under parallelism) and near mode is off (a near hit
+//! replaces a miss depending on arrival order; `cache.near_hits` is
+//! timing-sensitive for the same reason).
+
+pub mod transport;
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+use qfr_fragment::{canonicalize, exact_key, Canonical, FragmentStructure, GeomKey};
+use qfr_obs::Counter;
+
+static HITS: Counter = Counter::deterministic("cache.hits");
+static MISSES: Counter = Counter::deterministic("cache.misses");
+static BYTES: Counter = Counter::deterministic("cache.bytes");
+static NEAR_HITS: Counter = Counter::timing_sensitive("cache.near_hits");
+static EVICTIONS: Counter = Counter::timing_sensitive("cache.evictions");
+
+/// Cache configuration.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Resident-bytes bound; least-recently-used entries are evicted to
+    /// stay under it. `0` means unbounded.
+    pub max_bytes: usize,
+    /// Enable canonical-key (rigid-motion / relabeling equivalent)
+    /// fallback lookup with response transport. Off by default: near hits
+    /// are numerically covariant, not bit-identical.
+    pub near_hits: bool,
+    /// Quantization tolerance (Å) for canonical keys in near mode.
+    pub tol: f64,
+    /// Number of independent shards (lock striping). Rounded up to 1.
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            max_bytes: 256 << 20,
+            near_hits: false,
+            tol: qfr_fragment::DEFAULT_KEY_TOL,
+            shards: 16,
+        }
+    }
+}
+
+/// How a lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitKind {
+    /// Exact-key hit: the returned response is bit-identical to what the
+    /// engine would have produced.
+    Exact,
+    /// Canonical-key hit transported from an equivalent geometry:
+    /// numerically covariant, not bit-identical.
+    Near,
+    /// The response was computed by this request (and inserted).
+    Miss,
+}
+
+/// Point-in-time cache statistics (resident state; the monotone event
+/// counts live in the `cache.*` counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Ready entries currently resident.
+    pub entries: usize,
+    /// Estimated resident payload bytes.
+    pub resident_bytes: usize,
+    /// Exact hits served since construction (this instance).
+    pub hits: u64,
+    /// Misses (unique computes) since construction (this instance).
+    pub misses: u64,
+    /// Near (transported) hits since construction (this instance).
+    pub near_hits: u64,
+    /// Evictions since construction (this instance).
+    pub evictions: u64,
+}
+
+/// A stored response plus the canonical frame it was computed in (needed
+/// to transport it to an equivalent requesting geometry in near mode).
+struct Entry {
+    response: Arc<qfr_fragment::FragmentResponse>,
+    /// Canonical frame of the *stored* geometry; `None` when the cache
+    /// runs exact-only (frames are only computed when near mode is on).
+    canonical: Option<Arc<Canonical>>,
+    bytes: usize,
+    /// Lazy LRU stamp: the highest queue stamp issued for this key.
+    stamp: u64,
+}
+
+enum Slot {
+    /// A compute is in flight; waiters block on the shard condvar.
+    Pending,
+    Ready(Entry),
+}
+
+#[derive(Default)]
+struct ShardState {
+    map: HashMap<GeomKey, Slot>,
+    /// Canonical key → exact key of a resident representative.
+    canon: HashMap<GeomKey, GeomKey>,
+    /// Lazy LRU queue of (exact key, stamp); stale stamps are skipped.
+    lru: VecDeque<(GeomKey, u64)>,
+    next_stamp: u64,
+    resident_bytes: usize,
+}
+
+struct Shard {
+    state: Mutex<ShardState>,
+    ready: Condvar,
+}
+
+/// Content-addressed fragment result cache. Cheap to share: clone an
+/// `Arc<FragmentCache>` into every worker / request.
+pub struct FragmentCache {
+    shards: Vec<Shard>,
+    config: CacheConfig,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+    near: std::sync::atomic::AtomicU64,
+    evictions: std::sync::atomic::AtomicU64,
+}
+
+/// Result of [`FragmentCache::lookup`].
+pub enum Lookup<'a> {
+    /// Served from the cache.
+    Hit(Arc<qfr_fragment::FragmentResponse>, HitKind),
+    /// The caller must compute and [`Ticket::fulfill`] (dropping the
+    /// ticket unfulfilled releases the pending slot so another request
+    /// retries the compute).
+    MustCompute(Ticket<'a>),
+}
+
+/// Estimated payload bytes of a response for an `n`-atom fragment.
+fn response_bytes(n_atoms: usize) -> usize {
+    let d = 3 * n_atoms;
+    (d * d + 6 * d + 3 * d) * std::mem::size_of::<f64>()
+}
+
+impl FragmentCache {
+    /// A cache with the given configuration.
+    pub fn new(config: CacheConfig) -> Self {
+        let n = config.shards.max(1);
+        Self {
+            shards: (0..n)
+                .map(|_| Shard { state: Mutex::new(ShardState::default()), ready: Condvar::new() })
+                .collect(),
+            config,
+            hits: Default::default(),
+            misses: Default::default(),
+            near: Default::default(),
+            evictions: Default::default(),
+        }
+    }
+
+    /// An exact-only cache bounded to `max_bytes` resident payload bytes.
+    pub fn with_capacity(max_bytes: usize) -> Self {
+        Self::new(CacheConfig { max_bytes, ..CacheConfig::default() })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn shard(&self, key: GeomKey) -> &Shard {
+        // High bits: FNV-1a mixes well; shard count is small.
+        &self.shards[(key.0 >> 64) as usize % self.shards.len()]
+    }
+
+    /// Looks up `frag`; on a miss installs a pending slot and hands back a
+    /// [`Ticket`] the caller must fulfill with the computed response.
+    /// Concurrent lookups of the same key block until the ticket resolves
+    /// and then count as hits, so misses are exactly the distinct keys
+    /// computed.
+    pub fn lookup(&self, frag: &FragmentStructure) -> Lookup<'_> {
+        let key = exact_key(frag);
+        let shard = self.shard(key);
+        let mut st = shard.state.lock().expect("cache shard poisoned");
+        loop {
+            match st.map.get(&key) {
+                Some(Slot::Ready(e)) => {
+                    let resp = Arc::clone(&e.response);
+                    self.touch(&mut st, key);
+                    drop(st);
+                    HITS.incr();
+                    self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    return Lookup::Hit(resp, HitKind::Exact);
+                }
+                Some(Slot::Pending) => {
+                    st = shard.ready.wait(st).expect("cache shard poisoned");
+                }
+                None => break,
+            }
+        }
+        // Near fallback: an equivalent geometry may be resident under a
+        // different exact key. The canonical index may point at another
+        // shard, so release this shard's lock for the probe and re-check
+        // the exact slot after re-acquiring (ABA is benign: worst case we
+        // compute a value someone else also computed).
+        if self.config.near_hits {
+            let canon = canonicalize(frag, self.config.tol);
+            drop(st);
+            if let Some(resp) = self.near_lookup(&canon, frag) {
+                NEAR_HITS.incr();
+                self.near.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                // Promote to an exact entry so later identical requests
+                // exact-hit the transported response bit-identically.
+                self.install(key, resp.clone(), Some(Arc::new(canon)), frag.n_atoms());
+                return Lookup::Hit(resp, HitKind::Near);
+            }
+            st = shard.state.lock().expect("cache shard poisoned");
+            loop {
+                match st.map.get(&key) {
+                    Some(Slot::Ready(e)) => {
+                        let resp = Arc::clone(&e.response);
+                        self.touch(&mut st, key);
+                        drop(st);
+                        HITS.incr();
+                        self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        return Lookup::Hit(resp, HitKind::Exact);
+                    }
+                    Some(Slot::Pending) => {
+                        st = shard.ready.wait(st).expect("cache shard poisoned");
+                    }
+                    None => break,
+                }
+            }
+            st.map.insert(key, Slot::Pending);
+            drop(st);
+            MISSES.incr();
+            self.misses.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Lookup::MustCompute(Ticket {
+                cache: self,
+                key,
+                canonical: Some(Arc::new(canon)),
+                n_atoms: frag.n_atoms(),
+                armed: true,
+            });
+        }
+        st.map.insert(key, Slot::Pending);
+        drop(st);
+        MISSES.incr();
+        self.misses.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Lookup::MustCompute(Ticket {
+            cache: self,
+            key,
+            canonical: None,
+            n_atoms: frag.n_atoms(),
+            armed: true,
+        })
+    }
+
+    /// Convenience wrapper: lookup, computing on a miss via `compute`.
+    pub fn get_or_compute(
+        &self,
+        frag: &FragmentStructure,
+        compute: impl FnOnce() -> qfr_fragment::FragmentResponse,
+    ) -> (Arc<qfr_fragment::FragmentResponse>, HitKind) {
+        match self.lookup(frag) {
+            Lookup::Hit(resp, kind) => (resp, kind),
+            Lookup::MustCompute(ticket) => (ticket.fulfill(compute()), HitKind::Miss),
+        }
+    }
+
+    /// Inserts an externally computed response (checkpoint pre-warm).
+    /// Counts toward `cache.bytes` but neither hits nor misses.
+    pub fn insert_precomputed(
+        &self,
+        frag: &FragmentStructure,
+        response: qfr_fragment::FragmentResponse,
+    ) {
+        let key = exact_key(frag);
+        let canonical = if self.config.near_hits {
+            Some(Arc::new(canonicalize(frag, self.config.tol)))
+        } else {
+            None
+        };
+        self.install(key, Arc::new(response), canonical, frag.n_atoms());
+    }
+
+    fn near_lookup(
+        &self,
+        canon: &Canonical,
+        frag: &FragmentStructure,
+    ) -> Option<Arc<qfr_fragment::FragmentResponse>> {
+        let shard = self.shard(canon.key);
+        let st = shard.state.lock().expect("cache shard poisoned");
+        let rep_key = *st.canon.get(&canon.key)?;
+        drop(st);
+        let rep_shard = self.shard(rep_key);
+        let st = rep_shard.state.lock().expect("cache shard poisoned");
+        if let Some(Slot::Ready(e)) = st.map.get(&rep_key) {
+            let stored = Arc::clone(e.canonical.as_ref()?);
+            let resp = Arc::clone(&e.response);
+            drop(st);
+            Some(Arc::new(transport::transport_response(&resp, &stored, canon, frag.n_atoms())))
+        } else {
+            None
+        }
+    }
+
+    /// Installs a Ready entry (resolving a pending slot if present),
+    /// accounts bytes, registers the canonical alias, evicts over-budget
+    /// LRU entries, and wakes waiters.
+    fn install(
+        &self,
+        key: GeomKey,
+        response: Arc<qfr_fragment::FragmentResponse>,
+        canonical: Option<Arc<Canonical>>,
+        n_atoms: usize,
+    ) {
+        let bytes = response_bytes(n_atoms);
+        let canon_key = canonical.as_ref().map(|c| c.key);
+        let shard = self.shard(key);
+        let mut st = shard.state.lock().expect("cache shard poisoned");
+        let prev = st.map.insert(key, Slot::Ready(Entry { response, canonical, bytes, stamp: 0 }));
+        let first_insert = !matches!(prev, Some(Slot::Ready(_)));
+        if let Some(Slot::Ready(e)) = prev {
+            st.resident_bytes -= e.bytes;
+        }
+        st.resident_bytes += bytes;
+        self.touch(&mut st, key);
+        self.evict_over_budget(&mut st);
+        drop(st);
+        if first_insert {
+            BYTES.add(bytes as u64);
+        }
+        shard.ready.notify_all();
+        if let Some(ck) = canon_key {
+            let cshard = self.shard(ck);
+            let mut cst = cshard.state.lock().expect("cache shard poisoned");
+            cst.canon.insert(ck, key);
+        }
+    }
+
+    /// Marks `key` most-recently-used (lazy stamping).
+    fn touch(&self, st: &mut ShardState, key: GeomKey) {
+        st.next_stamp += 1;
+        let stamp = st.next_stamp;
+        if let Some(Slot::Ready(e)) = st.map.get_mut(&key) {
+            e.stamp = stamp;
+        }
+        st.lru.push_back((key, stamp));
+        // Lazy stamping leaves stale queue records behind on every touch;
+        // compact once the queue outgrows the live set so hit-heavy runs
+        // don't grow it unboundedly.
+        if st.lru.len() > 4 * st.map.len() + 64 {
+            let live: Vec<(GeomKey, u64)> = st
+                .lru
+                .iter()
+                .copied()
+                .filter(|&(k, s)| matches!(st.map.get(&k), Some(Slot::Ready(e)) if e.stamp == s))
+                .collect();
+            st.lru = live.into();
+        }
+    }
+
+    /// Evicts least-recently-used Ready entries until this shard is under
+    /// its share of the byte budget. Pending slots are never evicted.
+    fn evict_over_budget(&self, st: &mut ShardState) {
+        if self.config.max_bytes == 0 {
+            return;
+        }
+        let budget = (self.config.max_bytes / self.shards.len()).max(1);
+        while st.resident_bytes > budget {
+            let Some((key, stamp)) = st.lru.pop_front() else { break };
+            let stale = match st.map.get(&key) {
+                Some(Slot::Ready(e)) => e.stamp != stamp,
+                _ => true, // evicted already, or pending (re-stamped on install)
+            };
+            if stale {
+                continue;
+            }
+            if let Some(Slot::Ready(e)) = st.map.remove(&key) {
+                st.resident_bytes -= e.bytes;
+                // Clean up the canonical alias when it lives in this shard;
+                // cross-shard aliases go stale harmlessly (near_lookup
+                // re-checks that the target entry is still Ready).
+                if let Some(c) = &e.canonical {
+                    let ck = c.key;
+                    let same_shard = (ck.0 >> 64) as usize % self.shards.len()
+                        == (key.0 >> 64) as usize % self.shards.len();
+                    if same_shard && st.canon.get(&ck) == Some(&key) {
+                        st.canon.remove(&ck);
+                    }
+                }
+                EVICTIONS.incr();
+                self.evictions.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Point-in-time statistics for this instance.
+    pub fn stats(&self) -> CacheStats {
+        let mut entries = 0;
+        let mut resident = 0;
+        for sh in &self.shards {
+            let st = sh.state.lock().expect("cache shard poisoned");
+            entries += st.map.values().filter(|s| matches!(s, Slot::Ready(_))).count();
+            resident += st.resident_bytes;
+        }
+        use std::sync::atomic::Ordering::Relaxed;
+        CacheStats {
+            entries,
+            resident_bytes: resident,
+            hits: self.hits.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+            near_hits: self.near.load(Relaxed),
+            evictions: self.evictions.load(Relaxed),
+        }
+    }
+
+    /// Resident Ready-entry count.
+    pub fn len(&self) -> usize {
+        self.stats().entries
+    }
+
+    /// True when no Ready entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for FragmentCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("FragmentCache")
+            .field("entries", &s.entries)
+            .field("resident_bytes", &s.resident_bytes)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .finish()
+    }
+}
+
+/// Permission (and obligation) to compute a missed entry. Fulfill with the
+/// computed response; dropping the ticket unfulfilled (compute panicked or
+/// was abandoned) releases the pending slot and wakes waiters so one of
+/// them retries.
+pub struct Ticket<'a> {
+    cache: &'a FragmentCache,
+    key: GeomKey,
+    canonical: Option<Arc<Canonical>>,
+    n_atoms: usize,
+    armed: bool,
+}
+
+impl Ticket<'_> {
+    /// The exact key this ticket will fill.
+    pub fn key(&self) -> GeomKey {
+        self.key
+    }
+
+    /// Stores the computed response, wakes waiters, and returns it.
+    pub fn fulfill(
+        mut self,
+        response: qfr_fragment::FragmentResponse,
+    ) -> Arc<qfr_fragment::FragmentResponse> {
+        self.armed = false;
+        let resp = Arc::new(response);
+        self.cache.install(self.key, Arc::clone(&resp), self.canonical.take(), self.n_atoms);
+        resp
+    }
+}
+
+impl Drop for Ticket<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        // Abandoned compute: clear the pending slot so a waiter retries.
+        let shard = self.cache.shard(self.key);
+        let mut st = shard.state.lock().expect("cache shard poisoned");
+        if matches!(st.map.get(&self.key), Some(Slot::Pending)) {
+            st.map.remove(&self.key);
+        }
+        drop(st);
+        shard.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfr_fragment::{FragmentEngine, FragmentJob, JobKind};
+    use qfr_geom::WaterBoxBuilder;
+    use qfr_model::ForceFieldEngine;
+
+    fn water_frag(n: usize, seed: u64, w: usize) -> FragmentStructure {
+        let sys = WaterBoxBuilder::new(n).seed(seed).build();
+        FragmentJob {
+            kind: JobKind::WaterMonomer { w },
+            coefficient: 1.0,
+            atoms: sys.water_atoms(w).to_vec(),
+            link_hydrogens: vec![],
+        }
+        .structure(&sys)
+    }
+
+    #[test]
+    fn exact_hit_is_bit_identical() {
+        let cache = FragmentCache::with_capacity(64 << 20);
+        let engine = ForceFieldEngine::new();
+        let frag = water_frag(4, 1, 2);
+        let (first, k1) = cache.get_or_compute(&frag, || engine.compute(&frag));
+        assert_eq!(k1, HitKind::Miss);
+        let (second, k2) = cache.get_or_compute(&frag, || panic!("must not recompute"));
+        assert_eq!(k2, HitKind::Exact);
+        assert_eq!(first.hessian.as_slice(), second.hessian.as_slice());
+        assert_eq!(first.dalpha.as_slice(), second.dalpha.as_slice());
+        assert_eq!(first.dmu.as_slice(), second.dmu.as_slice());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_geometries_do_not_collide() {
+        let cache = FragmentCache::with_capacity(64 << 20);
+        let engine = ForceFieldEngine::new();
+        let a = water_frag(4, 1, 0);
+        let b = water_frag(4, 1, 1);
+        cache.get_or_compute(&a, || engine.compute(&a));
+        let (_, kind) = cache.get_or_compute(&b, || engine.compute(&b));
+        assert_eq!(kind, HitKind::Miss);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_budget() {
+        // One entry of a 3-atom water is 9*9+6*9+3*9 = 162 doubles = 1296 B.
+        let one = response_bytes(3);
+        let cache = FragmentCache::new(CacheConfig {
+            max_bytes: 2 * one,
+            shards: 1,
+            ..CacheConfig::default()
+        });
+        let engine = ForceFieldEngine::new();
+        let frags: Vec<_> = (0..3).map(|w| water_frag(3, 1, w)).collect();
+        for f in &frags {
+            cache.get_or_compute(f, || engine.compute(f));
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 2, "third insert evicts the oldest");
+        assert!(s.evictions >= 1);
+        assert!(s.resident_bytes <= 2 * one);
+        // frags[0] was evicted; re-requesting recomputes.
+        let (_, kind) = cache.get_or_compute(&frags[0], || engine.compute(&frags[0]));
+        assert_eq!(kind, HitKind::Miss);
+    }
+
+    #[test]
+    fn touch_refreshes_lru_rank() {
+        let one = response_bytes(3);
+        let cache = FragmentCache::new(CacheConfig {
+            max_bytes: 2 * one,
+            shards: 1,
+            ..CacheConfig::default()
+        });
+        let engine = ForceFieldEngine::new();
+        let frags: Vec<_> = (0..3).map(|w| water_frag(3, 1, w)).collect();
+        cache.get_or_compute(&frags[0], || engine.compute(&frags[0]));
+        cache.get_or_compute(&frags[1], || engine.compute(&frags[1]));
+        // Touch 0 so 1 becomes the LRU victim.
+        cache.get_or_compute(&frags[0], || panic!("hit expected"));
+        cache.get_or_compute(&frags[2], || engine.compute(&frags[2]));
+        let (_, kind) = cache.get_or_compute(&frags[0], || panic!("survivor expected"));
+        assert_eq!(kind, HitKind::Exact);
+        let (_, kind) = cache.get_or_compute(&frags[1], || engine.compute(&frags[1]));
+        assert_eq!(kind, HitKind::Miss, "frags[1] was the eviction victim");
+    }
+
+    #[test]
+    fn near_hit_transports_between_translated_copies() {
+        let cache = FragmentCache::new(CacheConfig { near_hits: true, ..CacheConfig::default() });
+        let engine = ForceFieldEngine::new();
+        let frag = water_frag(4, 2, 1);
+        let mut moved = frag.clone();
+        for p in &mut moved.positions {
+            p.x += 7.5;
+            p.y -= 3.25;
+        }
+        cache.get_or_compute(&frag, || engine.compute(&frag));
+        let (resp, kind) = cache.get_or_compute(&moved, || panic!("near hit expected"));
+        assert_eq!(kind, HitKind::Near);
+        // Translation leaves responses unchanged; transport must too
+        // (rotation Q is orthogonal-identity up to roundoff here).
+        let direct = engine.compute(&moved);
+        assert!(resp.hessian.max_abs_diff(&direct.hessian) < 1e-9);
+        assert!(resp.dalpha.max_abs_diff(&direct.dalpha) < 1e-9);
+        assert!(resp.dmu.max_abs_diff(&direct.dmu) < 1e-9);
+        // The transported response was promoted: an identical later
+        // request exact-hits it bit-identically.
+        let (again, kind) = cache.get_or_compute(&moved, || panic!("promoted entry expected"));
+        assert_eq!(kind, HitKind::Exact);
+        assert_eq!(again.hessian.as_slice(), resp.hessian.as_slice());
+    }
+
+    #[test]
+    fn dropped_ticket_releases_pending_slot() {
+        let cache = FragmentCache::with_capacity(64 << 20);
+        let frag = water_frag(3, 3, 0);
+        match cache.lookup(&frag) {
+            Lookup::MustCompute(t) => drop(t),
+            Lookup::Hit(..) => panic!("cold cache"),
+        }
+        // The slot was released: the next lookup is a fresh miss, not a
+        // deadlocked wait on an abandoned pending entry.
+        let engine = ForceFieldEngine::new();
+        let (_, kind) = cache.get_or_compute(&frag, || engine.compute(&frag));
+        assert_eq!(kind, HitKind::Miss);
+    }
+
+    #[test]
+    fn concurrent_same_key_computes_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = Arc::new(FragmentCache::with_capacity(64 << 20));
+        let frag = Arc::new(water_frag(3, 4, 0));
+        let computes = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let frag = Arc::clone(&frag);
+                let computes = Arc::clone(&computes);
+                std::thread::spawn(move || {
+                    let engine = ForceFieldEngine::new();
+                    let (resp, _) = cache.get_or_compute(&frag, || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        engine.compute(&frag)
+                    });
+                    resp.hessian.as_slice().to_vec()
+                })
+            })
+            .collect();
+        let results: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "single-compute semantics");
+        for r in &results[1..] {
+            assert_eq!(r, &results[0], "all callers see the same bits");
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 7);
+    }
+
+    #[test]
+    fn precomputed_insert_hits_without_compute() {
+        let cache = FragmentCache::with_capacity(64 << 20);
+        let engine = ForceFieldEngine::new();
+        let frag = water_frag(3, 5, 1);
+        cache.insert_precomputed(&frag, engine.compute(&frag));
+        let (_, kind) = cache.get_or_compute(&frag, || panic!("pre-warmed"));
+        assert_eq!(kind, HitKind::Exact);
+        let s = cache.stats();
+        assert_eq!(s.misses, 0);
+        assert_eq!(s.hits, 1);
+    }
+}

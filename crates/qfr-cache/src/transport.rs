@@ -1,0 +1,273 @@
+//! Response transport between members of a canonical equivalence class.
+//!
+//! Two fragments with the same canonical key agree in canonical
+//! coordinates: `A_s (p_s − c_s) = A_r (p_r − c_r)` atom-for-atom through
+//! the canonical order, where `A` stacks the frame axes as rows and `c` is
+//! the centroid. The stored response is carried into the requesting frame
+//! by the rotation `Q = A_rᵀ A_s` and the canonical-rank permutation:
+//!
+//! - Hessian atom blocks: `H_req = Q · H_stored · Qᵀ`,
+//! - dipole derivatives (`3 × 3m`): `Q · B · Qᵀ` per atom block (both the
+//!   dipole component index and the displacement index rotate),
+//! - polarizability derivatives (`6 × 3m`): each compressed column block
+//!   is expanded to the symmetric rank-3 object `T[a][b][c] = ∂α_ab/∂r_c`,
+//!   rotated on all three indices, and re-compressed.
+//!
+//! Transported responses are numerically covariant (roundoff-level, not
+//! bit-identical) — which is why near hits are opt-in while exact hits are
+//! the default.
+
+use qfr_fragment::{Canonical, FragmentResponse};
+use qfr_geom::Vec3;
+use qfr_linalg::DMatrix;
+
+fn comp(v: Vec3, i: usize) -> f64 {
+    match i {
+        0 => v.x,
+        1 => v.y,
+        _ => v.z,
+    }
+}
+
+/// `Q = A_reqᵀ · A_stored`: rotates stored-frame vectors into the
+/// requesting frame.
+fn rotation(stored: &Canonical, req: &Canonical) -> [[f64; 3]; 3] {
+    let mut q = [[0.0; 3]; 3];
+    for (i, row) in q.iter_mut().enumerate() {
+        for (j, e) in row.iter_mut().enumerate() {
+            *e = (0..3).map(|k| comp(req.axes[k], i) * comp(stored.axes[k], j)).sum();
+        }
+    }
+    q
+}
+
+/// `Q · B · Qᵀ` for a `3 × 3` block.
+fn rotate_block(q: &[[f64; 3]; 3], b: &[[f64; 3]; 3]) -> [[f64; 3]; 3] {
+    let mut out = [[0.0; 3]; 3];
+    for (a, row) in out.iter_mut().enumerate() {
+        for (c, e) in row.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (ap, brow) in b.iter().enumerate() {
+                for (cp, &v) in brow.iter().enumerate() {
+                    acc += q[a][ap] * q[c][cp] * v;
+                }
+            }
+            *e = acc;
+        }
+    }
+    out
+}
+
+/// Row index of the compressed symmetric-tensor layout (xx,yy,zz,xy,xz,yz).
+fn sym_row(a: usize, b: usize) -> usize {
+    match (a.min(b), a.max(b)) {
+        (0, 0) => 0,
+        (1, 1) => 1,
+        (2, 2) => 2,
+        (0, 1) => 3,
+        (0, 2) => 4,
+        _ => 5,
+    }
+}
+
+/// Transports `stored`'s response into the requesting fragment's frame and
+/// local atom order. `stored`/`req` must share a canonical key (same atom
+/// count and canonical geometry); `n_atoms` is the fragment atom count.
+pub fn transport_response(
+    response: &FragmentResponse,
+    stored: &Canonical,
+    req: &Canonical,
+    n_atoms: usize,
+) -> FragmentResponse {
+    assert_eq!(stored.key, req.key, "transport requires a shared canonical key");
+    assert_eq!(stored.order.len(), n_atoms, "stored frame atom count");
+    assert_eq!(req.order.len(), n_atoms, "requesting frame atom count");
+    let q = rotation(stored, req);
+    let dof = 3 * n_atoms;
+    let mut hessian = DMatrix::zeros(dof, dof);
+    let mut dmu = DMatrix::zeros(3, dof);
+    let mut dalpha = DMatrix::zeros(6, dof);
+
+    // perm: requester local atom index of canonical rank k is req.order[k],
+    // the matching stored local atom is stored.order[k].
+    for k in 0..n_atoms {
+        let rk = req.order[k];
+        let sk = stored.order[k];
+
+        // Hessian blocks (rows of atom rk against every column atom).
+        for l in 0..n_atoms {
+            let rl = req.order[l];
+            let sl = stored.order[l];
+            let mut b = [[0.0; 3]; 3];
+            for (a, row) in b.iter_mut().enumerate() {
+                for (c, e) in row.iter_mut().enumerate() {
+                    *e = response.hessian[(3 * sk + a, 3 * sl + c)];
+                }
+            }
+            let rb = rotate_block(&q, &b);
+            for (a, row) in rb.iter().enumerate() {
+                for (c, &v) in row.iter().enumerate() {
+                    hessian[(3 * rk + a, 3 * rl + c)] = v;
+                }
+            }
+        }
+
+        // Dipole derivatives: component index × displacement index.
+        let mut b = [[0.0; 3]; 3];
+        for (a, row) in b.iter_mut().enumerate() {
+            for (c, e) in row.iter_mut().enumerate() {
+                *e = response.dmu[(a, 3 * sk + c)];
+            }
+        }
+        let rb = rotate_block(&q, &b);
+        for (a, row) in rb.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                dmu[(a, 3 * rk + c)] = v;
+            }
+        }
+
+        // Polarizability derivatives: expand the 6 compressed rows of this
+        // atom's column block to T[a][b][c], rotate all three indices,
+        // re-compress.
+        let mut t = [[[0.0; 3]; 3]; 3];
+        for (a, plane) in t.iter_mut().enumerate() {
+            for (b_i, row) in plane.iter_mut().enumerate() {
+                for (c, e) in row.iter_mut().enumerate() {
+                    *e = response.dalpha[(sym_row(a, b_i), 3 * sk + c)];
+                }
+            }
+        }
+        let mut tr = [[[0.0; 3]; 3]; 3];
+        for (a, plane) in tr.iter_mut().enumerate() {
+            for (b_i, row) in plane.iter_mut().enumerate() {
+                for (c, e) in row.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for (ap, p) in t.iter().enumerate() {
+                        for (bp, r) in p.iter().enumerate() {
+                            for (cp, &v) in r.iter().enumerate() {
+                                acc += q[a][ap] * q[b_i][bp] * q[c][cp] * v;
+                            }
+                        }
+                    }
+                    *e = acc;
+                }
+            }
+        }
+        for a in 0..3 {
+            for b_i in a..3 {
+                for c in 0..3 {
+                    dalpha[(sym_row(a, b_i), 3 * rk + c)] = tr[a][b_i][c];
+                }
+            }
+        }
+    }
+
+    FragmentResponse { hessian, dalpha, dmu }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfr_fragment::{
+        canonicalize, FragmentEngine, FragmentJob, FragmentStructure, JobKind, DEFAULT_KEY_TOL,
+    };
+    use qfr_geom::WaterBoxBuilder;
+    use qfr_model::ForceFieldEngine;
+
+    fn water_frag(n: usize, seed: u64, w: usize) -> FragmentStructure {
+        let sys = WaterBoxBuilder::new(n).seed(seed).build();
+        FragmentJob {
+            kind: JobKind::WaterMonomer { w },
+            coefficient: 1.0,
+            atoms: sys.water_atoms(w).to_vec(),
+            link_hydrogens: vec![],
+        }
+        .structure(&sys)
+    }
+
+    fn rigid_motion(
+        frag: &FragmentStructure,
+        axis: Vec3,
+        angle: f64,
+        shift: Vec3,
+    ) -> FragmentStructure {
+        let k = axis.normalized();
+        let (s, c) = angle.sin_cos();
+        let mut out = frag.clone();
+        for p in &mut out.positions {
+            let r = *p;
+            *p = r * c + k.cross(r) * s + k * (k.dot(r) * (1.0 - c)) + shift;
+        }
+        out
+    }
+
+    /// The force-field engine is rotation-covariant (its energy is built
+    /// from invariant internal coordinates), so a transported response
+    /// must match a direct compute on the moved geometry to roundoff.
+    #[test]
+    fn transport_matches_direct_compute_under_rigid_motion() {
+        let engine = ForceFieldEngine::new();
+        let frag = water_frag(4, 7, 2);
+        let moved =
+            rigid_motion(&frag, Vec3::new(0.4, -1.1, 0.7), 0.93, Vec3::new(12.0, -5.0, 30.0));
+        let stored_c = canonicalize(&frag, DEFAULT_KEY_TOL);
+        let req_c = canonicalize(&moved, DEFAULT_KEY_TOL);
+        assert_eq!(stored_c.key, req_c.key);
+        let stored = engine.compute(&frag);
+        let direct = engine.compute(&moved);
+        let carried = transport_response(&stored, &stored_c, &req_c, frag.n_atoms());
+        let scale = direct.hessian.max_abs().max(1.0);
+        assert!(carried.hessian.max_abs_diff(&direct.hessian) < 1e-8 * scale);
+        assert!(carried.dalpha.max_abs_diff(&direct.dalpha) < 1e-8);
+        assert!(carried.dmu.max_abs_diff(&direct.dmu) < 1e-8);
+    }
+
+    /// Pure translation: Q is the identity up to roundoff, the permutation
+    /// is trivial, and the transported response equals the stored one.
+    #[test]
+    fn translation_transport_is_near_exact() {
+        let engine = ForceFieldEngine::new();
+        let frag = water_frag(3, 8, 1);
+        let mut moved = frag.clone();
+        for p in &mut moved.positions {
+            p.z += 42.0;
+        }
+        let stored_c = canonicalize(&frag, DEFAULT_KEY_TOL);
+        let req_c = canonicalize(&moved, DEFAULT_KEY_TOL);
+        let stored = engine.compute(&frag);
+        let carried = transport_response(&stored, &stored_c, &req_c, frag.n_atoms());
+        assert!(carried.hessian.max_abs_diff(&stored.hessian) < 1e-9);
+        assert!(carried.dmu.max_abs_diff(&stored.dmu) < 1e-9);
+    }
+
+    /// Relabeled atoms: transport undoes the permutation.
+    #[test]
+    fn relabeling_transport_restores_local_order() {
+        let engine = ForceFieldEngine::new();
+        let frag = water_frag(3, 9, 0);
+        // Swap the two hydrogens (local 1 and 2).
+        let mut swapped = frag.clone();
+        swapped.elements.swap(1, 2);
+        swapped.positions.swap(1, 2);
+        swapped.global_map.swap(1, 2);
+        for b in &mut swapped.bonds {
+            for e in [&mut b.i, &mut b.j] {
+                *e = match *e {
+                    1 => 2,
+                    2 => 1,
+                    other => other,
+                };
+            }
+        }
+        let stored_c = canonicalize(&frag, DEFAULT_KEY_TOL);
+        let req_c = canonicalize(&swapped, DEFAULT_KEY_TOL);
+        assert_eq!(stored_c.key, req_c.key);
+        let stored = engine.compute(&frag);
+        let direct = engine.compute(&swapped);
+        let carried = transport_response(&stored, &stored_c, &req_c, frag.n_atoms());
+        let scale = direct.hessian.max_abs().max(1.0);
+        assert!(carried.hessian.max_abs_diff(&direct.hessian) < 1e-8 * scale);
+        assert!(carried.dalpha.max_abs_diff(&direct.dalpha) < 1e-8);
+        assert!(carried.dmu.max_abs_diff(&direct.dmu) < 1e-8);
+    }
+}

@@ -3,15 +3,17 @@
 //! ```text
 //! qfr spectrum  --protein 100 [--solvate 6.0] [--sigma 5] [--lanczos 160]
 //!               [--seed 42] [--temperature 300] [--json out.json] [--xyz out.xyz]
-//! qfr spectrum  --waters 1000 [--sigma 20] ...
+//! qfr spectrum  --waters 1000 [--sigma 20] [--cache [--cache-mb 256]] ...
 //! qfr decompose --protein 3180 [--lambda 4.0]
+//! qfr serve     --waters 200 --requests 6 [--distinct 2] [--workers 4]
 //! qfr info
 //! ```
 //!
 //! Argument parsing is hand-rolled (no CLI dependency); every flag has a
 //! sensible paper-matching default.
 
-use qfr_core::{EngineKind, RamanWorkflow};
+use qfr_cache::{CacheConfig, FragmentCache};
+use qfr_core::{EngineKind, RamanWorkflow, ServiceConfig, SpectrumRequest, SpectrumService};
 use qfr_geom::{io, MolecularSystem, ProteinBuilder, SolvatedSystem, WaterBoxBuilder};
 use qfr_linalg::batch::OffloadMode;
 
@@ -36,15 +38,22 @@ fn usage() -> ! {
          [--dfpt] [--offload batched|scattered]\n                \
          [--sched LEADERS [--workers W] [--checkpoint FILE\n                 \
          [--checkpoint-interval N]]] [--checkpoint FILE]\n                \
+         [--cache [--cache-mb MB] [--warm N]]\n                \
          [--trace FILE] [--metrics] [--metrics-out FILE]\n  \
          qfr decompose (--protein N | --waters N) [--lambda L] [--seed SEED]\n  \
+         qfr serve    (--protein N | --waters N) [--requests R] [--distinct D]\n                \
+         [--workers W] [--max-active A] [--max-queued Q]\n                \
+         [--batch-window B] [--cache-mb MB] [--sigma S] [--seed SEED]\n  \
          qfr info"
     );
     std::process::exit(2);
 }
 
 fn build_system(args: &[String]) -> MolecularSystem {
-    let seed: u64 = parse(args, "--seed", 42);
+    build_seeded_system(args, parse(args, "--seed", 42))
+}
+
+fn build_seeded_system(args: &[String], seed: u64) -> MolecularSystem {
     if let Some(n) = arg_value(args, "--protein").and_then(|v| v.parse::<usize>().ok()) {
         let protein = ProteinBuilder::new(n).seed(seed).build();
         if let Some(pad) = arg_value(args, "--solvate").and_then(|v| v.parse::<f64>().ok()) {
@@ -94,6 +103,20 @@ fn cmd_spectrum(args: &[String]) {
     if has(args, "--dfpt") {
         workflow = workflow.engine(EngineKind::ModelDfpt);
     }
+    // --cache attaches a content-addressed fragment result cache;
+    // --warm N re-runs the workflow N extra times against the warm cache
+    // (hit-rate demonstration — spectra are bit-identical regardless).
+    let cache = if has(args, "--cache") {
+        let mb: usize = parse(args, "--cache-mb", 256);
+        let cache = std::sync::Arc::new(FragmentCache::new(CacheConfig {
+            max_bytes: mb << 20,
+            ..CacheConfig::default()
+        }));
+        workflow = workflow.with_cache(std::sync::Arc::clone(&cache));
+        Some(cache)
+    } else {
+        None
+    };
     let mut result = if has(args, "--dense") {
         workflow.run_dense_reference()
     } else if has(args, "--stream") {
@@ -131,12 +154,36 @@ fn cmd_spectrum(args: &[String]) {
         println!("applied Bose factor at {t} K");
     }
 
+    if let Some(cache) = &cache {
+        for i in 0..parse(args, "--warm", 0usize) {
+            let warm = workflow.run().unwrap_or_else(|e| {
+                eprintln!("error: warm run {i}: {e}");
+                std::process::exit(1);
+            });
+            assert_eq!(
+                warm.spectrum.intensities, result.spectrum.intensities,
+                "cache broke bit-identity"
+            );
+        }
+        let s = cache.stats();
+        println!(
+            "cache: {} entries, {:.1} MiB resident, {} hits / {} misses / {} near / {} evicted",
+            s.entries,
+            s.resident_bytes as f64 / (1 << 20) as f64,
+            s.hits,
+            s.misses,
+            s.near_hits,
+            s.evictions
+        );
+    }
+
     println!("decomposition: {}", result.stats.summary());
     println!("run: {}", result.summary());
     if let Some(rec) = &result.recovery {
         println!(
             "recovery: {} retries ({} eager), {} resumed, {} re-issues, \
-             {} duplicates suppressed, {} quarantined, {} unfinished, {} leaders died",
+             {} duplicates suppressed, {} quarantined, {} unfinished, {} leaders died, \
+             {} cache hits",
             rec.retries,
             rec.eager_retries,
             rec.resumed_jobs,
@@ -144,7 +191,8 @@ fn cmd_spectrum(args: &[String]) {
             rec.duplicates_suppressed,
             rec.quarantined_jobs,
             rec.unfinished_jobs,
-            rec.leaders_died
+            rec.leaders_died,
+            rec.cache_hits
         );
     }
     println!(
@@ -199,6 +247,81 @@ fn cmd_decompose(args: &[String]) {
     println!("fragment sizes      : {}..{}", d.stats.min_size, d.stats.max_size);
 }
 
+/// Scripted driver for the concurrent [`SpectrumService`]: submits
+/// `--requests` spectrum requests drawn from `--distinct` seed variants of
+/// the base system (repeats of a variant are served from the shared
+/// cache), waits for all of them, and reports per-request and cache-wide
+/// statistics. There is no network listener — this is the in-process
+/// demonstration of the service's admission, batching and cache sharing.
+fn cmd_serve(args: &[String]) {
+    let requests: usize = parse(args, "--requests", 6);
+    let distinct: usize = std::cmp::max(parse(args, "--distinct", 2), 1);
+    let base_seed: u64 = parse(args, "--seed", 42);
+    let cache_mb: usize = parse(args, "--cache-mb", 256);
+    let config = ServiceConfig {
+        workers: parse(args, "--workers", 4),
+        max_active: parse(args, "--max-active", 4),
+        max_queued: parse(args, "--max-queued", 16),
+        batch_window: parse(args, "--batch-window", 32),
+        engine: EngineKind::ForceField,
+        cache: Some(std::sync::Arc::new(FragmentCache::new(CacheConfig {
+            max_bytes: cache_mb << 20,
+            ..CacheConfig::default()
+        }))),
+    };
+    println!("service: {config:?}");
+    let service = SpectrumService::new(config);
+
+    let variants: Vec<MolecularSystem> =
+        (0..distinct).map(|d| build_seeded_system(args, base_seed + d as u64)).collect();
+    let sigma = parse(args, "--sigma", if variants[0].n_waters > 0 { 20.0 } else { 5.0 });
+
+    let mut handles = Vec::new();
+    for r in 0..requests {
+        let system = variants[r % distinct].clone();
+        let request = SpectrumRequest::new(system)
+            .sigma(sigma)
+            .lambda(parse(args, "--lambda", 4.0))
+            .lanczos_steps(parse(args, "--lanczos", 140));
+        match service.submit(request) {
+            Ok(handle) => {
+                println!("request {:>2}: admitted (variant {})", handle.id(), r % distinct);
+                handles.push(handle);
+            }
+            Err(e) => println!("request {r:>2}: shed ({e})"),
+        }
+    }
+    for handle in handles {
+        let id = handle.id();
+        match handle.wait() {
+            Ok(result) => {
+                let hits = result.recovery.as_ref().map_or(0, |r| r.cache_hits);
+                println!(
+                    "request {:>2}: done — {} ({} of {} fragments from cache)",
+                    id,
+                    result.summary(),
+                    hits,
+                    result.stats.n_jobs
+                );
+            }
+            Err(e) => println!("request {id:>2}: failed ({e})"),
+        }
+    }
+    let s = service.cache().stats();
+    println!(
+        "cache: {} entries, {:.1} MiB resident, {} hits / {} misses / {} near / {} evicted",
+        s.entries,
+        s.resident_bytes as f64 / (1 << 20) as f64,
+        s.hits,
+        s.misses,
+        s.near_hits,
+        s.evictions
+    );
+    if has(args, "--metrics") {
+        println!("\n{}", qfr_obs::report());
+    }
+}
+
 fn cmd_info() {
     println!("qfr-raman-rs — QF-RAMAN (SC 2024) reproduction in Rust");
     println!("pipeline: QF decomposition -> per-fragment engine -> Eq.(1) assembly");
@@ -213,6 +336,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("spectrum") => cmd_spectrum(&args[1..]),
         Some("decompose") => cmd_decompose(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("info") => cmd_info(),
         _ => usage(),
     }

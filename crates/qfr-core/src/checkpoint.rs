@@ -6,7 +6,7 @@
 //! in a compact binary format keyed by a fingerprint of the decomposition,
 //! so a re-run with the same system and λ resumes directly at assembly.
 //!
-//! Format v2 (little-endian): magic `QFRC`, version u32 (= 2), fingerprint
+//! Format v3 (little-endian): magic `QFRC`, version u32 (= 3), fingerprint
 //! u64, total job count u64, present-job count u64, then a presence bitmap
 //! of `ceil(total/8)` bytes (bit `j` of byte `j / 8` = job `j` present),
 //! followed by one block per *present* job in ascending job order: `m`
@@ -15,18 +15,29 @@
 //! bits and appends fewer blocks — the header and bitmap sizes depend only
 //! on the decomposition, so successive saves of a filling run grow the file
 //! monotonically (append-friendly), while each save stays an atomic
-//! temp-file + rename. Version 1 files (no bitmap, every job present) are
-//! still read.
+//! temp-file + rename (cleanup of the temp on *any* failed save is a drop
+//! guard, so write/sync/rename errors and panics leave no droppings).
+//!
+//! v3 shares v2's layout; the version bump marks the fingerprint change:
+//! v1/v2 fingerprints hashed only atom indices, counts, and coefficients —
+//! geometry-blind, so a checkpoint taken before atoms moved (or elements /
+//! link-hydrogen placements changed) still validated and silently
+//! resurrected stale responses. The v3 fingerprint folds every fragment's
+//! [`qfr_fragment::exact_key`] (elements, link-H flags, bonds, raw position
+//! bits) into the digest. v1/v2 files are still read, checked against the
+//! legacy fingerprint — their format guarantee is unchanged, which is
+//! exactly why new saves are v3.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use qfr_fragment::{Decomposition, FragmentResponse};
+use qfr_fragment::{exact_key, Decomposition, FragmentResponse};
+use qfr_geom::MolecularSystem;
 use qfr_linalg::DMatrix;
 use std::io::{Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const MAGIC: &[u8; 4] = b"QFRC";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 
 /// Per-process temp-file sequence number: together with the pid it makes
 /// concurrent savers targeting the same checkpoint path collision-free.
@@ -69,9 +80,37 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
-/// FNV-1a fingerprint of a decomposition: job kinds are implied by the atom
-/// lists and coefficients, which is what assembly consumes.
-pub fn fingerprint(decomposition: &Decomposition, n_atoms: usize) -> u64 {
+/// Geometry-aware FNV-1a fingerprint of a decomposition (format v3): per
+/// job it folds the atom indices, the coefficient, and the materialized
+/// fragment's [`exact_key`] — elements, link-hydrogen flags, bonds, and
+/// the raw position bits. A checkpoint taken before atoms moved, elements
+/// changed, or link hydrogens were re-placed therefore no longer
+/// validates (it did under the legacy index-only fingerprint).
+pub fn fingerprint(decomposition: &Decomposition, sys: &MolecularSystem) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    mix(sys.n_atoms() as u64);
+    mix(decomposition.jobs.len() as u64);
+    for job in &decomposition.jobs {
+        mix(job.atoms.len() as u64);
+        mix(job.link_hydrogens.len() as u64);
+        mix(job.coefficient.to_bits());
+        for &a in &job.atoms {
+            mix(a as u64);
+        }
+        let key = exact_key(&job.structure(sys)).0;
+        mix(key as u64);
+        mix((key >> 64) as u64);
+    }
+    h
+}
+
+/// The geometry-blind v1/v2 fingerprint (atom indices, counts and
+/// coefficients only), kept to validate legacy files on read.
+pub fn fingerprint_legacy(decomposition: &Decomposition, n_atoms: usize) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     let mut mix = |v: u64| {
         h ^= v;
@@ -125,6 +164,24 @@ fn validate_response(m: usize, resp: &FragmentResponse) -> Result<(), Checkpoint
     Ok(())
 }
 
+/// Removes the temp file on drop unless the write was completed by the
+/// rename. Covers every failure exit of [`atomic_write`] — short write,
+/// failed sync, failed rename, and unwinding panics — where the previous
+/// hand-rolled cleanup only covered the rename error and orphaned
+/// `.{name}.{pid}.{seq}.tmp` files on the others.
+struct TmpGuard {
+    tmp: PathBuf,
+    committed: bool,
+}
+
+impl Drop for TmpGuard {
+    fn drop(&mut self) {
+        if !self.committed {
+            std::fs::remove_file(&self.tmp).ok();
+        }
+    }
+}
+
 /// Atomically replaces `path` with `contents`: write to a per-process
 /// unique temp file in the same directory, fsync, rename. The pid+sequence
 /// temp name means concurrent runs sharing a checkpoint path cannot clobber
@@ -134,15 +191,14 @@ fn atomic_write(path: &Path, contents: &[u8]) -> Result<(), CheckpointError> {
     let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
     let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("checkpoint");
     let tmp = path.with_file_name(format!(".{name}.{}.{seq}.tmp", std::process::id()));
+    let mut guard = TmpGuard { tmp, committed: false };
     {
-        let mut f = std::fs::File::create(&tmp)?;
+        let mut f = std::fs::File::create(&guard.tmp)?;
         f.write_all(contents)?;
         f.sync_all()?;
     }
-    if let Err(e) = std::fs::rename(&tmp, path) {
-        std::fs::remove_file(&tmp).ok();
-        return Err(e.into());
-    }
+    std::fs::rename(&guard.tmp, path)?;
+    guard.committed = true;
     Ok(())
 }
 
@@ -154,7 +210,7 @@ fn atomic_write(path: &Path, contents: &[u8]) -> Result<(), CheckpointError> {
 pub fn save_partial(
     path: &Path,
     decomposition: &Decomposition,
-    n_atoms: usize,
+    sys: &MolecularSystem,
     slots: &[Option<FragmentResponse>],
 ) -> Result<(), CheckpointError> {
     assert_eq!(decomposition.jobs.len(), slots.len(), "one slot per job");
@@ -163,7 +219,7 @@ pub fn save_partial(
     let mut buf = BytesMut::new();
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
-    buf.put_u64_le(fingerprint(decomposition, n_atoms));
+    buf.put_u64_le(fingerprint(decomposition, sys));
     buf.put_u64_le(total as u64);
     buf.put_u64_le(present as u64);
     let mut bitmap = vec![0u8; total.div_ceil(8)];
@@ -189,21 +245,22 @@ pub fn save_partial(
 pub fn save_responses(
     path: &Path,
     decomposition: &Decomposition,
-    n_atoms: usize,
+    sys: &MolecularSystem,
     responses: &[FragmentResponse],
 ) -> Result<(), CheckpointError> {
     assert_eq!(decomposition.jobs.len(), responses.len(), "one response per job");
     let slots: Vec<Option<FragmentResponse>> = responses.iter().cloned().map(Some).collect();
-    save_partial(path, decomposition, n_atoms, &slots)
+    save_partial(path, decomposition, sys, &slots)
 }
 
 /// Loads a (possibly partial) checkpoint: `slots[j]` is `Some` iff the file
 /// holds job `j`'s response. Verifies the fingerprint against the current
-/// decomposition; reads both v2 (bitmap) and v1 (all jobs present) files.
+/// decomposition *and geometry* (v3); v1/v2 files (bitmap-less v1, bitmap
+/// v2) are still read, checked against the legacy index-only fingerprint.
 pub fn load_partial(
     path: &Path,
     decomposition: &Decomposition,
-    n_atoms: usize,
+    sys: &MolecularSystem,
 ) -> Result<Vec<Option<FragmentResponse>>, CheckpointError> {
     let mut raw = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut raw)?;
@@ -217,11 +274,15 @@ pub fn load_partial(
         return Err(CheckpointError::Format("bad magic".into()));
     }
     let version = buf.get_u32_le();
-    if version != 1 && version != 2 {
+    if !(1..=3).contains(&version) {
         return Err(CheckpointError::Format(format!("unsupported version {version}")));
     }
     let found = buf.get_u64_le();
-    let expected = fingerprint(decomposition, n_atoms);
+    let expected = if version >= 3 {
+        fingerprint(decomposition, sys)
+    } else {
+        fingerprint_legacy(decomposition, sys.n_atoms())
+    };
     if found != expected {
         return Err(CheckpointError::FingerprintMismatch { found, expected });
     }
@@ -232,7 +293,7 @@ pub fn load_partial(
             decomposition.jobs.len()
         )));
     }
-    let present: Vec<bool> = if version == 2 {
+    let present: Vec<bool> = if version >= 2 {
         if buf.remaining() < 8 {
             return Err(CheckpointError::Format("truncated v2 header".into()));
         }
@@ -282,9 +343,9 @@ pub fn load_partial(
 pub fn load_responses(
     path: &Path,
     decomposition: &Decomposition,
-    n_atoms: usize,
+    sys: &MolecularSystem,
 ) -> Result<Vec<FragmentResponse>, CheckpointError> {
-    let slots = load_partial(path, decomposition, n_atoms)?;
+    let slots = load_partial(path, decomposition, sys)?;
     let missing = slots.iter().filter(|s| s.is_none()).count();
     if missing > 0 {
         return Err(CheckpointError::Format(format!(
@@ -316,8 +377,8 @@ mod tests {
         let dir = std::env::temp_dir().join("qfr_ckpt_test_rt");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("responses.qfrc");
-        save_responses(&path, &d, sys.n_atoms(), &responses).unwrap();
-        let loaded = load_responses(&path, &d, sys.n_atoms()).unwrap();
+        save_responses(&path, &d, &sys, &responses).unwrap();
+        let loaded = load_responses(&path, &d, &sys).unwrap();
         assert_eq!(loaded.len(), responses.len());
         for (a, b) in loaded.iter().zip(&responses) {
             assert_eq!(a.hessian.max_abs_diff(&b.hessian), 0.0, "bit-exact hessian");
@@ -333,11 +394,11 @@ mod tests {
         let dir = std::env::temp_dir().join("qfr_ckpt_test_fp");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("responses.qfrc");
-        save_responses(&path, &d, sys.n_atoms(), &responses).unwrap();
+        save_responses(&path, &d, &sys, &responses).unwrap();
         // A different box has a different decomposition.
         let other_sys = WaterBoxBuilder::new(7).seed(2).build();
         let other = Decomposition::new(&other_sys, DecompositionParams::default());
-        let err = load_responses(&path, &other, other_sys.n_atoms()).unwrap_err();
+        let err = load_responses(&path, &other, &other_sys).unwrap_err();
         assert!(matches!(err, CheckpointError::FingerprintMismatch { .. }), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -349,7 +410,7 @@ mod tests {
         let path = dir.join("garbage.qfrc");
         std::fs::write(&path, b"not a checkpoint at all").unwrap();
         let (sys, d, _) = setup();
-        let err = load_responses(&path, &d, sys.n_atoms()).unwrap_err();
+        let err = load_responses(&path, &d, &sys).unwrap_err();
         assert!(matches!(err, CheckpointError::Format(_)), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -360,10 +421,10 @@ mod tests {
         let dir = std::env::temp_dir().join("qfr_ckpt_test_trunc");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("responses.qfrc");
-        save_responses(&path, &d, sys.n_atoms(), &responses).unwrap();
+        save_responses(&path, &d, &sys, &responses).unwrap();
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() / 2]).unwrap();
-        let err = load_responses(&path, &d, sys.n_atoms()).unwrap_err();
+        let err = load_responses(&path, &d, &sys).unwrap_err();
         assert!(matches!(err, CheckpointError::Format(_)), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -371,10 +432,20 @@ mod tests {
     #[test]
     fn fingerprint_deterministic_and_sensitive() {
         let (sys, d, _) = setup();
-        let f1 = fingerprint(&d, sys.n_atoms());
-        let f2 = fingerprint(&d, sys.n_atoms());
+        let f1 = fingerprint(&d, &sys);
+        let f2 = fingerprint(&d, &sys);
         assert_eq!(f1, f2);
-        assert_ne!(f1, fingerprint(&d, sys.n_atoms() + 1));
+        // Geometry sensitivity: nudging one atom changes the fingerprint
+        // even though indices, counts and coefficients are untouched.
+        let mut moved = sys.clone();
+        moved.atoms[0].position.x += 1e-6;
+        assert_ne!(f1, fingerprint(&d, &moved));
+        // Element sensitivity likewise.
+        let mut mutated = sys.clone();
+        mutated.atoms[1].element = qfr_geom::Element::O;
+        assert_ne!(f1, fingerprint(&d, &mutated));
+        // The legacy fingerprint is blind to both — that was the bug.
+        assert_eq!(fingerprint_legacy(&d, sys.n_atoms()), fingerprint_legacy(&d, moved.n_atoms()));
     }
 
     #[test]
@@ -386,8 +457,8 @@ mod tests {
         // Every other job present.
         let slots: Vec<Option<FragmentResponse>> =
             responses.iter().enumerate().map(|(j, r)| (j % 2 == 0).then(|| r.clone())).collect();
-        save_partial(&path, &d, sys.n_atoms(), &slots).unwrap();
-        let loaded = load_partial(&path, &d, sys.n_atoms()).unwrap();
+        save_partial(&path, &d, &sys, &slots).unwrap();
+        let loaded = load_partial(&path, &d, &sys).unwrap();
         assert_eq!(loaded.len(), slots.len());
         for (j, (a, b)) in loaded.iter().zip(&slots).enumerate() {
             match (a, b) {
@@ -401,7 +472,7 @@ mod tests {
             }
         }
         // A partial file must refuse to load as a complete one.
-        let err = load_responses(&path, &d, sys.n_atoms()).unwrap_err();
+        let err = load_responses(&path, &d, &sys).unwrap_err();
         assert!(matches!(err, CheckpointError::Format(_)), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -413,7 +484,7 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.put_slice(MAGIC);
         buf.put_u32_le(1);
-        buf.put_u64_le(fingerprint(&d, sys.n_atoms()));
+        buf.put_u64_le(fingerprint_legacy(&d, sys.n_atoms()));
         buf.put_u64_le(responses.len() as u64);
         for (job, resp) in d.jobs.iter().zip(&responses) {
             buf.put_u32_le(job.size() as u32);
@@ -425,7 +496,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("v1.qfrc");
         std::fs::write(&path, &buf[..]).unwrap();
-        let loaded = load_responses(&path, &d, sys.n_atoms()).unwrap();
+        let loaded = load_responses(&path, &d, &sys).unwrap();
         assert_eq!(loaded.len(), responses.len());
         for (a, b) in loaded.iter().zip(&responses) {
             assert_eq!(a.hessian.max_abs_diff(&b.hessian), 0.0);
@@ -442,13 +513,13 @@ mod tests {
         // Corrupt dalpha: the old writer validated only the hessian, wrote
         // the file, and the reader misparsed every later block.
         responses[0].dalpha = DMatrix::zeros(5, 5);
-        let err = save_responses(&path, &d, sys.n_atoms(), &responses).unwrap_err();
+        let err = save_responses(&path, &d, &sys, &responses).unwrap_err();
         assert!(matches!(err, CheckpointError::Format(_)), "{err}");
         assert!(!path.exists(), "a rejected save must not leave a file behind");
         // Same for dmu.
         let (_, _, mut responses) = setup();
         responses[1].dmu = DMatrix::zeros(1, 1);
-        let err = save_responses(&path, &d, sys.n_atoms(), &responses).unwrap_err();
+        let err = save_responses(&path, &d, &sys, &responses).unwrap_err();
         assert!(matches!(err, CheckpointError::Format(_)), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -466,14 +537,103 @@ mod tests {
         let dir = std::env::temp_dir().join("qfr_ckpt_test_tmpname");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("clean.qfrc");
-        save_responses(&path, &d, sys.n_atoms(), &responses).unwrap();
-        save_responses(&path, &d, sys.n_atoms(), &responses).unwrap();
+        save_responses(&path, &d, &sys, &responses).unwrap();
+        save_responses(&path, &d, &sys, &responses).unwrap();
         let leftovers: Vec<_> = std::fs::read_dir(&dir)
             .unwrap()
             .filter_map(|e| e.ok())
             .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
             .collect();
         assert!(leftovers.is_empty(), "temp files must be renamed away: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression for the geometry-blind fingerprint: a checkpoint saved
+    /// before atoms moved used to load cleanly (indices, counts and
+    /// coefficients are unchanged by a displacement) and silently
+    /// resurrect stale responses. It must be rejected with
+    /// `FingerprintMismatch`.
+    #[test]
+    fn displaced_geometry_checkpoint_rejected() {
+        let (sys, d, responses) = setup();
+        let dir = std::env::temp_dir().join("qfr_ckpt_test_displaced");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("displaced.qfrc");
+        save_responses(&path, &d, &sys, &responses).unwrap();
+        // Displace the geometry; the decomposition's job list (indices,
+        // coefficients, link-H count) is structurally identical.
+        let mut moved = sys.clone();
+        for a in &mut moved.atoms {
+            a.position.x += 0.25;
+            a.position.y -= 0.1;
+        }
+        let d_moved = Decomposition::new(&moved, DecompositionParams::default());
+        assert_eq!(d_moved.jobs.len(), d.jobs.len(), "same job structure");
+        assert_eq!(
+            fingerprint_legacy(&d_moved, moved.n_atoms()),
+            fingerprint_legacy(&d, sys.n_atoms()),
+            "the legacy fingerprint cannot tell these runs apart — the bug"
+        );
+        let err = load_responses(&path, &d_moved, &moved).unwrap_err();
+        assert!(matches!(err, CheckpointError::FingerprintMismatch { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A v2 file (legacy fingerprint, bitmap layout) written by the
+    /// previous release still loads.
+    #[test]
+    fn v2_file_still_loads() {
+        let (sys, d, responses) = setup();
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(2);
+        buf.put_u64_le(fingerprint_legacy(&d, sys.n_atoms()));
+        buf.put_u64_le(responses.len() as u64);
+        buf.put_u64_le(responses.len() as u64);
+        let mut bitmap = vec![0u8; responses.len().div_ceil(8)];
+        for j in 0..responses.len() {
+            bitmap[j / 8] |= 1 << (j % 8);
+        }
+        buf.put_slice(&bitmap);
+        for (job, resp) in d.jobs.iter().zip(&responses) {
+            buf.put_u32_le(job.size() as u32);
+            put_matrix(&mut buf, &resp.hessian);
+            put_matrix(&mut buf, &resp.dalpha);
+            put_matrix(&mut buf, &resp.dmu);
+        }
+        let dir = std::env::temp_dir().join("qfr_ckpt_test_v2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v2.qfrc");
+        std::fs::write(&path, &buf[..]).unwrap();
+        let loaded = load_responses(&path, &d, &sys).unwrap();
+        assert_eq!(loaded.len(), responses.len());
+        for (a, b) in loaded.iter().zip(&responses) {
+            assert_eq!(a.hessian.max_abs_diff(&b.hessian), 0.0);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A failed save must leave no `.{name}.{pid}.{seq}.tmp` droppings:
+    /// the drop guard cleans the temp on every error exit, here a rename
+    /// failure forced by saving onto a path that is a directory.
+    #[test]
+    fn failed_save_leaves_no_temp_files() {
+        let (sys, d, responses) = setup();
+        let dir = std::env::temp_dir().join("qfr_ckpt_test_failsave");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        // The target path is an existing non-empty directory: the temp
+        // file writes fine, the rename onto it fails.
+        let target = dir.join("is_a_dir.qfrc");
+        std::fs::create_dir_all(target.join("occupied")).unwrap();
+        let err = save_responses(&target, &d, &sys, &responses).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "failed save must clean its temp: {leftovers:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

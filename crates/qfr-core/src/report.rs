@@ -49,6 +49,10 @@ pub struct RecoverySummary {
     pub unfinished_jobs: usize,
     /// Leaders that died during the engine stage.
     pub leaders_died: usize,
+    /// Fragment responses served from the content-addressed cache instead
+    /// of the engine (0 when no cache is attached). Exact hits plus
+    /// transported near hits, counted per request.
+    pub cache_hits: u64,
 }
 
 impl RecoverySummary {
@@ -189,6 +193,7 @@ mod tests {
             quarantined_jobs: 1,
             unfinished_jobs: 0,
             leaders_died: 0,
+            cache_hits: 4,
         });
         assert!(!r.recovery.as_ref().unwrap().is_complete());
         let v: serde_json::Value = serde_json::from_str(&r.to_json()).unwrap();
@@ -196,6 +201,7 @@ mod tests {
         assert_eq!(v["recovery"]["eager_retries"], 2);
         assert_eq!(v["recovery"]["resumed_jobs"], 3);
         assert_eq!(v["recovery"]["quarantined_jobs"], 1);
+        assert_eq!(v["recovery"]["cache_hits"], 4);
         assert!(RecoverySummary::default().is_complete());
     }
 

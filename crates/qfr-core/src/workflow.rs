@@ -1,6 +1,7 @@
 //! The end-to-end Raman workflow builder.
 
 use crate::report::{RamanResult, RecoverySummary, StageTimings};
+use qfr_cache::{FragmentCache, HitKind};
 use qfr_fragment::{
     assemble, Decomposition, DecompositionParams, FragmentEngine, FragmentResponse, MassWeighted,
 };
@@ -8,6 +9,8 @@ use qfr_geom::MolecularSystem;
 use qfr_model::ForceFieldEngine;
 use qfr_solver::{ir_lanczos, raman_dense_reference, raman_lanczos, RamanOptions};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 // Checkpoint lifecycle counters. Save counts trigger on the exact number of
@@ -105,6 +108,9 @@ pub struct RamanWorkflow {
     /// How the DFPT engine executes its gathered dense-algebra job
     /// streams (ignored by the force-field engine).
     offload: qfr_linalg::batch::OffloadMode,
+    /// Content-addressed fragment result cache shared across runs (and,
+    /// through [`crate::SpectrumService`], across concurrent requests).
+    cache: Option<Arc<FragmentCache>>,
 }
 
 impl RamanWorkflow {
@@ -119,6 +125,7 @@ impl RamanWorkflow {
             parallel: true,
             dfpt_fragment_cap: 12,
             offload: qfr_linalg::batch::OffloadMode::default(),
+            cache: None,
         }
     }
 
@@ -174,6 +181,22 @@ impl RamanWorkflow {
         self
     }
 
+    /// Attaches a content-addressed fragment result cache. Every engine
+    /// compute is then routed through the cache: a fragment whose exact
+    /// geometry key is already resident is served from memory (the
+    /// response is bit-identical to a fresh compute), and misses populate
+    /// it for later runs. Pass the same `Arc` to several workflows to
+    /// share results across systems and requests.
+    pub fn with_cache(mut self, cache: Arc<FragmentCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached fragment cache, if any.
+    pub fn cache(&self) -> Option<&Arc<FragmentCache>> {
+        self.cache.as_ref()
+    }
+
     /// Read access to the system.
     pub fn system(&self) -> &MolecularSystem {
         &self.system
@@ -193,6 +216,39 @@ impl RamanWorkflow {
                 config.response.offload = self.offload;
                 Box::new(qfr_dfpt::DfptEngine { config })
             }
+        }
+    }
+
+    /// One fragment response, served from the cache when one is attached
+    /// (counting a hit into `hits`) and computed by `engine` otherwise.
+    /// Exact hits are bit-identical to a fresh compute, so every run mode
+    /// produces the same spectrum with and without a cache.
+    fn compute_response(
+        &self,
+        engine: &dyn FragmentEngine,
+        job: &qfr_fragment::FragmentJob,
+        hits: &AtomicU64,
+    ) -> FragmentResponse {
+        let frag = job.structure(&self.system);
+        match &self.cache {
+            Some(cache) => {
+                let (resp, kind) = cache.get_or_compute(&frag, || engine.compute(&frag));
+                if kind != HitKind::Miss {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }
+                (*resp).clone()
+            }
+            None => engine.compute(&frag),
+        }
+    }
+
+    /// Treats checkpointed responses as a pre-warmed cache slice: each one
+    /// is installed under its fragment's exact geometry key so later jobs
+    /// (and later requests sharing the cache) hit instead of recomputing.
+    fn prewarm_cache(&self, jobs: &[qfr_fragment::FragmentJob], responses: &[FragmentResponse]) {
+        let Some(cache) = &self.cache else { return };
+        for (job, resp) in jobs.iter().zip(responses) {
+            cache.insert_precomputed(&job.structure(&self.system), resp.clone());
         }
     }
 
@@ -237,37 +293,40 @@ impl RamanWorkflow {
 
         let engine_span = qfr_obs::span("workflow.engine");
         let t = Instant::now();
-        let responses = match crate::checkpoint::load_responses(
-            checkpoint,
-            &decomposition,
-            self.system.n_atoms(),
-        ) {
-            Ok(r) => r,
-            Err(_) => {
-                let r: Vec<FragmentResponse> = if self.parallel {
-                    decomposition
-                        .jobs
-                        .par_iter()
-                        .map(|job| engine.compute(&job.structure(&self.system)))
-                        .collect()
-                } else {
-                    decomposition
-                        .jobs
-                        .iter()
-                        .map(|job| engine.compute(&job.structure(&self.system)))
-                        .collect()
-                };
-                // A failed save must not fail the run; the result is
-                // complete either way.
-                let _ = crate::checkpoint::save_responses(
-                    checkpoint,
-                    &decomposition,
-                    self.system.n_atoms(),
-                    &r,
-                );
-                r
-            }
-        };
+        let hits = AtomicU64::new(0);
+        let responses =
+            match crate::checkpoint::load_responses(checkpoint, &decomposition, &self.system) {
+                Ok(r) => {
+                    // A loaded checkpoint is a pre-warmed cache slice: expose
+                    // its responses to every other run sharing the cache.
+                    self.prewarm_cache(&decomposition.jobs, &r);
+                    r
+                }
+                Err(_) => {
+                    let r: Vec<FragmentResponse> = if self.parallel {
+                        decomposition
+                            .jobs
+                            .par_iter()
+                            .map(|job| self.compute_response(engine.as_ref(), job, &hits))
+                            .collect()
+                    } else {
+                        decomposition
+                            .jobs
+                            .iter()
+                            .map(|job| self.compute_response(engine.as_ref(), job, &hits))
+                            .collect()
+                    };
+                    // A failed save must not fail the run; the result is
+                    // complete either way.
+                    let _ = crate::checkpoint::save_responses(
+                        checkpoint,
+                        &decomposition,
+                        &self.system,
+                        &r,
+                    );
+                    r
+                }
+            };
         timings.engine_s = t.elapsed().as_secs_f64();
         drop(engine_span);
 
@@ -350,7 +409,7 @@ impl RamanWorkflow {
         // Resume: a loadable checkpoint pre-fills slots; an absent,
         // mismatched or corrupt file simply means a cold start.
         let resumed: Vec<Option<FragmentResponse>> = match &cfg.checkpoint {
-            Some(path) => crate::checkpoint::load_partial(path, &decomposition, n_atoms)
+            Some(path) => crate::checkpoint::load_partial(path, &decomposition, &self.system)
                 .unwrap_or_else(|_| vec![None; jobs.len()]),
             None => vec![None; jobs.len()],
         };
@@ -358,6 +417,15 @@ impl RamanWorkflow {
         if resumed_jobs > 0 {
             CHECKPOINT_JOBS_RESUMED.add(resumed_jobs as u64);
             qfr_obs::trace::instant("checkpoint.resume", &[("jobs", resumed_jobs as i64)]);
+            // Checkpoint-as-cache-slice: resumed responses also warm the
+            // attached cache so sibling runs can hit on them.
+            if let Some(cache) = &self.cache {
+                for (job, slot) in jobs.iter().zip(&resumed) {
+                    if let Some(resp) = slot {
+                        cache.insert_precomputed(&job.structure(&self.system), resp.clone());
+                    }
+                }
+            }
         }
         let slots: Vec<Mutex<Option<FragmentResponse>>> =
             resumed.into_iter().map(Mutex::new).collect();
@@ -368,10 +436,11 @@ impl RamanWorkflow {
             .iter()
             .enumerate()
             .filter(|(i, _)| slots[*i].lock().expect("slot poisoned").is_none())
-            .map(|(i, job)| FragmentWorkItem { id: i as u32, atoms: job.size() as u32 })
+            .map(|(i, job)| FragmentWorkItem::new(i as u32, job.size() as u32))
             .collect();
 
         let filled = AtomicUsize::new(0);
+        let hits = AtomicU64::new(0);
         let save_snapshot = |reason: &str| {
             let Some(path) = cfg.checkpoint.as_deref() else { return };
             CHECKPOINT_SAVES.incr();
@@ -382,7 +451,7 @@ impl RamanWorkflow {
             let snapshot: Vec<Option<FragmentResponse>> =
                 slots.iter().map(|s| s.try_lock().ok().and_then(|g| g.clone())).collect();
             if let Err(e) =
-                crate::checkpoint::save_partial(path, &decomposition, n_atoms, &snapshot)
+                crate::checkpoint::save_partial(path, &decomposition, &self.system, &snapshot)
             {
                 // A failed save must not fail the run.
                 eprintln!("warning: {reason} checkpoint save failed: {e}");
@@ -401,7 +470,7 @@ impl RamanWorkflow {
                 let mut slot = slots[item.id as usize].lock().expect("slot poisoned");
                 if slot.is_none() {
                     let job = &jobs[item.id as usize];
-                    *slot = Some(engine.compute(&job.structure(&self.system)));
+                    *slot = Some(self.compute_response(engine.as_ref(), job, &hits));
                     drop(slot);
                     // fetch_add hands every first fill a unique count, so
                     // the set of counts hitting the interval — and hence
@@ -440,7 +509,7 @@ impl RamanWorkflow {
             CHECKPOINT_SAVES.incr();
             qfr_obs::trace::instant("checkpoint.save", &[]);
             if let Err(e) =
-                crate::checkpoint::save_partial(path, &decomposition, n_atoms, &final_slots)
+                crate::checkpoint::save_partial(path, &decomposition, &self.system, &final_slots)
             {
                 eprintln!("warning: final checkpoint save failed: {e}");
             }
@@ -483,6 +552,7 @@ impl RamanWorkflow {
                 quarantined_jobs: report.quarantined_fragments.len(),
                 unfinished_jobs: report.unfinished_fragments,
                 leaders_died: report.leaders_died,
+                cache_hits: hits.load(Ordering::Relaxed),
             }),
         })
     }
@@ -583,17 +653,18 @@ impl RamanWorkflow {
         let engine = self.make_engine();
         let engine_span = qfr_obs::span("workflow.engine");
         let t = Instant::now();
+        let hits = AtomicU64::new(0);
         let responses: Vec<FragmentResponse> = if self.parallel {
             decomposition
                 .jobs
                 .par_iter()
-                .map(|job| engine.compute(&job.structure(&self.system)))
+                .map(|job| self.compute_response(engine.as_ref(), job, &hits))
                 .collect()
         } else {
             decomposition
                 .jobs
                 .iter()
-                .map(|job| engine.compute(&job.structure(&self.system)))
+                .map(|job| self.compute_response(engine.as_ref(), job, &hits))
                 .collect()
         };
         timings.engine_s = t.elapsed().as_secs_f64();

@@ -71,8 +71,7 @@ fn restart_recomputes_only_missing_jobs_and_reproduces_the_spectrum() {
     // when half the jobs are still outstanding.
     let wf = workflow();
     let d = wf.decompose();
-    let n_atoms = wf.system().n_atoms();
-    let mut slots = load_partial(&path, &d, n_atoms).expect("load complete checkpoint");
+    let mut slots = load_partial(&path, &d, wf.system()).expect("load complete checkpoint");
     for (i, slot) in slots.iter_mut().enumerate() {
         if i % 2 == 0 {
             *slot = None;
@@ -81,7 +80,7 @@ fn restart_recomputes_only_missing_jobs_and_reproduces_the_spectrum() {
     let missing = slots.iter().filter(|s| s.is_none()).count();
     let present = n_jobs - missing;
     assert!(missing > 0 && present > 0, "partial scenario must have both kinds");
-    save_partial(&path, &d, n_atoms, &slots).expect("write partial checkpoint");
+    save_partial(&path, &d, wf.system(), &slots).expect("write partial checkpoint");
 
     // Same-seed rerun: only the missing jobs may reach the engine.
     let before = engine_fragments();
@@ -163,14 +162,13 @@ fn same_seed_restart_sequences_emit_identical_counter_reports() {
         let wf = workflow();
         wf.run_scheduled_with(sched_cfg(path.clone())).expect("first run");
         let d = wf.decompose();
-        let n_atoms = wf.system().n_atoms();
-        let mut slots = load_partial(&path, &d, n_atoms).expect("load checkpoint");
+        let mut slots = load_partial(&path, &d, wf.system()).expect("load checkpoint");
         for (i, slot) in slots.iter_mut().enumerate() {
             if i % 3 != 0 {
                 *slot = None;
             }
         }
-        save_partial(&path, &d, n_atoms, &slots).expect("write partial checkpoint");
+        save_partial(&path, &d, wf.system(), &slots).expect("write partial checkpoint");
         wf.run_scheduled_with(sched_cfg(path.clone())).expect("restarted run");
         (qfr_obs::counter::deterministic_report(), qfr_obs::counter::deterministic_json())
     };

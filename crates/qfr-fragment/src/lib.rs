@@ -22,9 +22,11 @@
 pub mod assemble;
 pub mod decompose;
 pub mod fragment;
+pub mod key;
 pub mod stats;
 
 pub use assemble::{AssembledSystem, MassWeighted};
 pub use decompose::{Decomposition, DecompositionParams};
 pub use fragment::{FragmentEngine, FragmentJob, FragmentResponse, FragmentStructure, JobKind};
+pub use key::{canonical_key, canonicalize, exact_key, Canonical, GeomKey, DEFAULT_KEY_TOL};
 pub use stats::DecompositionStats;

@@ -1,0 +1,139 @@
+//! Property tests for the canonical fragment geometry key: rigid-motion
+//! and relabeling invariance, and separation beyond the quantization
+//! tolerance.
+
+use proptest::prelude::*;
+use qfr_fragment::{canonical_key, exact_key, FragmentJob, FragmentStructure, JobKind};
+use qfr_geom::{Vec3, WaterBoxBuilder};
+
+const TOL: f64 = 1e-3;
+
+/// A water monomer or dimer fragment out of a seeded box.
+fn fragment(n_waters: usize, seed: u64, w: usize, dimer: bool) -> FragmentStructure {
+    let sys = WaterBoxBuilder::new(n_waters).seed(seed).build();
+    let w = w % n_waters;
+    let mut atoms = sys.water_atoms(w).to_vec();
+    let kind = if dimer {
+        let w2 = (w + 1) % n_waters;
+        if w2 != w {
+            atoms.extend(sys.water_atoms(w2));
+        }
+        JobKind::WaterWaterDimer { a: w.min((w + 1) % n_waters), b: w.max((w + 1) % n_waters) }
+    } else {
+        JobKind::WaterMonomer { w }
+    };
+    FragmentJob { kind, coefficient: 1.0, atoms, link_hydrogens: vec![] }.structure(&sys)
+}
+
+/// Rodrigues rotation of every position, then a translation.
+fn rigid_motion(
+    frag: &FragmentStructure,
+    axis: Vec3,
+    angle: f64,
+    shift: Vec3,
+) -> FragmentStructure {
+    let k = axis.normalized();
+    let (s, c) = angle.sin_cos();
+    let mut out = frag.clone();
+    for p in &mut out.positions {
+        let r = *p;
+        *p = r * c + k.cross(r) * s + k * (k.dot(r) * (1.0 - c)) + shift;
+    }
+    out
+}
+
+/// Cyclic relabeling of the fragment's atoms by `offset`, bonds remapped.
+fn relabel(frag: &FragmentStructure, offset: usize) -> FragmentStructure {
+    let n = frag.n_atoms();
+    let perm: Vec<usize> = (0..n).map(|i| (i + offset) % n).collect(); // new -> old
+    let mut inv = vec![0usize; n];
+    for (new, &old) in perm.iter().enumerate() {
+        inv[old] = new;
+    }
+    let mut out = frag.clone();
+    for (new, &old) in perm.iter().enumerate() {
+        out.elements[new] = frag.elements[old];
+        out.positions[new] = frag.positions[old];
+        out.global_map[new] = frag.global_map[old];
+    }
+    for b in &mut out.bonds {
+        b.i = inv[b.i];
+        b.j = inv[b.j];
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Rigid motion (any rotation + translation) preserves the canonical
+    /// key and the exact key does not survive it (it is absolute-keyed).
+    #[test]
+    fn canonical_key_rigid_motion_invariant(
+        n in 2..8usize, seed in 0u64..500, w in 0usize..8, dimer in 0usize..2,
+        ax in -1.0..1.0f64, ay in -1.0..1.0f64, az in -1.0..1.0f64,
+        angle in 0.01..6.2f64, tx in -50.0..50.0f64, ty in -50.0..50.0f64, tz in -50.0..50.0f64,
+    ) {
+        prop_assume!(ax.abs() + ay.abs() + az.abs() > 0.1);
+        let frag = fragment(n, seed, w, dimer == 1);
+        let moved = rigid_motion(&frag, Vec3::new(ax, ay, az), angle, Vec3::new(tx, ty, tz));
+        prop_assert_eq!(canonical_key(&frag, TOL), canonical_key(&moved, TOL));
+        prop_assert!(exact_key(&frag) != exact_key(&moved));
+    }
+
+    /// Atom relabeling preserves the canonical key.
+    #[test]
+    fn canonical_key_relabeling_invariant(
+        n in 2..8usize, seed in 0u64..500, w in 0usize..8, dimer in 0usize..2,
+        offset in 1usize..6,
+    ) {
+        let frag = fragment(n, seed, w, dimer == 1);
+        let shuffled = relabel(&frag, offset % frag.n_atoms().max(1));
+        prop_assert_eq!(canonical_key(&frag, TOL), canonical_key(&shuffled, TOL));
+    }
+
+    /// Composition: relabeling after a rigid motion still hashes equal.
+    #[test]
+    fn canonical_key_composed_invariance(
+        n in 2..6usize, seed in 0u64..500, w in 0usize..6,
+        angle in 0.1..6.0f64, offset in 1usize..5,
+    ) {
+        let frag = fragment(n, seed, w, true);
+        let moved = rigid_motion(&frag, Vec3::new(0.2, -0.9, 0.4), angle, Vec3::new(7.0, -3.0, 11.0));
+        let shuffled = relabel(&moved, offset % moved.n_atoms().max(1));
+        prop_assert_eq!(canonical_key(&frag, TOL), canonical_key(&shuffled, TOL));
+    }
+
+    /// A perturbation well beyond the quantization tolerance separates the
+    /// keys (moving one atom shifts its invariants by ≥ many buckets).
+    #[test]
+    fn canonical_key_separates_beyond_tolerance(
+        n in 2..8usize, seed in 0u64..500, w in 0usize..8,
+        atom in 0usize..3, magnitude in 0.05..0.8f64,
+    ) {
+        let frag = fragment(n, seed, w, false);
+        let mut bent = frag.clone();
+        let i = atom % bent.n_atoms();
+        bent.positions[i].x += magnitude;
+        bent.positions[i].y -= 0.6 * magnitude;
+        prop_assert!(canonical_key(&frag, TOL) != canonical_key(&bent, TOL));
+    }
+
+    /// Sub-tolerance noise keeps the key when positions stay well inside
+    /// their buckets: quantization is what grants near-identical fragments
+    /// a shared address.
+    #[test]
+    fn canonical_key_tolerates_sub_quantum_noise(
+        n in 2..6usize, seed in 0u64..500, w in 0usize..6, jitter in 0.0..0.04f64,
+    ) {
+        let frag = fragment(n, seed, w, false);
+        let coarse = 1.0; // coarse buckets make "well inside" overwhelmingly likely
+        let mut noisy = frag.clone();
+        for (k, p) in noisy.positions.iter_mut().enumerate() {
+            let s = if k % 2 == 0 { 1.0 } else { -1.0 };
+            p.x += s * jitter * 1e-3;
+            p.z -= s * jitter * 0.7e-3;
+        }
+        prop_assert_eq!(canonical_key(&frag, coarse), canonical_key(&noisy, coarse));
+    }
+}

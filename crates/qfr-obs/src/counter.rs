@@ -74,6 +74,15 @@ impl Counter {
         self.add(1);
     }
 
+    /// Raises the counter to `n` if `n` exceeds the current value
+    /// (high-water gauges, e.g. peak concurrent service requests).
+    pub fn record_max(&'static self, n: u64) {
+        self.value.fetch_max(n, Ordering::Relaxed);
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register();
+        }
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
@@ -236,6 +245,17 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"test.counter.a\":"));
         assert!(!json.contains("test.counter.b\":"));
+    }
+
+    #[test]
+    fn record_max_is_a_high_water_mark() {
+        static HW: Counter = Counter::timing_sensitive("test.counter.hw");
+        HW.record_max(5);
+        HW.record_max(3); // lower values never regress the gauge
+        assert_eq!(HW.get(), 5);
+        HW.record_max(9);
+        assert_eq!(HW.get(), 9);
+        assert!(value_of("test.counter.hw").is_some(), "record_max registers");
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub struct SizeSensitivePolicy {
 impl SizeSensitivePolicy {
     /// Builds the policy over a fragment population.
     pub fn new(mut fragments: Vec<FragmentWorkItem>, cfg: SizeSensitiveConfig) -> Self {
-        fragments.sort_by(|a, b| a.cost().partial_cmp(&b.cost()).unwrap().then(a.id.cmp(&b.id)));
+        fragments.sort_by(|a, b| a.cost().total_cmp(&b.cost()).then(a.id.cmp(&b.id)));
         let initial_count = fragments.len();
         Self { pool: fragments, requeued: Vec::new(), cfg, initial_count, next_id: 0 }
     }
@@ -174,7 +174,7 @@ pub struct SortedSingletonPolicy {
 impl SortedSingletonPolicy {
     /// Builds the policy (largest served first).
     pub fn new(mut fragments: Vec<FragmentWorkItem>) -> Self {
-        fragments.sort_by(|a, b| a.cost().partial_cmp(&b.cost()).unwrap().then(a.id.cmp(&b.id)));
+        fragments.sort_by(|a, b| a.cost().total_cmp(&b.cost()).then(a.id.cmp(&b.id)));
         Self { pool: fragments, requeued: Vec::new(), next_id: 0 }
     }
 }
@@ -371,5 +371,25 @@ mod tests {
         let mut p = SizeSensitivePolicy::with_defaults(vec![]);
         assert!(p.next_task().is_none());
         assert_eq!(p.remaining_fragments(), 0);
+    }
+
+    /// A non-finite measured cost (a hung timer, a 0/0 rate) must not
+    /// panic the sort — `total_cmp` orders NaN after +inf, so the poisoned
+    /// fragment simply sorts to the "largest" end and every fragment is
+    /// still served exactly once.
+    #[test]
+    fn nan_cost_fragment_does_not_panic_policies() {
+        let mut frags = water_dimer_workload(20);
+        frags[7] = frags[7].with_cost_hint(f64::NAN);
+        frags[3] = frags[3].with_cost_hint(f64::INFINITY);
+        let tasks = drain(&mut SizeSensitivePolicy::with_defaults(frags.clone()));
+        assert_every_fragment_once(&tasks, 20);
+        // NaN sorts after +inf under total_cmp: the poisoned fragment is
+        // served first, as its own task.
+        assert_eq!(tasks[0].fragments[0].id, 7);
+        assert!(tasks[0].fragments[0].cost().is_nan());
+        let tasks = drain(&mut SortedSingletonPolicy::new(frags));
+        assert_every_fragment_once(&tasks, 20);
+        assert_eq!(tasks[0].fragments[0].id, 7);
     }
 }

@@ -264,9 +264,7 @@ mod tests {
     use crate::task::FragmentWorkItem;
 
     fn singleton_tasks(n: u32) -> Vec<Task> {
-        (0..n)
-            .map(|i| Task { id: i, fragments: vec![FragmentWorkItem { id: i, atoms: 6 }] })
-            .collect()
+        (0..n).map(|i| Task { id: i, fragments: vec![FragmentWorkItem::new(i, 6)] }).collect()
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod balancer;
 pub mod fault;
 pub mod machine;
 pub mod offload;
+pub mod pool;
 pub mod runtime;
 pub mod simulator;
 pub mod task;
@@ -70,6 +71,7 @@ pub use balancer::{
 pub use fault::{FaultForecast, FaultPlan, RecoveryPolicy};
 pub use machine::MachineModel;
 pub use offload::{offload_comparison, CpuAccelerator, ModeledAccelerator, OffloadReport};
+pub use pool::WorkerPool;
 pub use runtime::{run_master_leader_worker, RunReport, RuntimeConfig};
 pub use simulator::{simulate, SimConfig, SimReport};
 pub use task::{cost_model, FragmentWorkItem, Task};

@@ -22,24 +22,40 @@ pub fn cost_model(atoms: u32) -> f64 {
 }
 
 /// One fragment's workload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FragmentWorkItem {
     /// Stable fragment id.
     pub id: u32,
     /// Fragment size in atoms (including link hydrogens).
     pub atoms: u32,
+    /// Measured-cost override: when a caller has real timings (a warm
+    /// cache makes the model cost wildly wrong for hit fragments), it
+    /// replaces the size model. External measurements are not trusted to
+    /// be finite — the balancer must order them NaN-safely.
+    pub cost_hint: Option<f64>,
 }
 
 impl FragmentWorkItem {
+    /// A work item costed by the size model.
+    pub fn new(id: u32, atoms: u32) -> Self {
+        Self { id, atoms, cost_hint: None }
+    }
+
+    /// Overrides the modeled cost with a measured one.
+    pub fn with_cost_hint(mut self, cost: f64) -> Self {
+        self.cost_hint = Some(cost);
+        self
+    }
+
     /// Cost in abstract time units.
     pub fn cost(&self) -> f64 {
-        cost_model(self.atoms)
+        self.cost_hint.unwrap_or_else(|| cost_model(self.atoms))
     }
 }
 
 /// A task: one or more fragments packed together by the load balancer and
 /// dispatched to a single leader.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Task {
     /// Task id (unique per balancer instance).
     pub id: u32,
@@ -72,7 +88,7 @@ impl Task {
 /// Builds the water-dimer benchmark workload: `n` uniform 6-atom fragments
 /// (the ORISE water-dimer study of Figs. 8, 10, 11).
 pub fn water_dimer_workload(n: usize) -> Vec<FragmentWorkItem> {
-    (0..n).map(|i| FragmentWorkItem { id: i as u32, atoms: 6 }).collect()
+    (0..n).map(|i| FragmentWorkItem::new(i as u32, 6)).collect()
 }
 
 /// Builds a protein-like workload with fragment sizes drawn from the
@@ -86,7 +102,7 @@ pub fn protein_workload(n: usize, seed: u64) -> Vec<FragmentWorkItem> {
             let a = 9 + ((state >> 33) % 27) as u32;
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             let b = 9 + ((state >> 33) % 27) as u32;
-            FragmentWorkItem { id: i as u32, atoms: (a + b) / 2 }
+            FragmentWorkItem::new(i as u32, (a + b) / 2)
         })
         .collect()
 }
@@ -114,10 +130,7 @@ mod tests {
     fn task_cost_sums() {
         let t = Task {
             id: 0,
-            fragments: vec![
-                FragmentWorkItem { id: 0, atoms: 6 },
-                FragmentWorkItem { id: 1, atoms: 6 },
-            ],
+            fragments: vec![FragmentWorkItem::new(0, 6), FragmentWorkItem::new(1, 6)],
         };
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());

@@ -140,8 +140,8 @@ fn quarantine_is_deterministic_across_repeated_runs() {
 #[test]
 fn stale_straggler_ack_leaves_counters_untouched_runtime() {
     const SLOW: u32 = 0;
-    let mut frags = vec![FragmentWorkItem { id: SLOW, atoms: 500 }];
-    frags.extend((1..13).map(|i| FragmentWorkItem { id: i, atoms: 6 }));
+    let mut frags = vec![FragmentWorkItem::new(SLOW, 500)];
+    frags.extend((1..13).map(|i| FragmentWorkItem::new(i, 6)));
     let n = frags.len();
 
     let plan = FaultPlan::none().permanent([SLOW]);

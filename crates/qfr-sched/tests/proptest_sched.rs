@@ -16,7 +16,7 @@ fn workload(sizes: &[u32]) -> Vec<FragmentWorkItem> {
     sizes
         .iter()
         .enumerate()
-        .map(|(i, &atoms)| FragmentWorkItem { id: i as u32, atoms: atoms.clamp(3, 80) })
+        .map(|(i, &atoms)| FragmentWorkItem::new(i as u32, atoms.clamp(3, 80)))
         .collect()
 }
 

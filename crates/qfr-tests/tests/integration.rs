@@ -137,7 +137,7 @@ fn runtime_executes_real_engine_workload() {
         .jobs
         .iter()
         .enumerate()
-        .map(|(i, j)| FragmentWorkItem { id: i as u32, atoms: j.size() as u32 })
+        .map(|(i, j)| FragmentWorkItem::new(i as u32, j.size() as u32))
         .collect();
     let n_items = items.len();
     let report = run_master_leader_worker(

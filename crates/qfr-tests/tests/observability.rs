@@ -82,8 +82,7 @@ fn injected_fault_events_match_forecast() {
     qfr_obs::reset_all();
     qfr_obs::trace::enable();
 
-    let items: Vec<FragmentWorkItem> =
-        (0..12).map(|i| FragmentWorkItem { id: i, atoms: 6 }).collect();
+    let items: Vec<FragmentWorkItem> = (0..12).map(|i| FragmentWorkItem::new(i, 6)).collect();
     let plan = FaultPlan::with_failure_rate(9, 0.4).permanent([5]);
     let recovery = RecoveryPolicy { max_attempts: 3, backoff_base: 1e-4, ..Default::default() };
 
@@ -146,8 +145,7 @@ fn deterministic_report_excludes_timing_sensitive_counters() {
     let _g = lock();
     qfr_obs::reset_all();
 
-    let items: Vec<FragmentWorkItem> =
-        (0..8).map(|i| FragmentWorkItem { id: i, atoms: 6 }).collect();
+    let items: Vec<FragmentWorkItem> = (0..8).map(|i| FragmentWorkItem::new(i, 6)).collect();
     run_master_leader_worker(
         Box::new(SortedSingletonPolicy::new(items)),
         |_item| true,
