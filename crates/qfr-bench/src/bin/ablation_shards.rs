@@ -1,0 +1,84 @@
+//! Sharding ablation: the out-of-core assembly must be a pure memory
+//! optimization — the spectrum for every shard count `K` has to be
+//! **bit-identical** to the in-core run (max |Δ| exactly 0.0, not small).
+//!
+//! For K ∈ {1, 4, 16} the same water box runs through
+//! `RamanWorkflow::run_sharded` against a fresh spill directory; the
+//! record pins the max absolute spectrum/IR deviation from the in-core
+//! reference together with the deterministic spill counters, and
+//! `bench_gate` enforces `max_abs_diff == 0` as a CI floor.
+//!
+//! `--fast` (or `QFR_BENCH_FAST=1`) runs the scaled-down CI smoke version.
+
+use qfr_bench::{header, row, scaled, write_record};
+use qfr_core::{RamanWorkflow, ShardConfig};
+use qfr_geom::WaterBoxBuilder;
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "grid mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0_f64, f64::max)
+}
+
+fn counter(name: &str) -> u64 {
+    qfr_obs::counter::value_of(name).unwrap_or(0)
+}
+
+fn main() {
+    let n_waters: usize = scaled(600, 60);
+    let lanczos = scaled(120, 50);
+    let tile_rows: usize = scaled(256, 32);
+    header(&format!("Sharding ablation — {n_waters} waters, K in {{1, 4, 16}}"));
+
+    let system = WaterBoxBuilder::new(n_waters).seed(17).build();
+    let wf = RamanWorkflow::new(system).sigma(20.0).lanczos_steps(lanczos);
+    let in_core = wf.run().expect("in-core reference run");
+    println!("in-core reference: {}", in_core.summary());
+
+    let spill_root = qfr_bench::experiments_dir().join("ablation_shards_spill");
+    let _ = std::fs::remove_dir_all(&spill_root); // stale spills must not resume
+    let mut records = Vec::new();
+    println!();
+    row(
+        &["K", "max|dRaman|", "max|dIR|", "nnz", "spilled(B)", "tiles streamed"],
+        &[4, 12, 12, 10, 12, 14],
+    );
+    for k in [1usize, 4, 16] {
+        let spilled0 = counter("shard.bytes_spilled");
+        let streamed0 = counter("shard.tiles_streamed");
+        let cfg = ShardConfig::new(k, spill_root.join(format!("k{k}"))).tile_rows(tile_rows);
+        let sharded = wf.run_sharded(cfg).expect("sharded run");
+        let d_raman = max_abs_diff(&sharded.spectrum.intensities, &in_core.spectrum.intensities);
+        let d_ir = max_abs_diff(&sharded.ir.intensities, &in_core.ir.intensities);
+        let spilled = counter("shard.bytes_spilled") - spilled0;
+        let streamed = counter("shard.tiles_streamed") - streamed0;
+        assert_eq!(sharded.hessian_nnz, in_core.hessian_nnz, "K={k} changed the sparsity");
+        assert_eq!(d_raman, 0.0, "K={k} broke Raman bit-identity (max |d| = {d_raman:e})");
+        assert_eq!(d_ir, 0.0, "K={k} broke IR bit-identity (max |d| = {d_ir:e})");
+        row(
+            &[
+                &k.to_string(),
+                &format!("{d_raman:.1e}"),
+                &format!("{d_ir:.1e}"),
+                &sharded.hessian_nnz.to_string(),
+                &spilled.to_string(),
+                &streamed.to_string(),
+            ],
+            &[4, 12, 12, 10, 12, 14],
+        );
+        records.push(format!(
+            "{{\"k\":{k},\"tile_rows\":{tile_rows},\"max_abs_diff\":{},\
+             \"max_abs_diff_ir\":{d_ir},\"hessian_nnz\":{},\
+             \"bytes_spilled\":{spilled},\"tiles_streamed\":{streamed}}}",
+            d_raman, sharded.hessian_nnz
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&spill_root);
+
+    println!(
+        "\nReading: every K replays the global job order restricted to its\n\
+         rows, the triplet sort is stable, and the solver streams the same\n\
+         CSR rows in the same order — so resharding cannot move a single\n\
+         bit of the spectrum, only the peak residency (O(n/K) per shard)."
+    );
+    write_record("ablation_shards", &format!("[{}]", records.join(",")));
+}

@@ -1,0 +1,277 @@
+//! CI perf-floor gate: `bench_gate -- --check baselines/bench_floors.json`.
+//!
+//! The bench binaries print tables and write `BENCH_*.json` records, but a
+//! table nobody reads is not a regression gate. This binary turns the
+//! records into enforcement: it loads a floors file — a list of
+//! `{record, metric, min?/max?}` bounds — resolves each metric from the
+//! freshly produced `target/experiments/BENCH_{record}.json`, and exits
+//! non-zero on any violation. The floors shipped in
+//! `baselines/bench_floors.json` pin the paper-relevant invariants:
+//! batched-offload speedup >= 1, warm cache hit rate >= 0.9, kernel-level
+//! symmetry FLOP saving >= 25%, and sharded-vs-in-core spectrum deviation
+//! == 0 (bit identity, not a tolerance).
+//!
+//! Two staleness defenses:
+//!
+//! - every record carries the `git_sha` it was produced at
+//!   ([`qfr_bench::write_record`]); the gate refuses a record set whose
+//!   SHAs disagree with each other or with the current checkout, so a
+//!   leftover record from an older commit can never green-light HEAD;
+//! - CI deletes `target/experiments` before the bench loop, so the gate
+//!   only ever sees records from the same workflow run.
+//!
+//! Refreshing floors after an intentional perf change: rerun the bench
+//! binaries at HEAD, read the new values from `target/experiments`, and
+//! edit `baselines/bench_floors.json` deliberately — never loosen a floor
+//! just to make CI pass (see DESIGN.md §13).
+
+use serde_json::Value;
+use std::path::Path;
+
+/// One enforced bound. `min`: the metric must be >= it; `max`: <= it.
+struct Floor {
+    record: String,
+    metric: String,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+fn parse_floors(text: &str) -> Result<Vec<Floor>, String> {
+    let v = serde_json::from_str(text).map_err(|e| format!("floors file: {e}"))?;
+    let list = v
+        .get("floors")
+        .and_then(|f| f.as_array())
+        .ok_or("floors file needs a top-level \"floors\" array")?;
+    let mut floors = Vec::new();
+    for (i, f) in list.iter().enumerate() {
+        let field = |k: &str| {
+            f.get(k)
+                .and_then(|v| v.as_str())
+                .map(str::to_string)
+                .ok_or(format!("floor {i}: missing \"{k}\""))
+        };
+        let floor = Floor {
+            record: field("record")?,
+            metric: field("metric")?,
+            min: f.get("min").and_then(|v| v.as_f64()),
+            max: f.get("max").and_then(|v| v.as_f64()),
+        };
+        if floor.min.is_none() && floor.max.is_none() {
+            return Err(format!("floor {i}: needs \"min\" and/or \"max\""));
+        }
+        floors.push(floor);
+    }
+    Ok(floors)
+}
+
+/// Resolves `metric` from a record's `data` payload.
+///
+/// - a derived metric (`kernel_flop_saving`) computes from its inputs;
+/// - a scalar field on an object record reads directly;
+/// - on an *array* record the metric folds across entries, keeping the
+///   *worst* value for the bound being checked (`worst_is_max` = a `max`
+///   bound is enforced, so the largest entry is the binding one).
+fn resolve(data: &Value, metric: &str, worst_is_max: bool) -> Option<f64> {
+    if metric == "kernel_flop_saving" {
+        let e = data
+            .as_array()?
+            .iter()
+            .find(|e| e.get("level").and_then(|l| l.as_str()) == Some("kernel"))?;
+        let scattered = e.get("flops_scattered")?.as_f64()?;
+        let reduced = e.get("flops_reduced")?.as_f64()?;
+        return if scattered > 0.0 { Some(1.0 - reduced / scattered) } else { None };
+    }
+    if let Some(v) = data.get(metric).and_then(|v| v.as_f64()) {
+        return Some(v);
+    }
+    data.as_array()?.iter().filter_map(|e| e.get(metric).and_then(|v| v.as_f64())).fold(
+        None,
+        |acc: Option<f64>, v| {
+            Some(match acc {
+                None => v,
+                Some(a) if worst_is_max => a.max(v),
+                Some(a) => a.min(v),
+            })
+        },
+    )
+}
+
+fn check(floors: &[Floor], experiments: &Path) -> Result<Vec<String>, String> {
+    let mut violations = Vec::new();
+    let mut shas: Vec<(String, String)> = Vec::new();
+    for floor in floors {
+        let path = experiments.join(format!("BENCH_{}.json", floor.record));
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("{}: {e} (run the bench binaries first)", path.display()))?;
+        let record = serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let sha = record
+            .get("git_sha")
+            .and_then(|s| s.as_str())
+            .ok_or(format!("{}: record not git-SHA stamped", path.display()))?
+            .to_string();
+        if !shas.iter().any(|(r, _)| *r == floor.record) {
+            shas.push((floor.record.clone(), sha));
+        }
+        let data = record.get("data").ok_or(format!("{}: no \"data\" payload", path.display()))?;
+        let worst_is_max = floor.max.is_some();
+        let Some(value) = resolve(data, &floor.metric, worst_is_max) else {
+            return Err(format!("{}: metric \"{}\" not resolvable", path.display(), floor.metric));
+        };
+        let bound = |b: Option<f64>, ok: bool, sym: &str, lim: f64| {
+            if b.is_some() && !ok {
+                Some(format!("{}.{} = {value} (required {sym} {lim})", floor.record, floor.metric))
+            } else {
+                None
+            }
+        };
+        violations.extend(bound(
+            floor.min,
+            floor.min.is_none_or(|m| value >= m),
+            ">=",
+            floor.min.unwrap_or(0.0),
+        ));
+        violations.extend(bound(
+            floor.max,
+            floor.max.is_none_or(|m| value <= m),
+            "<=",
+            floor.max.unwrap_or(0.0),
+        ));
+        println!(
+            "  {:<22} {:<20} = {value:<12} [{}]",
+            floor.record,
+            floor.metric,
+            if violations
+                .iter()
+                .any(|v| v.starts_with(&format!("{}.{}", floor.record, floor.metric)))
+            {
+                "FAIL"
+            } else {
+                "ok"
+            }
+        );
+    }
+    // Staleness defense: every record must come from one commit, and from
+    // *this* commit when the gate runs inside a checkout.
+    let head = qfr_bench::git_sha();
+    for (record, sha) in &shas {
+        if shas[0].1 != *sha {
+            violations.push(format!(
+                "record set spans commits: {record} at {sha}, {} at {}",
+                shas[0].0, shas[0].1
+            ));
+        }
+        if head != "unknown" && *sha != "unknown" && *sha != head {
+            violations.push(format!("stale record: {record} produced at {sha}, HEAD is {head}"));
+        }
+    }
+    Ok(violations)
+}
+
+fn main() {
+    let Some(floors_path) = qfr_bench::arg_value("--check") else {
+        eprintln!("usage: bench_gate --check baselines/bench_floors.json [--experiments DIR]");
+        std::process::exit(2);
+    };
+    let experiments = qfr_bench::arg_value("--experiments")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(qfr_bench::experiments_dir);
+    let text = std::fs::read_to_string(&floors_path).unwrap_or_else(|e| {
+        eprintln!("error: {floors_path}: {e}");
+        std::process::exit(2);
+    });
+    let floors = parse_floors(&text).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    println!("bench_gate: {} floors from {floors_path}", floors.len());
+    match check(&floors, &experiments) {
+        Ok(v) if v.is_empty() => println!("bench_gate: all floors hold"),
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("FLOOR VIOLATION: {v}");
+            }
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_floor_list() {
+        let floors = parse_floors(
+            r#"{"floors":[{"record":"a","metric":"m","min":1.0},
+                          {"record":"b","metric":"n","max":0.0}]}"#,
+        )
+        .unwrap();
+        assert_eq!(floors.len(), 2);
+        assert_eq!(floors[0].min, Some(1.0));
+        assert_eq!(floors[1].max, Some(0.0));
+        assert!(parse_floors(r#"{"floors":[{"record":"a","metric":"m"}]}"#).is_err());
+        assert!(parse_floors(r#"{"x":1}"#).is_err());
+    }
+
+    #[test]
+    fn resolves_scalar_and_array_metrics() {
+        let obj = serde_json::from_str(r#"{"cpu_speedup":1.4}"#).unwrap();
+        assert_eq!(resolve(&obj, "cpu_speedup", false), Some(1.4));
+        let arr = serde_json::from_str(r#"[{"max_abs_diff":0.0},{"max_abs_diff":2.5}]"#).unwrap();
+        // For a max bound, the largest entry is binding; for min, smallest.
+        assert_eq!(resolve(&arr, "max_abs_diff", true), Some(2.5));
+        assert_eq!(resolve(&arr, "max_abs_diff", false), Some(0.0));
+        assert_eq!(resolve(&obj, "absent", true), None);
+    }
+
+    #[test]
+    fn resolves_derived_kernel_flop_saving() {
+        let sym = serde_json::from_str(
+            r#"[{"level":"kernel","flops_scattered":200,"flops_reduced":100},
+                {"level":"engine","flops_scattered":7,"flops_reduced":7}]"#,
+        )
+        .unwrap();
+        let saving = resolve(&sym, "kernel_flop_saving", false).unwrap();
+        assert!((saving - 0.5).abs() < 1e-12);
+        let no_kernel = serde_json::from_str(r#"[{"level":"engine"}]"#).unwrap();
+        assert_eq!(resolve(&no_kernel, "kernel_flop_saving", false), None);
+    }
+
+    #[test]
+    fn violations_detected_end_to_end() {
+        let dir = std::env::temp_dir().join("qfr_bench_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sha = qfr_bench::git_sha();
+        std::fs::write(
+            dir.join("BENCH_demo.json"),
+            format!("{{\"git_sha\":\"{sha}\",\"data\":{{\"speedup\":1.2}}}}"),
+        )
+        .unwrap();
+        let floors =
+            parse_floors(r#"{"floors":[{"record":"demo","metric":"speedup","min":1.0}]}"#).unwrap();
+        assert!(check(&floors, &dir).unwrap().is_empty(), "1.2 >= 1.0 must pass");
+        let strict =
+            parse_floors(r#"{"floors":[{"record":"demo","metric":"speedup","min":1000.0}]}"#)
+                .unwrap();
+        let violations = check(&strict, &dir).unwrap();
+        assert_eq!(violations.len(), 1, "synthetic floor must fail: {violations:?}");
+        assert!(violations[0].contains("speedup"));
+        // A record from a different commit is stale even if the value passes.
+        std::fs::write(
+            dir.join("BENCH_demo.json"),
+            "{\"git_sha\":\"0000000000000000000000000000000000000000\",\
+             \"data\":{\"speedup\":1.2}}",
+        )
+        .unwrap();
+        let violations = check(&floors, &dir).unwrap();
+        assert!(
+            sha == "unknown" || !violations.is_empty(),
+            "mixed-commit record must be rejected: {violations:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

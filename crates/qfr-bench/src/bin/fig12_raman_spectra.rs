@@ -17,10 +17,67 @@
 //! need the paper's 96,000 nodes; our largest runs exercise the identical
 //! code path (see EXPERIMENTS.md).
 
-use qfr_bench::{arg_value, header, scaled, write_record};
-use qfr_core::RamanWorkflow;
+use qfr_bench::{arg_value, has_flag, header, peak_rss_kb, scaled, write_record};
+use qfr_core::{RamanWorkflow, ShardConfig};
 use qfr_geom::{ProteinBuilder, SolvatedSystem, WaterBoxBuilder};
 use qfr_solver::RamanSpectrum;
+
+/// `--huge`: the out-of-core scaling demonstration. One large water box
+/// runs through the sharded assembly (`--shards K`, spill files on disk,
+/// tile-streamed SpMV) and the peak RSS is printed and recorded; with
+/// `--unsharded` the same box runs the in-core path instead. CI runs both
+/// variants under a hard `ulimit -v` cap sized so the sharded path fits
+/// and the in-core path cannot — the enforcement teeth of the paper's
+/// "the 10⁸-atom run never holds the full Hessian" claim.
+fn run_huge() {
+    let n_waters: usize =
+        arg_value("--waters").and_then(|v| v.parse().ok()).unwrap_or(scaled(20_000, 4_000));
+    let k: usize = arg_value("--shards").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let tile_rows: usize =
+        arg_value("--tile-rows").and_then(|v| v.parse().ok()).unwrap_or(scaled(1024, 256));
+    let lanczos = scaled(120, 40);
+    let unsharded = has_flag("--unsharded");
+    let mode = if unsharded { "in-core" } else { "sharded" };
+    header(&format!("Fig. 12 --huge — {n_waters} waters, {mode} assembly"));
+
+    let system = WaterBoxBuilder::new(n_waters).seed(9).build();
+    let n_atoms = system.n_atoms();
+    println!("atoms: {n_atoms} ({} dof)", 3 * n_atoms);
+    let wf = RamanWorkflow::new(system).sigma(20.0).lanczos_steps(lanczos);
+    let spilled0 = qfr_obs::counter::value_of("shard.bytes_spilled").unwrap_or(0);
+    let result = if unsharded {
+        wf.run().expect("in-core run")
+    } else {
+        let spill = arg_value("--spill")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| qfr_bench::experiments_dir().join("fig12_huge_spill"));
+        let _ = std::fs::remove_dir_all(&spill);
+        let run =
+            wf.run_sharded(ShardConfig::new(k, &spill).tile_rows(tile_rows)).expect("sharded run");
+        let _ = std::fs::remove_dir_all(&spill);
+        run
+    };
+    let spilled = qfr_obs::counter::value_of("shard.bytes_spilled").unwrap_or(0) - spilled0;
+    let rss_kb = peak_rss_kb();
+    println!("{}", result.summary());
+    println!(
+        "peak RSS: {:.1} MiB ({mode}; {} B spilled across {} shards)",
+        rss_kb as f64 / 1024.0,
+        spilled,
+        if unsharded { 0 } else { k }
+    );
+    write_record(
+        "fig12_huge",
+        &format!(
+            "{{\"mode\":\"{mode}\",\"n_atoms\":{n_atoms},\"shards\":{},\
+             \"tile_rows\":{tile_rows},\"lanczos\":{lanczos},\
+             \"peak_rss_kb\":{rss_kb},\"bytes_spilled\":{spilled},\
+             \"hessian_nnz\":{}}}",
+            if unsharded { 0 } else { k },
+            result.hessian_nnz
+        ),
+    );
+}
 
 fn band_table(spec: &RamanSpectrum, bands: &[(&str, f64, f64)]) {
     let mut s = spec.clone();
@@ -44,6 +101,10 @@ fn band_table(spec: &RamanSpectrum, bands: &[(&str, f64, f64)]) {
 }
 
 fn main() {
+    if has_flag("--huge") {
+        run_huge();
+        return;
+    }
     let n_residues: usize =
         arg_value("--residues").and_then(|v| v.parse().ok()).unwrap_or(scaled(200, 30));
     let n_waters: usize =

@@ -35,12 +35,47 @@ pub fn experiments_dir() -> PathBuf {
     dir
 }
 
+/// The git commit the workspace is checked out at (`"unknown"` outside a
+/// git checkout). Stamped into every experiment record so a floor gate can
+/// refuse to compare records produced by different commits.
+pub fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Writes a JSON record for an experiment as `BENCH_{name}.json` (the
-/// `BENCH_` prefix is what CI globs when uploading artifacts).
+/// `BENCH_` prefix is what CI globs when uploading artifacts). The payload
+/// is wrapped as `{"git_sha": ..., "data": <json>}` so every record
+/// carries the commit that produced it — `bench_gate` rejects mixed-commit
+/// record sets, which is what makes "stale record passes the gate"
+/// impossible.
 pub fn write_record(name: &str, json: &str) {
     let path = experiments_dir().join(format!("BENCH_{name}.json"));
-    fs::write(&path, json).expect("cannot write experiment record");
+    let stamped = format!("{{\"git_sha\":\"{}\",\"data\":{json}}}", git_sha());
+    fs::write(&path, stamped).expect("cannot write experiment record");
     println!("\n[record written to {}]", path.display());
+}
+
+/// Peak resident set size of this process so far, in KiB (Linux `VmHWM`
+/// from `/proc/self/status`; 0 on other platforms). The bounded-memory
+/// experiments print and record this so CI can assert the sharded path's
+/// residency stays under a cap the in-core path exceeds.
+pub fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1).and_then(|v| v.parse().ok()))
+        })
+        .unwrap_or(0)
 }
 
 /// True when the binary should run a scaled-down smoke version of its

@@ -36,6 +36,7 @@ fn usage() -> ! {
          [--lambda L] [--lanczos K] [--seed SEED] [--temperature T]\n                \
          [--ir] [--json FILE] [--xyz FILE] [--dense | --stream]\n                \
          [--dfpt] [--offload batched|scattered]\n                \
+         [--shards K [--spill DIR] [--tile-rows N]]\n                \
          [--sched LEADERS [--workers W] [--checkpoint FILE\n                 \
          [--checkpoint-interval N]]] [--checkpoint FILE]\n                \
          [--cache [--cache-mb MB] [--warm N]]\n                \
@@ -121,6 +122,32 @@ fn cmd_spectrum(args: &[String]) {
         workflow.run_dense_reference()
     } else if has(args, "--stream") {
         workflow.run_streamed()
+    } else if let Some(shards) = arg_value(args, "--shards") {
+        // --shards K: out-of-core sharded assembly — spill one file per
+        // contiguous atom range under --spill, stream the solver SpMV
+        // tile-by-tile. Bit-identical to the in-core run for every K.
+        // Composes with --sched: missing shards then build through the
+        // fault-tolerant scheduler.
+        let k: usize = shards.parse().ok().filter(|&k| k > 0).unwrap_or_else(|| {
+            eprintln!("error: --shards takes a positive shard count, got '{shards}'");
+            std::process::exit(2);
+        });
+        let spill = arg_value(args, "--spill").unwrap_or_else(|| "target/spill".into());
+        let mut cfg =
+            qfr_core::ShardConfig::new(k, &spill).tile_rows(parse(args, "--tile-rows", 512));
+        if let Some(leaders) = arg_value(args, "--sched") {
+            let n_leaders: usize = leaders.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                eprintln!("error: --sched takes a positive leader count, got '{leaders}'");
+                std::process::exit(2);
+            });
+            cfg = cfg.scheduled(qfr_sched::RuntimeConfig {
+                n_leaders,
+                workers_per_leader: parse(args, "--workers", 2),
+                ..Default::default()
+            });
+        }
+        println!("sharded: K={k}, spill dir {spill}, tile rows {}", cfg.tile_rows);
+        workflow.run_sharded(cfg)
     } else if let Some(leaders) = arg_value(args, "--sched") {
         let n_leaders: usize = leaders.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
             eprintln!("error: --sched takes a positive leader count, got '{leaders}'");

@@ -187,7 +187,7 @@ impl Drop for TmpGuard {
 /// temp name means concurrent runs sharing a checkpoint path cannot clobber
 /// each other mid-write — the last rename wins, and both renames are of
 /// complete files.
-fn atomic_write(path: &Path, contents: &[u8]) -> Result<(), CheckpointError> {
+pub(crate) fn atomic_write(path: &Path, contents: &[u8]) -> Result<(), CheckpointError> {
     let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
     let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("checkpoint");
     let tmp = path.with_file_name(format!(".{name}.{}.{seq}.tmp", std::process::id()));

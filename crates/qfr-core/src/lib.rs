@@ -33,11 +33,13 @@ pub mod checkpoint;
 pub mod modes;
 pub mod report;
 pub mod service;
+pub mod shard;
 pub mod streamed;
 pub mod workflow;
 
 pub use modes::{normal_modes, NormalModes};
 pub use report::{RamanResult, RecoverySummary, StageTimings};
 pub use service::{RequestHandle, ServiceConfig, ServiceError, SpectrumRequest, SpectrumService};
+pub use shard::{ShardError, ShardPlan, ShardStore};
 pub use streamed::StreamedHessian;
-pub use workflow::{EngineKind, RamanWorkflow, ScheduledConfig, WorkflowError};
+pub use workflow::{EngineKind, RamanWorkflow, ScheduledConfig, ShardConfig, WorkflowError};

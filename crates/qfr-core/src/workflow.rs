@@ -51,6 +51,48 @@ impl Default for ScheduledConfig {
     }
 }
 
+/// Configuration of an out-of-core sharded run
+/// ([`RamanWorkflow::run_sharded`]): the atom partition, the spill
+/// directory, the solver tile height, and an optional scheduler shape for
+/// fault-tolerant shard building.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of contiguous atom-range shards `K`.
+    pub shards: usize,
+    /// Directory receiving one `shard-NNNNN.qfrs` spill file per shard
+    /// (created if absent). Re-running with the same directory resumes:
+    /// shards whose file is valid for this system/λ/K/tiling are skipped.
+    pub spill: std::path::PathBuf,
+    /// Dof rows per solver tile (peak solver residency is one tile).
+    pub tile_rows: usize,
+    /// When set, shard builds run through the fault-tolerant
+    /// master/leader/worker scheduler (one work item per missing shard,
+    /// cost linear in owned atoms); quarantined shards' spill files are
+    /// deleted — untrusted — and their rows stream as zero, the same
+    /// partial-spectrum semantics as [`RamanWorkflow::run_scheduled`].
+    pub runtime: Option<qfr_sched::RuntimeConfig>,
+}
+
+impl ShardConfig {
+    /// `K` shards spilling under `spill`, default tiling (512 dof rows),
+    /// sequential shard builds.
+    pub fn new(shards: usize, spill: impl Into<std::path::PathBuf>) -> Self {
+        Self { shards, spill: spill.into(), tile_rows: 512, runtime: None }
+    }
+
+    /// Overrides the solver tile height.
+    pub fn tile_rows(mut self, rows: usize) -> Self {
+        self.tile_rows = rows;
+        self
+    }
+
+    /// Builds missing shards through the scheduler.
+    pub fn scheduled(mut self, runtime: qfr_sched::RuntimeConfig) -> Self {
+        self.runtime = Some(runtime);
+        self
+    }
+}
+
 /// Which per-fragment engine to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineKind {
@@ -76,6 +118,8 @@ pub enum WorkflowError {
         /// The configured cap.
         cap: usize,
     },
+    /// Spill I/O or format failure in an out-of-core sharded run.
+    Spill(crate::shard::ShardError),
 }
 
 impl std::fmt::Display for WorkflowError {
@@ -89,6 +133,7 @@ impl std::fmt::Display for WorkflowError {
                 f,
                 "model-DFPT engine capped at {cap}-atom fragments, largest is {largest_fragment}"
             ),
+            WorkflowError::Spill(e) => write!(f, "shard spill error: {e}"),
         }
     }
 }
@@ -643,6 +688,173 @@ impl RamanWorkflow {
         })
     }
 
+    /// Runs the pipeline out of core: the Eq. (1) assembly is sharded by
+    /// contiguous atom ranges ([`crate::ShardPlan`]), each shard's
+    /// mass-weighted Hessian rows and ∂α/∂μ spans are spilled to one file
+    /// under [`ShardConfig::spill`], and the Lanczos/GAGQ solver streams
+    /// the SpMV tile-by-tile over the spill files — peak residency is one
+    /// shard during the build and one tile (plus the Lanczos vectors)
+    /// during the solve, `O(n/K + window)` instead of `O(n)`.
+    ///
+    /// The spectrum is **bit-identical** for every `K` (including the
+    /// in-core `run()` when every job succeeds): rows partition exactly by
+    /// shard, each shard replays the global job order restricted to its
+    /// rows, the triplet sort is stable, mass weighting applies the same
+    /// factors in the same order, and the streamed SpMV computes the same
+    /// per-row dot products — `ablation_shards` pins this in CI.
+    ///
+    /// Re-running with the same spill directory resumes: shards whose file
+    /// matches this system/λ/K/tiling are skipped (`shard.shards_resumed`
+    /// counts them) and only missing or stale shards rebuild. With
+    /// [`ShardConfig::runtime`] set, builds go through the fault-tolerant
+    /// scheduler; a shard quarantined after exhausting its retry budget
+    /// has its file deleted and its rows stream as zero (partial
+    /// spectrum), mirroring [`run_scheduled`](Self::run_scheduled).
+    pub fn run_sharded(&self, cfg: ShardConfig) -> Result<RamanResult, WorkflowError> {
+        use crate::shard::{self, ShardPlan};
+        use qfr_solver::ShardedOperator;
+
+        let mut timings = StageTimings::default();
+        let (decomposition, dt) = qfr_obs::timed("workflow.decompose", || self.decompose());
+        timings.decompose_s = dt;
+        self.validate(&decomposition)?;
+        let engine = self.make_engine();
+        let n_atoms = self.system.n_atoms();
+        let plan = ShardPlan::new(n_atoms, cfg.shards);
+        let base = crate::checkpoint::fingerprint(&decomposition, &self.system);
+        let fp = |s: usize| shard::shard_fingerprint(base, &plan, s, cfg.tile_rows);
+        let path = |s: usize| shard::shard_path(&cfg.spill, s);
+        std::fs::create_dir_all(&cfg.spill)
+            .map_err(|e| WorkflowError::Spill(shard::ShardError::Io(e)))?;
+
+        // Resume: shards whose spill file is complete and keyed to this
+        // exact system/λ/K/tiling are skipped; anything else rebuilds.
+        let valid: Vec<bool> = (0..plan.k())
+            .map(|s| shard::shard_file_valid(&path(s), &plan, s, cfg.tile_rows, fp(s)))
+            .collect();
+        let resumed_shards = valid.iter().filter(|&&v| v).count();
+        shard::note_shards_resumed(resumed_shards);
+        if resumed_shards > 0 {
+            qfr_obs::trace::instant("shard.resume", &[("shards", resumed_shards as i64)]);
+        }
+
+        let engine_span = qfr_obs::span("workflow.engine");
+        let t = Instant::now();
+        let hits = AtomicU64::new(0);
+        let jobs = &decomposition.jobs;
+        let build_one = |s: usize| {
+            shard::build_shard(
+                &path(s),
+                &self.system,
+                jobs,
+                &plan,
+                s,
+                cfg.tile_rows,
+                fp(s),
+                |job| self.compute_response(engine.as_ref(), job, &hits),
+            )
+        };
+        let recovery = match &cfg.runtime {
+            None => {
+                // Sequential shard loop: exactly one shard's builders and
+                // one live response resident at a time.
+                for s in 0..plan.k() {
+                    if !valid[s] {
+                        build_one(s).map_err(WorkflowError::Spill)?;
+                    }
+                }
+                None
+            }
+            Some(runtime) => {
+                use qfr_sched::{
+                    run_master_leader_worker, shard_range_workload, SizeSensitivePolicy,
+                };
+                // One work item per *missing* shard; item id == shard index,
+                // cost linear in owned atoms.
+                let items: Vec<_> = shard_range_workload(&plan.ranges())
+                    .into_iter()
+                    .filter(|item| !valid[item.id as usize])
+                    .collect();
+                let guards: Vec<std::sync::Mutex<()>> =
+                    (0..plan.k()).map(|_| std::sync::Mutex::new(())).collect();
+                let report = run_master_leader_worker(
+                    Box::new(SizeSensitivePolicy::with_defaults(items)),
+                    |item| {
+                        let s = item.id as usize;
+                        // Exactly-once build: the guard serializes copies of
+                        // the same shard, and a retry or straggler re-issue
+                        // finds the first copy's file already valid and
+                        // skips the rebuild — `shard.shards_built` stays a
+                        // pure function of the missing-shard set.
+                        let _g = guards[s].lock().expect("shard guard poisoned");
+                        if shard::shard_file_valid(&path(s), &plan, s, cfg.tile_rows, fp(s)) {
+                            return true;
+                        }
+                        match build_one(s) {
+                            Ok(()) => true,
+                            Err(e) => {
+                                eprintln!("warning: shard {s} build failed: {e}");
+                                false
+                            }
+                        }
+                    },
+                    runtime.clone(),
+                );
+                // A quarantined shard's file is untrusted (its attempts kept
+                // failing): delete it so this solve streams its rows as zero
+                // and a restart recomputes it — the same recompute-on-restart
+                // contract the scheduled checkpoint path applies to
+                // quarantined jobs.
+                for &s in &report.quarantined_fragments {
+                    let _ = std::fs::remove_file(path(s as usize));
+                }
+                Some(RecoverySummary {
+                    retries: report.retries,
+                    eager_retries: report.eager_retries,
+                    resumed_jobs: resumed_shards,
+                    reissues: report.reissues,
+                    duplicates_suppressed: report.duplicates_suppressed,
+                    quarantined_jobs: report.quarantined_fragments.len(),
+                    unfinished_jobs: report.unfinished_fragments,
+                    leaders_died: report.leaders_died,
+                    cache_hits: hits.load(Ordering::Relaxed),
+                })
+            }
+        };
+        timings.engine_s = t.elapsed().as_secs_f64();
+        drop(engine_span);
+
+        // "Assembly" is now just opening the spill directory: headers and
+        // derivative spans load; the Hessian tiles stay on disk.
+        let assemble_span = qfr_obs::span("workflow.assemble");
+        let t = Instant::now();
+        let store = shard::ShardStore::open(&cfg.spill, plan, cfg.tile_rows, base)
+            .map_err(WorkflowError::Spill)?;
+        let hessian_nnz = store.nnz();
+        timings.assemble_s = t.elapsed().as_secs_f64();
+        drop(assemble_span);
+
+        let ((spectrum, ir), dt) = qfr_obs::timed("workflow.solver", || {
+            let op = ShardedOperator::new(&store);
+            let spectrum = raman_lanczos(&op, store.dalpha(), &self.raman);
+            let ir = ir_lanczos(&op, store.dmu(), &self.raman);
+            (spectrum, ir)
+        });
+        timings.solver_s = dt;
+
+        Ok(RamanResult {
+            spectrum,
+            ir,
+            stats: decomposition.stats,
+            n_atoms,
+            dof: self.system.dof(),
+            hessian_nnz,
+            engine: engine.name().to_string(),
+            timings,
+            recovery,
+        })
+    }
+
     fn run_inner(&self, dense: bool) -> Result<RamanResult, WorkflowError> {
         let mut timings = StageTimings::default();
 
@@ -874,6 +1086,43 @@ mod tests {
         assert!(recovery.retries >= 1, "the failing task retries before quarantine");
         let total: f64 = result.spectrum.intensities.iter().sum();
         assert!(total > 0.0, "partial spectrum must still carry signal");
+    }
+
+    #[test]
+    fn sharded_run_bit_identical_to_in_core() {
+        let system = WaterBoxBuilder::new(10).seed(51).build();
+        let wf = RamanWorkflow::new(system).sigma(25.0).lanczos_steps(40);
+        let in_core = wf.run().unwrap();
+        let dir = std::env::temp_dir().join("qfr_wf_shard_test");
+        for k in [1, 4, 16] {
+            let spill = dir.join(format!("k{k}"));
+            let result = wf.run_sharded(ShardConfig::new(k, &spill).tile_rows(7)).unwrap();
+            // Bit-identity, not cosine similarity: stable triplet sort +
+            // row-partitioned streaming makes every f64 op identical.
+            assert_eq!(result.spectrum.intensities, in_core.spectrum.intensities, "K={k}");
+            assert_eq!(result.ir.intensities, in_core.ir.intensities, "K={k}");
+            assert_eq!(result.hessian_nnz, in_core.hessian_nnz, "K={k}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_resume_skips_valid_shards() {
+        let system = WaterBoxBuilder::new(8).seed(52).build();
+        let wf = RamanWorkflow::new(system).sigma(25.0).lanczos_steps(40);
+        let dir = std::env::temp_dir().join("qfr_wf_shard_resume_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = || ShardConfig::new(3, &dir);
+        let built = qfr_obs::counter::value_of("shard.shards_built").unwrap_or(0);
+        let first = wf.run_sharded(cfg()).unwrap();
+        assert_eq!(qfr_obs::counter::value_of("shard.shards_built"), Some(built + 3));
+        let resumed = qfr_obs::counter::value_of("shard.shards_resumed").unwrap_or(0);
+        let second = wf.run_sharded(cfg()).unwrap();
+        // Nothing rebuilt, all three resumed, same bits out.
+        assert_eq!(qfr_obs::counter::value_of("shard.shards_built"), Some(built + 3));
+        assert_eq!(qfr_obs::counter::value_of("shard.shards_resumed"), Some(resumed + 3));
+        assert_eq!(first.spectrum.intensities, second.spectrum.intensities);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

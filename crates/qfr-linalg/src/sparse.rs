@@ -92,8 +92,17 @@ impl TripletBuilder {
 
     /// Compresses to CSR, summing duplicates and dropping entries that
     /// cancel to exactly zero.
+    ///
+    /// The sort is **stable**, so duplicate `(row, col)` entries accumulate
+    /// in push order. That makes the compressed values a pure function of
+    /// the per-row push sequence — a builder fed only the rows of one atom
+    /// shard produces bit-identical values to a builder fed the whole
+    /// matrix, which is what lets the out-of-core sharded assembly promise
+    /// `K`-invariant spectra (an unstable sort may order equal keys
+    /// differently for different subsets, changing the f64 summation
+    /// order).
     pub fn build(mut self) -> CsrMatrix {
-        self.entries.par_sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        self.entries.par_sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
         let mut row_ptr = vec![0usize; self.rows + 1];
         let mut col_idx: Vec<u32> = Vec::with_capacity(self.entries.len());
         let mut values: Vec<f64> = Vec::with_capacity(self.entries.len());
@@ -195,6 +204,35 @@ impl CsrMatrix {
             }
             *yi = acc;
         });
+    }
+
+    /// Raw CSR arrays `(row_ptr, col_idx, values)`, for serialization of
+    /// out-of-core shard tiles. `row_ptr` has `rows + 1` entries.
+    pub fn raw_parts(&self) -> (&[usize], &[u32], &[f64]) {
+        (&self.row_ptr, &self.col_idx, &self.values)
+    }
+
+    /// Rebuilds a CSR matrix from raw arrays (the inverse of
+    /// [`CsrMatrix::raw_parts`]). Used when streaming shard tiles back
+    /// from disk; the arrays must describe a valid CSR layout.
+    ///
+    /// # Panics
+    /// Panics if `row_ptr` length, monotonicity, or `col_idx`/`values`
+    /// lengths are inconsistent.
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), rows + 1, "row_ptr must have rows+1 entries");
+        assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
+        assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr must be non-decreasing");
+        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr end must equal nnz");
+        assert_eq!(col_idx.len(), values.len(), "col_idx/values length mismatch");
+        assert!(col_idx.iter().all(|&c| (c as usize) < cols), "column index out of range");
+        Self { rows, cols, row_ptr, col_idx, values }
     }
 
     /// Converts to dense; for tests and small reference problems only.

@@ -74,4 +74,4 @@ pub use offload::{offload_comparison, CpuAccelerator, ModeledAccelerator, Offloa
 pub use pool::WorkerPool;
 pub use runtime::{run_master_leader_worker, RunReport, RuntimeConfig};
 pub use simulator::{simulate, SimConfig, SimReport};
-pub use task::{cost_model, FragmentWorkItem, Task};
+pub use task::{cost_model, shard_range_workload, FragmentWorkItem, Task};

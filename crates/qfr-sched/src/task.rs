@@ -107,6 +107,22 @@ pub fn protein_workload(n: usize, seed: u64) -> Vec<FragmentWorkItem> {
         .collect()
 }
 
+/// Builds a shard-ownership workload for the out-of-core assembly: item
+/// `i` is shard `ranges[i]` of a `ShardPlan`, identified by its shard
+/// index and costed *linearly* in owned atoms — a shard build is a sweep
+/// over its rows' fragment jobs, not a cubic per-fragment quantum
+/// calculation, so the size model above would mis-balance it badly.
+pub fn shard_range_workload(ranges: &[std::ops::Range<usize>]) -> Vec<FragmentWorkItem> {
+    ranges
+        .iter()
+        .enumerate()
+        .map(|(s, r)| {
+            FragmentWorkItem::new(s as u32, r.len().min(u32::MAX as usize) as u32)
+                .with_cost_hint(r.len() as f64)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,5 +166,19 @@ mod tests {
         // Deterministic.
         assert_eq!(p, protein_workload(1000, 42));
         assert_ne!(p, protein_workload(1000, 43));
+    }
+
+    #[test]
+    fn shard_workload_linear_costs() {
+        let ranges = vec![0..40, 40..80, 80..115];
+        let w = shard_range_workload(&ranges);
+        assert_eq!(w.len(), 3);
+        for (s, item) in w.iter().enumerate() {
+            assert_eq!(item.id, s as u32);
+            assert_eq!(item.cost(), ranges[s].len() as f64, "linear, not cubic");
+        }
+        // Empty trailing shards (k > n_atoms) cost zero but stay schedulable.
+        let empty = shard_range_workload(&[0..1, 1..1]);
+        assert_eq!(empty[1].cost(), 0.0);
     }
 }

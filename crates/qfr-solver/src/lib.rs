@@ -28,6 +28,7 @@ pub mod infrared;
 pub mod kpm;
 pub mod lanczos;
 pub mod raman;
+pub mod sharded;
 pub mod spectrum;
 
 pub use gagq::{averaged_quadrature, gauss_quadrature};
@@ -35,4 +36,5 @@ pub use infrared::{ir_lanczos, raman_polarized, PolarizedRaman};
 pub use kpm::{chebyshev_moments, raman_kpm, ChebyshevMoments};
 pub use lanczos::{lanczos, LanczosResult};
 pub use raman::{raman_dense_reference, raman_lanczos, RamanOptions, RamanSpectrum};
+pub use sharded::{CsrTile, ShardedOperator, TileSource};
 pub use spectrum::{gaussian_broadening, SpectralDensity};

@@ -1,0 +1,198 @@
+//! Out-of-core matrix-free operator streaming SpMV tile-by-tile.
+//!
+//! The 10⁸-atom run cannot hold the assembled mass-weighted Hessian in one
+//! address space. [`TileSource`] abstracts a store that owns the matrix as
+//! horizontal CSR *tiles* — contiguous row windows, typically spilled to
+//! disk by `qfr_core::shard` — and [`ShardedOperator`] turns any such store
+//! into a [`MatVec`] the Lanczos/KPM loops can drive: each `apply` walks
+//! the tiles **in ascending row order**, loads one tile at a time, computes
+//! its row window of `y = H x`, and drops it. Peak residency of the solver
+//! stage is therefore one tile plus the Lanczos vectors —
+//! `O(n/K + lanczos_window)` — instead of the whole matrix.
+//!
+//! Bit parity with the in-core path: tiles partition the rows exactly, each
+//! tile stores its rows' CSR entries in the same ascending-column order the
+//! in-core [`CsrMatrix`] does, and `y[i]` is a single dot product over row
+//! `i`'s entries in either layout — the same f64 operations in the same
+//! order, hence bit-identical `y` and bit-identical spectra.
+
+use qfr_linalg::sparse::MatVec;
+use qfr_linalg::CsrMatrix;
+
+/// One horizontal tile of the operator: a CSR block covering the global
+/// rows `row0 .. row0 + matrix.rows()` against all columns.
+#[derive(Debug, Clone)]
+pub struct CsrTile {
+    /// Global index of the tile's first row.
+    pub row0: usize,
+    /// The tile's rows (`rows x dim` CSR).
+    pub matrix: CsrMatrix,
+}
+
+/// A store that can produce the operator's row tiles in streaming order.
+///
+/// Tiles `0..n_tiles()` must cover `0..dim()` contiguously without overlap.
+/// `load_tile` returning `None` marks a *missing* window (e.g. a shard
+/// quarantined after exhausting its retry budget): its rows act as zero,
+/// yielding the same partial-spectrum semantics as the scheduled in-core
+/// path, which simply leaves quarantined fragments out of the assembly.
+pub trait TileSource: Sync {
+    /// Operator dimension (rows == cols).
+    fn dim(&self) -> usize;
+    /// Number of row tiles.
+    fn n_tiles(&self) -> usize;
+    /// Loads tile `index` (ascending row order). `None` = missing window.
+    fn load_tile(&self, index: usize) -> Option<CsrTile>;
+}
+
+/// A [`MatVec`] over a [`TileSource`]: the solver-facing face of the
+/// out-of-core sharded assembly.
+pub struct ShardedOperator<'a> {
+    source: &'a dyn TileSource,
+}
+
+impl<'a> ShardedOperator<'a> {
+    /// Wraps a tile store as a matrix-free operator.
+    pub fn new(source: &'a dyn TileSource) -> Self {
+        Self { source }
+    }
+}
+
+impl MatVec for ShardedOperator<'_> {
+    fn dim(&self) -> usize {
+        self.source.dim()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.dim(), "sharded apply: x length mismatch");
+        assert_eq!(y.len(), self.dim(), "sharded apply: y length mismatch");
+        // Missing tiles contribute zero rows (partial spectrum).
+        y.fill(0.0);
+        for t in 0..self.source.n_tiles() {
+            let Some(tile) = self.source.load_tile(t) else { continue };
+            let rows = tile.matrix.rows();
+            tile.matrix.spmv_serial(x, &mut y[tile.row0..tile.row0 + rows]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qfr_linalg::TripletBuilder;
+
+    /// In-memory tile store slicing a full CSR matrix into row windows.
+    struct SlicedMatrix {
+        full: CsrMatrix,
+        tile_rows: usize,
+        missing: Vec<usize>,
+    }
+
+    impl SlicedMatrix {
+        fn new(full: CsrMatrix, tile_rows: usize) -> Self {
+            Self { full, tile_rows, missing: Vec::new() }
+        }
+    }
+
+    impl TileSource for SlicedMatrix {
+        fn dim(&self) -> usize {
+            self.full.rows()
+        }
+
+        fn n_tiles(&self) -> usize {
+            self.full.rows().div_ceil(self.tile_rows)
+        }
+
+        fn load_tile(&self, index: usize) -> Option<CsrTile> {
+            if self.missing.contains(&index) {
+                return None;
+            }
+            let row0 = index * self.tile_rows;
+            let rows = self.tile_rows.min(self.full.rows() - row0);
+            let mut b = TripletBuilder::new(rows, self.full.cols());
+            for r in 0..rows {
+                for (c, v) in self.full.row_entries(row0 + r) {
+                    b.push(r, c, v);
+                }
+            }
+            Some(CsrTile { row0, matrix: b.build() })
+        }
+    }
+
+    fn banded(n: usize) -> CsrMatrix {
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 2.0 + i as f64 * 0.01);
+            if i + 1 < n {
+                b.push(i, i + 1, -1.0);
+                b.push(i + 1, i, -1.5);
+            }
+            if i + 7 < n {
+                b.push(i, i + 7, 0.25);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn tiled_apply_is_bit_identical_to_full_spmv() {
+        let n = 123;
+        let full = banded(n);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 31 + 7) % 17) as f64 - 8.0).collect();
+        let mut y_full = vec![0.0; n];
+        full.spmv(&x, &mut y_full);
+        // Several tile widths, including ones that do not divide n.
+        for tile_rows in [1, 8, 40, 123, 200] {
+            let src = SlicedMatrix::new(full.clone(), tile_rows);
+            let op = ShardedOperator::new(&src);
+            assert_eq!(op.dim(), n);
+            let mut y = vec![7.0; n];
+            op.apply(&x, &mut y);
+            assert_eq!(y, y_full, "tile_rows = {tile_rows}");
+        }
+    }
+
+    #[test]
+    fn missing_tile_rows_act_as_zero() {
+        let n = 64;
+        let full = banded(n);
+        let mut src = SlicedMatrix::new(full.clone(), 16);
+        src.missing = vec![1];
+        let op = ShardedOperator::new(&src);
+        let x = vec![1.0; n];
+        let mut y = vec![3.0; n];
+        op.apply(&x, &mut y);
+        let mut y_full = vec![0.0; n];
+        full.spmv(&x, &mut y_full);
+        for i in 0..n {
+            if (16..32).contains(&i) {
+                assert_eq!(y[i], 0.0, "missing window row {i}");
+            } else {
+                assert_eq!(y[i], y_full[i], "present row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn lanczos_over_tiles_matches_in_core() {
+        let n = 90;
+        let full = banded(n);
+        // Symmetrize for Lanczos (banded() above is deliberately not).
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            for (j, v) in full.row_entries(i) {
+                b.push(i, j, v);
+                b.push(j, i, v);
+            }
+        }
+        let sym = b.build();
+        let src = SlicedMatrix::new(sym.clone(), 13);
+        let op = ShardedOperator::new(&src);
+        let d: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        let in_core = crate::lanczos(&sym, &d, 30);
+        let tiled = crate::lanczos(&op, &d, 30);
+        assert_eq!(in_core.alpha, tiled.alpha, "bit-identical Lanczos recursion");
+        assert_eq!(in_core.beta, tiled.beta);
+        assert_eq!(in_core.beta_last, tiled.beta_last);
+    }
+}

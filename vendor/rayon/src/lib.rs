@@ -182,6 +182,9 @@ pub trait ParallelSliceMut<T> {
         T: Ord;
     /// Unstable sort with comparator (sequential here).
     fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
+    /// Stable sort with comparator (sequential here; upstream rayon's
+    /// parallel merge sort is likewise stable and deterministic).
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
@@ -198,6 +201,10 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
 
     fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
         self.sort_unstable_by(compare);
+    }
+
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
+        self.sort_by(compare);
     }
 }
 
