@@ -143,6 +143,17 @@ fn run_pinned_workloads() {
         warm.spectrum.intensities, cold.spectrum.intensities,
         "cache must preserve bit-identity"
     );
+
+    // 7. Graph decomposition of the three non-chain scenarios (ligand,
+    //    disulfide bridge, polymer melt): pins the covalent partitioner's
+    //    `fragment.graph.partitions` / `fragment.graph.bonds_cut`
+    //    counters — a drift means the bond scoring, bridge detection or
+    //    tree partitioning changed the cuts it makes.
+    for (name, seed) in [("protein-ligand", 3), ("disulfide", 5), ("polymer-melt", 7)] {
+        let sys = qfr_geom::build_scenario(name, seed).expect("known scenario");
+        let d = Decomposition::new(&sys, DecompositionParams::default());
+        assert!(d.stats.n_graph_partitions > 0, "{name} must take the graph path");
+    }
 }
 
 /// Parses the compact `{"name":value,...}` object the counter registry
@@ -181,6 +192,13 @@ fn main() {
     // computes through it.
     let cache_hits = qfr_obs::counter::value_of("cache.hits").unwrap_or(0);
     assert!(cache_hits > 0, "cache.hits must be > 0 on the pinned workload");
+    // The scenario workload must route through the graph partitioner and
+    // actually cut bonds somewhere (the disulfide chains exceed the
+    // fragment budget): zeros mean the fallback routing regressed.
+    let graph_parts = qfr_obs::counter::value_of("fragment.graph.partitions").unwrap_or(0);
+    assert!(graph_parts > 0, "fragment.graph.partitions must be > 0 on the pinned workload");
+    let bonds_cut = qfr_obs::counter::value_of("fragment.graph.bonds_cut").unwrap_or(0);
+    assert!(bonds_cut > 0, "fragment.graph.bonds_cut must be > 0 on the pinned workload");
 
     if let Some(path) = arg_value("--write") {
         std::fs::write(&path, format!("{snapshot}\n")).expect("write baseline");

@@ -12,6 +12,7 @@
 //! | `fig11_weak_scaling` | Fig. 11 weak scaling throughput |
 //! | `table1_peak_performance` | Table I FP64 rates |
 //! | `fig12_raman_spectra` | Fig. 12 Raman spectra (gas / water / solvated) |
+//! | `fig_scenarios` | graph-decomposition scenarios (ligand / disulfide / polymer) + band checks |
 //! | `stats_decomposition` | Section VI-A decomposition statistics |
 //! | `ablation_balancer` | policy ablation (design-choice study) |
 //! | `ablation_offload_stride` | batch-stride ablation |

@@ -4,6 +4,7 @@
 //! qfr spectrum  --protein 100 [--solvate 6.0] [--sigma 5] [--lanczos 160]
 //!               [--seed 42] [--temperature 300] [--json out.json] [--xyz out.xyz]
 //! qfr spectrum  --waters 1000 [--sigma 20] [--cache [--cache-mb 256]] ...
+//! qfr spectrum  --scenario disulfide            # graph-decomposition demo systems
 //! qfr decompose --protein 3180 [--lambda 4.0]
 //! qfr serve     --waters 200 --requests 6 [--distinct 2] [--workers 4]
 //! qfr info
@@ -32,7 +33,8 @@ fn has(args: &[String], flag: &str) -> bool {
 fn usage() -> ! {
     eprintln!(
         "usage:\n  \
-         qfr spectrum  (--protein N | --waters N) [--solvate PAD] [--sigma S]\n                \
+         qfr spectrum  (--protein N | --waters N | --scenario NAME)\n                \
+         [--solvate PAD] [--sigma S]\n                \
          [--lambda L] [--lanczos K] [--seed SEED] [--temperature T]\n                \
          [--ir] [--json FILE] [--xyz FILE] [--dense | --stream]\n                \
          [--dfpt] [--offload batched|scattered]\n                \
@@ -41,8 +43,10 @@ fn usage() -> ! {
          [--checkpoint-interval N]]] [--checkpoint FILE]\n                \
          [--cache [--cache-mb MB] [--warm N]]\n                \
          [--trace FILE] [--metrics] [--metrics-out FILE]\n  \
-         qfr decompose (--protein N | --waters N) [--lambda L] [--seed SEED]\n  \
-         qfr serve    (--protein N | --waters N) [--requests R] [--distinct D]\n                \
+         qfr decompose (--protein N | --waters N | --scenario NAME)\n                \
+         [--lambda L] [--seed SEED]\n  \
+         qfr serve    (--protein N | --waters N | --scenario NAME)\n                \
+         [--requests R] [--distinct D]\n                \
          [--workers W] [--max-active A] [--max-queued Q]\n                \
          [--batch-window B] [--cache-mb MB] [--sigma S] [--seed SEED]\n  \
          qfr info"
@@ -55,6 +59,15 @@ fn build_system(args: &[String]) -> MolecularSystem {
 }
 
 fn build_seeded_system(args: &[String], seed: u64) -> MolecularSystem {
+    if let Some(name) = arg_value(args, "--scenario") {
+        return qfr_geom::build_scenario(&name, seed).unwrap_or_else(|| {
+            eprintln!(
+                "unknown scenario '{name}' (available: {})",
+                qfr_geom::SCENARIO_NAMES.join(", ")
+            );
+            std::process::exit(2);
+        });
+    }
     if let Some(n) = arg_value(args, "--protein").and_then(|v| v.parse::<usize>().ok()) {
         let protein = ProteinBuilder::new(n).seed(seed).build();
         if let Some(pad) = arg_value(args, "--solvate").and_then(|v| v.parse::<f64>().ok()) {

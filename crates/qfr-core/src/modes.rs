@@ -87,7 +87,9 @@ impl NormalModes {
             (0..3 * self.n_atoms).map(|i| self.vectors[(i, p)] / masses[i / 3].sqrt()).collect();
         let norm: f64 = cart.iter().map(|x| x * x).sum();
         let mut out: HashMap<BondClass, f64> = HashMap::new();
-        if norm <= 0.0 {
+        // A NaN norm (degenerate eigenvector) must bail out here too;
+        // a bare `norm <= 0.0` would let it through.
+        if norm.is_nan() || norm <= 0.0 {
             return out;
         }
         for b in &system.bonds {
@@ -108,9 +110,7 @@ impl NormalModes {
 
     /// Dominant stretch class of mode `p`, if any bond moves at all.
     pub fn dominant_stretch(&self, system: &MolecularSystem, p: usize) -> Option<(BondClass, f64)> {
-        self.stretch_character(system, p)
-            .into_iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("weights are finite"))
+        self.stretch_character(system, p).into_iter().max_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
 
@@ -190,6 +190,25 @@ mod tests {
         let pr_stretch = modes.participation_ratio(stretch);
         assert!(pr_low > pr_stretch, "acoustic PR {pr_low} should exceed stretch PR {pr_stretch}");
         assert!(pr_stretch < 0.35, "stretch should be localized: {pr_stretch}");
+    }
+
+    #[test]
+    fn degenerate_mode_vectors_do_not_panic() {
+        // Regression: a zero or NaN mode vector made the mode's Cartesian
+        // norm 0 or NaN, `proj*proj / (2*norm)` NaN, and `dominant_stretch`
+        // panicked via `partial_cmp(...).expect("weights are finite")`.
+        let sys = WaterBoxBuilder::new(1).seed(6).build();
+        let dof = sys.dof();
+        let mut zero_modes = NormalModes {
+            frequencies: vec![0.0; dof],
+            vectors: qfr_linalg::DMatrix::zeros(dof, dof),
+            n_atoms: sys.n_atoms(),
+        };
+        assert_eq!(zero_modes.dominant_stretch(&sys, 0), None, "zero mode has no stretch");
+        for i in 0..dof {
+            zero_modes.vectors[(i, 0)] = f64::NAN;
+        }
+        assert_eq!(zero_modes.dominant_stretch(&sys, 0), None, "NaN mode has no stretch");
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Scenario end-to-end tests: the graph-decomposition path driven through
+//! the public workflow API on systems the residue-chain fast path cannot
+//! handle — a protein with a non-covalent ligand, a disulfide-bridged
+//! two-chain protein, and a residue-free polymer melt — plus
+//! band-assignment checks that the spectra produced from graph fragments
+//! carry the chemistry expected of each system.
+
+use qfr_core::{normal_modes, RamanWorkflow};
+use qfr_fragment::{Decomposition, DecompositionParams};
+use qfr_geom::scenario::{disulfide_dimer, polymer_melt, protein_ligand};
+use qfr_geom::system::BondClass;
+use qfr_geom::{build_scenario, SCENARIO_NAMES};
+use qfr_model::ForceFieldEngine;
+
+#[test]
+fn every_scenario_runs_the_full_workflow() {
+    for &name in SCENARIO_NAMES {
+        let sys = build_scenario(name, 17).expect("known scenario name");
+        let d = Decomposition::new(&sys, DecompositionParams::default());
+        assert!(d.stats.n_graph_partitions > 0, "{name} must take the graph path");
+        for (a, &c) in d.atom_coverage(sys.n_atoms()).iter().enumerate() {
+            assert!(c == 1.0, "{name}: atom {a} covered {c} times (should be exactly 1)");
+        }
+        let result =
+            RamanWorkflow::new(sys).sigma(25.0).lanczos_steps(40).run().expect("workflow runs");
+        assert!(result.stats.n_graph_partitions > 0, "{name}: workflow decomposition is graph");
+        assert!(result.spectrum.intensities.iter().all(|x| x.is_finite()), "{name}: finite");
+        assert!(result.spectrum.peak().is_some(), "{name} must produce a non-empty spectrum");
+    }
+}
+
+#[test]
+fn polymer_ch_window_is_pure_ch_stretch() {
+    // Small gas-phase melt so the dense diagonalization stays cheap.
+    let sys = polymer_melt(2, 6, 3);
+    let d = Decomposition::new(&sys, DecompositionParams::default());
+    let modes = normal_modes(&sys, &d, &ForceFieldEngine::new());
+    let ch = modes.modes_in_window(2800.0, 3100.0);
+    assert!(!ch.is_empty(), "an alkane melt must have C-H stretch modes");
+    for &p in &ch {
+        let (class, _) = modes.dominant_stretch(&sys, p).expect("stretch character");
+        assert_eq!(class, BondClass::CH, "mode {p} in the C-H window is not a C-H stretch");
+    }
+}
+
+#[test]
+fn disulfide_bridge_shows_the_ss_stretch_band() {
+    let sys = disulfide_dimer(5, 11);
+    let d = Decomposition::new(&sys, DecompositionParams::default());
+    assert!(d.stats.n_graph_partitions >= 2, "two chains cannot be one partition");
+    let modes = normal_modes(&sys, &d, &ForceFieldEngine::new());
+    // The S-S stretch (k = 2.50 mdyn/Å, two sulfur masses) sits near
+    // 510 cm⁻¹; at least one mode in that window must be S-S dominated.
+    let window = modes.modes_in_window(350.0, 700.0);
+    assert!(!window.is_empty());
+    let ss_mode = window
+        .iter()
+        .find(|&&p| matches!(modes.dominant_stretch(&sys, p), Some((BondClass::SSBond, _))));
+    assert!(ss_mode.is_some(), "no S-S dominated mode in the 350-700 cm⁻¹ window");
+}
+
+#[test]
+fn ligand_ring_modes_survive_fragmentation() {
+    // Gas-phase protein + ligand: the aromatic ring is never cut, so its
+    // ring-stretch modes must appear with C-C aromatic character.
+    let sys = protein_ligand(4, None, 7);
+    let d = Decomposition::new(&sys, DecompositionParams::default());
+    let modes = normal_modes(&sys, &d, &ForceFieldEngine::new());
+    let aromatic = (0..modes.frequencies.len())
+        .find(|&p| matches!(modes.dominant_stretch(&sys, p), Some((BondClass::CCAromatic, _))));
+    assert!(aromatic.is_some(), "no mode dominated by the ligand's aromatic ring");
+}
+
+#[test]
+fn unknown_scenario_is_rejected() {
+    assert!(build_scenario("no-such-scenario", 1).is_none());
+    assert_eq!(SCENARIO_NAMES.len(), 3);
+}

@@ -15,11 +15,16 @@ pub struct DecompositionParams {
     /// with separation 1 or 2 share a capped triple already; the default 3
     /// adds exactly the missing pairs.
     pub min_sequence_separation: usize,
+    /// Atom budget per partition on the graph-decomposition path (general
+    /// covalent systems; see [`crate::graph`]). Ignored by the
+    /// residue-chain fast path, whose fragment sizes follow the residues.
+    /// The default 40 sits inside the paper's 9–68 atom fragment range.
+    pub max_fragment_atoms: usize,
 }
 
 impl Default for DecompositionParams {
     fn default() -> Self {
-        Self { lambda: 4.0, min_sequence_separation: 3 }
+        Self { lambda: 4.0, min_sequence_separation: 3, max_fragment_atoms: 40 }
     }
 }
 
@@ -36,7 +41,17 @@ pub struct Decomposition {
 
 impl Decomposition {
     /// Decomposes a system under the given parameters.
+    ///
+    /// Residue-chain systems (every covalent atom inside a residue span,
+    /// consecutive residues peptide-bonded — i.e. everything the protein
+    /// builders produce, solvated or not) take the chain fast path below,
+    /// which reproduces the historical job lists bit for bit. Anything
+    /// else — ligands, disulfide-bridged multi-chain proteins, polymers —
+    /// falls back to the general [`crate::graph`] decomposition.
     pub fn new(sys: &MolecularSystem, params: DecompositionParams) -> Self {
+        if !is_residue_chain(sys) {
+            return crate::graph::decompose(sys, params);
+        }
         let nres = sys.residues.len();
         let mut jobs: Vec<FragmentJob> = Vec::new();
         let mut stats = DecompositionStats::default();
@@ -169,6 +184,26 @@ impl Decomposition {
     }
 }
 
+/// True when the covalent block is exactly the classic residue-chain shape
+/// the fast path was written for: every covalent atom inside a residue
+/// span, and every consecutive residue pair joined by its peptide bond
+/// (derived from the bond list, so a chain break or a second chain routes
+/// to the graph path). Pure water boxes (no residues) qualify trivially.
+fn is_residue_chain(sys: &MolecularSystem) -> bool {
+    if sys.nonresidue_atom_count() != 0 {
+        return false;
+    }
+    if sys.residues.len() < 2 {
+        return true;
+    }
+    let bonded: std::collections::HashSet<(usize, usize)> =
+        sys.bonds.iter().map(|b| (b.i.min(b.j), b.i.max(b.j))).collect();
+    sys.residues.windows(2).all(|rs| {
+        let (c, n) = (rs[0].c_idx, rs[1].n_idx);
+        bonded.contains(&(c.min(n), c.max(n)))
+    })
+}
+
 /// Builds the job covering residues `first..=last`, cutting and capping at
 /// both chain ends.
 fn residue_job(
@@ -200,11 +235,21 @@ fn residue_job(
 
 /// Places a cap hydrogen on `anchor` along the direction of the removed
 /// atom, at the anchor element's X–H bond length.
-fn cap_hydrogen(sys: &MolecularSystem, anchor: usize, removed: usize) -> LinkHydrogen {
+///
+/// # Panics
+/// Panics when `anchor` and `removed` coincide: there is no cut-bond
+/// direction to place the hydrogen along, and fabricating one (the old
+/// `+x` fallback) yields a plausible-looking but wrong fragment from
+/// corrupted input geometry.
+pub(crate) fn cap_hydrogen(sys: &MolecularSystem, anchor: usize, removed: usize) -> LinkHydrogen {
     let a = sys.atoms[anchor];
-    let dir = (sys.atoms[removed].position - a.position)
-        .try_normalized()
-        .unwrap_or(Vec3::new(1.0, 0.0, 0.0));
+    let dir = (sys.atoms[removed].position - a.position).try_normalized().unwrap_or_else(|| {
+        panic!(
+            "degenerate cut-bond geometry: anchor atom {anchor} and removed atom {removed} \
+             coincide at {:?}; cannot orient a link hydrogen",
+            a.position
+        )
+    });
     LinkHydrogen { anchor, position: a.position + dir * a.element.h_bond_length() }
 }
 
@@ -328,6 +373,25 @@ mod tests {
                     .any(|j| matches!(j.kind, JobKind::WaterMonomer { w: jw } if jw == w)));
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate cut-bond geometry")]
+    fn coincident_cut_bond_atoms_are_a_hard_error() {
+        // Regression: a coincident anchor/removed pair used to fall back to
+        // a silent +x cap direction, producing a wrong fragment instead of
+        // reporting the corrupted input.
+        use qfr_geom::system::Atom;
+        use qfr_geom::Element;
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        let sys = MolecularSystem {
+            atoms: vec![
+                Atom { element: Element::C, position: p },
+                Atom { element: Element::N, position: p },
+            ],
+            ..Default::default()
+        };
+        let _ = cap_hydrogen(&sys, 0, 1);
     }
 
     #[test]

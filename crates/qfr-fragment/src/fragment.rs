@@ -52,6 +52,28 @@ pub enum JobKind {
         /// Higher water index.
         b: usize,
     },
+    /// One-body term of a graph-partition fragment (general covalent
+    /// systems; see `graph`). Its net coefficient absorbs the `-E_p`
+    /// monomer subtractions of every two-body pair it participates in.
+    GraphMonomer {
+        /// Partition index.
+        p: usize,
+    },
+    /// Two-body term between graph partitions within λ (or sharing cut
+    /// bonds, which the dimer restores).
+    GraphDimer {
+        /// Lower partition index.
+        p: usize,
+        /// Higher partition index.
+        q: usize,
+    },
+    /// Two-body term between a graph partition and a water molecule.
+    GraphWaterDimer {
+        /// Partition index.
+        p: usize,
+        /// Water molecule index.
+        w: usize,
+    },
 }
 
 /// A link hydrogen terminating a cut bond: placed along the direction of the

@@ -17,16 +17,21 @@
 //! [`fragment::FragmentStructure`] materializes each job's geometry for an
 //! engine, and [`assemble`] folds per-fragment Hessian and polarizability-
 //! derivative blocks into the global sparse operators that the Lanczos/GAGQ
-//! spectral solver consumes.
+//! spectral solver consumes. Systems that are not a single water-capped
+//! residue chain (ligands, disulfide-bridged multi-chain proteins,
+//! polymers) are decomposed by the general [`graph`] partitioner instead,
+//! behind the same [`Decomposition`] interface.
 
 pub mod assemble;
 pub mod decompose;
 pub mod fragment;
+pub mod graph;
 pub mod key;
 pub mod stats;
 
 pub use assemble::{AssembledSystem, MassWeighted};
 pub use decompose::{Decomposition, DecompositionParams};
 pub use fragment::{FragmentEngine, FragmentJob, FragmentResponse, FragmentStructure, JobKind};
+pub use graph::{partition_covalent, CovalentPartitioning, Partition};
 pub use key::{canonical_key, canonicalize, exact_key, Canonical, GeomKey, DEFAULT_KEY_TOL};
 pub use stats::DecompositionStats;

@@ -19,6 +19,11 @@ pub struct DecompositionStats {
     pub n_water_water_pairs: usize,
     /// Water molecules (one-body terms before coefficient merging).
     pub n_water_monomers: usize,
+    /// Graph partitions (general covalent systems only; 0 on the
+    /// residue-chain fast path).
+    pub n_graph_partitions: usize,
+    /// Covalent bonds cut by the graph partitioner (0 on the fast path).
+    pub n_bonds_cut: usize,
     /// Smallest job size seen (atoms incl. link H); 0 when no jobs.
     pub min_size: usize,
     /// Largest job size seen.
@@ -66,7 +71,7 @@ impl DecompositionStats {
 
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "jobs={} fragments={} caps={} concaps={} res-water={} water-water={} sizes={}..{} (mean {:.1})",
             self.n_jobs,
             self.n_capped_fragments,
@@ -77,7 +82,14 @@ impl DecompositionStats {
             self.min_size,
             self.max_size,
             self.mean_size()
-        )
+        );
+        if self.n_graph_partitions > 0 {
+            s.push_str(&format!(
+                " graph-parts={} bonds-cut={}",
+                self.n_graph_partitions, self.n_bonds_cut
+            ));
+        }
+        s
     }
 }
 
@@ -107,6 +119,24 @@ mod tests {
         // spread is tempered by constant overheads.
         assert!((s.mean_size() - 22.0).abs() < 1e-12);
         assert!(s.cost_spread() > 50.0);
+    }
+
+    #[test]
+    fn zero_size_job_is_invisible_to_the_min_sentinel() {
+        // `min_size == 0` doubles as the "nothing recorded yet" sentinel, so
+        // a (pathological) zero-atom job cannot be distinguished from an
+        // empty history: recording 0 then 5 reports min_size == 5. This test
+        // pins that edge-case behavior; the histogram still counts the job.
+        let mut s = DecompositionStats::default();
+        s.record_size(0);
+        assert_eq!(s.min_size, 0);
+        assert_eq!(s.max_size, 0);
+        s.record_size(5);
+        assert_eq!(s.min_size, 5, "the size-0 record is absorbed by the sentinel");
+        assert_eq!(s.max_size, 5);
+        assert_eq!(s.size_histogram[0], 1, "histogram still remembers the zero-size job");
+        assert_eq!(s.size_histogram[5], 1);
+        assert_eq!(s.cost_spread(), 1.0);
     }
 
     #[test]

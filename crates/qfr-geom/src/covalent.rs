@@ -1,0 +1,117 @@
+//! Element-aware covalent bond detection.
+//!
+//! The graph-based fragmenter (`qfr-fragment::graph`) partitions the
+//! covalent graph of a system. Builders usually record bonds explicitly,
+//! but imported or hand-assembled geometries may not; [`detect_bonds`]
+//! reconstructs the graph from distances alone: two atoms are bonded when
+//! their separation is below the sum of their single-bond covalent radii
+//! times a tolerance factor (the standard distance criterion of structure
+//! viewers and FragIt-style fragmenters).
+
+use crate::element::Element;
+use crate::neighbor::CellList;
+use crate::system::{Atom, Bond};
+use crate::vec3::Vec3;
+
+/// Default detection tolerance: bond when `d < 1.15 · (r_i + r_j)`.
+pub const BOND_TOLERANCE: f64 = 1.15;
+
+/// Detects covalent bonds between `atoms` by the covalent-radius distance
+/// criterion with the default [`BOND_TOLERANCE`]. H–H pairs are never
+/// bonded (molecular hydrogen does not occur in these systems and a
+/// spuriously close hydrogen pair must not fuse two molecules). Bond order
+/// is reported as 1 — distances alone cannot distinguish conjugation; use
+/// explicit builder bonds when double bonds matter. The result is sorted
+/// by `(i, j)` with `i < j` and free of duplicates.
+pub fn detect_bonds(atoms: &[Atom]) -> Vec<Bond> {
+    detect_bonds_with_tolerance(atoms, BOND_TOLERANCE)
+}
+
+/// [`detect_bonds`] with an explicit tolerance factor.
+pub fn detect_bonds_with_tolerance(atoms: &[Atom], tolerance: f64) -> Vec<Bond> {
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    if atoms.is_empty() {
+        return Vec::new();
+    }
+    // The largest possible detection distance bounds the cell edge so one
+    // cell-list query per atom sees every candidate.
+    let max_r = atoms.iter().map(|a| a.element.covalent_radius()).fold(0.0_f64, f64::max);
+    let reach = 2.0 * max_r * tolerance;
+    let positions: Vec<Vec3> = atoms.iter().map(|a| a.position).collect();
+    let cl = CellList::new(&positions, reach);
+    let mut bonds = Vec::new();
+    for (i, a) in atoms.iter().enumerate() {
+        for j in cl.query_within(a.position, reach) {
+            if j <= i {
+                continue;
+            }
+            let b = &atoms[j];
+            if a.element == Element::H && b.element == Element::H {
+                continue;
+            }
+            let cutoff = tolerance * (a.element.covalent_radius() + b.element.covalent_radius());
+            if a.position.dist(b.position) < cutoff {
+                bonds.push(Bond::new(i, j, 1, a.element, b.element));
+            }
+        }
+    }
+    bonds.sort_unstable_by_key(|b| (b.i, b.j));
+    bonds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::BondClass;
+
+    fn atom(e: Element, x: f64, y: f64, z: f64) -> Atom {
+        Atom { element: e, position: Vec3::new(x, y, z) }
+    }
+
+    #[test]
+    fn ethane_skeleton_detected() {
+        // C-C at 1.54 A with hydrogens at 1.09 A.
+        let atoms = vec![
+            atom(Element::C, 0.0, 0.0, 0.0),
+            atom(Element::C, 1.54, 0.0, 0.0),
+            atom(Element::H, -0.63, 0.89, 0.0),
+            atom(Element::H, 2.17, -0.89, 0.0),
+        ];
+        let bonds = detect_bonds(&atoms);
+        let pairs: Vec<(usize, usize)> = bonds.iter().map(|b| (b.i, b.j)).collect();
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 3)]);
+        assert_eq!(bonds[0].class, BondClass::CCSingle);
+        assert_eq!(bonds[1].class, BondClass::CH);
+    }
+
+    #[test]
+    fn distant_atoms_not_bonded() {
+        let atoms = vec![atom(Element::C, 0.0, 0.0, 0.0), atom(Element::C, 3.1, 0.0, 0.0)];
+        assert!(detect_bonds(&atoms).is_empty());
+    }
+
+    #[test]
+    fn h_h_pairs_never_bond() {
+        let atoms = vec![atom(Element::H, 0.0, 0.0, 0.0), atom(Element::H, 0.6, 0.0, 0.0)];
+        assert!(detect_bonds(&atoms).is_empty());
+    }
+
+    #[test]
+    fn matches_water_builder_bonds() {
+        // Detection over a built water box must reproduce the builder's
+        // bond graph (2 O-H bonds per molecule, nothing intermolecular).
+        let sys = crate::builder::WaterBoxBuilder::new(27).seed(3).build();
+        let detected = detect_bonds(&sys.atoms);
+        assert_eq!(detected.len(), sys.bonds.len());
+        let mut expect: Vec<(usize, usize)> =
+            sys.bonds.iter().map(|b| (b.i.min(b.j), b.i.max(b.j))).collect();
+        expect.sort_unstable();
+        let got: Vec<(usize, usize)> = detected.iter().map(|b| (b.i, b.j)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(detect_bonds(&[]).is_empty());
+    }
+}

@@ -49,6 +49,20 @@ impl Element {
         }
     }
 
+    /// Single-bond covalent radius in Å (Pyykkö/Atsumi values, rounded).
+    /// Two atoms are considered covalently bonded when their distance is
+    /// below the sum of their radii times a tolerance factor — the
+    /// element-aware bond detection used by [`crate::covalent`].
+    pub fn covalent_radius(self) -> f64 {
+        match self {
+            Element::H => 0.32,
+            Element::C => 0.75,
+            Element::N => 0.71,
+            Element::O => 0.63,
+            Element::S => 1.03,
+        }
+    }
+
     /// One- or two-letter element symbol.
     pub fn symbol(self) -> &'static str {
         match self {
@@ -127,5 +141,17 @@ mod tests {
     fn atomic_numbers() {
         assert_eq!(Element::H.atomic_number(), 1);
         assert_eq!(Element::S.atomic_number(), 16);
+    }
+
+    #[test]
+    fn covalent_radii_bracket_bond_lengths() {
+        // A C–C single bond (1.54 Å) must be detected at tolerance 1.15,
+        // and the radii must be small enough that a 3.1 Å water grid is not.
+        let cc = 2.0 * Element::C.covalent_radius();
+        assert!(cc * 1.15 > 1.54 && cc * 1.15 < 2.0, "C-C window {cc}");
+        for e in [Element::C, Element::N, Element::O, Element::S] {
+            let xh = (e.covalent_radius() + Element::H.covalent_radius()) * 1.15;
+            assert!(xh > e.h_bond_length(), "{e:?}-H bond outside detection window");
+        }
     }
 }

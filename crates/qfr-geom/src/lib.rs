@@ -16,17 +16,21 @@
 //! DESIGN.md ("Reproduction constraints and substitutions").
 
 pub mod builder;
+pub mod covalent;
 pub mod element;
 pub mod embed;
 pub mod io;
 pub mod neighbor;
 pub mod residue;
+pub mod scenario;
 pub mod system;
 pub mod vec3;
 
 pub use builder::{FoldStyle, ProteinBuilder, SolvatedSystem, WaterBoxBuilder};
+pub use covalent::detect_bonds;
 pub use element::Element;
 pub use neighbor::CellList;
 pub use residue::{ResidueKind, ResidueTemplate};
+pub use scenario::{build_scenario, SCENARIO_NAMES};
 pub use system::{Atom, Bond, MolecularSystem, ResidueSpan};
 pub use vec3::Vec3;

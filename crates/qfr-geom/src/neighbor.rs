@@ -29,6 +29,18 @@ impl CellList {
     pub fn new(positions: &[Vec3], cell: f64) -> Self {
         assert!(cell > 0.0, "cell size must be positive");
         assert!(positions.len() <= u32::MAX as usize, "too many points for u32 ids");
+        // A NaN coordinate would silently bin to cell 0 (every comparison
+        // below is false for NaN) and then be invisible to most queries —
+        // reject corrupted geometry up front instead.
+        for (i, p) in positions.iter().enumerate() {
+            assert!(
+                p.x.is_finite() && p.y.is_finite() && p.z.is_finite(),
+                "point {i} has non-finite coordinates ({}, {}, {})",
+                p.x,
+                p.y,
+                p.z
+            );
+        }
         if positions.is_empty() {
             return Self {
                 cell,
@@ -137,7 +149,14 @@ impl CellList {
     }
 
     /// True if any indexed point lies within `radius` of `query`.
+    ///
+    /// `radius` must not exceed the cell edge, or neighbors could be missed.
     pub fn any_within(&self, query: Vec3, radius: f64) -> bool {
+        assert!(
+            radius <= self.cell + 1e-12,
+            "query radius {radius} exceeds cell size {}",
+            self.cell
+        );
         let r2 = radius * radius;
         let cc = self.cell_coords(query);
         for dx in -1..=1isize {
@@ -268,6 +287,25 @@ mod tests {
     fn oversized_radius_rejected() {
         let cl = CellList::new(&[Vec3::ZERO], 1.0);
         let _ = cl.query_within(Vec3::ZERO, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cell size")]
+    fn any_within_oversized_radius_rejected() {
+        // Regression: `any_within` used to accept radius > cell and then
+        // silently miss this neighbor — it sits 2.5 cells away, outside the
+        // 27-cell stencil, so the unchecked scan returned `false` even
+        // though the point is within the requested radius.
+        let neighbor = Vec3::new(2.5, 0.0, 0.0);
+        let cl = CellList::new(&[Vec3::ZERO, neighbor], 1.0);
+        let _ = cl.any_within(Vec3::ZERO, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite coordinates")]
+    fn nan_positions_rejected() {
+        // Regression: NaN coordinates used to bin to cell 0 silently.
+        let _ = CellList::new(&[Vec3::ZERO, Vec3::new(f64::NAN, 0.0, 0.0)], 1.0);
     }
 
     #[test]

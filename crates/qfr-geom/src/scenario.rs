@@ -1,0 +1,314 @@
+//! Scenario generators beyond the paper's two species.
+//!
+//! The QF-RAMAN paper evaluates on exactly two molecular populations —
+//! capped amino-acid chains and water. The graph-based fragmenter
+//! (`qfr-fragment::graph`) removes that restriction; this module supplies
+//! deterministic synthetic systems that exercise it:
+//!
+//! - [`protein_ligand`]: a protein with an aromatic small-molecule ligand
+//!   docked at its surface (covalent atoms outside every residue span),
+//!   optionally solvated;
+//! - [`disulfide_dimer`]: two helical chains joined by an S–S bond — a
+//!   multi-chain protein the chain/water fast path cannot describe;
+//! - [`polymer_melt`]: a box of short alkane chains, no residues at all,
+//!   with the covalent graph reconstructed by element-aware bond
+//!   detection ([`crate::covalent::detect_bonds`]).
+//!
+//! [`build_scenario`] maps the CLI/bench scenario names to
+//! workstation-sized defaults.
+
+use crate::builder::{FoldStyle, ProteinBuilder, SolvatedSystem};
+use crate::element::Element;
+use crate::embed::{plan_hydrogens, ring_vertices};
+use crate::residue::ResidueKind;
+use crate::system::{Atom, Bond, MolecularSystem};
+use crate::vec3::Vec3;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Names accepted by [`build_scenario`] (and `qfr spectrum --scenario`).
+pub const SCENARIO_NAMES: &[&str] = &["protein-ligand", "disulfide", "polymer-melt"];
+
+/// Builds the named scenario at its workstation-sized default scale.
+/// Returns `None` for an unknown name (see [`SCENARIO_NAMES`]).
+pub fn build_scenario(name: &str, seed: u64) -> Option<MolecularSystem> {
+    match name {
+        "protein-ligand" => Some(protein_ligand(10, Some(4.0), seed)),
+        "disulfide" => Some(disulfide_dimer(9, seed)),
+        "polymer-melt" => Some(polymer_melt(5, 12, seed)),
+        _ => None,
+    }
+}
+
+/// Appends a molecule to `sys`: heavy atoms in the given order, then the
+/// hydrogens completing each heavy atom's valence (heavy-then-H, matching
+/// the residue layout), then all bonds. `bonds` carries indices into
+/// `elements`/`positions`.
+fn append_molecule(
+    sys: &mut MolecularSystem,
+    elements: &[Element],
+    positions: &[Vec3],
+    bonds: &[(usize, usize, u8)],
+) {
+    let mut adjacency: Vec<Vec<(usize, u8)>> = vec![Vec::new(); elements.len()];
+    for &(i, j, order) in bonds {
+        adjacency[i].push((j, order));
+        adjacency[j].push((i, order));
+    }
+    let h_plan = plan_hydrogens(elements, positions, &adjacency);
+    let base = sys.atoms.len();
+    let mut final_of = vec![usize::MAX; elements.len()];
+    for (k, (&el, &p)) in elements.iter().zip(positions).enumerate() {
+        final_of[k] = sys.atoms.len();
+        sys.atoms.push(Atom { element: el, position: p });
+    }
+    for (k, hs) in h_plan.iter().enumerate() {
+        for &hp in hs {
+            let h_idx = sys.atoms.len();
+            sys.atoms.push(Atom { element: Element::H, position: hp });
+            sys.bonds.push(Bond::new(final_of[k], h_idx, 1, elements[k], Element::H));
+        }
+    }
+    for &(i, j, order) in bonds {
+        sys.bonds.push(Bond::new(final_of[i], final_of[j], order, elements[i], elements[j]));
+    }
+    debug_assert!(base <= sys.atoms.len());
+}
+
+/// A protein with a phenyl-ethanol-like ligand (aromatic six-ring, ethyl
+/// tail, hydroxyl) docked 3.4 Å off the protein surface — inside the λ
+/// threshold but outside clash range. With `solvate_padding`, the combined
+/// system is immersed in a water box. The ligand's atoms belong to no
+/// residue span, so decomposition must go through the graph fragmenter.
+pub fn protein_ligand(
+    n_residues: usize,
+    solvate_padding: Option<f64>,
+    seed: u64,
+) -> MolecularSystem {
+    let mut sys = ProteinBuilder::new(n_residues).seed(seed).fold(5, 3).build();
+
+    // Dock site: the +x-extreme protein atom.
+    let anchor = sys
+        .atoms
+        .iter()
+        .map(|a| a.position)
+        .fold(Vec3::new(f64::NEG_INFINITY, 0.0, 0.0), |m, p| if p.x > m.x { p } else { m });
+
+    // Aromatic ring (Kekulé alternating orders so the ring is protected
+    // from cutting), first vertex toward the protein.
+    let c0 = anchor + Vec3::new(3.4, 0.0, 0.0);
+    let ring = {
+        let mut v = vec![c0];
+        v.extend(ring_vertices(c0, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0), 6, 1.39));
+        v
+    };
+    let center = ring.iter().copied().fold(Vec3::ZERO, |s, p| s + p) * (1.0 / 6.0);
+    // Ethyl-hydroxyl tail off the far vertex (ring[3]), extending away.
+    let out = (ring[3] - center).normalized();
+    let c6 = ring[3] + out * 1.50;
+    let c7 = c6 + (out * 1.26 + Vec3::new(0.0, 0.0, 0.89));
+    let o8 = c7 + (out * 1.17 + Vec3::new(0.0, 0.0, -0.82));
+
+    let mut elements = vec![Element::C; 7];
+    elements.push(Element::C);
+    elements.push(Element::O);
+    let mut positions = ring.clone();
+    positions.push(c6);
+    positions.push(c7);
+    positions.push(o8);
+    let bonds = vec![
+        (0, 1, 2u8),
+        (1, 2, 1),
+        (2, 3, 2),
+        (3, 4, 1),
+        (4, 5, 2),
+        (5, 0, 1),
+        (3, 6, 1),
+        (6, 7, 1),
+        (7, 8, 1),
+    ];
+    append_molecule(&mut sys, &elements, &positions, &bonds);
+
+    match solvate_padding {
+        Some(pad) => SolvatedSystem::build(&sys, pad, 3.1, 2.4, seed + 1),
+        None => sys,
+    }
+}
+
+/// Two helical chains of `n_res_per_chain` residues each, placed side by
+/// side and joined by a disulfide bond between their central cysteines.
+/// The chains are *not* peptide-bonded to each other, so the single-chain
+/// fast path does not apply; the S–S bridge makes them one covalent
+/// component for the graph fragmenter.
+pub fn disulfide_dimer(n_res_per_chain: usize, seed: u64) -> MolecularSystem {
+    assert!(n_res_per_chain >= 1);
+    let mut sequence = vec![ResidueKind::Ala; n_res_per_chain];
+    sequence[n_res_per_chain / 2] = ResidueKind::Cys;
+    let build_chain = |s: u64| {
+        ProteinBuilder::new(n_res_per_chain)
+            .seed(s)
+            .sequence(sequence.clone())
+            .fold_style(FoldStyle::alpha_helix())
+            .build()
+    };
+    let chain_a = build_chain(seed);
+    let chain_b = build_chain(seed.wrapping_add(1));
+
+    // Place chain B beside chain A: 2.5 Å of clearance between bounding
+    // boxes along x.
+    let max_x = chain_a.atoms.iter().map(|a| a.position.x).fold(f64::NEG_INFINITY, f64::max);
+    let min_x_b = chain_b.atoms.iter().map(|a| a.position.x).fold(f64::INFINITY, f64::min);
+    let shift = Vec3::new(max_x - min_x_b + 2.5, 0.0, 0.0);
+
+    let mut sys = chain_a.clone();
+    let offset = sys.atoms.len();
+    for a in &chain_b.atoms {
+        sys.atoms.push(Atom { element: a.element, position: a.position + shift });
+    }
+    for b in &chain_b.bonds {
+        sys.bonds.push(Bond { i: b.i + offset, j: b.j + offset, order: b.order, class: b.class });
+    }
+    for span in &chain_b.residues {
+        let mut s = *span;
+        s.start += offset;
+        s.n_idx += offset;
+        s.ca_idx += offset;
+        s.c_idx += offset;
+        s.o_idx += offset;
+        sys.residues.push(s);
+    }
+
+    // The disulfide bridge: sulfur of each chain's central cysteine.
+    let sulfur_of = |sys: &MolecularSystem, res: usize| -> usize {
+        sys.residues[res]
+            .atom_range()
+            .find(|&a| sys.atoms[a].element == Element::S)
+            .expect("cysteine residue has a sulfur")
+    };
+    let sa = sulfur_of(&sys, n_res_per_chain / 2);
+    let sb = sulfur_of(&sys, n_res_per_chain + n_res_per_chain / 2);
+    sys.bonds.push(Bond::new(sa, sb, 1, Element::S, Element::S));
+    sys
+}
+
+/// A melt of `n_chains` alkane chains of `chain_len` carbons each, laid on
+/// a jittered y–z grid with ~5.5 Å inter-chain spacing. The covalent graph
+/// is reconstructed from the carbon positions by
+/// [`crate::covalent::detect_bonds`] — no builder bond bookkeeping — and
+/// hydrogens then complete each carbon's valence. No residues, no waters:
+/// decomposition is possible only through the graph fragmenter.
+pub fn polymer_melt(n_chains: usize, chain_len: usize, seed: u64) -> MolecularSystem {
+    assert!(n_chains >= 1 && chain_len >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Tetrahedral zig-zag backbone: 1.54 Å bonds at 109.47°.
+    let dx = 1.54 * (109.47_f64 / 2.0).to_radians().sin();
+    let dy = 1.54 * (109.47_f64 / 2.0).to_radians().cos();
+    let side = (n_chains as f64).sqrt().ceil() as usize;
+    let mut heavy: Vec<Atom> = Vec::new();
+    for c in 0..n_chains {
+        let row = c / side;
+        let col = c % side;
+        let origin = Vec3::new(
+            rng.random_range(-0.3..=0.3),
+            col as f64 * 5.5 + rng.random_range(-0.3..=0.3),
+            row as f64 * 5.5 + rng.random_range(-0.3..=0.3),
+        );
+        for k in 0..chain_len {
+            let p = origin + Vec3::new(k as f64 * dx, if k % 2 == 0 { 0.0 } else { dy }, 0.0);
+            heavy.push(Atom { element: Element::C, position: p });
+        }
+    }
+    let detected = crate::covalent::detect_bonds(&heavy);
+    let elements: Vec<Element> = heavy.iter().map(|a| a.element).collect();
+    let positions: Vec<Vec3> = heavy.iter().map(|a| a.position).collect();
+    let bonds: Vec<(usize, usize, u8)> = detected.iter().map(|b| (b.i, b.j, b.order)).collect();
+    let mut sys = MolecularSystem::default();
+    append_molecule(&mut sys, &elements, &positions, &bonds);
+    sys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::BondClass;
+
+    #[test]
+    fn all_scenarios_build_and_validate() {
+        for &name in SCENARIO_NAMES {
+            let sys = build_scenario(name, 42).unwrap();
+            assert!(sys.validate().is_empty(), "{name}: {:?}", sys.validate());
+            assert!(sys.n_atoms() > 0, "{name} is empty");
+        }
+        assert!(build_scenario("no-such-scenario", 42).is_none());
+    }
+
+    #[test]
+    fn protein_ligand_has_nonresidue_atoms_within_lambda() {
+        let sys = protein_ligand(6, None, 7);
+        let n_lig = sys.nonresidue_atom_count();
+        assert_eq!(n_lig, 19, "9 heavy ligand atoms + 10 hydrogens");
+        // The ligand sits within the λ = 4 Å threshold of the protein but
+        // outside clash range.
+        let res_end = sys.n_atoms() - n_lig;
+        let d = sys.min_group_distance(
+            &(0..res_end).collect::<Vec<_>>(),
+            &(res_end..sys.n_atoms()).collect::<Vec<_>>(),
+        );
+        assert!(d < 4.0, "ligand outside lambda: {d:.2}");
+        assert!(d > 1.6, "ligand clashes with protein: {d:.2}");
+        // Aromatic ring bonds are present (protected from cutting later).
+        let aromatic = sys.bonds.iter().filter(|b| b.class == BondClass::CCAromatic).count();
+        assert_eq!(aromatic, 3, "Kekulé ring carries 3 double bonds");
+    }
+
+    #[test]
+    fn protein_ligand_solvated_keeps_water_pattern() {
+        let sys = protein_ligand(6, Some(3.0), 8);
+        assert!(sys.n_waters > 0);
+        assert!(sys.validate().is_empty(), "{:?}", sys.validate());
+        assert!(sys.nonresidue_atom_count() >= 19);
+    }
+
+    #[test]
+    fn disulfide_dimer_bridges_two_chains() {
+        let sys = disulfide_dimer(5, 11);
+        assert_eq!(sys.residues.len(), 10);
+        assert!(sys.validate().is_empty(), "{:?}", sys.validate());
+        let ss: Vec<&Bond> = sys.bonds.iter().filter(|b| b.class == BondClass::SSBond).collect();
+        assert_eq!(ss.len(), 1, "exactly one disulfide bridge");
+        // No peptide bond joins residue 4 (chain A end) to residue 5
+        // (chain B start).
+        let (ca, nb) = (sys.residues[4].c_idx, sys.residues[5].n_idx);
+        assert!(
+            !sys.bonds.iter().any(|b| (b.i == ca && b.j == nb) || (b.i == nb && b.j == ca)),
+            "chains must not be peptide-bonded"
+        );
+    }
+
+    #[test]
+    fn polymer_melt_is_residue_free_alkane() {
+        let sys = polymer_melt(4, 8, 3);
+        assert!(sys.residues.is_empty());
+        assert_eq!(sys.n_waters, 0);
+        assert!(sys.validate().is_empty());
+        let n_c = sys.atoms.iter().filter(|a| a.element == Element::C).count();
+        assert_eq!(n_c, 32);
+        // Each chain: 7 C-C bonds; terminal carbons get 3 H, internal 2 H.
+        let cc = sys.bonds.iter().filter(|b| b.class == BondClass::CCSingle).count();
+        assert_eq!(cc, 4 * 7);
+        let n_h = sys.atoms.iter().filter(|a| a.element == Element::H).count();
+        assert_eq!(n_h, 4 * (2 * 3 + 6 * 2), "2 CH3 ends + 6 CH2 per chain");
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        for &name in SCENARIO_NAMES {
+            let a = build_scenario(name, 5).unwrap();
+            let b = build_scenario(name, 5).unwrap();
+            assert_eq!(a.n_atoms(), b.n_atoms());
+            for (x, y) in a.atoms.iter().zip(&b.atoms) {
+                assert_eq!(x.position, y.position, "{name} not deterministic");
+            }
+        }
+    }
+}

@@ -187,10 +187,20 @@ impl MolecularSystem {
         best
     }
 
+    /// Number of covalent (non-water) atoms that belong to no residue span:
+    /// ligands, cofactors, polymer chains. These sit between the residue
+    /// block and the water block and are handled by the graph-based
+    /// fragmenter rather than the chain/water fast path.
+    pub fn nonresidue_atom_count(&self) -> usize {
+        let res_total: usize = self.residues.iter().map(|r| r.len).sum();
+        self.protein_atom_count().saturating_sub(res_total)
+    }
+
     /// Sanity checks: bond indices in range, no self-bonds, residue spans
-    /// contiguous and inside the protein block, water block 3 atoms per
-    /// molecule with O-H-H element pattern. Returns a list of violations
-    /// (empty = valid).
+    /// contiguous and forming a prefix of the covalent (non-water) block,
+    /// water block 3 atoms per molecule with O-H-H element pattern.
+    /// Covalent atoms after the residue spans (ligands, polymer chains)
+    /// are allowed. Returns a list of violations (empty = valid).
     pub fn validate(&self) -> Vec<String> {
         let mut errs = Vec::new();
         let n = self.atoms.len();
@@ -213,8 +223,8 @@ impl MolecularSystem {
                 }
             }
         }
-        if !self.residues.is_empty() && expected_start != self.protein_atom_count() {
-            errs.push("residue spans do not cover the protein block".to_string());
+        if expected_start > self.protein_atom_count() {
+            errs.push("residue spans extend into the water block".to_string());
         }
         if 3 * self.n_waters > n {
             errs.push("water block larger than system".to_string());
@@ -316,5 +326,34 @@ mod tests {
         let mut sys = water_system(1);
         sys.atoms[0].element = Element::C;
         assert!(sys.validate().iter().any(|e| e.contains("element pattern")));
+    }
+
+    #[test]
+    fn nonresidue_atoms_between_residues_and_waters_are_valid() {
+        // A ligand-style covalent block after the residue spans (here: a
+        // residue-less system whose two leading atoms belong to no span)
+        // must validate; spans reaching into the water block must not.
+        let mut sys = water_system(2);
+        sys.atoms.insert(0, Atom { element: Element::C, position: Vec3::new(-5.0, 0.0, 0.0) });
+        sys.atoms.insert(1, Atom { element: Element::C, position: Vec3::new(-3.5, 0.0, 0.0) });
+        for b in &mut sys.bonds {
+            b.i += 2;
+            b.j += 2;
+        }
+        sys.bonds.push(Bond::new(0, 1, 1, Element::C, Element::C));
+        assert!(sys.validate().is_empty(), "{:?}", sys.validate());
+        assert_eq!(sys.nonresidue_atom_count(), 2);
+        // A span covering the ligand AND the first water atom overflows the
+        // covalent block.
+        sys.residues.push(ResidueSpan {
+            kind: crate::residue::ResidueKind::Gly,
+            start: 0,
+            len: 3,
+            n_idx: 0,
+            ca_idx: 1,
+            c_idx: 1,
+            o_idx: 2,
+        });
+        assert!(sys.validate().iter().any(|e| e.contains("extend into the water block")));
     }
 }

@@ -1,0 +1,102 @@
+//! Property tests for the cell-list neighbor search: the fast
+//! `group_pairs_within` must agree with the O(N²) brute-force reference on
+//! *clustered* point sets (not just uniform grids), including points far
+//! outside the λ-sized bounding box of the rest of the cloud.
+
+use proptest::prelude::*;
+use qfr_geom::neighbor::{group_pairs_brute_force, group_pairs_within, CellList};
+use qfr_geom::Vec3;
+
+/// A clustered cloud: `n_clusters` cluster centers in a box of edge
+/// `box_edge`, each with `per_cluster` points jittered by `spread`, plus a
+/// handful of far outliers well outside the main bounding box. Group ids
+/// deliberately straddle clusters (`group_len` consecutive points per
+/// group) so inter-group contacts happen both inside and across clusters.
+fn clustered_cloud(
+    seed: u64,
+    n_clusters: usize,
+    per_cluster: usize,
+    box_edge: f64,
+    spread: f64,
+    n_outliers: usize,
+) -> Vec<Vec3> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut rnd = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let mut out = Vec::new();
+    for _ in 0..n_clusters {
+        let center = Vec3::new(rnd() * box_edge, rnd() * box_edge, rnd() * box_edge);
+        for _ in 0..per_cluster {
+            let jit = Vec3::new(
+                (rnd() - 0.5) * 2.0 * spread,
+                (rnd() - 0.5) * 2.0 * spread,
+                (rnd() - 0.5) * 2.0 * spread,
+            );
+            out.push(center + jit);
+        }
+    }
+    for k in 0..n_outliers {
+        // Far outside the clustered box, in alternating octant directions,
+        // so the cell grid must cover a much larger extent than the λ box.
+        let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+        out.push(Vec3::new(
+            sign * (3.0 * box_edge + rnd() * box_edge),
+            -2.0 * box_edge + rnd() * box_edge * 6.0,
+            sign * (2.5 * box_edge + rnd() * box_edge),
+        ));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fast path == brute force on clustered clouds with outliers, for any
+    /// λ and cluster geometry.
+    #[test]
+    fn clustered_group_pairs_match_brute_force(
+        seed in 0u64..10_000,
+        n_clusters in 1..6usize,
+        per_cluster in 1..14usize,
+        box_edge in 4.0..20.0f64,
+        spread in 0.2..4.0f64,
+        n_outliers in 0..5usize,
+        lambda in 0.5..6.0f64,
+        group_len in 1..7usize,
+    ) {
+        let positions =
+            clustered_cloud(seed, n_clusters, per_cluster, box_edge, spread, n_outliers);
+        let group_of: Vec<u32> =
+            (0..positions.len()).map(|i| (i / group_len) as u32).collect();
+        let fast = group_pairs_within(&positions, &group_of, lambda);
+        let slow = group_pairs_brute_force(&positions, &group_of, lambda);
+        prop_assert_eq!(fast, slow, "lambda {} on {} points", lambda, positions.len());
+    }
+
+    /// `query_within` returns exactly the points inside the ball, for
+    /// clustered clouds and query points inside or outside the cloud's
+    /// bounding box.
+    #[test]
+    fn query_within_matches_direct_scan(
+        seed in 0u64..10_000,
+        n_clusters in 1..5usize,
+        per_cluster in 1..12usize,
+        spread in 0.2..3.0f64,
+        radius in 0.3..5.0f64,
+        qx in -30.0..45.0f64,
+        qy in -30.0..45.0f64,
+        qz in -30.0..45.0f64,
+    ) {
+        let positions = clustered_cloud(seed, n_clusters, per_cluster, 15.0, spread, 2);
+        let cl = CellList::new(&positions, radius);
+        let query = Vec3::new(qx, qy, qz);
+        let mut fast = cl.query_within(query, radius);
+        fast.sort_unstable();
+        let slow: Vec<usize> = (0..positions.len())
+            .filter(|&i| positions[i].dist_sqr(query) <= radius * radius)
+            .collect();
+        prop_assert_eq!(fast, slow);
+    }
+}

@@ -169,7 +169,9 @@ pub fn tred2(v: &mut DMatrix, d: &mut [f64], e: &mut [f64]) {
 pub(crate) fn sort_by_eigenvalue(d: &mut [f64], v: &mut DMatrix) {
     let n = d.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("NaN eigenvalue"));
+    // `total_cmp` orders NaN after every finite value instead of panicking,
+    // so one degenerate eigenvalue cannot abort a whole assembly.
+    order.sort_by(|&a, &b| d[a].total_cmp(&d[b]));
     let sorted_d: Vec<f64> = order.iter().map(|&i| d[i]).collect();
     d.copy_from_slice(&sorted_d);
     let old = v.clone();
@@ -192,6 +194,20 @@ mod tests {
         });
         m.symmetrize_mut();
         m
+    }
+
+    #[test]
+    fn nan_eigenvalue_sorts_last_instead_of_panicking() {
+        // Regression: `sort_by_eigenvalue` used `partial_cmp(...).expect`
+        // and aborted on the first NaN.
+        let mut d = [f64::NAN, 1.0, -2.0];
+        let mut v = DMatrix::identity(3);
+        sort_by_eigenvalue(&mut d, &mut v);
+        assert_eq!(d[0], -2.0);
+        assert_eq!(d[1], 1.0);
+        assert!(d[2].is_nan(), "NaN must sort after every finite eigenvalue");
+        // Columns permuted to match: the -2 eigenvector was column 2.
+        assert_eq!(v[(2, 0)], 1.0);
     }
 
     #[test]
