@@ -154,6 +154,26 @@ fn run_pinned_workloads() {
         let d = Decomposition::new(&sys, DecompositionParams::default());
         assert!(d.stats.n_graph_partitions > 0, "{name} must take the graph path");
     }
+
+    // 8. Packed-panel kernels + the opt-in mixed-precision floor
+    //    (DESIGN.md §15): one fixed-seed GEMM through the packed f64
+    //    driver and one mixed model-DFPT spectrum. Pins
+    //    `linalg.gemm.packed_calls` and `linalg.gemm.flops_f32` (and the
+    //    gate asserts both are nonzero below). The mixed run bypasses the
+    //    fragment cache and checkpointing by construction, so it adds no
+    //    nondeterministic counter traffic.
+    let a = qfr_linalg::DMatrix::from_fn(96, 64, |i, j| ((i * 31 + j * 7) % 17) as f64 - 8.0);
+    let b = qfr_linalg::DMatrix::from_fn(64, 80, |i, j| ((i * 13 + j * 5) % 19) as f64 - 9.0);
+    let mut c = qfr_linalg::DMatrix::zeros(96, 80);
+    qfr_linalg::gemm::gemm_packed(&mut c, &a, &b, 1.0, 0.0);
+    let mixed = RamanWorkflow::new(WaterBoxBuilder::new(2).seed(11).build())
+        .sigma(25.0)
+        .lanczos_steps(40)
+        .engine(qfr_core::EngineKind::ModelDfpt)
+        .precision(qfr_linalg::GemmPrecision::MixedF32)
+        .run()
+        .expect("mixed-precision run");
+    assert!(!mixed.spectrum.intensities.is_empty(), "mixed run must produce a spectrum");
 }
 
 /// Parses the compact `{"name":value,...}` object the counter registry
@@ -199,6 +219,13 @@ fn main() {
     assert!(graph_parts > 0, "fragment.graph.partitions must be > 0 on the pinned workload");
     let bonds_cut = qfr_obs::counter::value_of("fragment.graph.bonds_cut").unwrap_or(0);
     assert!(bonds_cut > 0, "fragment.graph.bonds_cut must be > 0 on the pinned workload");
+    // The packed-panel driver and the mixed-precision floor must both have
+    // fired: zeros mean the packed dispatch or the f32 FLOP accounting
+    // regressed (DESIGN.md §15).
+    let packed_calls = qfr_obs::counter::value_of("linalg.gemm.packed_calls").unwrap_or(0);
+    assert!(packed_calls > 0, "linalg.gemm.packed_calls must be > 0 on the pinned workload");
+    let flops_f32 = qfr_obs::counter::value_of("linalg.gemm.flops_f32").unwrap_or(0);
+    assert!(flops_f32 > 0, "linalg.gemm.flops_f32 must be > 0 on the pinned workload");
 
     if let Some(path) = arg_value("--write") {
         std::fs::write(&path, format!("{snapshot}\n")).expect("write baseline");

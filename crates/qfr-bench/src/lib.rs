@@ -26,6 +26,8 @@
 //! the paper's reported ones and writes a JSON record under
 //! `target/experiments/`.
 
+#![forbid(unsafe_code)]
+
 use std::fs;
 use std::path::PathBuf;
 

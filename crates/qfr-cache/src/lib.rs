@@ -35,6 +35,8 @@
 //! replaces a miss depending on arrival order; `cache.near_hits` is
 //! timing-sensitive for the same reason).
 
+#![forbid(unsafe_code)]
+
 pub mod transport;
 
 use std::collections::HashMap;

@@ -17,6 +17,7 @@ use qfr_cache::{CacheConfig, FragmentCache};
 use qfr_core::{EngineKind, RamanWorkflow, ServiceConfig, SpectrumRequest, SpectrumService};
 use qfr_geom::{io, MolecularSystem, ProteinBuilder, SolvatedSystem, WaterBoxBuilder};
 use qfr_linalg::batch::OffloadMode;
+use qfr_linalg::GemmPrecision;
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
@@ -37,7 +38,7 @@ fn usage() -> ! {
          [--solvate PAD] [--sigma S]\n                \
          [--lambda L] [--lanczos K] [--seed SEED] [--temperature T]\n                \
          [--ir] [--json FILE] [--xyz FILE] [--dense | --stream]\n                \
-         [--dfpt] [--offload batched|scattered]\n                \
+         [--dfpt] [--offload batched|scattered] [--precision f64|mixed]\n                \
          [--shards K [--spill DIR] [--tile-rows N]]\n                \
          [--sched LEADERS [--workers W] [--checkpoint FILE\n                 \
          [--checkpoint-interval N]]] [--checkpoint FILE]\n                \
@@ -109,11 +110,24 @@ fn cmd_spectrum(args: &[String]) {
             std::process::exit(2);
         }
     };
+    // --precision selects the DFPT batch kernels' element width: f64
+    // (default, bit-identical to the reference kernels) or mixed (f32
+    // packed panels, f64 accumulation — validated by a max-|Δ| tolerance
+    // of 1e-3 x the f64 spectrum's peak, not bit parity).
+    let precision = match arg_value(args, "--precision").as_deref() {
+        None | Some("f64") => GemmPrecision::F64,
+        Some("mixed") => GemmPrecision::MixedF32,
+        Some(other) => {
+            eprintln!("error: --precision takes 'f64' or 'mixed', got '{other}'");
+            std::process::exit(2);
+        }
+    };
     let mut workflow = RamanWorkflow::new(system)
         .sigma(sigma)
         .lambda(parse(args, "--lambda", 4.0))
         .lanczos_steps(parse(args, "--lanczos", 140))
-        .offload(offload);
+        .offload(offload)
+        .precision(precision);
     if has(args, "--dfpt") {
         workflow = workflow.engine(EngineKind::ModelDfpt);
     }

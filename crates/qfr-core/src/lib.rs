@@ -27,6 +27,7 @@
 //! assert!(result.spectrum.peak().is_some());
 //! ```
 
+#![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)] // index loops over dof blocks
 
 pub mod checkpoint;

@@ -153,6 +153,9 @@ pub struct RamanWorkflow {
     /// How the DFPT engine executes its gathered dense-algebra job
     /// streams (ignored by the force-field engine).
     offload: qfr_linalg::batch::OffloadMode,
+    /// Element width the DFPT engine's batch kernels run at — `F64`
+    /// (default) or the opt-in `MixedF32` floor (DESIGN.md §15).
+    precision: qfr_linalg::GemmPrecision,
     /// Content-addressed fragment result cache shared across runs (and,
     /// through [`crate::SpectrumService`], across concurrent requests).
     cache: Option<Arc<FragmentCache>>,
@@ -170,6 +173,7 @@ impl RamanWorkflow {
             parallel: true,
             dfpt_fragment_cap: 12,
             offload: qfr_linalg::batch::OffloadMode::default(),
+            precision: qfr_linalg::GemmPrecision::default(),
             cache: None,
         }
     }
@@ -226,6 +230,17 @@ impl RamanWorkflow {
         self
     }
 
+    /// Selects the element width the model-DFPT engine's gathered batch
+    /// kernels run at. `F64` (the default) is bit-identical to the
+    /// reference kernels; `MixedF32` packs `f32` operand panels with `f64`
+    /// accumulation — the opt-in accelerator floor, validated by max-|Δ|
+    /// tolerance against the f64 spectrum rather than bit parity
+    /// (DESIGN.md §15). Ignored by the force-field engine.
+    pub fn precision(mut self, prec: qfr_linalg::GemmPrecision) -> Self {
+        self.precision = prec;
+        self
+    }
+
     /// Attaches a content-addressed fragment result cache. Every engine
     /// compute is then routed through the cache: a fragment whose exact
     /// geometry key is already resident is served from memory (the
@@ -259,6 +274,8 @@ impl RamanWorkflow {
                 let mut config = qfr_dfpt::DfptEngineConfig::default();
                 config.scf.offload = self.offload;
                 config.response.offload = self.offload;
+                config.scf.precision = self.precision;
+                config.response.precision = self.precision;
                 Box::new(qfr_dfpt::DfptEngine { config })
             }
         }
@@ -275,7 +292,15 @@ impl RamanWorkflow {
         hits: &AtomicU64,
     ) -> FragmentResponse {
         let frag = job.structure(&self.system);
-        match &self.cache {
+        // Cache keys are geometry-only, so responses computed at different
+        // element widths would collide under one key. F64 is the only
+        // precision the cache (and checkpoint pre-warm) serves; mixed runs
+        // always compute fresh.
+        let cache = match self.precision {
+            qfr_linalg::GemmPrecision::F64 => &self.cache,
+            qfr_linalg::GemmPrecision::MixedF32 => &None,
+        };
+        match cache {
             Some(cache) => {
                 let (resp, kind) = cache.get_or_compute(&frag, || engine.compute(&frag));
                 if kind != HitKind::Miss {
@@ -330,6 +355,13 @@ impl RamanWorkflow {
         &self,
         checkpoint: &std::path::Path,
     ) -> Result<RamanResult, WorkflowError> {
+        // Checkpoint fingerprints cover geometry, not element width: a
+        // mixed-precision run must neither resurrect f64 responses nor
+        // write mixed ones an f64 resume would pick up. Mixed runs skip
+        // the checkpoint machinery entirely.
+        if self.precision == qfr_linalg::GemmPrecision::MixedF32 {
+            return self.run();
+        }
         let mut timings = StageTimings::default();
         let (decomposition, dt) = qfr_obs::timed("workflow.decompose", || self.decompose());
         timings.decompose_s = dt;

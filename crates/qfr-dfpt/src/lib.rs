@@ -36,6 +36,8 @@
 //! *across* response tasks (field directions × displaced geometries) in
 //! deterministic lockstep.
 
+#![forbid(unsafe_code)]
+
 pub mod basis;
 pub mod dispatch;
 pub mod displacement;

@@ -41,6 +41,9 @@ pub struct ScfConfig {
     pub convergence: f64,
     /// How the gathered density/Fock job streams are executed.
     pub offload: OffloadMode,
+    /// Element width the batch kernels run at — `F64` (default) or the
+    /// opt-in `MixedF32` floor (DESIGN.md §15).
+    pub precision: qfr_linalg::GemmPrecision,
 }
 
 impl Default for ScfConfig {
@@ -54,6 +57,7 @@ impl Default for ScfConfig {
             mixing: 0.35,
             convergence: 1e-8,
             offload: OffloadMode::default(),
+            precision: qfr_linalg::GemmPrecision::default(),
         }
     }
 }
@@ -149,7 +153,7 @@ impl ScfSolver {
             density.clear();
             let density_jobs: Vec<BatchJob> =
                 x_panels.iter().map(|x| BatchJob::gemm(x.clone(), p.clone())).collect(); // Arc clones
-            let xps = dispatch_jobs(&density_jobs, cfg.offload);
+            let xps = dispatch_jobs(&density_jobs, cfg.offload, cfg.precision);
             for ((b, x), xp) in batches.iter().zip(&x_panels).zip(&xps) {
                 qfr_linalg::flops::add((2 * x.rows() * n) as u64);
                 for row in 0..x.rows() {
@@ -185,7 +189,7 @@ impl ScfSolver {
                 })
                 .collect();
             let mut v_mat = DMatrix::zeros(n, n);
-            for out in dispatch_jobs(&fock_jobs, cfg.offload) {
+            for out in dispatch_jobs(&fock_jobs, cfg.offload, cfg.precision) {
                 v_mat += &out;
             }
             fock = &h_core + &v_mat;

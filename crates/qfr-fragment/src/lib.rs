@@ -22,6 +22,8 @@
 //! polymers) are decomposed by the general [`graph`] partitioner instead,
 //! behind the same [`Decomposition`] interface.
 
+#![forbid(unsafe_code)]
+
 pub mod assemble;
 pub mod decompose;
 pub mod fragment;

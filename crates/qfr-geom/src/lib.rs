@@ -15,6 +15,8 @@
 //! [`builder::WaterBoxBuilder`] produces water at liquid density. See
 //! DESIGN.md ("Reproduction constraints and substitutions").
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod covalent;
 pub mod element;

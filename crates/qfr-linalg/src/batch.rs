@@ -26,7 +26,7 @@
 //! match value for value. See DESIGN.md §11 for the gather points and the
 //! determinism argument.
 
-use crate::gemm;
+use crate::gemm::{self, GemmPrecision};
 use crate::matrix::DMatrix;
 use rayon::prelude::*;
 
@@ -474,9 +474,21 @@ impl BatchPlan {
 /// reference path or the packed batch path. Both return results in job
 /// order and agree value for value.
 pub fn execute_jobs(jobs: &[BatchJob], mode: OffloadMode) -> Vec<DMatrix> {
+    execute_jobs_prec(jobs, mode, GemmPrecision::F64)
+}
+
+/// [`execute_jobs`] under an explicit [`GemmPrecision`] — how offloaded
+/// batches run in the accelerators' mixed-precision mode. Within one
+/// precision the two offload modes still agree value for value; across
+/// precisions the contract is the mixed-mode error bound (DESIGN.md §15).
+pub fn execute_jobs_prec(
+    jobs: &[BatchJob],
+    mode: OffloadMode,
+    prec: GemmPrecision,
+) -> Vec<DMatrix> {
     match mode {
-        OffloadMode::Scattered => execute_jobs_scattered(jobs),
-        OffloadMode::Batched { stride } => execute_jobs_packed(jobs, stride),
+        OffloadMode::Scattered => execute_jobs_scattered_prec(jobs, prec),
+        OffloadMode::Batched { stride } => execute_jobs_packed_prec(jobs, stride, prec),
     }
 }
 
@@ -484,17 +496,26 @@ pub fn execute_jobs(jobs: &[BatchJob], mode: OffloadMode) -> Vec<DMatrix> {
 /// ([`gemm::matmul`] and the `crate::syrk` family) — the scattered path the
 /// hot loops used before gathering.
 pub fn execute_jobs_scattered(jobs: &[BatchJob]) -> Vec<DMatrix> {
+    execute_jobs_scattered_prec(jobs, GemmPrecision::F64)
+}
+
+/// [`execute_jobs_scattered`] under an explicit [`GemmPrecision`].
+pub fn execute_jobs_scattered_prec(jobs: &[BatchJob], prec: GemmPrecision) -> Vec<DMatrix> {
     jobs.iter()
         .map(|job| match job.kernel {
-            BatchKernel::Gemm => gemm::matmul(&job.a, &job.b),
+            BatchKernel::Gemm => {
+                let mut c = DMatrix::zeros(job.a.rows(), job.b.cols());
+                gemm::gemm_auto_prec(&mut c, &job.a, &job.b, 1.0, 0.0, prec);
+                c
+            }
             BatchKernel::SymmetricProduct => {
                 let n = job.a.cols();
                 let mut c = DMatrix::zeros(n, n);
-                crate::syrk::symmetric_product(1.0, &job.a, &job.b, 0.0, &mut c);
+                crate::syrk::symmetric_product_prec(1.0, &job.a, &job.b, 0.0, &mut c, prec);
                 c
             }
-            BatchKernel::Congruence => crate::syrk::congruence_transform(&job.a, &job.b),
-            BatchKernel::Similarity => crate::syrk::similarity_transform(&job.a, &job.b),
+            BatchKernel::Congruence => crate::syrk::congruence_transform_prec(&job.a, &job.b, prec),
+            BatchKernel::Similarity => crate::syrk::similarity_transform_prec(&job.a, &job.b, prec),
         })
         .collect()
 }
@@ -510,12 +531,34 @@ pub fn execute_jobs_scattered(jobs: &[BatchJob]) -> Vec<DMatrix> {
 /// the stride never inflates FLOPs. FLOPs and the symmetry-savings counter
 /// are accounted identically to the scattered kernels.
 pub fn execute_jobs_packed(jobs: &[BatchJob], stride: usize) -> Vec<DMatrix> {
+    execute_jobs_packed_prec(jobs, stride, GemmPrecision::F64)
+}
+
+/// [`execute_jobs_packed`] under an explicit [`GemmPrecision`].
+pub fn execute_jobs_packed_prec(
+    jobs: &[BatchJob],
+    stride: usize,
+    prec: GemmPrecision,
+) -> Vec<DMatrix> {
     let plan = BatchPlan::build(jobs, stride);
-    execute_jobs_planned(jobs, &plan)
+    execute_jobs_planned_prec(jobs, &plan, prec)
 }
 
 /// Packed execution under a pre-built [`BatchPlan`].
 pub fn execute_jobs_planned(jobs: &[BatchJob], plan: &BatchPlan) -> Vec<DMatrix> {
+    execute_jobs_planned_prec(jobs, plan, GemmPrecision::F64)
+}
+
+/// [`execute_jobs_planned`] under an explicit [`GemmPrecision`]. Mixed
+/// mode rounds every operand read to `f32` (bitwise the value the packed
+/// GEMM driver packs) and accumulates in `f64`, so batched-mixed and
+/// scattered-mixed results agree value for value exactly like the f64
+/// paths do.
+pub fn execute_jobs_planned_prec(
+    jobs: &[BatchJob],
+    plan: &BatchPlan,
+    prec: GemmPrecision,
+) -> Vec<DMatrix> {
     BATCH_JOBS.add(jobs.len() as u64);
     BATCH_LAUNCHES.add(plan.launch_count() as u64);
     BATCH_LAUNCHES_SAVED.add(jobs.len().saturating_sub(plan.launch_count()) as u64);
@@ -527,7 +570,7 @@ pub fn execute_jobs_planned(jobs: &[BatchJob], plan: &BatchPlan) -> Vec<DMatrix>
         // the phase sees them regardless of rayon scheduling.
         let mut out_elems = 0usize;
         for &i in indices {
-            account_job(&jobs[i]);
+            account_job(&jobs[i], prec);
             let (m, n) = jobs[i].out_shape();
             out_elems += m * n;
         }
@@ -548,7 +591,10 @@ pub fn execute_jobs_planned(jobs: &[BatchJob], plan: &BatchPlan) -> Vec<DMatrix>
             let job = &jobs[indices[slot]];
             let (m, n) = job.out_shape();
             let mut out = vec![0.0f64; m * n];
-            compute_job(job, wslot, &mut out);
+            match prec {
+                GemmPrecision::F64 => compute_job::<FullPrec>(job, wslot, &mut out),
+                GemmPrecision::MixedF32 => compute_job::<MixedPrec>(job, wslot, &mut out),
+            }
             DMatrix::from_vec(m, n, out)
         };
         // Each slot is value-independent, so serial vs parallel execution
@@ -614,18 +660,52 @@ pub fn execute_jobs_planned(jobs: &[BatchJob], plan: &BatchPlan) -> Vec<DMatrix>
 /// GEMM FLOPs for [`BatchKernel::Gemm`] (plus the first product of the
 /// transforms), reduced triangle FLOPs + `linalg.gemm.flops_saved_symmetry`
 /// + `linalg.syrk.calls` for the triangle family.
-fn account_job(job: &BatchJob) {
+fn account_job(job: &BatchJob, prec: GemmPrecision) {
     let (m, n, k) = job.dims();
     if m == 0 || n == 0 {
         return;
     }
+    let add_by_prec = |flops: u64| match prec {
+        GemmPrecision::F64 => crate::flops::add(flops),
+        GemmPrecision::MixedF32 => crate::flops::add_f32(flops),
+    };
     match job.kernel {
-        BatchKernel::Gemm => crate::flops::add(crate::flops::gemm_flops(m, n, k)),
-        BatchKernel::SymmetricProduct => crate::syrk::account_triangle(n, k),
+        BatchKernel::Gemm => add_by_prec(crate::flops::gemm_flops(m, n, k)),
+        BatchKernel::SymmetricProduct => crate::syrk::account_triangle(n, k, prec),
         BatchKernel::Congruence | BatchKernel::Similarity => {
-            crate::flops::add(crate::flops::gemm_flops(n, k, k));
-            crate::syrk::account_triangle(n, k);
+            add_by_prec(crate::flops::gemm_flops(n, k, k));
+            crate::syrk::account_triangle(n, k, prec);
         }
+    }
+}
+
+/// Rounding applied to every multiplicand a packed worker reads —
+/// identity for [`GemmPrecision::F64`] (monomorphizes to the exact
+/// pre-existing f64 loops), round-to-`f32` for
+/// [`GemmPrecision::MixedF32`]. Rounding a value at *read* is bitwise the
+/// value the mixed packed-GEMM driver *packs*, and the `f64` accumulation
+/// order is unchanged, so batched-mixed matches scattered-mixed value for
+/// value (DESIGN.md §15).
+trait PanelRound {
+    /// Rounds one operand read.
+    fn r(v: f64) -> f64;
+}
+
+/// Identity rounding: full-width `f64` operands.
+struct FullPrec;
+impl PanelRound for FullPrec {
+    #[inline(always)]
+    fn r(v: f64) -> f64 {
+        v
+    }
+}
+
+/// `f32` operand rounding with `f64` accumulation (mixed mode).
+struct MixedPrec;
+impl PanelRound for MixedPrec {
+    #[inline(always)]
+    fn r(v: f64) -> f64 {
+        v as f32 as f64
     }
 }
 
@@ -647,7 +727,13 @@ fn account_job(job: &BatchJob) {
 /// empty for `Gemm`/`SymmetricProduct`, the transposed transform
 /// intermediate `T' = (A'M)ᵀ` for `Congruence`, and `Aᵀ` plus that
 /// intermediate for `Similarity`.
-fn compute_job(job: &BatchJob, wslot: &mut [f64], cout: &mut [f64]) {
+/// Every multiplicand read goes through `R::r` ([`PanelRound`]): identity
+/// under [`FullPrec`] (same codegen as before the precision knob), `f32`
+/// rounding under [`MixedPrec`] — staged panels (`vpanel`, `tpanel`) keep
+/// full `f64` values and are rounded again at each read, exactly mirroring
+/// the scattered mixed kernels, which materialize intermediates in `f64`
+/// and round operand rows once before the triangle pass.
+fn compute_job<R: PanelRound>(job: &BatchJob, wslot: &mut [f64], cout: &mut [f64]) {
     let (m, n, k) = job.dims();
     match job.kernel {
         BatchKernel::Gemm => {
@@ -657,13 +743,13 @@ fn compute_job(job: &BatchJob, wslot: &mut [f64], cout: &mut [f64]) {
             for i in 0..m {
                 let crow = &mut cout[i * n..(i + 1) * n];
                 for p in 0..k {
-                    let aip = a[i * k + p];
+                    let aip = R::r(a[i * k + p]);
                     if aip == 0.0 {
                         continue;
                     }
                     let brow = &b[p * n..(p + 1) * n];
                     for (cv, bv) in crow.iter_mut().zip(brow) {
-                        *cv += aip * bv;
+                        *cv += aip * R::r(*bv);
                     }
                 }
             }
@@ -677,10 +763,10 @@ fn compute_job(job: &BatchJob, wslot: &mut [f64], cout: &mut [f64]) {
                 let arow = &a[p * n..(p + 1) * n];
                 let brow = &b[p * n..(p + 1) * n];
                 for i in 0..n {
-                    let aip = arow[i];
+                    let aip = R::r(arow[i]);
                     let crow = &mut cout[i * n + i..(i + 1) * n];
                     for (cv, bv) in crow.iter_mut().zip(&brow[i..]) {
-                        *cv += aip * bv;
+                        *cv += aip * R::r(*bv);
                     }
                 }
             }
@@ -699,12 +785,13 @@ fn compute_job(job: &BatchJob, wslot: &mut [f64], cout: &mut [f64]) {
                 let arow = &a[q * n..(q + 1) * n];
                 let mrow = &mmat[q * k..(q + 1) * k];
                 for (p, &mqp) in mrow.iter().enumerate() {
+                    let mqp = R::r(mqp);
                     if mqp == 0.0 {
                         continue;
                     }
                     let trow = &mut tpanel[p * n..(p + 1) * n];
                     for (tv, av) in trow.iter_mut().zip(arow) {
-                        *tv += mqp * av;
+                        *tv += mqp * R::r(*av);
                     }
                 }
             }
@@ -712,10 +799,10 @@ fn compute_job(job: &BatchJob, wslot: &mut [f64], cout: &mut [f64]) {
                 let trow = &tpanel[p * n..(p + 1) * n];
                 let arow = &a[p * n..(p + 1) * n];
                 for i in 0..n {
-                    let tip = trow[i];
+                    let tip = R::r(trow[i]);
                     let crow = &mut cout[i * n + i..(i + 1) * n];
                     for (cv, av) in crow.iter_mut().zip(&arow[i..]) {
-                        *cv += tip * av;
+                        *cv += tip * R::r(*av);
                     }
                 }
             }
@@ -739,12 +826,13 @@ fn compute_job(job: &BatchJob, wslot: &mut [f64], cout: &mut [f64]) {
                 let vrow = &vpanel[q * n..(q + 1) * n];
                 let mrow = &mmat[q * k..(q + 1) * k];
                 for (p, &mqp) in mrow.iter().enumerate() {
+                    let mqp = R::r(mqp);
                     if mqp == 0.0 {
                         continue;
                     }
                     let trow = &mut tpanel[p * n..(p + 1) * n];
                     for (tv, vv) in trow.iter_mut().zip(vrow) {
-                        *tv += mqp * vv;
+                        *tv += mqp * R::r(*vv);
                     }
                 }
             }
@@ -752,10 +840,10 @@ fn compute_job(job: &BatchJob, wslot: &mut [f64], cout: &mut [f64]) {
                 let trow = &tpanel[p * n..(p + 1) * n];
                 let vrow = &vpanel[p * n..(p + 1) * n];
                 for i in 0..n {
-                    let tip = trow[i];
+                    let tip = R::r(trow[i]);
                     let crow = &mut cout[i * n + i..(i + 1) * n];
                     for (cv, vv) in crow.iter_mut().zip(&vrow[i..]) {
-                        *cv += tip * vv;
+                        *cv += tip * R::r(*vv);
                     }
                 }
             }
@@ -975,6 +1063,29 @@ mod tests {
                 assert_eq!(p.as_slice(), s.as_slice());
             }
         }
+    }
+
+    #[test]
+    fn packed_mixed_matches_scattered_mixed() {
+        // Within MixedF32 the two offload modes must agree value for value,
+        // just like the f64 paths — rounding at read equals rounding at
+        // pack. And mixed must actually differ from f64 somewhere (the
+        // knob is real), while staying within the coarse k·ε_f32 envelope.
+        let jobs = tagged_mixed();
+        let scattered = execute_jobs_scattered_prec(&jobs, GemmPrecision::MixedF32);
+        let reference = execute_jobs_scattered(&jobs);
+        let mut any_diff = false;
+        for stride in [1, 8, 32] {
+            let packed = execute_jobs_packed_prec(&jobs, stride, GemmPrecision::MixedF32);
+            for ((p, s), r) in packed.iter().zip(&scattered).zip(&reference) {
+                assert_eq!(p.as_slice(), s.as_slice(), "stride {stride}");
+                let (_, _, k) = jobs[0].dims();
+                let tol = 64.0 * (f32::EPSILON as f64) * (k.max(64) as f64);
+                assert!(p.max_abs_diff(r) <= tol, "mixed drifted beyond its envelope");
+                any_diff |= p.max_abs_diff(r) > 0.0;
+            }
+        }
+        assert!(any_diff, "mixed mode must round somewhere on random data");
     }
 
     #[test]

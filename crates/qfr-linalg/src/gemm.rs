@@ -8,20 +8,49 @@
 //! - [`gemm_naive`] — the triple loop, used as the correctness reference;
 //! - [`gemm_blocked`] — cache-blocked i-k-j loop order (row-major friendly);
 //! - [`gemm_parallel`] — rayon parallelism over row panels;
+//! - [`gemm_packed`] / [`gemm_packed_parallel`] — packed-panel microkernel
+//!   GEMM (`crate::pack` + `crate::microkernel`, DESIGN.md §15), the
+//!   highest-throughput f64 path and the only implementation of the
+//!   opt-in [`GemmPrecision::MixedF32`] mode;
 //! - [`dgemm`] — BLAS-style interface with transpose flags and alpha/beta;
 //! - [`gemv`] — matrix-vector multiply with alpha/beta.
 //!
 //! All kernels account FLOPs via [`crate::flops`], which is how the Table I
-//! harness measures achieved FP64 rates.
+//! harness measures achieved FP64 rates. Mixed-precision products are
+//! accounted separately (`linalg.gemm.flops_f32`), so the FP64 number the
+//! Table I harness reports never mixes element widths.
 
 use crate::matrix::DMatrix;
 use rayon::prelude::*;
 
-/// Every base kernel ([`gemm_naive`], [`gemm_blocked`], [`gemm_parallel`])
+/// Every base kernel ([`gemm_naive`], [`gemm_blocked`], [`gemm_parallel`],
+/// and the packed driver behind [`gemm_packed`]/[`gemm_packed_parallel`])
 /// counts exactly one call; wrappers ([`dgemm`], [`matmul`]) delegate to a
 /// base kernel, so nothing is double-counted.
 static GEMM_CALLS: qfr_obs::Counter = qfr_obs::Counter::deterministic("linalg.gemm.calls");
 static GEMV_CALLS: qfr_obs::Counter = qfr_obs::Counter::deterministic("linalg.gemv.calls");
+/// Packed-panel driver invocations (both precisions) — the metrics gate
+/// pins this above zero so the microkernel path cannot silently fall out
+/// of the dispatch.
+static PACKED_CALLS: qfr_obs::Counter = qfr_obs::Counter::deterministic("linalg.gemm.packed_calls");
+
+/// Element width of GEMM/SYRK panel operands. Threaded from `ScfConfig` /
+/// `qfr spectrum --precision` down through every gathered job stream.
+///
+/// `MixedF32` mirrors the accelerators' mixed-precision mode (paper §V-C):
+/// operands are rounded to `f32` once at pack time, every product is
+/// formed and accumulated at `f64` width. It is **off by default** and is
+/// validated by a max-|Δ| tolerance against the f64 spectra — not by bit
+/// parity, which rounding necessarily forfeits (DESIGN.md §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GemmPrecision {
+    /// Full double precision everywhere (the default; bit-identical to
+    /// the reference kernels).
+    #[default]
+    F64,
+    /// `f32` packed panels, `f64` accumulation.
+    MixedF32,
+}
 
 /// Transpose flag for [`dgemm`], mirroring BLAS `TRANSA`/`TRANSB`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +73,11 @@ const PAR_ROWS: usize = 32;
 /// Minimum multiply-add count before the auto-dispatching entry points
 /// ([`matmul`], [`dgemm`], and the `syrk` family) pick the parallel kernel.
 pub(crate) const PAR_WORK_THRESHOLD: usize = 64 * 64 * 64 * 8;
+
+/// Minimum multiply-add count before [`gemm_auto`] routes through the
+/// packed-panel microkernel: below this the O(mk + kn) packing traffic is
+/// not paid back (fragment-sized operands stay on the blocked kernel).
+pub(crate) const PACKED_WORK_THRESHOLD: usize = 96 * 96 * 96;
 
 fn check_dims(c: &DMatrix, a: &DMatrix, b: &DMatrix) {
     assert_eq!(
@@ -158,7 +192,7 @@ pub fn gemm_parallel(c: &mut DMatrix, a: &DMatrix, b: &DMatrix, alpha: f64, beta
 }
 
 #[inline]
-fn scale_rows(c: &mut DMatrix, beta: f64, row0: usize, row1: usize) {
+pub(crate) fn scale_rows(c: &mut DMatrix, beta: f64, row0: usize, row1: usize) {
     if beta == 1.0 {
         return;
     }
@@ -201,13 +235,83 @@ fn tile_kernel(
     }
 }
 
+/// Packed-panel GEMM (serial macro-loops): `C <- alpha * A * B + beta * C`.
+///
+/// Cache-blocked panel packing + the `MR x NR` register-tiled microkernel
+/// of `crate::microkernel`. Per-entry accumulation order is identical to
+/// [`gemm_blocked`]/[`gemm_naive`], so f64 results are interchangeable
+/// with the slice-tiled kernels value for value.
+pub fn gemm_packed(c: &mut DMatrix, a: &DMatrix, b: &DMatrix, alpha: f64, beta: f64) {
+    check_dims(c, a, b);
+    packed_entry(c, Trans::No, a, Trans::No, b, alpha, beta, GemmPrecision::F64, false);
+}
+
+/// Packed-panel GEMM with the `ic` macro-loop under rayon (disjoint
+/// `MC`-row blocks of `C`; bitwise identical to [`gemm_packed`]).
+pub fn gemm_packed_parallel(c: &mut DMatrix, a: &DMatrix, b: &DMatrix, alpha: f64, beta: f64) {
+    check_dims(c, a, b);
+    packed_entry(c, Trans::No, a, Trans::No, b, alpha, beta, GemmPrecision::F64, true);
+}
+
+/// Packed-panel GEMM under an explicit [`GemmPrecision`], parallel past
+/// `PAR_WORK_THRESHOLD` — the entry the batch/mixed paths use.
+pub fn gemm_packed_prec(
+    c: &mut DMatrix,
+    a: &DMatrix,
+    b: &DMatrix,
+    alpha: f64,
+    beta: f64,
+    prec: GemmPrecision,
+) {
+    check_dims(c, a, b);
+    let parallel = a.rows() * a.cols() * b.cols() >= PAR_WORK_THRESHOLD;
+    packed_entry(c, Trans::No, a, Trans::No, b, alpha, beta, prec, parallel);
+}
+
+/// Shared packed-path entry: counters, FLOP accounting (split by element
+/// width), and precision dispatch into the generic driver. Dimensions are
+/// validated against the *op* shapes so transposed operands never need
+/// materializing.
+#[allow(clippy::too_many_arguments)] // BLAS-style kernel plumbing is clearest flat
+fn packed_entry(
+    c: &mut DMatrix,
+    ta: Trans,
+    a: &DMatrix,
+    tb: Trans,
+    b: &DMatrix,
+    alpha: f64,
+    beta: f64,
+    prec: GemmPrecision,
+    parallel: bool,
+) {
+    let (m, k) = crate::microkernel::op_shape(ta, a);
+    let (kb, n) = crate::microkernel::op_shape(tb, b);
+    assert_eq!(k, kb, "gemm: inner dimensions differ: {m}x{k} * {kb}x{n}");
+    assert_eq!(c.rows(), m, "gemm: C row count mismatch");
+    assert_eq!(c.cols(), n, "gemm: C col count mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    GEMM_CALLS.incr();
+    PACKED_CALLS.incr();
+    match prec {
+        GemmPrecision::F64 => {
+            crate::flops::add(crate::flops::gemm_flops(m, n, k));
+            crate::microkernel::packed_driver::<f64>(c, ta, a, tb, b, alpha, beta, parallel);
+        }
+        GemmPrecision::MixedF32 => {
+            crate::flops::add_f32(crate::flops::gemm_flops(m, n, k));
+            crate::microkernel::packed_driver::<f32>(c, ta, a, tb, b, alpha, beta, parallel);
+        }
+    }
+}
+
 /// BLAS-style GEMM with transpose flags:
 /// `C <- alpha * op(A) * op(B) + beta * C` where `op(X)` is `X` or `X^T`.
 ///
-/// Transposed operands are materialized once; for the fragment-sized matrices
-/// of the DFPT cycle this costs far less than strided inner loops. Kernel
-/// selection follows the same `PAR_WORK_THRESHOLD` dispatch as [`matmul`],
-/// so large transposed products use the parallel kernel too.
+/// Transposed operands are packed directly from their strided views by the
+/// packed-panel driver — no transpose is ever materialized. Untransposed
+/// calls follow the [`gemm_auto`] work-based dispatch.
 pub fn dgemm(
     ta: Trans,
     tb: Trans,
@@ -217,34 +321,75 @@ pub fn dgemm(
     beta: f64,
     c: &mut DMatrix,
 ) {
-    let at;
-    let bt;
-    let aa = match ta {
-        Trans::No => a,
-        Trans::Yes => {
-            at = a.transpose();
-            &at
-        }
-    };
-    let bb = match tb {
-        Trans::No => b,
-        Trans::Yes => {
-            bt = b.transpose();
-            &bt
-        }
-    };
-    gemm_auto(c, aa, bb, alpha, beta);
+    dgemm_prec(ta, tb, alpha, a, b, beta, c, GemmPrecision::F64);
+}
+
+/// [`dgemm`] under an explicit [`GemmPrecision`].
+#[allow(clippy::too_many_arguments)] // BLAS argument order, plus precision
+pub fn dgemm_prec(
+    ta: Trans,
+    tb: Trans,
+    alpha: f64,
+    a: &DMatrix,
+    b: &DMatrix,
+    beta: f64,
+    c: &mut DMatrix,
+    prec: GemmPrecision,
+) {
+    if ta == Trans::No && tb == Trans::No {
+        return gemm_auto_prec(c, a, b, alpha, beta, prec);
+    }
+    let (m, k) = crate::microkernel::op_shape(ta, a);
+    let n = crate::microkernel::op_shape(tb, b).1;
+    let parallel = m * k * n >= PAR_WORK_THRESHOLD;
+    packed_entry(c, ta, a, tb, b, alpha, beta, prec, parallel);
 }
 
 /// Work-based kernel dispatch shared by [`matmul`] and [`dgemm`]: the
-/// rayon-parallel kernel past `PAR_WORK_THRESHOLD` multiply-adds, the
-/// cache-blocked kernel below it.
+/// packed-parallel driver past `PAR_WORK_THRESHOLD` multiply-adds, the
+/// serial packed driver past `PACKED_WORK_THRESHOLD`, and the cache-blocked
+/// kernel below that (packing traffic would not amortize).
 pub fn gemm_auto(c: &mut DMatrix, a: &DMatrix, b: &DMatrix, alpha: f64, beta: f64) {
+    gemm_auto_prec(c, a, b, alpha, beta, GemmPrecision::F64);
+}
+
+/// [`gemm_auto`] under an explicit [`GemmPrecision`]. Mixed mode always
+/// takes the packed driver — it is the only kernel with an `f32` panel
+/// path.
+pub fn gemm_auto_prec(
+    c: &mut DMatrix,
+    a: &DMatrix,
+    b: &DMatrix,
+    alpha: f64,
+    beta: f64,
+    prec: GemmPrecision,
+) {
     let work = a.rows() * a.cols() * b.cols();
-    if work >= PAR_WORK_THRESHOLD {
-        gemm_parallel(c, a, b, alpha, beta);
-    } else {
-        gemm_blocked(c, a, b, alpha, beta);
+    match prec {
+        GemmPrecision::F64 => {
+            if work >= PAR_WORK_THRESHOLD {
+                check_dims(c, a, b);
+                packed_entry(c, Trans::No, a, Trans::No, b, alpha, beta, prec, true);
+            } else if work >= PACKED_WORK_THRESHOLD {
+                gemm_packed(c, a, b, alpha, beta);
+            } else {
+                gemm_blocked(c, a, b, alpha, beta);
+            }
+        }
+        GemmPrecision::MixedF32 => {
+            check_dims(c, a, b);
+            packed_entry(
+                c,
+                Trans::No,
+                a,
+                Trans::No,
+                b,
+                alpha,
+                beta,
+                prec,
+                work >= PAR_WORK_THRESHOLD,
+            );
+        }
     }
 }
 

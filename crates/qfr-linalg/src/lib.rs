@@ -10,7 +10,12 @@
 //! - [`DMatrix`] — a row-major dense `f64` matrix with the usual
 //!   constructors, views and norms;
 //! - [`gemm`] — general matrix multiply in naive, cache-blocked and
-//!   rayon-parallel variants, all FLOP-instrumented;
+//!   rayon-parallel variants, all FLOP-instrumented, plus the
+//!   [`GemmPrecision`] knob selecting the opt-in mixed-precision mode;
+//! - [`pack`] / [`microkernel`] — the packed-panel GEMM floor (DESIGN.md
+//!   §15): cache-blocked A/B panel packing and the `MR x NR`
+//!   register-tiled microkernel behind `gemm::gemm_packed*`, in both `f64`
+//!   and `f32`-panel (mixed) element widths;
 //! - [`batch`] — *batched* dense algebra with stride-32 size-class padding:
 //!   plain GEMM jobs plus kernel-tagged SYRK/congruence jobs packed into
 //!   contiguous per-class buffers, the building block of the paper's elastic
@@ -35,6 +40,7 @@
 //! parallel iterators, in line with the HPC-parallel idioms this project
 //! follows.
 
+#![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)] // index loops are the idiom in LA kernels
 
 pub mod batch;
@@ -46,6 +52,8 @@ pub mod flops;
 pub mod gemm;
 pub mod lu;
 pub mod matrix;
+pub mod microkernel;
+pub mod pack;
 pub mod sparse;
 pub mod syrk;
 pub mod tridiag;
@@ -56,5 +64,6 @@ pub use batch::{
 };
 pub use eigen::SymmetricEigen;
 pub use fft::Complex64;
+pub use gemm::{GemmPrecision, Trans};
 pub use matrix::DMatrix;
 pub use sparse::{CsrMatrix, TripletBuilder};

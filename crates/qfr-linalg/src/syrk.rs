@@ -27,7 +27,7 @@
 //! selection depends only on operand shapes, so same-seed runs produce
 //! byte-identical results and counter reports.
 
-use crate::gemm::Trans;
+use crate::gemm::{GemmPrecision, Trans};
 use crate::matrix::DMatrix;
 use rayon::prelude::*;
 
@@ -60,8 +60,21 @@ pub fn flops_saved_symmetry() -> u64 {
 /// # Panics
 /// Panics if `C` is not square or does not match the updated dimension.
 pub fn syrk(trans: Trans, alpha: f64, a: &DMatrix, beta: f64, c: &mut DMatrix) {
+    syrk_prec(trans, alpha, a, beta, c, GemmPrecision::F64);
+}
+
+/// [`syrk`] under an explicit [`GemmPrecision`]: mixed mode rounds the row
+/// views to `f32` once and accumulates every dot in `f64` (DESIGN.md §15).
+pub fn syrk_prec(
+    trans: Trans,
+    alpha: f64,
+    a: &DMatrix,
+    beta: f64,
+    c: &mut DMatrix,
+    prec: GemmPrecision,
+) {
     let rows = rows_of(trans, a);
-    triangle_product_rows(&rows, &rows, alpha, beta, c, PairKind::Single);
+    triangle_product_rows_prec(&rows, &rows, alpha, beta, c, PairKind::Single, prec);
 }
 
 /// Symmetric rank-2k update, mirroring BLAS `DSYR2K`:
@@ -75,10 +88,23 @@ pub fn syrk(trans: Trans, alpha: f64, a: &DMatrix, beta: f64, c: &mut DMatrix) {
 /// # Panics
 /// Panics on any shape mismatch.
 pub fn syr2k(trans: Trans, alpha: f64, a: &DMatrix, b: &DMatrix, beta: f64, c: &mut DMatrix) {
+    syr2k_prec(trans, alpha, a, b, beta, c, GemmPrecision::F64);
+}
+
+/// [`syr2k`] under an explicit [`GemmPrecision`].
+pub fn syr2k_prec(
+    trans: Trans,
+    alpha: f64,
+    a: &DMatrix,
+    b: &DMatrix,
+    beta: f64,
+    c: &mut DMatrix,
+    prec: GemmPrecision,
+) {
     assert_eq!(a.shape(), b.shape(), "syr2k: A and B shapes differ");
     let ra = rows_of(trans, a);
     let rb = rows_of(trans, b);
-    triangle_product_rows(&ra, &rb, alpha, beta, c, PairKind::Rank2);
+    triangle_product_rows_prec(&ra, &rb, alpha, beta, c, PairKind::Rank2, prec);
 }
 
 /// `C = α Aᵀ B + β C` for operand pairs whose product is *symmetric by
@@ -94,10 +120,22 @@ pub fn syr2k(trans: Trans, alpha: f64, a: &DMatrix, b: &DMatrix, beta: f64, c: &
 /// Panics on shape mismatch. The symmetry of the product itself is the
 /// caller's contract and is not checked (that would cost the FLOPs back).
 pub fn symmetric_product(alpha: f64, a: &DMatrix, b: &DMatrix, beta: f64, c: &mut DMatrix) {
+    symmetric_product_prec(alpha, a, b, beta, c, GemmPrecision::F64);
+}
+
+/// [`symmetric_product`] under an explicit [`GemmPrecision`].
+pub fn symmetric_product_prec(
+    alpha: f64,
+    a: &DMatrix,
+    b: &DMatrix,
+    beta: f64,
+    c: &mut DMatrix,
+    prec: GemmPrecision,
+) {
     assert_eq!(a.shape(), b.shape(), "symmetric_product: A and B shapes differ");
     let ra = rows_of(Trans::Yes, a);
     let rb = rows_of(Trans::Yes, b);
-    triangle_product_rows(&ra, &rb, alpha, beta, c, PairKind::Single);
+    triangle_product_rows_prec(&ra, &rb, alpha, beta, c, PairKind::Single, prec);
 }
 
 /// `A M Aᵀ` for symmetric `M` — the Löwdin sandwich `L⁻¹ F L⁻ᵀ` and the
@@ -111,12 +149,22 @@ pub fn symmetric_product(alpha: f64, a: &DMatrix, b: &DMatrix, beta: f64, c: &mu
 /// Panics if `M` is not square or `A.cols() != M.rows()`. Debug builds
 /// assert `M` is symmetric.
 pub fn similarity_transform(a: &DMatrix, m: &DMatrix) -> DMatrix {
+    similarity_transform_prec(a, m, GemmPrecision::F64)
+}
+
+/// [`similarity_transform`] under an explicit [`GemmPrecision`]: both the
+/// general first product and the triangle second product run at the
+/// requested element width (mixed mode re-rounds the `f64`-accumulated
+/// intermediate to `f32` for the second product, the same double-rounding
+/// an accelerator's mixed pipeline applies between chained launches).
+pub fn similarity_transform_prec(a: &DMatrix, m: &DMatrix, prec: GemmPrecision) -> DMatrix {
     assert!(m.is_square(), "similarity_transform: M must be square");
     assert_eq!(a.cols(), m.rows(), "similarity_transform: A/M mismatch");
     debug_assert!(m.is_symmetric(1e-10), "similarity_transform requires symmetric M");
-    let tmp = crate::gemm::matmul(a, m);
+    let mut tmp = DMatrix::zeros(a.rows(), m.cols());
+    crate::gemm::gemm_auto_prec(&mut tmp, a, m, 1.0, 0.0, prec);
     let mut out = DMatrix::zeros(a.rows(), a.rows());
-    triangle_product_rows(&tmp, a, 1.0, 0.0, &mut out, PairKind::Single);
+    triangle_product_rows_prec(&tmp, a, 1.0, 0.0, &mut out, PairKind::Single, prec);
     out
 }
 
@@ -127,10 +175,15 @@ pub fn similarity_transform(a: &DMatrix, m: &DMatrix) -> DMatrix {
 /// # Panics
 /// Panics if `M` is not square or `A.rows() != M.rows()`.
 pub fn congruence_transform(a: &DMatrix, m: &DMatrix) -> DMatrix {
+    congruence_transform_prec(a, m, GemmPrecision::F64)
+}
+
+/// [`congruence_transform`] under an explicit [`GemmPrecision`].
+pub fn congruence_transform_prec(a: &DMatrix, m: &DMatrix, prec: GemmPrecision) -> DMatrix {
     assert!(m.is_square(), "congruence_transform: M must be square");
     assert_eq!(a.rows(), m.rows(), "congruence_transform: A/M mismatch");
     let at = a.transpose();
-    similarity_transform(&at, m)
+    similarity_transform_prec(&at, m, prec)
 }
 
 /// Counter/FLOP accounting for one single-dot triangle product (`n x n`
@@ -138,16 +191,22 @@ pub fn congruence_transform(a: &DMatrix, m: &DMatrix) -> DMatrix {
 /// *reduced* FLOP count, and credits `linalg.gemm.flops_saved_symmetry`.
 /// Shared with `crate::batch`'s packed executor so batched triangle jobs
 /// account identically to the scattered kernels.
-pub(crate) fn account_triangle(n: usize, k: usize) {
-    account_triangle_dots(n, k, 1);
+pub(crate) fn account_triangle(n: usize, k: usize, prec: GemmPrecision) {
+    account_triangle_dots(n, k, 1, prec);
 }
 
-fn account_triangle_dots(n: usize, k: usize, dots_per_entry: u64) {
+fn account_triangle_dots(n: usize, k: usize, dots_per_entry: u64, prec: GemmPrecision) {
     SYRK_CALLS.incr();
     let entries = (n as u64 * (n as u64 + 1)) / 2;
     let reduced = entries * dots_per_entry * 2 * k as u64;
     let full = dots_per_entry * crate::flops::gemm_flops(n, n, k);
-    crate::flops::add(reduced);
+    // The executed FLOPs go to the counter matching their element width;
+    // the symmetry saving is width-independent (the avoided work would
+    // have run at the same precision).
+    match prec {
+        GemmPrecision::F64 => crate::flops::add(reduced),
+        GemmPrecision::MixedF32 => crate::flops::add_f32(reduced),
+    }
     FLOPS_SAVED.add(full - reduced);
 }
 
@@ -172,13 +231,14 @@ fn rows_of<'a>(trans: Trans, a: &'a DMatrix) -> std::borrow::Cow<'a, DMatrix> {
 /// Shared triangle kernel: `C[i][j] = α f(i, j) + β C[i][j]` for `j >= i`,
 /// mirrored to the lower triangle, where `f` is `Ra_i · Rb_j` (`Single`) or
 /// `Ra_i · Rb_j + Rb_i · Ra_j` (`Rank2`). `Ra`/`Rb` are `n x k` row views.
-fn triangle_product_rows(
+fn triangle_product_rows_prec(
     ra: &DMatrix,
     rb: &DMatrix,
     alpha: f64,
     beta: f64,
     c: &mut DMatrix,
     kind: PairKind,
+    prec: GemmPrecision,
 ) {
     assert_eq!(ra.shape(), rb.shape(), "triangle kernel: row-view shapes differ");
     let (n, k) = ra.shape();
@@ -190,14 +250,43 @@ fn triangle_product_rows(
         PairKind::Single => 1,
         PairKind::Rank2 => 2,
     };
-    account_triangle_dots(n, k, dots_per_entry);
+    account_triangle_dots(n, k, dots_per_entry, prec);
+
+    // Mixed mode rounds the row views to f32 once (the pack step of the
+    // packed GEMM driver, applied to row views); dots still accumulate in
+    // f64. The two views share one rounding when they alias (syrk).
+    let (ra32, rb32): (Vec<f32>, Vec<f32>) = match prec {
+        GemmPrecision::F64 => (Vec::new(), Vec::new()),
+        GemmPrecision::MixedF32 => {
+            let ra32: Vec<f32> = ra.as_slice().iter().map(|&v| v as f32).collect();
+            let rb32 = if std::ptr::eq(ra, rb) {
+                ra32.clone()
+            } else {
+                rb.as_slice().iter().map(|&v| v as f32).collect()
+            };
+            (ra32, rb32)
+        }
+    };
 
     let entry = |i: usize, j: usize, old: f64| -> f64 {
-        let mut acc = dot(ra.row(i), rb.row(j));
-        if kind == PairKind::Rank2 {
-            acc += dot(rb.row(i), ra.row(j));
-        }
-        alpha * acc + if beta == 0.0 { 0.0 } else { beta * old }
+        let mut acc = match prec {
+            GemmPrecision::F64 => {
+                let mut acc = dot(ra.row(i), rb.row(j));
+                if kind == PairKind::Rank2 {
+                    acc += dot(rb.row(i), ra.row(j));
+                }
+                acc
+            }
+            GemmPrecision::MixedF32 => {
+                let mut acc = dot_mixed(&ra32[i * k..(i + 1) * k], &rb32[j * k..(j + 1) * k]);
+                if kind == PairKind::Rank2 {
+                    acc += dot_mixed(&rb32[i * k..(i + 1) * k], &ra32[j * k..(j + 1) * k]);
+                }
+                acc
+            }
+        };
+        acc = alpha * acc + if beta == 0.0 { 0.0 } else { beta * old };
+        acc
     };
 
     // Triangle work is n(n+1)k/2 multiply-adds; parallelize over the
@@ -227,6 +316,13 @@ fn triangle_product_rows(
 #[inline]
 fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Ascending-index dot over f32-rounded operands with f64 accumulation —
+/// the triangle-kernel counterpart of the mixed packed GEMM.
+#[inline]
+fn dot_mixed(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| (x as f64) * (y as f64)).sum()
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use qfr_linalg::lu::Lu;
 use qfr_linalg::sparse::TripletBuilder;
 use qfr_linalg::syrk;
 use qfr_linalg::tridiag::{gauss_quadrature_nodes, tridiagonal_eigen};
-use qfr_linalg::DMatrix;
+use qfr_linalg::{DMatrix, GemmPrecision};
 
 fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = DMatrix> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
@@ -344,5 +344,132 @@ proptest! {
         for (p, s) in packed.iter().zip(&scattered) {
             prop_assert_eq!(p.as_slice(), s.as_slice());
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Packed f64 kernels are bit-identical to `gemm_naive` across
+    /// non-tile-multiple shapes, alpha/beta, and both parallelism modes
+    /// (DESIGN.md §15). Shapes deliberately straddle the MR/NR/MC tile
+    /// boundaries.
+    #[test]
+    fn packed_gemm_bit_identical_to_naive(
+        m in 1..70usize, n in 1..40usize, k in 1..40usize,
+        alpha in -3.0..3.0f64, beta in -2.0..2.0f64,
+        seed in 0u64..1000,
+    ) {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(17);
+        let mut gen = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a = DMatrix::from_fn(m, k, |_, _| gen());
+        let b = DMatrix::from_fn(k, n, |_, _| gen());
+        let c0 = DMatrix::from_fn(m, n, |_, _| gen());
+        let mut cn = c0.clone();
+        let mut cp = c0.clone();
+        let mut cpp = c0.clone();
+        gemm::gemm_naive(&mut cn, &a, &b, alpha, beta);
+        gemm::gemm_packed(&mut cp, &a, &b, alpha, beta);
+        gemm::gemm_packed_parallel(&mut cpp, &a, &b, alpha, beta);
+        prop_assert_eq!(cn.as_slice(), cp.as_slice());
+        prop_assert_eq!(cn.as_slice(), cpp.as_slice());
+    }
+
+    /// `dgemm` under every transpose-flag combination matches naive on the
+    /// materialized `op` views bit for bit — the trans flags pack directly
+    /// from strided views, with no transpose materialization on the hot
+    /// path.
+    #[test]
+    fn dgemm_trans_flags_bit_identical_to_naive(
+        m in 1..40usize, n in 1..40usize, k in 1..40usize,
+        alpha in -3.0..3.0f64, beta in -2.0..2.0f64,
+        ta in 0..2usize, tb in 0..2usize,
+        seed in 0u64..1000,
+    ) {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(23);
+        let mut gen = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let (ta, tb) = (
+            if ta == 1 { Trans::Yes } else { Trans::No },
+            if tb == 1 { Trans::Yes } else { Trans::No },
+        );
+        let a = match ta {
+            Trans::No => DMatrix::from_fn(m, k, |_, _| gen()),
+            Trans::Yes => DMatrix::from_fn(k, m, |_, _| gen()),
+        };
+        let b = match tb {
+            Trans::No => DMatrix::from_fn(k, n, |_, _| gen()),
+            Trans::Yes => DMatrix::from_fn(n, k, |_, _| gen()),
+        };
+        let aop = match ta { Trans::No => a.clone(), Trans::Yes => a.transpose() };
+        let bop = match tb { Trans::No => b.clone(), Trans::Yes => b.transpose() };
+        let c0 = DMatrix::from_fn(m, n, |_, _| gen());
+        let mut cn = c0.clone();
+        let mut cd = c0.clone();
+        gemm::gemm_naive(&mut cn, &aop, &bop, alpha, beta);
+        gemm::dgemm(ta, tb, alpha, &a, &b, beta, &mut cd);
+        prop_assert_eq!(cn.as_slice(), cd.as_slice());
+    }
+
+    /// Mixed-precision packed GEMM stays within the analytic per-entry
+    /// error bound `|Δ| ≤ 3·ε_f32·K·max|A|·max|B|` (two operand roundings
+    /// per product, exact f64 accumulation relative to that).
+    #[test]
+    fn packed_mixed_within_error_bound(
+        m in 1..40usize, n in 1..40usize, k in 1..60usize,
+        seed in 0u64..1000,
+    ) {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(31);
+        let mut gen = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a = DMatrix::from_fn(m, k, |_, _| gen());
+        let b = DMatrix::from_fn(k, n, |_, _| gen());
+        let mut cref = DMatrix::zeros(m, n);
+        let mut cmix = DMatrix::zeros(m, n);
+        gemm::gemm_naive(&mut cref, &a, &b, 1.0, 0.0);
+        gemm::gemm_packed_prec(&mut cmix, &a, &b, 1.0, 0.0, GemmPrecision::MixedF32);
+        let bound = 3.0 * (f32::EPSILON as f64) * k as f64 * a.max_abs() * b.max_abs();
+        prop_assert!(cref.max_abs_diff(&cmix) <= bound,
+            "{} > {bound}", cref.max_abs_diff(&cmix));
+    }
+}
+
+/// Packing scratch take-out/put-back must survive packed launches issued
+/// from inside rayon parallel regions (the PR 6 re-entrancy regression
+/// class): each nested `gemm_packed_parallel` takes the thread-local
+/// buffers out while the outer par_iter may steal another iteration onto
+/// the same worker.
+#[test]
+fn packing_scratch_reentrant_under_nested_parallelism() {
+    use rayon::prelude::*;
+    let sample = |m: usize, n: usize, seed: u64| {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        DMatrix::from_fn(m, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    };
+    let pairs: Vec<(DMatrix, DMatrix)> = (0..16u64)
+        .collect::<Vec<_>>()
+        .par_iter()
+        .map(|&i| {
+            let a = sample(70, 33, i + 1);
+            let b = sample(33, 41, i + 100);
+            let mut c = DMatrix::zeros(70, 41);
+            gemm::gemm_packed_parallel(&mut c, &a, &b, 1.0, 0.0);
+            let mut cref = DMatrix::zeros(70, 41);
+            gemm::gemm_naive(&mut cref, &a, &b, 1.0, 0.0);
+            (c, cref)
+        })
+        .collect();
+    for (c, cref) in &pairs {
+        assert_eq!(c.as_slice(), cref.as_slice());
     }
 }

@@ -20,6 +20,7 @@
 //! Hessian eigenvalues convert to wavenumbers via
 //! `ν̃ [cm⁻¹] = 1302.79 · sqrt(λ)`.
 
+#![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)] // index loops over tensor components
 
 pub mod dipole;

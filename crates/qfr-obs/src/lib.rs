@@ -30,6 +30,8 @@
 //! — e.g. `linalg.gemm.calls`, `dfpt.scf.iterations`,
 //! `sched.tasks.retried`. See DESIGN.md §8 for the full catalogue.
 
+#![forbid(unsafe_code)]
+
 pub mod counter;
 pub mod span;
 pub mod trace;

@@ -56,6 +56,8 @@
 //! the retry/eager-retry/quarantine counters of both executors match
 //! [`FaultPlan::forecast`] exactly for the same plan and decomposition.
 
+#![forbid(unsafe_code)]
+
 pub mod balancer;
 pub mod fault;
 pub mod machine;

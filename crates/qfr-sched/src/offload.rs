@@ -19,7 +19,7 @@
 
 use crate::machine::MachineModel;
 use qfr_linalg::batch::{self, BatchGemmPlan, BatchJob, GemmJob, OffloadMode};
-use qfr_linalg::DMatrix;
+use qfr_linalg::{DMatrix, GemmPrecision};
 
 /// Modeled host↔device traffic (operand + result bytes priced by the
 /// accelerator cost model). Whole bytes, so the counter stays integral.
@@ -90,13 +90,25 @@ impl CpuAccelerator {
     /// DFPT response cycle routes through. Results come back in job-index
     /// order; both modes agree value for value.
     pub fn execute_jobs(&self, jobs: &[BatchJob], mode: OffloadMode) -> (Vec<DMatrix>, f64) {
+        self.execute_jobs_prec(jobs, mode, GemmPrecision::F64)
+    }
+
+    /// [`Self::execute_jobs`] under an explicit [`GemmPrecision`] — the
+    /// accelerator-side mixed-precision floor (DESIGN.md §15). Within one
+    /// precision both offload modes still agree value for value.
+    pub fn execute_jobs_prec(
+        &self,
+        jobs: &[BatchJob],
+        mode: OffloadMode,
+        prec: GemmPrecision,
+    ) -> (Vec<DMatrix>, f64) {
         OFFLOAD_EXECUTED_JOBS.add(jobs.len() as u64);
         match mode {
             OffloadMode::Scattered => qfr_obs::timed("sched.offload.cpu_scattered", || {
-                batch::execute_jobs_scattered(jobs)
+                batch::execute_jobs_scattered_prec(jobs, prec)
             }),
             OffloadMode::Batched { stride } => qfr_obs::timed("sched.offload.cpu_batched", || {
-                batch::execute_jobs_packed(jobs, stride)
+                batch::execute_jobs_packed_prec(jobs, stride, prec)
             }),
         }
     }

@@ -21,6 +21,7 @@
 //! of Eq. (4), and provides the dense-diagonalization reference used to
 //! validate accuracy on small systems.
 
+#![forbid(unsafe_code)]
 #![allow(clippy::needless_range_loop)] // index loops over grid/component arrays
 
 pub mod gagq;

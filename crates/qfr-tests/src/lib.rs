@@ -10,3 +10,5 @@
 //!   floating-point accuracy;
 //! - `proptest_pipeline.rs` — property-based tests over randomized systems
 //!   and solver parameters.
+
+#![forbid(unsafe_code)]
